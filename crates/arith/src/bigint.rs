@@ -1,0 +1,756 @@
+//! Arbitrary-precision signed integers.
+//!
+//! [`BigInt`] is a sign-magnitude integer with 32-bit limbs stored
+//! little-endian. The representation is canonical: the limb vector never has
+//! trailing zero limbs and the value zero is represented by an empty limb
+//! vector with [`Sign::Zero`].
+//!
+//! The implementation favours clarity over asymptotic speed: multiplication is
+//! schoolbook and division is binary long division. The integers appearing in
+//! the exact simplex solver stay small (tens of digits at most for the LPs of
+//! the paper), so this is more than fast enough, and the simple algorithms are
+//! easy to audit for the exactness guarantees the rest of the workspace
+//! depends on.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+use core::str::FromStr;
+
+/// Sign of a [`BigInt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+impl Sign {
+    /// Returns the opposite sign (zero stays zero).
+    pub fn negate(self) -> Sign {
+        match self {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        }
+    }
+
+    /// Signum as an `i32` in `{-1, 0, 1}`.
+    pub fn signum(self) -> i32 {
+        match self {
+            Sign::Negative => -1,
+            Sign::Zero => 0,
+            Sign::Positive => 1,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    /// Little-endian 32-bit limbs; empty iff the value is zero.
+    limbs: Vec<u32>,
+}
+
+impl BigInt {
+    /// The value `0`.
+    pub fn zero() -> BigInt {
+        BigInt { sign: Sign::Zero, limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> BigInt {
+        BigInt::from(1u32)
+    }
+
+    /// Returns `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Returns `true` iff the value is one.
+    pub fn is_one(&self) -> bool {
+        self.sign == Sign::Positive && self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Returns `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Returns `true` iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// The sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        let mut out = self.clone();
+        if out.sign == Sign::Negative {
+            out.sign = Sign::Positive;
+        }
+        out
+    }
+
+    /// Number of bits in the magnitude (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Returns bit `i` of the magnitude (little-endian bit order).
+    fn magnitude_bit(&self, i: usize) -> bool {
+        let limb = i / 32;
+        let off = i % 32;
+        match self.limbs.get(limb) {
+            Some(&w) => (w >> off) & 1 == 1,
+            None => false,
+        }
+    }
+
+    fn from_limbs(sign: Sign, mut limbs: Vec<u32>) -> BigInt {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        if limbs.is_empty() {
+            BigInt::zero()
+        } else {
+            debug_assert_ne!(sign, Sign::Zero, "nonzero magnitude must carry a sign");
+            BigInt { sign, limbs }
+        }
+    }
+
+    /// Compares magnitudes, ignoring signs.
+    fn cmp_magnitude(a: &[u32], b: &[u32]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+            match x.cmp(y) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn add_magnitude(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry: u64 = 0;
+        for i in 0..long.len() {
+            let s = long[i] as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+            out.push(s as u32);
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        out
+    }
+
+    /// Computes `a - b` for magnitudes, requiring `a >= b`.
+    fn sub_magnitude(a: &[u32], b: &[u32]) -> Vec<u32> {
+        debug_assert_ne!(Self::cmp_magnitude(a, b), Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow: i64 = 0;
+        for i in 0..a.len() {
+            let mut d = a[i] as i64 - *b.get(i).unwrap_or(&0) as i64 - borrow;
+            if d < 0 {
+                d += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(d as u32);
+        }
+        debug_assert_eq!(borrow, 0);
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    fn mul_magnitude(a: &[u32], b: &[u32]) -> Vec<u32> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u32; a.len() + b.len()];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            let mut carry: u64 = 0;
+            for (j, &bj) in b.iter().enumerate() {
+                let cur = out[i + j] as u64 + ai as u64 * bj as u64 + carry;
+                out[i + j] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let cur = out[k] as u64 + carry;
+                out[k] = cur as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Shifts a magnitude left by one bit in place.
+    fn shl1_magnitude(limbs: &mut Vec<u32>) {
+        let mut carry = 0u32;
+        for limb in limbs.iter_mut() {
+            let new_carry = *limb >> 31;
+            *limb = (*limb << 1) | carry;
+            carry = new_carry;
+        }
+        if carry != 0 {
+            limbs.push(carry);
+        }
+    }
+
+    /// Magnitude division by binary long division. Returns `(quotient, remainder)`.
+    fn divrem_magnitude(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        assert!(!b.is_empty(), "division by zero BigInt");
+        if Self::cmp_magnitude(a, b) == Ordering::Less {
+            return (Vec::new(), a.to_vec());
+        }
+        // Fast path: single-limb divisor.
+        if b.len() == 1 {
+            let d = b[0] as u64;
+            let mut q = vec![0u32; a.len()];
+            let mut rem: u64 = 0;
+            for i in (0..a.len()).rev() {
+                let cur = (rem << 32) | a[i] as u64;
+                q[i] = (cur / d) as u32;
+                rem = cur % d;
+            }
+            while q.last() == Some(&0) {
+                q.pop();
+            }
+            let r = if rem == 0 { Vec::new() } else { vec![rem as u32] };
+            return (q, r);
+        }
+        // General case: shift-subtract long division over bits.
+        let nbits = {
+            let top = *a.last().unwrap();
+            (a.len() - 1) * 32 + (32 - top.leading_zeros() as usize)
+        };
+        let mut quotient = vec![0u32; a.len()];
+        let mut remainder: Vec<u32> = Vec::with_capacity(b.len() + 1);
+        let a_big = BigInt { sign: Sign::Positive, limbs: a.to_vec() };
+        for bit in (0..nbits).rev() {
+            Self::shl1_magnitude(&mut remainder);
+            if a_big.magnitude_bit(bit) {
+                if remainder.is_empty() {
+                    remainder.push(1);
+                } else {
+                    remainder[0] |= 1;
+                }
+            }
+            if Self::cmp_magnitude(&remainder, b) != Ordering::Less {
+                remainder = Self::sub_magnitude(&remainder, b);
+                quotient[bit / 32] |= 1 << (bit % 32);
+            }
+        }
+        while quotient.last() == Some(&0) {
+            quotient.pop();
+        }
+        (quotient, remainder)
+    }
+
+    /// Truncated division: returns `(q, r)` with `self == q * rhs + r`,
+    /// `|r| < |rhs|`, and `r` having the sign of `self` (or zero).
+    ///
+    /// # Panics
+    /// Panics if `rhs` is zero.
+    pub fn div_rem(&self, rhs: &BigInt) -> (BigInt, BigInt) {
+        assert!(!rhs.is_zero(), "division by zero BigInt");
+        if self.is_zero() {
+            return (BigInt::zero(), BigInt::zero());
+        }
+        let (qm, rm) = Self::divrem_magnitude(&self.limbs, &rhs.limbs);
+        let q_sign = if qm.is_empty() {
+            Sign::Zero
+        } else if self.sign == rhs.sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        let r_sign = if rm.is_empty() { Sign::Zero } else { self.sign };
+        (BigInt::from_limbs(q_sign, qm), BigInt::from_limbs(r_sign, rm))
+    }
+
+    /// Greatest common divisor of the magnitudes (always non-negative).
+    pub fn gcd(&self, rhs: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = rhs.abs();
+        while !b.is_zero() {
+            let (_, r) = a.div_rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Raises the value to a non-negative integer power (`0^0 == 1`).
+    pub fn pow(&self, mut exp: u32) -> BigInt {
+        let mut base = self.clone();
+        let mut acc = BigInt::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Converts to `i128` if the value fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        if self.bit_len() > 127 {
+            return None;
+        }
+        let mut mag: u128 = 0;
+        for &limb in self.limbs.iter().rev() {
+            mag = (mag << 32) | limb as u128;
+        }
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => i128::try_from(mag).ok(),
+            Sign::Negative => Some(-(i128::try_from(mag).ok()?)),
+        }
+    }
+
+    /// Converts to `u64` if the value is non-negative and fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.is_negative() || self.bit_len() > 64 {
+            return None;
+        }
+        let mut mag: u64 = 0;
+        for &limb in self.limbs.iter().rev() {
+            mag = (mag << 32) | limb as u64;
+        }
+        Some(mag)
+    }
+
+    /// Lossy conversion to `f64` (saturating to infinity for huge values).
+    pub fn to_f64(&self) -> f64 {
+        let mut val = 0.0f64;
+        for &limb in self.limbs.iter().rev() {
+            val = val * 4294967296.0 + limb as f64;
+        }
+        match self.sign {
+            Sign::Negative => -val,
+            _ => val,
+        }
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> Self {
+        BigInt::zero()
+    }
+}
+
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> BigInt {
+                let mut v = v as u128;
+                if v == 0 {
+                    return BigInt::zero();
+                }
+                let mut limbs = Vec::new();
+                while v > 0 {
+                    limbs.push(v as u32);
+                    v >>= 32;
+                }
+                BigInt { sign: Sign::Positive, limbs }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> BigInt {
+                let mag = (v as i128).unsigned_abs();
+                let mut out = BigInt::from(mag);
+                if v < 0 {
+                    out.sign = Sign::Negative;
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_from_unsigned!(u8, u16, u32, u64, u128, usize);
+impl_from_signed!(i8, i16, i32, i64, i128, isize);
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Zero, Sign::Zero) => Ordering::Equal,
+            (Sign::Negative, Sign::Negative) => {
+                Self::cmp_magnitude(&other.limbs, &self.limbs)
+            }
+            (Sign::Positive, Sign::Positive) => Self::cmp_magnitude(&self.limbs, &other.limbs),
+            _ => self.sign.signum().cmp(&other.sign.signum()),
+        }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        let mut out = self.clone();
+        out.sign = out.sign.negate();
+        out
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        -&self
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => {
+                BigInt::from_limbs(a, BigInt::add_magnitude(&self.limbs, &rhs.limbs))
+            }
+            _ => match BigInt::cmp_magnitude(&self.limbs, &rhs.limbs) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt::from_limbs(
+                    self.sign,
+                    BigInt::sub_magnitude(&self.limbs, &rhs.limbs),
+                ),
+                Ordering::Less => BigInt::from_limbs(
+                    rhs.sign,
+                    BigInt::sub_magnitude(&rhs.limbs, &self.limbs),
+                ),
+            },
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        if self.is_zero() || rhs.is_zero() {
+            return BigInt::zero();
+        }
+        let sign = if self.sign == rhs.sign { Sign::Positive } else { Sign::Negative };
+        BigInt::from_limbs(sign, BigInt::mul_magnitude(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Div for &BigInt {
+    type Output = BigInt;
+    fn div(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem for &BigInt {
+    type Output = BigInt;
+    fn rem(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).1
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add);
+forward_binop!(Sub, sub);
+forward_binop!(Mul, mul);
+forward_binop!(Div, div);
+forward_binop!(Rem, rem);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, rhs: &BigInt) {
+        *self = &*self * rhs;
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Convert magnitude to decimal by repeated division by 10^9.
+        let mut chunks: Vec<u32> = Vec::new();
+        let mut mag = self.limbs.clone();
+        let base = vec![1_000_000_000u32];
+        while !mag.is_empty() {
+            let (q, r) = BigInt::divrem_magnitude(&mag, &base);
+            chunks.push(*r.first().unwrap_or(&0));
+            mag = q;
+        }
+        if self.sign == Sign::Negative {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", chunks.last().unwrap())?;
+        for chunk in chunks.iter().rev().skip(1) {
+            write!(f, "{:09}", chunk)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({})", self)
+    }
+}
+
+/// Error returned when parsing a [`BigInt`] from a malformed string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError;
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid BigInt literal")
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (neg, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseBigIntError);
+        }
+        let ten = BigInt::from(10u32);
+        let mut acc = BigInt::zero();
+        for b in digits.bytes() {
+            acc = &(&acc * &ten) + &BigInt::from((b - b'0') as u32);
+        }
+        if neg {
+            acc = -acc;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bi(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn construction_and_zero() {
+        assert!(bi(0).is_zero());
+        assert_eq!(bi(0), BigInt::zero());
+        assert!(bi(5).is_positive());
+        assert!(bi(-5).is_negative());
+        assert_eq!(bi(1), BigInt::one());
+        assert!(BigInt::one().is_one());
+        assert!(!bi(2).is_one());
+    }
+
+    #[test]
+    fn add_sub_small() {
+        assert_eq!(&bi(3) + &bi(4), bi(7));
+        assert_eq!(&bi(3) - &bi(4), bi(-1));
+        assert_eq!(&bi(-3) + &bi(-4), bi(-7));
+        assert_eq!(&bi(-3) - &bi(-4), bi(1));
+        assert_eq!(&bi(0) + &bi(0), bi(0));
+        assert_eq!(&bi(10) - &bi(10), bi(0));
+    }
+
+    #[test]
+    fn mul_small() {
+        assert_eq!(&bi(6) * &bi(7), bi(42));
+        assert_eq!(&bi(-6) * &bi(7), bi(-42));
+        assert_eq!(&bi(-6) * &bi(-7), bi(42));
+        assert_eq!(&bi(0) * &bi(123456789), bi(0));
+    }
+
+    #[test]
+    fn carries_across_limbs() {
+        let a = bi((1i128 << 32) - 1);
+        assert_eq!(&a + &bi(1), bi(1i128 << 32));
+        let big = bi(u32::MAX as i128);
+        assert_eq!(&big * &big, bi((u32::MAX as i128) * (u32::MAX as i128)));
+        let big64 = bi(u64::MAX as i128);
+        let expect: BigInt = "340282366920938463426481119284349108225".parse().unwrap();
+        assert_eq!(&big64 * &big64, expect);
+    }
+
+    #[test]
+    fn div_rem_matches_i128() {
+        let cases: &[(i128, i128)] = &[
+            (7, 3),
+            (-7, 3),
+            (7, -3),
+            (-7, -3),
+            (0, 5),
+            (1 << 40, 3),
+            (123456789012345678, 987654321),
+            (-123456789012345678, 987654321),
+        ];
+        for &(a, b) in cases {
+            let (q, r) = bi(a).div_rem(&bi(b));
+            assert_eq!(q, bi(a / b), "quotient for {a}/{b}");
+            assert_eq!(r, bi(a % b), "remainder for {a}%{b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = bi(1).div_rem(&bi(0));
+    }
+
+    #[test]
+    fn gcd_matches_reference() {
+        for a in -30i128..30 {
+            for b in -30i128..30 {
+                let expect = crate::gcd_i128(a, b);
+                assert_eq!(bi(a).gcd(&bi(b)), bi(expect), "gcd({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn pow_small() {
+        assert_eq!(bi(2).pow(10), bi(1024));
+        assert_eq!(bi(3).pow(0), bi(1));
+        assert_eq!(bi(0).pow(0), bi(1));
+        assert_eq!(bi(-2).pow(3), bi(-8));
+        assert_eq!(bi(10).pow(20), "100000000000000000000".parse().unwrap());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(bi(-5) < bi(-1));
+        assert!(bi(-1) < bi(0));
+        assert!(bi(0) < bi(1));
+        assert!(bi(1) < bi(5));
+        assert!(bi(1i128 << 40) > bi(1i128 << 20));
+        assert!(bi(-(1i128 << 40)) < bi(-(1i128 << 20)));
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for v in [0i128, 1, -1, 42, -42, 1_000_000_007, i64::MAX as i128, i64::MIN as i128] {
+            let s = bi(v).to_string();
+            assert_eq!(s, v.to_string());
+            assert_eq!(s.parse::<BigInt>().unwrap(), bi(v));
+        }
+        let huge = bi(10).pow(40);
+        let s = huge.to_string();
+        assert_eq!(s.len(), 41);
+        assert_eq!(s.parse::<BigInt>().unwrap(), huge);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<BigInt>().is_err());
+        assert!("-".parse::<BigInt>().is_err());
+        assert!("12a".parse::<BigInt>().is_err());
+        assert!("1.5".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(bi(12345).to_i128(), Some(12345));
+        assert_eq!(bi(-12345).to_i128(), Some(-12345));
+        assert_eq!(bi(12345).to_u64(), Some(12345));
+        assert_eq!(bi(-1).to_u64(), None);
+        assert_eq!(bi(10).pow(50).to_i128(), None);
+        assert!((bi(1i128 << 80).to_f64() - (1i128 << 80) as f64).abs() < 1e10);
+    }
+
+    #[test]
+    fn bit_len() {
+        assert_eq!(bi(0).bit_len(), 0);
+        assert_eq!(bi(1).bit_len(), 1);
+        assert_eq!(bi(255).bit_len(), 8);
+        assert_eq!(bi(256).bit_len(), 9);
+        assert_eq!(bi(1i128 << 64).bit_len(), 65);
+    }
+}

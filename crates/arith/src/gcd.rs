@@ -1,0 +1,76 @@
+//! Greatest-common-divisor helpers for machine integers.
+//!
+//! These are used both directly (by the fast paths of [`crate::Rational`]) and
+//! as reference implementations in the property tests for [`crate::BigInt`].
+
+/// Binary GCD for unsigned 128-bit integers. `gcd(0, 0) == 0`.
+pub fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            core::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
+/// GCD for signed 128-bit integers, returned as a non-negative value.
+///
+/// # Panics
+/// Panics if both inputs are `i128::MIN` (whose absolute value overflows);
+/// this cannot occur for the loop-bound magnitudes used in this workspace.
+pub fn gcd_i128(a: i128, b: i128) -> i128 {
+    let ua = a.unsigned_abs();
+    let ub = b.unsigned_abs();
+    let g = gcd_u128(ua, ub);
+    i128::try_from(g).expect("gcd magnitude fits in i128")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd_u128(0, 0), 0);
+        assert_eq!(gcd_u128(0, 7), 7);
+        assert_eq!(gcd_u128(7, 0), 7);
+        assert_eq!(gcd_u128(12, 18), 6);
+        assert_eq!(gcd_u128(17, 5), 1);
+        assert_eq!(gcd_u128(2u128.pow(40), 2u128.pow(20) * 3), 2u128.pow(20));
+    }
+
+    #[test]
+    fn gcd_signed() {
+        assert_eq!(gcd_i128(-12, 18), 6);
+        assert_eq!(gcd_i128(12, -18), 6);
+        assert_eq!(gcd_i128(-12, -18), 6);
+        assert_eq!(gcd_i128(0, -5), 5);
+    }
+
+    #[test]
+    fn gcd_divides_both() {
+        for a in 0u128..50 {
+            for b in 0u128..50 {
+                let g = gcd_u128(a, b);
+                if g != 0 {
+                    assert_eq!(a % g, 0);
+                    assert_eq!(b % g, 0);
+                } else {
+                    assert_eq!((a, b), (0, 0));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Exact arithmetic substrate for `projtile`.
+//!
+//! The communication lower bounds and tilings of Dinh & Demmel (SPAA 2020) are
+//! defined by small linear programs whose optimal values must be compared
+//! *exactly*: Theorem 3 of the paper states that the optimum of the tiling LP
+//! (5.1) equals one of the Theorem-2 exponents, and the test suite of this
+//! workspace checks that equality literally. Floating point is not good enough
+//! for that, so this crate provides:
+//!
+//! * [`BigInt`] — an arbitrary-precision signed integer (sign + magnitude,
+//!   32-bit limbs), with the usual ring operations, Euclidean division, GCD,
+//!   and exponentiation.
+//! * [`Rational`] — an exact rational number over [`BigInt`], always kept in
+//!   lowest terms with a positive denominator.
+//! * [`log`] — helpers for representing `β_i = log_M L_i` as an exact rational
+//!   when `L_i` and `M` share a common integer base (e.g. both are powers of
+//!   two), and as a controlled rational approximation otherwise.
+//!
+//! The crate has no dependencies; it is deliberately small and heavily tested
+//! (unit tests in each module plus property tests against `i128` semantics).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bigint;
+mod gcd;
+pub mod log;
+mod rational;
+
+pub use bigint::{BigInt, Sign};
+pub use gcd::{gcd_i128, gcd_u128};
+pub use rational::Rational;
+
+/// Convenience constructor for a rational `num / den` from machine integers.
+///
+/// # Panics
+/// Panics if `den == 0`.
+pub fn ratio(num: i64, den: i64) -> Rational {
+    Rational::from_frac(BigInt::from(num), BigInt::from(den))
+}
+
+/// Convenience constructor for an integer-valued rational.
+pub fn int(value: i64) -> Rational {
+    Rational::from_integer(BigInt::from(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_int_agree() {
+        assert_eq!(ratio(4, 2), int(2));
+        assert_eq!(ratio(-3, 6), ratio(1, -2));
+        assert_eq!(ratio(0, 5), int(0));
+    }
+}

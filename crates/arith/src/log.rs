@@ -1,0 +1,227 @@
+//! Exact and approximate logarithms for loop-bound exponents.
+//!
+//! The arbitrary-bound theory of the paper works in "log base M" space: every
+//! loop bound `L_i` enters the linear programs as `β_i = log_M L_i`, and every
+//! tile dimension leaves them as `b_i = M^{λ_i}`. To keep the optimality and
+//! tightness checks exact, this module represents these logarithms as
+//! [`Rational`]s whenever `L` and `M` are powers of a common integer base
+//! (which covers every instance used in the tests and benchmarks: powers of
+//! two), and falls back to a controlled continued-fraction approximation
+//! otherwise.
+
+use crate::{BigInt, Rational};
+
+/// Returns the exact integer `k`-th root of `x` if `x` is a perfect `k`-th
+/// power, i.e. the `r` with `r^k == x`.
+pub fn integer_root(x: u128, k: u32) -> Option<u128> {
+    if k == 0 {
+        return None;
+    }
+    if x == 0 || x == 1 || k == 1 {
+        return Some(x);
+    }
+    // Binary search on r in [1, x].
+    let mut lo: u128 = 1;
+    let mut hi: u128 = 1u128 << (128 / k).min(127);
+    while hi.checked_pow(k).map_or(false, |p| p < x) {
+        hi = hi.saturating_mul(2);
+    }
+    while lo <= hi {
+        let mid = lo + (hi - lo) / 2;
+        match mid.checked_pow(k) {
+            Some(p) if p == x => return Some(mid),
+            Some(p) if p < x => lo = mid + 1,
+            _ => {
+                if mid == 0 {
+                    break;
+                }
+                hi = mid - 1;
+            }
+        }
+    }
+    None
+}
+
+/// Decomposes `x >= 2` as `c^e` with `e` maximal (so `c` is not itself a
+/// perfect power). Returns `(c, e)`.
+pub fn perfect_power_decomposition(x: u128) -> (u128, u32) {
+    assert!(x >= 2, "perfect power decomposition requires x >= 2");
+    let max_exp = 127 - x.leading_zeros().min(126);
+    for e in (2..=max_exp.max(2)).rev() {
+        if let Some(r) = integer_root(x, e) {
+            if r >= 2 {
+                return (r, e);
+            }
+        }
+    }
+    (x, 1)
+}
+
+/// Exact `log_base(x)` as a rational, if `x` and `base` are both integer
+/// powers of a common integer `c >= 2`. Returns `Some(p/q)` where `x = c^p`
+/// and `base = c^q`. `log_base(1) == 0` for any base `>= 2`.
+pub fn exact_log(x: u128, base: u128) -> Option<Rational> {
+    if base < 2 || x == 0 {
+        return None;
+    }
+    if x == 1 {
+        return Some(Rational::zero());
+    }
+    let (c, q) = perfect_power_decomposition(base);
+    // Check whether x is a power of c.
+    let mut acc: u128 = 1;
+    let mut p: u32 = 0;
+    while acc < x {
+        acc = acc.checked_mul(c)?;
+        p += 1;
+    }
+    if acc == x {
+        Some(Rational::from_frac(BigInt::from(p), BigInt::from(q)))
+    } else {
+        None
+    }
+}
+
+/// Exact base-2 logarithm of `x`, if `x` is a power of two.
+pub fn log2_exact(x: u128) -> Option<u32> {
+    if x != 0 && x.is_power_of_two() {
+        Some(x.trailing_zeros())
+    } else {
+        None
+    }
+}
+
+/// `β = log_M L` as a rational: exact if possible (see [`exact_log`]),
+/// otherwise the best continued-fraction approximation of the floating-point
+/// logarithm with denominator at most `2^20`.
+///
+/// # Panics
+/// Panics if `m < 2` or `l == 0`.
+pub fn beta(l: u128, m: u128) -> Rational {
+    assert!(m >= 2, "cache size M must be at least 2");
+    assert!(l >= 1, "loop bound L must be at least 1");
+    if let Some(exact) = exact_log(l, m) {
+        return exact;
+    }
+    let approx = (l as f64).ln() / (m as f64).ln();
+    Rational::approx_f64(approx, 1 << 20).unwrap_or_else(Rational::zero)
+}
+
+/// `M^r` computed exactly when possible: requires `r = p/q >= 0` and `M` to be
+/// a perfect `q`-th power. Returns `None` otherwise or on overflow.
+pub fn exact_pow(m: u128, r: &Rational) -> Option<u128> {
+    if r.is_negative() {
+        return None;
+    }
+    if r.is_zero() {
+        return Some(1);
+    }
+    let p = r.numer().to_u64()?;
+    let q = r.denom().to_u64()?;
+    let root = integer_root(m, u32::try_from(q).ok()?)?;
+    let exp = u32::try_from(p).ok()?;
+    root.checked_pow(exp)
+}
+
+/// `M^r` as a floating-point number (for reporting and tile rounding when an
+/// exact power does not exist).
+pub fn approx_pow(m: u128, r: &Rational) -> f64 {
+    (m as f64).powf(r.to_f64())
+}
+
+/// Floor of `M^r` as an integer, preferring the exact path.
+pub fn floor_pow(m: u128, r: &Rational) -> u128 {
+    if let Some(exact) = exact_pow(m, r) {
+        return exact;
+    }
+    let approx = approx_pow(m, r);
+    if approx >= u128::MAX as f64 {
+        u128::MAX
+    } else {
+        approx.floor().max(1.0) as u128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratio;
+
+    #[test]
+    fn integer_root_basics() {
+        assert_eq!(integer_root(27, 3), Some(3));
+        assert_eq!(integer_root(28, 3), None);
+        assert_eq!(integer_root(1, 5), Some(1));
+        assert_eq!(integer_root(0, 5), Some(0));
+        assert_eq!(integer_root(1024, 10), Some(2));
+        assert_eq!(integer_root(1 << 40, 4), Some(1 << 10));
+        assert_eq!(integer_root(10, 0), None);
+        assert_eq!(integer_root(7, 1), Some(7));
+    }
+
+    #[test]
+    fn perfect_power() {
+        assert_eq!(perfect_power_decomposition(64), (2, 6));
+        assert_eq!(perfect_power_decomposition(36), (6, 2));
+        assert_eq!(perfect_power_decomposition(7), (7, 1));
+        assert_eq!(perfect_power_decomposition(2), (2, 1));
+        assert_eq!(perfect_power_decomposition(1000000), (10, 6));
+    }
+
+    #[test]
+    fn exact_log_powers_of_two() {
+        assert_eq!(exact_log(1, 1024), Some(Rational::zero()));
+        assert_eq!(exact_log(32, 1024), Some(ratio(1, 2)));
+        assert_eq!(exact_log(1024, 1024), Some(Rational::one()));
+        assert_eq!(exact_log(1 << 20, 1 << 10), Some(ratio(2, 1)));
+        assert_eq!(exact_log(2, 1024), Some(ratio(1, 10)));
+        assert_eq!(exact_log(3, 1024), None);
+        assert_eq!(exact_log(9, 27), Some(ratio(2, 3)));
+        assert_eq!(exact_log(0, 1024), None);
+        assert_eq!(exact_log(8, 1), None);
+    }
+
+    #[test]
+    fn log2_exact_works() {
+        assert_eq!(log2_exact(1), Some(0));
+        assert_eq!(log2_exact(4096), Some(12));
+        assert_eq!(log2_exact(3), None);
+        assert_eq!(log2_exact(0), None);
+    }
+
+    #[test]
+    fn beta_exact_and_approx() {
+        assert_eq!(beta(32, 1024), ratio(1, 2));
+        assert_eq!(beta(1, 1024), Rational::zero());
+        // Non power-of-two: approximate but close.
+        let b = beta(1000, 1024);
+        assert!((b.to_f64() - (1000f64).ln() / (1024f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_pow_roundtrip() {
+        assert_eq!(exact_pow(1024, &ratio(1, 2)), Some(32));
+        assert_eq!(exact_pow(1024, &ratio(3, 2)), Some(32768));
+        assert_eq!(exact_pow(1024, &Rational::zero()), Some(1));
+        assert_eq!(exact_pow(1000, &ratio(1, 3)), Some(10));
+        assert_eq!(exact_pow(1000, &ratio(1, 7)), None);
+        assert_eq!(exact_pow(1024, &ratio(-1, 2)), None);
+    }
+
+    #[test]
+    fn floor_pow_prefers_exact() {
+        assert_eq!(floor_pow(1024, &ratio(1, 2)), 32);
+        assert_eq!(floor_pow(1024, &Rational::one()), 1024);
+        // Approximate path still sane.
+        let v = floor_pow(1000, &ratio(1, 2));
+        assert!((31..=32).contains(&v));
+    }
+
+    #[test]
+    fn beta_consistency_with_pow() {
+        for &(l, m) in &[(16u128, 256u128), (64, 4096), (2, 65536), (1, 1024)] {
+            let b = beta(l, m);
+            assert_eq!(exact_pow(m, &b), Some(l));
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! Exact rational numbers over [`BigInt`].
+//!
+//! A [`Rational`] is always stored in canonical form: the denominator is
+//! strictly positive and `gcd(|numerator|, denominator) == 1` (with `0`
+//! represented as `0/1`). Equality and ordering are therefore exact and cheap.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use core::str::FromStr;
+
+use crate::bigint::{BigInt, Sign};
+
+/// An exact rational number.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    numer: BigInt,
+    denom: BigInt,
+}
+
+impl Rational {
+    /// The value `0`.
+    pub fn zero() -> Rational {
+        Rational { numer: BigInt::zero(), denom: BigInt::one() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Rational {
+        Rational { numer: BigInt::one(), denom: BigInt::one() }
+    }
+
+    /// Builds the rational `numer / denom`, normalizing sign and common factors.
+    ///
+    /// # Panics
+    /// Panics if `denom` is zero.
+    pub fn from_frac(numer: BigInt, denom: BigInt) -> Rational {
+        assert!(!denom.is_zero(), "rational with zero denominator");
+        if numer.is_zero() {
+            return Rational::zero();
+        }
+        let mut numer = numer;
+        let mut denom = denom;
+        if denom.is_negative() {
+            numer = -numer;
+            denom = -denom;
+        }
+        let g = numer.gcd(&denom);
+        if !g.is_one() {
+            numer = &numer / &g;
+            denom = &denom / &g;
+        }
+        Rational { numer, denom }
+    }
+
+    /// Builds an integer-valued rational.
+    pub fn from_integer(value: BigInt) -> Rational {
+        Rational { numer: value, denom: BigInt::one() }
+    }
+
+    /// Best rational approximation of an `f64` with denominator at most
+    /// `max_denom`, via continued fractions. Returns `None` for non-finite
+    /// inputs or `max_denom == 0`.
+    ///
+    /// Used only for *reporting* general (non power-of-two) `β = log_M L`
+    /// values; all optimality proofs in the workspace run on exactly
+    /// representable instances.
+    pub fn approx_f64(value: f64, max_denom: u64) -> Option<Rational> {
+        if !value.is_finite() || max_denom == 0 {
+            return None;
+        }
+        let negative = value < 0.0;
+        let mut x = value.abs();
+        // Continued-fraction convergents p/q.
+        let (mut p0, mut q0, mut p1, mut q1) = (0i128, 1i128, 1i128, 0i128);
+        for _ in 0..64 {
+            let a = x.floor();
+            if a > i64::MAX as f64 {
+                break;
+            }
+            let ai = a as i128;
+            let p2 = ai.checked_mul(p1)?.checked_add(p0)?;
+            let q2 = ai.checked_mul(q1)?.checked_add(q0)?;
+            if q2 as u128 > max_denom as u128 {
+                break;
+            }
+            p0 = p1;
+            q0 = q1;
+            p1 = p2;
+            q1 = q2;
+            let frac = x - a;
+            if frac < 1e-15 {
+                break;
+            }
+            x = 1.0 / frac;
+        }
+        if q1 == 0 {
+            return None;
+        }
+        let mut out = Rational::from_frac(BigInt::from(p1), BigInt::from(q1));
+        if negative {
+            out = -&out;
+        }
+        Some(out)
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &BigInt {
+        &self.numer
+    }
+
+    /// Denominator (always strictly positive).
+    pub fn denom(&self) -> &BigInt {
+        &self.denom
+    }
+
+    /// Returns `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.numer.is_zero()
+    }
+
+    /// Returns `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.numer.is_negative()
+    }
+
+    /// Returns `true` iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.numer.is_positive()
+    }
+
+    /// Returns `true` iff the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.denom.is_one()
+    }
+
+    /// Sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.numer.sign()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        if self.is_negative() {
+            -self
+        } else {
+            self.clone()
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rational::from_frac(self.denom.clone(), self.numer.clone())
+    }
+
+    /// Raises to an integer power (negative exponents invert; `0^0 == 1`).
+    ///
+    /// # Panics
+    /// Panics if the value is zero and `exp < 0`.
+    pub fn pow(&self, exp: i32) -> Rational {
+        if exp == 0 {
+            return Rational::one();
+        }
+        let mag = exp.unsigned_abs();
+        let out = Rational {
+            numer: self.numer.pow(mag),
+            denom: self.denom.pow(mag),
+        };
+        if exp < 0 {
+            out.recip()
+        } else {
+            out
+        }
+    }
+
+    /// Largest integer `<=` the value.
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.numer.div_rem(&self.denom);
+        if r.is_zero() || !self.numer.is_negative() {
+            q
+        } else {
+            &q - &BigInt::one()
+        }
+    }
+
+    /// Smallest integer `>=` the value.
+    pub fn ceil(&self) -> BigInt {
+        let (q, r) = self.numer.div_rem(&self.denom);
+        if r.is_zero() || self.numer.is_negative() {
+            q
+        } else {
+            &q + &BigInt::one()
+        }
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        // Scale so that both parts stay in f64 range for typical magnitudes.
+        self.numer.to_f64() / self.denom.to_f64()
+    }
+
+    /// Returns the smaller of two rationals (by value).
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of two rationals (by value).
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::zero()
+    }
+}
+
+impl From<BigInt> for Rational {
+    fn from(v: BigInt) -> Rational {
+        Rational::from_integer(v)
+    }
+}
+
+macro_rules! impl_from_machine {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Rational {
+            fn from(v: $t) -> Rational {
+                Rational::from_integer(BigInt::from(v))
+            }
+        }
+    )*};
+}
+
+impl_from_machine!(u8, u16, u32, u64, usize, i8, i16, i32, i64, i128);
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  <=>  a*d vs c*b  (b, d > 0).
+        let lhs = &self.numer * &other.denom;
+        let rhs = &other.numer * &self.denom;
+        lhs.cmp(&rhs)
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { numer: -&self.numer, denom: self.denom.clone() }
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        -&self
+    }
+}
+
+impl Add for &Rational {
+    type Output = Rational;
+    fn add(self, rhs: &Rational) -> Rational {
+        Rational::from_frac(
+            &(&self.numer * &rhs.denom) + &(&rhs.numer * &self.denom),
+            &self.denom * &rhs.denom,
+        )
+    }
+}
+
+impl Sub for &Rational {
+    type Output = Rational;
+    fn sub(self, rhs: &Rational) -> Rational {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &Rational {
+    type Output = Rational;
+    fn mul(self, rhs: &Rational) -> Rational {
+        Rational::from_frac(&self.numer * &rhs.numer, &self.denom * &rhs.denom)
+    }
+}
+
+impl Div for &Rational {
+    type Output = Rational;
+    fn div(self, rhs: &Rational) -> Rational {
+        assert!(!rhs.is_zero(), "division of Rational by zero");
+        Rational::from_frac(&self.numer * &rhs.denom, &self.denom * &rhs.numer)
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &Rational) -> Rational {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Rational> for &Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add);
+forward_binop!(Sub, sub);
+forward_binop!(Mul, mul);
+forward_binop!(Div, div);
+
+impl AddAssign<&Rational> for Rational {
+    fn add_assign(&mut self, rhs: &Rational) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&Rational> for Rational {
+    fn sub_assign(&mut self, rhs: &Rational) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&Rational> for Rational {
+    fn mul_assign(&mut self, rhs: &Rational) {
+        *self = &*self * rhs;
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.denom.is_one() {
+            write!(f, "{}", self.numer)
+        } else {
+            write!(f, "{}/{}", self.numer, self.denom)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rational({})", self)
+    }
+}
+
+/// Error returned when parsing a [`Rational`] from a malformed string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError;
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid Rational literal (expected `p` or `p/q`)")
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once('/') {
+            None => {
+                let n: BigInt = s.parse().map_err(|_| ParseRationalError)?;
+                Ok(Rational::from_integer(n))
+            }
+            Some((num, den)) => {
+                let n: BigInt = num.parse().map_err(|_| ParseRationalError)?;
+                let d: BigInt = den.parse().map_err(|_| ParseRationalError)?;
+                if d.is_zero() {
+                    return Err(ParseRationalError);
+                }
+                Ok(Rational::from_frac(n, d))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratio;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(ratio(2, 4), ratio(1, 2));
+        assert_eq!(ratio(-2, -4), ratio(1, 2));
+        assert_eq!(ratio(2, -4), ratio(-1, 2));
+        assert_eq!(ratio(0, 7), Rational::zero());
+        assert!(ratio(0, 7).denom().is_one());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = ratio(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(&ratio(1, 2) + &ratio(1, 3), ratio(5, 6));
+        assert_eq!(&ratio(1, 2) - &ratio(1, 3), ratio(1, 6));
+        assert_eq!(&ratio(2, 3) * &ratio(3, 4), ratio(1, 2));
+        assert_eq!(&ratio(2, 3) / &ratio(4, 3), ratio(1, 2));
+        assert_eq!(-&ratio(1, 2), ratio(-1, 2));
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        assert!(ratio(1, 3) < ratio(1, 2));
+        assert!(ratio(-1, 2) < ratio(-1, 3));
+        assert!(ratio(3, 2) > Rational::one());
+        assert_eq!(ratio(1, 3).min(ratio(1, 2)), ratio(1, 3));
+        assert_eq!(ratio(1, 3).max(ratio(1, 2)), ratio(1, 2));
+    }
+
+    #[test]
+    fn pow_and_recip() {
+        assert_eq!(ratio(2, 3).pow(2), ratio(4, 9));
+        assert_eq!(ratio(2, 3).pow(-2), ratio(9, 4));
+        assert_eq!(ratio(2, 3).pow(0), Rational::one());
+        assert_eq!(ratio(2, 3).recip(), ratio(3, 2));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(ratio(7, 2).floor(), BigInt::from(3));
+        assert_eq!(ratio(7, 2).ceil(), BigInt::from(4));
+        assert_eq!(ratio(-7, 2).floor(), BigInt::from(-4));
+        assert_eq!(ratio(-7, 2).ceil(), BigInt::from(-3));
+        assert_eq!(ratio(6, 2).floor(), BigInt::from(3));
+        assert_eq!(ratio(6, 2).ceil(), BigInt::from(3));
+        assert_eq!(Rational::zero().floor(), BigInt::zero());
+    }
+
+    #[test]
+    fn display_and_parse() {
+        assert_eq!(ratio(3, 2).to_string(), "3/2");
+        assert_eq!(ratio(4, 2).to_string(), "2");
+        assert_eq!("3/2".parse::<Rational>().unwrap(), ratio(3, 2));
+        assert_eq!("-5".parse::<Rational>().unwrap(), ratio(-5, 1));
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("a/b".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn to_f64_reasonable() {
+        assert!((ratio(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((ratio(-22, 7).to_f64() + 22.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn approx_f64_recovers_simple_fractions() {
+        assert_eq!(Rational::approx_f64(0.5, 100).unwrap(), ratio(1, 2));
+        assert_eq!(Rational::approx_f64(-0.75, 100).unwrap(), ratio(-3, 4));
+        let third = Rational::approx_f64(1.0 / 3.0, 1000).unwrap();
+        assert_eq!(third, ratio(1, 3));
+        assert!(Rational::approx_f64(f64::NAN, 10).is_none());
+        assert!(Rational::approx_f64(1.0, 0).is_none());
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests: BigInt/Rational arithmetic must agree with i128 semantics
+//! on inputs that fit, and must satisfy the algebraic laws used by the exact
+//! simplex solver (field axioms for Rational, ring axioms for BigInt).
+
+use projtile_arith::{ratio, BigInt, Rational};
+use proptest::prelude::*;
+
+fn bi(v: i128) -> BigInt {
+    BigInt::from(v)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_i128(a in -1_000_000_000_000i128..1_000_000_000_000, b in -1_000_000_000_000i128..1_000_000_000_000) {
+        prop_assert_eq!(&bi(a) + &bi(b), bi(a + b));
+    }
+
+    #[test]
+    fn sub_matches_i128(a in -1_000_000_000_000i128..1_000_000_000_000, b in -1_000_000_000_000i128..1_000_000_000_000) {
+        prop_assert_eq!(&bi(a) - &bi(b), bi(a - b));
+    }
+
+    #[test]
+    fn mul_matches_i128(a in -1_000_000_000i128..1_000_000_000, b in -1_000_000_000i128..1_000_000_000) {
+        prop_assert_eq!(&bi(a) * &bi(b), bi(a * b));
+    }
+
+    #[test]
+    fn div_rem_matches_i128(a in -1_000_000_000_000i128..1_000_000_000_000, b in -1_000_000i128..1_000_000) {
+        prop_assume!(b != 0);
+        let (q, r) = bi(a).div_rem(&bi(b));
+        prop_assert_eq!(q, bi(a / b));
+        prop_assert_eq!(r, bi(a % b));
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in any::<i64>(), b in any::<i64>()) {
+        prop_assume!(b != 0);
+        let (q, r) = bi(a as i128).div_rem(&bi(b as i128));
+        prop_assert_eq!(&(&q * &bi(b as i128)) + &r, bi(a as i128));
+    }
+
+    #[test]
+    fn ordering_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(bi(a as i128).cmp(&bi(b as i128)), a.cmp(&b));
+    }
+
+    #[test]
+    fn display_parse_roundtrip(a in any::<i128>()) {
+        let x = bi(a);
+        let s = x.to_string();
+        prop_assert_eq!(s.parse::<BigInt>().unwrap(), x);
+        prop_assert_eq!(s, a.to_string());
+    }
+
+    #[test]
+    fn gcd_divides_and_is_max(a in -100_000i64..100_000, b in -100_000i64..100_000) {
+        let g = bi(a as i128).gcd(&bi(b as i128));
+        if a == 0 && b == 0 {
+            prop_assert!(g.is_zero());
+        } else {
+            prop_assert!(g.is_positive());
+            prop_assert!((&bi(a as i128) % &g).is_zero());
+            prop_assert!((&bi(b as i128) % &g).is_zero());
+        }
+    }
+
+    #[test]
+    fn rational_field_laws(
+        an in -1000i64..1000, ad in 1i64..1000,
+        bn in -1000i64..1000, bd in 1i64..1000,
+        cn in -1000i64..1000, cd in 1i64..1000,
+    ) {
+        let a = ratio(an, ad);
+        let b = ratio(bn, bd);
+        let c = ratio(cn, cd);
+        // commutativity and associativity
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        // distributivity
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        // additive / multiplicative inverses
+        prop_assert_eq!(&a - &a, Rational::zero());
+        if !a.is_zero() {
+            prop_assert_eq!(&a * &a.recip(), Rational::one());
+            prop_assert_eq!(&(&b / &a) * &a, b.clone());
+        }
+    }
+
+    #[test]
+    fn rational_ordering_consistent_with_f64(
+        an in -1000i64..1000, ad in 1i64..1000,
+        bn in -1000i64..1000, bd in 1i64..1000,
+    ) {
+        let a = ratio(an, ad);
+        let b = ratio(bn, bd);
+        let fa = an as f64 / ad as f64;
+        let fb = bn as f64 / bd as f64;
+        if (fa - fb).abs() > 1e-9 {
+            prop_assert_eq!(a < b, fa < fb);
+        }
+    }
+
+    #[test]
+    fn rational_floor_ceil_bracket(an in -10_000i64..10_000, ad in 1i64..100) {
+        let a = ratio(an, ad);
+        let floor = Rational::from_integer(a.floor());
+        let ceil = Rational::from_integer(a.ceil());
+        prop_assert!(floor <= a);
+        prop_assert!(a <= ceil);
+        prop_assert!(&ceil - &floor <= Rational::one());
+        if a.is_integer() {
+            prop_assert_eq!(floor, ceil);
+        }
+    }
+
+    #[test]
+    fn bigint_pow_matches_u128(base in 0u32..50, exp in 0u32..8) {
+        let expect = (base as u128).pow(exp);
+        prop_assert_eq!(BigInt::from(base).pow(exp), BigInt::from(expect));
+    }
+}

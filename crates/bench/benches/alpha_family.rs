@@ -1,0 +1,47 @@
+//! E3 (§6.1c): the α-parameterized family of optimal tilings.
+//!
+//! Benchmarks computing the optimal face of the tiling LP and materializing
+//! family members, for a matmul whose inner bound is small (the degenerate
+//! case where the family is non-trivial).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use projtile_arith::ratio;
+use projtile_core::alpha;
+use projtile_loopnest::builders;
+
+fn bench_alpha_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_alpha_family");
+    let m = 1u64 << 10;
+    let nest = builders::matmul(1 << 9, 1 << 9, 1 << 2);
+
+    group.bench_function("optimal_family", |b| {
+        b.iter(|| alpha::optimal_family(black_box(&nest), m, 0))
+    });
+
+    let family = alpha::optimal_family(&nest, m, 0);
+    group.bench_function("tiling_at_alpha", |b| {
+        b.iter(|| {
+            for num in 0..=4i64 {
+                let a = ratio(num, 4);
+                black_box(family.tiling_at(&nest, m, &a));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_table(c: &mut Criterion) {
+    c.bench_function("e3_table", |b| b.iter(projtile_bench::e3_alpha_family));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_alpha_family, bench_table
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E4 (§6.2): tensor contractions, pointwise convolutions and fully-connected
+//! layers.
+//!
+//! Benchmarks the analysis on machine-learning layer shapes (small channel
+//! counts), and the generic d-dimensional contraction as the depth grows.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use projtile_core::{check_tightness, contraction, solve_tiling_lp};
+use projtile_loopnest::builders;
+
+fn bench_pointwise_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_pointwise_conv");
+    let m = 1u64 << 12;
+    let shapes: [(u64, u64, u64, u64, u64); 3] =
+        [(1, 3, 32, 112, 112), (4, 16, 16, 28, 28), (8, 256, 256, 7, 7)];
+    for (i, &(b_, cc, k, w, h)) in shapes.iter().enumerate() {
+        let nest = builders::pointwise_conv(b_, cc, k, w, h);
+        group.bench_with_input(BenchmarkId::new("tiling_lp", i), &nest, |bch, nest| {
+            bch.iter(|| solve_tiling_lp(black_box(nest), m))
+        });
+        group.bench_with_input(BenchmarkId::new("closed_form", i), &(), |bch, _| {
+            bch.iter(|| contraction::pointwise_conv_exponent(b_, cc, k, w, h, m))
+        });
+        group.bench_with_input(BenchmarkId::new("tightness", i), &nest, |bch, nest| {
+            bch.iter(|| check_tightness(black_box(nest), m))
+        });
+    }
+    group.finish();
+}
+
+fn bench_generic_contraction_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_contraction_depth");
+    let m = 1u64 << 10;
+    for d in [4usize, 5, 6, 7] {
+        let bounds: Vec<u64> = (0..d).map(|i| 1u64 << ((i % 4) + 1)).collect();
+        let nest = builders::tensor_contraction(1, 3, &bounds);
+        group.bench_with_input(BenchmarkId::new("tightness_check", d), &nest, |b, nest| {
+            b.iter(|| check_tightness(black_box(nest), m))
+        });
+    }
+    group.finish();
+}
+
+fn bench_table(c: &mut Criterion) {
+    c.bench_function("e4_table", |b| b.iter(projtile_bench::e4_contraction));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_pointwise_conv, bench_generic_contraction_depth, bench_table
+}
+criterion_main!(benches);

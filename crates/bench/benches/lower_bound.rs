@@ -1,0 +1,55 @@
+//! E6/E7 (Theorems 2 and 3): lower-bound machinery on random projective
+//! programs.
+//!
+//! Benchmarks the bound LP against the explicit 2^d subset enumeration as the
+//! loop depth grows (the enumeration is exponential in d, the LP is not), and
+//! the full tightness check.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use projtile_core::{bounds, check_tightness};
+use projtile_loopnest::builders;
+
+fn bench_bound_vs_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_bound_vs_enumeration");
+    let m = 1u64 << 6;
+    for d in [3usize, 5, 7, 9] {
+        let nest = builders::random_projective(42, d, 4, (1, 256));
+        group.bench_with_input(BenchmarkId::new("bound_lp", d), &nest, |b, nest| {
+            b.iter(|| bounds::arbitrary_bound_exponent(black_box(nest), m))
+        });
+        group.bench_with_input(BenchmarkId::new("subset_enumeration_2^d", d), &nest, |b, nest| {
+            b.iter(|| bounds::enumerated_exponent(black_box(nest), m))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tightness_random(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_tightness_random");
+    let m = 1u64 << 8;
+    for seed in [0u64, 1, 2] {
+        let nest = builders::random_projective(seed, 5, 4, (1, 512));
+        group.bench_with_input(BenchmarkId::new("check_tightness", seed), &nest, |b, nest| {
+            b.iter(|| check_tightness(black_box(nest), m))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("e6_table", |b| b.iter(projtile_bench::e6_random_programs));
+    c.bench_function("e7_table", |b| b.iter(projtile_bench::e7_tightness));
+    c.bench_function("e9_table", |b| b.iter(projtile_bench::e9_parametric));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_bound_vs_enumeration, bench_tightness_random, bench_tables
+}
+criterion_main!(benches);

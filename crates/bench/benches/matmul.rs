@@ -1,0 +1,45 @@
+//! E1 (§6.1a): matrix multiplication with large bounds.
+//!
+//! Benchmarks the cost of the full analysis pipeline (HBL LP, Theorem-2 bound
+//! LP, tiling LP) as the cache size grows, and regenerates the E1 table rows.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use projtile_core::{communication_lower_bound, hbl, optimal_tiling};
+use projtile_loopnest::builders;
+
+fn bench_matmul_large(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_matmul_large");
+    let l = 1u64 << 9;
+    let nest = builders::matmul(l, l, l);
+
+    group.bench_function("hbl_exponent", |b| {
+        b.iter(|| hbl::hbl_exponent(black_box(&nest)))
+    });
+
+    for log_m in [8u32, 12, 16] {
+        let m = 1u64 << log_m;
+        group.bench_with_input(BenchmarkId::new("lower_bound", log_m), &m, |b, &m| {
+            b.iter(|| communication_lower_bound(black_box(&nest), m))
+        });
+        group.bench_with_input(BenchmarkId::new("optimal_tiling", log_m), &m, |b, &m| {
+            b.iter(|| optimal_tiling(black_box(&nest), m))
+        });
+    }
+    group.finish();
+}
+
+fn bench_table(c: &mut Criterion) {
+    c.bench_function("e1_table", |b| b.iter(projtile_bench::e1_matmul_large));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_matmul_large, bench_table
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E2 (§6.1b): matrix multiplication across the small-L3 crossover.
+//!
+//! Benchmarks the arbitrary-bound analysis as L3 sweeps through the regime
+//! change at √M, and the explicit 2^d subset enumeration against the single
+//! bound-LP solve.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use projtile_core::{bounds, check_tightness, optimal_tiling};
+use projtile_loopnest::builders;
+
+fn bench_small_l3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_matmul_small_l3");
+    let m = 1u64 << 10;
+    for log_l3 in [0u32, 2, 5, 7] {
+        let l3 = 1u64 << log_l3;
+        let nest = builders::matmul(1 << 9, 1 << 9, l3);
+        group.bench_with_input(BenchmarkId::new("bound_lp", l3), &nest, |b, nest| {
+            b.iter(|| bounds::arbitrary_bound_exponent(black_box(nest), m))
+        });
+        group.bench_with_input(BenchmarkId::new("subset_enumeration", l3), &nest, |b, nest| {
+            b.iter(|| bounds::enumerated_exponent(black_box(nest), m))
+        });
+        group.bench_with_input(BenchmarkId::new("optimal_tiling", l3), &nest, |b, nest| {
+            b.iter(|| optimal_tiling(black_box(nest), m))
+        });
+        group.bench_with_input(BenchmarkId::new("tightness_check", l3), &nest, |b, nest| {
+            b.iter(|| check_tightness(black_box(nest), m))
+        });
+    }
+    group.finish();
+}
+
+fn bench_table(c: &mut Criterion) {
+    c.bench_function("e2_table", |b| b.iter(projtile_bench::e2_matmul_small));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_small_l3, bench_table
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E5 (§6.3): n-body pairwise interactions.
+//!
+//! Benchmarks the analysis and the closed forms across the three size regimes
+//! (both lists large, one small, both small).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use projtile_core::{closed_forms, communication_lower_bound, optimal_tiling};
+use projtile_loopnest::builders;
+
+fn bench_nbody(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_nbody");
+    let m = 1u64 << 8;
+    for (label, l1, l2) in [
+        ("both_large", 1u64 << 12, 1u64 << 12),
+        ("one_small", 1 << 4, 1 << 12),
+        ("both_small", 1 << 4, 1 << 6),
+    ] {
+        let nest = builders::nbody(l1, l2);
+        group.bench_with_input(BenchmarkId::new("lower_bound", label), &nest, |b, nest| {
+            b.iter(|| communication_lower_bound(black_box(nest), m))
+        });
+        group.bench_with_input(BenchmarkId::new("optimal_tiling", label), &nest, |b, nest| {
+            b.iter(|| optimal_tiling(black_box(nest), m))
+        });
+        group.bench_with_input(BenchmarkId::new("closed_form", label), &(), |b, _| {
+            b.iter(|| {
+                (
+                    closed_forms::nbody_exponent(l1, l2, m),
+                    closed_forms::nbody_lower_bound_words(l1, l2, m),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_table(c: &mut Criterion) {
+    c.bench_function("e5_table", |b| b.iter(projtile_bench::e5_nbody));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_nbody, bench_table
+}
+criterion_main!(benches);

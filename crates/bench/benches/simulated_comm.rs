@@ -1,0 +1,66 @@
+//! E8 (§1 motivation): measured communication on the cache simulator.
+//!
+//! Benchmarks the simulation of the untiled, classical-square, and optimal
+//! schedules on an LRU cache, for instances small enough to simulate quickly
+//! but large enough relative to the cache that the schedules differ.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use projtile_exec::{
+    classical_square_tiling, measure, optimal_tiling_schedule, untiled_schedule, CachePolicy,
+    Schedule,
+};
+use projtile_loopnest::builders;
+
+fn bench_simulated_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_simulated_comm");
+    group.sample_size(10);
+    let cache = 128u64;
+    let nest = builders::matmul(32, 32, 32);
+
+    let untiled = untiled_schedule(&nest);
+    group.bench_with_input(BenchmarkId::new("lru", "untiled"), &untiled, |b, s| {
+        b.iter(|| measure(black_box(&nest), s, cache, CachePolicy::Lru))
+    });
+
+    let mut classical = classical_square_tiling(&nest, cache);
+    classical.shrink_to_fit(1.0);
+    let classical_schedule = Schedule::from_tiling(&classical);
+    group.bench_with_input(
+        BenchmarkId::new("lru", "classical_square"),
+        &classical_schedule,
+        |b, s| b.iter(|| measure(black_box(&nest), s, cache, CachePolicy::Lru)),
+    );
+
+    let (_, optimal) = optimal_tiling_schedule(&nest, cache);
+    group.bench_with_input(BenchmarkId::new("lru", "optimal"), &optimal, |b, s| {
+        b.iter(|| measure(black_box(&nest), s, cache, CachePolicy::Lru))
+    });
+
+    // The ideal (Belady) policy on a smaller instance: it materializes the
+    // trace, so keep it modest.
+    let small = builders::matmul(12, 12, 12);
+    let (_, optimal_small) = optimal_tiling_schedule(&small, 64);
+    group.bench_with_input(BenchmarkId::new("ideal", "optimal"), &optimal_small, |b, s| {
+        b.iter(|| measure(black_box(&small), s, 64, CachePolicy::Ideal))
+    });
+    group.finish();
+}
+
+fn bench_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_table");
+    group.sample_size(10);
+    group.bench_function("e8_table", |b| b.iter(projtile_bench::e8_simulated));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_simulated_schedules, bench_table
+}
+criterion_main!(benches);

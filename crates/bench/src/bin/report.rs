@@ -1,0 +1,36 @@
+//! Regenerates every experiment table from DESIGN.md / EXPERIMENTS.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p projtile-bench --bin report            # all experiments
+//! cargo run --release -p projtile-bench --bin report -- e2 e8   # a subset
+//! ```
+
+use projtile_bench::all_experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let tables = all_experiments();
+
+    let selected: Vec<_> = if args.is_empty() {
+        tables
+    } else {
+        tables
+            .into_iter()
+            .filter(|t| args.iter().any(|a| a == &t.id.to_lowercase()))
+            .collect()
+    };
+
+    if selected.is_empty() {
+        eprintln!("no experiment matched; valid ids are e1..e9");
+        std::process::exit(1);
+    }
+
+    println!("projtile experiment report");
+    println!("reproducing: Dinh & Demmel, SPAA 2020 (arXiv:2003.00119), Sections 3-7");
+    println!();
+    for table in selected {
+        println!("{}", table.render());
+    }
+}

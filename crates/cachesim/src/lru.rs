@@ -1,0 +1,185 @@
+//! Fully associative least-recently-used cache.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::sim::Cache;
+use crate::stats::CacheStats;
+
+/// A fully associative LRU cache over word addresses with a line size of one
+/// word.
+///
+/// Recency is tracked with a monotonically increasing logical clock: a
+/// `HashMap` gives O(1) expected residency checks and a `BTreeMap` keyed by
+/// last-use time gives O(log M) eviction of the least recently used word.
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity: usize,
+    clock: u64,
+    /// addr -> last-use time
+    resident: HashMap<u64, u64>,
+    /// last-use time -> addr (times are unique because the clock is monotone)
+    by_recency: BTreeMap<u64, u64>,
+    stats: CacheStats,
+}
+
+impl LruCache {
+    /// Creates an empty cache holding `capacity` words.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> LruCache {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruCache {
+            capacity,
+            clock: 0,
+            resident: HashMap::with_capacity(capacity),
+            by_recency: BTreeMap::new(),
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// Number of words currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Returns `true` iff `addr` is currently resident (without touching it).
+    pub fn contains(&self, addr: u64) -> bool {
+        self.resident.contains_key(&addr)
+    }
+
+    fn touch(&mut self, addr: u64) {
+        self.clock += 1;
+        if let Some(old) = self.resident.insert(addr, self.clock) {
+            self.by_recency.remove(&old);
+        }
+        self.by_recency.insert(self.clock, addr);
+    }
+}
+
+impl Cache for LruCache {
+    fn access(&mut self, addr: u64) -> bool {
+        if self.resident.contains_key(&addr) {
+            self.stats.record_hit();
+            self.touch(addr);
+            true
+        } else {
+            self.stats.record_miss();
+            if self.resident.len() >= self.capacity {
+                // Evict the least recently used word.
+                let (&oldest_time, &victim) =
+                    self.by_recency.iter().next().expect("non-empty cache has an LRU entry");
+                self.by_recency.remove(&oldest_time);
+                self.resident.remove(&victim);
+                self.stats.record_eviction();
+            }
+            self.touch(addr);
+            false
+        }
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn reset(&mut self) {
+        self.clock = 0;
+        self.resident.clear();
+        self.by_recency.clear();
+        self.stats = CacheStats::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+
+    #[test]
+    fn hits_on_resident_words() {
+        let mut c = LruCache::new(2);
+        assert!(!c.access(10));
+        assert!(c.access(10));
+        assert!(!c.access(11));
+        assert!(c.access(10));
+        assert!(c.access(11));
+        assert_eq!(c.stats().misses, 2);
+        assert_eq!(c.stats().hits, 3);
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.access(1);
+        c.access(2);
+        c.access(1); // 2 is now LRU
+        c.access(3); // evicts 2
+        assert!(c.contains(1));
+        assert!(c.contains(3));
+        assert!(!c.contains(2));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = LruCache::new(3);
+        for addr in 0..100u64 {
+            c.access(addr % 10);
+            assert!(c.occupancy() <= 3);
+        }
+    }
+
+    #[test]
+    fn cyclic_scan_larger_than_capacity_always_misses() {
+        // The classic LRU pathology: scanning N > M words cyclically misses
+        // every time.
+        let mut c = LruCache::new(4);
+        let trace: Vec<u64> = (0..5u64).cycle().take(50).collect();
+        let stats = simulate(&mut c, trace.iter().copied());
+        assert_eq!(stats.misses, 50);
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn working_set_within_capacity_misses_once_per_word() {
+        let mut c = LruCache::new(8);
+        let trace: Vec<u64> = (0..8u64).cycle().take(800).collect();
+        let stats = simulate(&mut c, trace.iter().copied());
+        assert_eq!(stats.misses, 8);
+        assert_eq!(stats.hits, 792);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = LruCache::new(2);
+        c.access(1);
+        c.access(2);
+        c.reset();
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.stats().accesses, 0);
+        assert!(!c.contains(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = LruCache::new(0);
+    }
+
+    #[test]
+    fn lru_inclusion_property() {
+        // A larger LRU cache never misses more than a smaller one on the same
+        // trace (stack property of LRU).
+        let trace: Vec<u64> = (0..200u64).map(|i| (i * 7 + i / 3) % 37).collect();
+        let mut small = LruCache::new(8);
+        let mut large = LruCache::new(16);
+        let s = simulate(&mut small, trace.iter().copied());
+        let l = simulate(&mut large, trace.iter().copied());
+        assert!(l.misses <= s.misses);
+    }
+}

@@ -1,0 +1,131 @@
+//! Access statistics shared by every cache model.
+
+use std::fmt;
+
+/// Counters collected while simulating an access stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total number of word accesses observed.
+    pub accesses: u64,
+    /// Accesses served from fast memory.
+    pub hits: u64,
+    /// Accesses that required loading the word from slow memory.
+    pub misses: u64,
+    /// Words evicted from fast memory to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// A fresh, all-zero counter set.
+    pub fn new() -> CacheStats {
+        CacheStats::default()
+    }
+
+    /// Words transferred between slow and fast memory.
+    ///
+    /// In the paper's model every miss moves one word from slow to fast
+    /// memory; evictions of (read-only) data need no write-back, and the
+    /// lower bounds count loads, so this is simply the miss count.
+    pub fn words_transferred(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; zero for an empty trace.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Records a hit.
+    pub fn record_hit(&mut self) {
+        self.accesses += 1;
+        self.hits += 1;
+    }
+
+    /// Records a miss.
+    pub fn record_miss(&mut self) {
+        self.accesses += 1;
+        self.misses += 1;
+    }
+
+    /// Records an eviction.
+    pub fn record_eviction(&mut self) {
+        self.evictions += 1;
+    }
+
+    /// Component-wise sum of two counter sets (useful when aggregating
+    /// per-configuration simulations run in parallel).
+    pub fn combined(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses + other.accesses,
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} hits, {} misses ({:.2}% miss ratio), {} evictions",
+            self.accesses,
+            self.hits,
+            self.misses,
+            self.miss_ratio() * 100.0,
+            self.evictions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = CacheStats::new();
+        s.record_miss();
+        s.record_hit();
+        s.record_hit();
+        s.record_eviction();
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.words_transferred(), 1);
+        assert!((s.miss_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_has_zero_miss_ratio() {
+        assert_eq!(CacheStats::new().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn combined_adds_componentwise() {
+        let mut a = CacheStats::new();
+        a.record_miss();
+        let mut b = CacheStats::new();
+        b.record_hit();
+        b.record_hit();
+        let c = a.combined(&b);
+        assert_eq!(c.accesses, 3);
+        assert_eq!(c.hits, 2);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn display_contains_key_numbers() {
+        let mut s = CacheStats::new();
+        s.record_miss();
+        s.record_hit();
+        let text = s.to_string();
+        assert!(text.contains("2 accesses"));
+        assert!(text.contains("1 misses"));
+    }
+}

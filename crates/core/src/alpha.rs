@@ -1,0 +1,190 @@
+//! The α-parameterized family of optimal tilings (§6.1 of the paper).
+//!
+//! When the tiling LP (5.1) has a degenerate optimum — e.g. matrix
+//! multiplication with a small `L_3`, where any `λ` with
+//! `λ_1 + λ_2 = 1, λ_3 = β_3` is optimal — the optimal tile shape is not
+//! unique: the paper exhibits a family parameterized by `α ∈ [0, 1]`
+//! interpolating between the extreme optimal vertices, and notes that a
+//! practitioner may pick whichever member behaves best on real hardware
+//! (cache-line multiples, vector widths, ...).
+//!
+//! This module computes that family for an arbitrary projective nest: given a
+//! distinguished axis, it finds the optimal solutions minimizing and
+//! maximizing that axis's exponent subject to overall optimality, and exposes
+//! every convex combination (all of which are optimal and feasible by
+//! convexity of the optimal face).
+
+use projtile_arith::Rational;
+use projtile_loopnest::LoopNest;
+use projtile_lp::{solve, Constraint, Objective, Relation};
+
+use crate::tiling_lp::{solve_tiling_lp, tile_dims_from_lambda, tiling_lp};
+use crate::tiling::Tiling;
+
+/// A one-parameter family of optimal tilings along a chosen axis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlphaFamily {
+    /// The loop axis whose exponent parameterizes the family.
+    pub axis: usize,
+    /// The common optimal value of the tiling LP.
+    pub value: Rational,
+    /// Optimal `λ` with the smallest possible exponent on `axis` (`α = 0`).
+    pub lambda_lo: Vec<Rational>,
+    /// Optimal `λ` with the largest possible exponent on `axis` (`α = 1`).
+    pub lambda_hi: Vec<Rational>,
+}
+
+impl AlphaFamily {
+    /// The `λ` vector at parameter `alpha ∈ [0, 1]`:
+    /// `α·λ_hi + (1 − α)·λ_lo`, which is optimal for every `alpha`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `[0, 1]`.
+    pub fn lambda_at(&self, alpha: &Rational) -> Vec<Rational> {
+        assert!(
+            !alpha.is_negative() && *alpha <= Rational::one(),
+            "alpha must lie in [0, 1]"
+        );
+        let one_minus = &Rational::one() - alpha;
+        self.lambda_hi
+            .iter()
+            .zip(&self.lambda_lo)
+            .map(|(hi, lo)| &(alpha * hi) + &(&one_minus * lo))
+            .collect()
+    }
+
+    /// Returns `true` iff the family is degenerate (a single optimal point on
+    /// this axis — no freedom to trade block sizes).
+    pub fn is_degenerate(&self) -> bool {
+        self.lambda_lo == self.lambda_hi
+    }
+
+    /// The range of exponents available on the distinguished axis.
+    pub fn axis_range(&self) -> (Rational, Rational) {
+        (self.lambda_lo[self.axis].clone(), self.lambda_hi[self.axis].clone())
+    }
+
+    /// Materializes the tiling at parameter `alpha`.
+    pub fn tiling_at(&self, nest: &LoopNest, cache_size: u64, alpha: &Rational) -> Tiling {
+        let lambda = self.lambda_at(alpha);
+        let dims = tile_dims_from_lambda(nest, cache_size, &lambda);
+        Tiling::new(nest.clone(), cache_size, dims, Some(lambda))
+    }
+}
+
+/// Computes the α-family for `nest` along `axis`.
+///
+/// # Panics
+/// Panics if `axis >= d` or `cache_size < 2`.
+pub fn optimal_family(nest: &LoopNest, cache_size: u64, axis: usize) -> AlphaFamily {
+    assert!(axis < nest.num_loops(), "axis out of range");
+    let base = solve_tiling_lp(nest, cache_size);
+
+    // Re-solve twice with the optimal value pinned, extremizing λ_axis.
+    let extremize = |maximize: bool| -> Vec<Rational> {
+        let mut lp = tiling_lp(nest, cache_size);
+        // Pin Σ λ_i to the optimal value.
+        lp.add_constraint(Constraint::new(
+            vec![Rational::one(); nest.num_loops()],
+            Relation::Eq,
+            base.value.clone(),
+        ));
+        let mut costs = vec![Rational::zero(); nest.num_loops()];
+        costs[axis] = Rational::one();
+        lp.costs = costs;
+        lp.objective = if maximize { Objective::Maximize } else { Objective::Minimize };
+        solve(&lp)
+            .expect("the optimal face of the tiling LP is non-empty and bounded")
+            .values
+    };
+
+    let lambda_lo = extremize(false);
+    let lambda_hi = extremize(true);
+    AlphaFamily { axis, value: base.value, lambda_lo, lambda_hi }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use projtile_arith::{int, ratio};
+    use projtile_loopnest::builders;
+
+    #[test]
+    fn matmul_small_l3_family_matches_paper_endpoints() {
+        // §6.1 with β3 <= 1/2: every point of the optimal face has
+        // λ1 + λ2 = 1 and λ3 = β3. The paper's α-family (from (1-β3, β3, β3)
+        // to (1/2, 1/2, β3)) lies inside the face computed here, whose extreme
+        // λ1 values are β3 and 1-β3.
+        let m = 1u64 << 10;
+        let l3 = 1u64 << 2; // β3 = 1/5
+        let beta3 = ratio(2, 10);
+        let nest = builders::matmul(1 << 8, 1 << 8, l3);
+        let family = optimal_family(&nest, m, 0);
+        assert_eq!(family.value, &int(1) + &beta3);
+        assert!(!family.is_degenerate());
+        // λ3 is pinned to β3 at both endpoints.
+        assert_eq!(family.lambda_lo[2], beta3);
+        assert_eq!(family.lambda_hi[2], beta3);
+        // The extreme λ1 values are β3 and 1 - β3.
+        assert_eq!(family.lambda_lo[0], beta3);
+        assert_eq!(family.lambda_hi[0], &int(1) - &beta3);
+        assert_eq!(&family.lambda_hi[0] + &family.lambda_hi[1], int(1));
+        assert_eq!(&family.lambda_lo[0] + &family.lambda_lo[1], int(1));
+        assert!(family.lambda_lo[0] < family.lambda_hi[0]);
+    }
+
+    #[test]
+    fn every_family_member_is_optimal_and_feasible() {
+        let m = 1u64 << 10;
+        let nest = builders::matmul(1 << 8, 1 << 8, 1 << 2);
+        let family = optimal_family(&nest, m, 0);
+        let lp = tiling_lp(&nest, m);
+        for num in 0..=4i64 {
+            let alpha = ratio(num, 4);
+            let lambda = family.lambda_at(&alpha);
+            assert!(lp.is_feasible(&lambda), "alpha = {alpha}");
+            let total: Rational =
+                lambda.iter().fold(Rational::zero(), |acc, l| &acc + l);
+            assert_eq!(total, family.value, "alpha = {alpha}");
+        }
+    }
+
+    #[test]
+    fn family_tilings_fit_in_cache_and_cover_space() {
+        let m = 1u64 << 10;
+        let nest = builders::matmul(1 << 8, 1 << 8, 1 << 2);
+        let family = optimal_family(&nest, m, 0);
+        for num in [0i64, 2, 4] {
+            let alpha = ratio(num, 4);
+            let tiling = family.tiling_at(&nest, m, &alpha);
+            // Footprint within the up-to-constants allowance of 3 arrays.
+            assert!(tiling.fits_in_cache(nest.num_arrays() as f64));
+            assert!(tiling.num_tiles() >= 1);
+        }
+    }
+
+    #[test]
+    fn large_bound_matmul_family_is_degenerate() {
+        // With all bounds large the square tile is the unique optimum.
+        let m = 1u64 << 10;
+        let nest = builders::matmul(1 << 8, 1 << 8, 1 << 8);
+        let family = optimal_family(&nest, m, 0);
+        assert!(family.is_degenerate());
+        assert_eq!(family.lambda_lo, vec![ratio(1, 2), ratio(1, 2), ratio(1, 2)]);
+        assert_eq!(family.axis_range(), (ratio(1, 2), ratio(1, 2)));
+    }
+
+    #[test]
+    fn alpha_outside_unit_interval_rejected() {
+        let nest = builders::matmul(1 << 6, 1 << 6, 1 << 2);
+        let family = optimal_family(&nest, 1 << 10, 0);
+        assert!(std::panic::catch_unwind(|| family.lambda_at(&int(2))).is_err());
+        assert!(std::panic::catch_unwind(|| family.lambda_at(&ratio(-1, 2))).is_err());
+    }
+
+    #[test]
+    fn axis_out_of_range_rejected() {
+        let nest = builders::nbody(8, 8);
+        assert!(std::panic::catch_unwind(|| optimal_family(&nest, 64, 5)).is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Closed-form exponents and bounds for the paper's worked examples (§6).
+//!
+//! These are the hand-derivable formulas the paper states for matrix
+//! multiplication (§6.1) and n-body pairwise interactions (§6.3), expressed
+//! over exact rationals. They serve two purposes: they are the "expected"
+//! column of the experiment harness, and the test suite checks them against
+//! the general LP machinery — which is precisely the validation the paper
+//! performs by hand in Section 6.
+
+use projtile_arith::{log, Rational};
+
+fn beta(l: u64, m: u64) -> Rational {
+    log::beta(l as u128, m as u128)
+}
+
+/// Optimal tile-size exponent for `L1 × L2 × L3` matrix multiplication with a
+/// cache of `M` words (§6.1):
+///
+/// `min( 3/2,  1 + min(β1, β2, β3),  β1 + β2 + β3 )`.
+///
+/// The three branches are the classical square tile, the "one small bound"
+/// regime (tile `M/L × L × L`), and the "everything fits" regime (the whole
+/// iteration space is one tile).
+pub fn matmul_exponent(l1: u64, l2: u64, l3: u64, m: u64) -> Rational {
+    let b1 = beta(l1, m);
+    let b2 = beta(l2, m);
+    let b3 = beta(l3, m);
+    let three_halves = Rational::from_frac(3.into(), 2.into());
+    let bmin = b1.clone().min(b2.clone()).min(b3.clone());
+    let one_plus = &Rational::one() + &bmin;
+    let total = &(&b1 + &b2) + &b3;
+    three_halves.min(one_plus).min(total)
+}
+
+/// The tight communication lower bound for matrix multiplication (§6.1):
+///
+/// `max( L1·L2·L3 / √M,  L1·L2,  L2·L3,  L1·L3,  M )`
+///
+/// (the final `M` term is the §6.3 caveat: the model charges `M` words even
+/// when the whole problem fits in cache).
+pub fn matmul_lower_bound_words(l1: u64, l2: u64, l3: u64, m: u64) -> f64 {
+    let classical = (l1 as f64) * (l2 as f64) * (l3 as f64) / (m as f64).sqrt();
+    classical
+        .max((l1 * l2) as f64)
+        .max((l2 * l3) as f64)
+        .max((l1 * l3) as f64)
+        .max(m as f64)
+}
+
+/// Matrix-vector multiplication (`L3 = 1`): the lower bound degenerates to
+/// `max(L1·L2, M)` — the matrix must be read in its entirety.
+pub fn matvec_lower_bound_words(l1: u64, l2: u64, m: u64) -> f64 {
+    matmul_lower_bound_words(l1, l2, 1, m)
+}
+
+/// Optimal tile-size exponent for n-body pairwise interactions (§6.3):
+/// `min(1, β1) + min(1, β2)`, i.e. a tile of `min(M, L1) × min(M, L2)` points.
+pub fn nbody_exponent(l1: u64, l2: u64, m: u64) -> Rational {
+    let one = Rational::one();
+    beta(l1, m).min(one.clone()) + beta(l2, m).min(one)
+}
+
+/// Maximum tile size for n-body interactions (§6.3):
+/// `min(M², L1·M, L2·M, L1·L2)`.
+pub fn nbody_tile_size(l1: u64, l2: u64, m: u64) -> u128 {
+    let m = m as u128;
+    let (l1, l2) = (l1 as u128, l2 as u128);
+    (m * m).min(l1 * m).min(l2 * m).min(l1 * l2)
+}
+
+/// Communication lower bound for n-body interactions (§6.3), in words:
+/// `L1·L2·M / (maximum tile size)`, i.e. `max(L1·L2/M, L2, L1, M)`.
+pub fn nbody_lower_bound_words(l1: u64, l2: u64, m: u64) -> f64 {
+    let ops = (l1 as f64) * (l2 as f64);
+    ops * (m as f64) / nbody_tile_size(l1, l2, m) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::arbitrary_bound_exponent;
+    use crate::tiling_lp::solve_tiling_lp;
+    use projtile_arith::{int, ratio};
+    use projtile_loopnest::builders;
+
+    #[test]
+    fn matmul_exponent_special_values() {
+        let m = 1u64 << 10;
+        // All large: 3/2.
+        assert_eq!(matmul_exponent(1 << 8, 1 << 8, 1 << 8, m), ratio(3, 2));
+        // L3 = 1: exponent 1.
+        assert_eq!(matmul_exponent(1 << 8, 1 << 8, 1, m), int(1));
+        // L3 = 2^2: exponent 1 + 1/5.
+        assert_eq!(matmul_exponent(1 << 8, 1 << 8, 1 << 2, m), &int(1) + &ratio(1, 5));
+        // Everything tiny: sum of betas.
+        assert_eq!(matmul_exponent(2, 4, 8, m), ratio(1 + 2 + 3, 10));
+    }
+
+    #[test]
+    fn matmul_closed_form_matches_lp_on_a_grid() {
+        // The closed form must agree with the general machinery (tiling LP =
+        // Theorem-2 bound) across the whole (L1, L2, L3) power-of-two grid.
+        let m = 1u64 << 8;
+        for e1 in [0u32, 2, 4, 6, 8, 10] {
+            for e2 in [0u32, 3, 5, 9] {
+                for e3 in [0u32, 1, 4, 8] {
+                    let (l1, l2, l3) = (1u64 << e1, 1u64 << e2, 1u64 << e3);
+                    let nest = builders::matmul(l1, l2, l3);
+                    let lp_value = solve_tiling_lp(&nest, m).value;
+                    let closed = matmul_exponent(l1, l2, l3, m);
+                    assert_eq!(lp_value, closed, "L = ({l1},{l2},{l3})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_lower_bound_matches_general_machinery() {
+        let m = 1u64 << 8;
+        for (l1, l2, l3) in [
+            (1u64 << 6, 1u64 << 6, 1u64 << 6),
+            (1 << 6, 1 << 6, 1),
+            (1 << 2, 1 << 9, 1 << 1),
+            (1 << 1, 1 << 1, 1 << 1),
+        ] {
+            let nest = builders::matmul(l1, l2, l3);
+            let general = arbitrary_bound_exponent(&nest, m).words;
+            let closed = matmul_lower_bound_words(l1, l2, l3, m);
+            assert!(
+                (general - closed).abs() / closed < 1e-9,
+                "({l1},{l2},{l3}): {general} vs {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn matvec_lower_bound_is_matrix_size() {
+        let m = 1u64 << 10;
+        assert_eq!(matvec_lower_bound_words(1 << 8, 1 << 9, m), (1u64 << 17) as f64);
+        // Tiny matrix: saturates at M.
+        assert_eq!(matvec_lower_bound_words(4, 4, m), m as f64);
+    }
+
+    #[test]
+    fn nbody_closed_forms_match_lp() {
+        let m = 1u64 << 8;
+        for e1 in [0u32, 2, 4, 8, 10] {
+            for e2 in [0u32, 3, 8, 12] {
+                let (l1, l2) = (1u64 << e1, 1u64 << e2);
+                let nest = builders::nbody(l1, l2);
+                let lp_value = solve_tiling_lp(&nest, m).value;
+                assert_eq!(lp_value, nbody_exponent(l1, l2, m), "L = ({l1},{l2})");
+                let general = arbitrary_bound_exponent(&nest, m).words;
+                let closed = nbody_lower_bound_words(l1, l2, m);
+                assert!(
+                    (general - closed).abs() / closed < 1e-9,
+                    "({l1},{l2}): {general} vs {closed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nbody_tile_size_examples() {
+        let m = 1u64 << 8;
+        assert_eq!(nbody_tile_size(1 << 10, 1 << 10, m), (1u128 << 16)); // M^2
+        assert_eq!(nbody_tile_size(1 << 4, 1 << 10, m), 1 << 12); // L1*M
+        assert_eq!(nbody_tile_size(1 << 10, 1 << 4, m), 1 << 12); // L2*M
+        assert_eq!(nbody_tile_size(1 << 3, 1 << 4, m), 1 << 7); // L1*L2
+    }
+
+    #[test]
+    fn nbody_lower_bound_cases_of_section_6_3() {
+        let m = 1u64 << 8;
+        // Large/large: L1 L2 / M.
+        assert_eq!(
+            nbody_lower_bound_words(1 << 10, 1 << 10, m),
+            ((1u128 << 20) / (1 << 8)) as f64
+        );
+        // L1 small: communication L2 (stream the big side once).
+        assert_eq!(nbody_lower_bound_words(1 << 4, 1 << 12, m), (1u64 << 12) as f64);
+        // Both small: the model's floor of M words.
+        assert_eq!(nbody_lower_bound_words(4, 4, m), m as f64);
+    }
+}

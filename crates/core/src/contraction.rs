@@ -1,0 +1,185 @@
+//! Tensor contractions, pointwise convolutions and fully-connected layers
+//! (§6.2 of the paper).
+//!
+//! The contraction `Out(x_1..x_j, x_k..x_d) += Left(x_1..x_{k-1}) ·
+//! Right(x_{j+1}..x_d)` partitions the loop indices into three groups
+//! (`[1..j]`, `[j+1..k-1]`, `[k..d]`), each array's support being the union of
+//! exactly two groups. Summing the block exponents within each group turns the
+//! tiling LP into the matrix-multiplication LP with grouped log-bounds
+//! `γ_g = Σ_{i ∈ group g} β_i`, so the optimal exponent is
+//! `min(3/2, 1 + min(γ_1, γ_2, γ_3), γ_1 + γ_2 + γ_3)` — the same closed form
+//! as §6.1 with `β` replaced by `γ`.
+
+use projtile_arith::{log, Rational};
+use projtile_loopnest::builders;
+
+use crate::closed_forms;
+
+/// The grouped log-bounds `(γ_1, γ_2, γ_3)` of a contraction: sums of
+/// `β_i = log_M L_i` over the groups `[1..j]`, `[j+1..k-1]`, `[k..d]`
+/// (1-based, as in the paper).
+pub fn group_betas(j: usize, k: usize, bounds: &[u64], cache_size: u64) -> [Rational; 3] {
+    let d = bounds.len();
+    assert!(j >= 1 && j < k - 1 && k - 1 < d, "require 1 <= j < k-1 < d");
+    let beta = |i: usize| log::beta(bounds[i] as u128, cache_size as u128);
+    let sum = |range: std::ops::Range<usize>| {
+        range.fold(Rational::zero(), |acc, i| &acc + &beta(i))
+    };
+    [sum(0..j), sum(j..k - 1), sum(k - 1..d)]
+}
+
+/// Closed-form optimal tile-size exponent for the contraction (§6.2):
+/// `min(3/2, 1 + min γ, Σ γ)`.
+pub fn contraction_exponent(j: usize, k: usize, bounds: &[u64], cache_size: u64) -> Rational {
+    let [g1, g2, g3] = group_betas(j, k, bounds, cache_size);
+    let three_halves = Rational::from_frac(3.into(), 2.into());
+    let gmin = g1.clone().min(g2.clone()).min(g3.clone());
+    let total = &(&g1 + &g2) + &g3;
+    three_halves.min(&Rational::one() + &gmin).min(total)
+}
+
+/// Closed-form exponent for the pointwise (1×1) convolution of equation (6.5):
+/// the three groups are the output channels `{k}`, the input channels `{c}`,
+/// and the spatial/batch block `{b, w, h}`.
+pub fn pointwise_conv_exponent(
+    batch: u64,
+    c_in: u64,
+    k_out: u64,
+    width: u64,
+    height: u64,
+    cache_size: u64,
+) -> Rational {
+    let m = cache_size as u128;
+    let beta = |l: u64| log::beta(l as u128, m);
+    let g_k = beta(k_out);
+    let g_c = beta(c_in);
+    let g_spatial = &(&beta(batch) + &beta(width)) + &beta(height);
+    let three_halves = Rational::from_frac(3.into(), 2.into());
+    let gmin = g_k.clone().min(g_c.clone()).min(g_spatial.clone());
+    let total = &(&g_k + &g_c) + &g_spatial;
+    three_halves.min(&Rational::one() + &gmin).min(total)
+}
+
+/// Closed-form exponent for a fully-connected layer
+/// (`Out(b,k) += In(b,c) · W(k,c)`) — a plain matrix multiplication.
+pub fn fully_connected_exponent(batch: u64, c_in: u64, k_out: u64, cache_size: u64) -> Rational {
+    closed_forms::matmul_exponent(batch, c_in, k_out, cache_size)
+}
+
+/// Communication lower bound for the contraction, in words:
+/// `∏ L_i · M^{1 − k}` with `k` the contraction exponent.
+pub fn contraction_lower_bound_words(
+    j: usize,
+    k: usize,
+    bounds: &[u64],
+    cache_size: u64,
+) -> f64 {
+    let exponent = contraction_exponent(j, k, bounds, cache_size);
+    let ops: f64 = bounds.iter().map(|&b| b as f64).product();
+    ops * (cache_size as f64).powf(1.0 - exponent.to_f64())
+}
+
+/// Builds the contraction loop nest (re-exported from the builders for
+/// convenience so callers of this module need only one import).
+pub fn contraction_nest(j: usize, k: usize, bounds: &[u64]) -> projtile_loopnest::LoopNest {
+    builders::tensor_contraction(j, k, bounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::arbitrary_bound_exponent;
+    use crate::tiling_lp::solve_tiling_lp;
+    use projtile_arith::ratio;
+
+    #[test]
+    fn group_betas_partition_all_indices() {
+        let m = 1u64 << 8;
+        let bounds = [4u64, 8, 2, 16, 32];
+        let [g1, g2, g3] = group_betas(2, 4, &bounds, m);
+        let total = &(&g1 + &g2) + &g3;
+        let direct: Rational = bounds
+            .iter()
+            .fold(Rational::zero(), |acc, &l| &acc + &projtile_arith::log::beta(l as u128, m as u128));
+        assert_eq!(total, direct);
+        // Group 1 = x1,x2; group 2 = x3; group 3 = x4,x5 (1-based paper indexing).
+        assert_eq!(g1, ratio(2 + 3, 8));
+        assert_eq!(g2, ratio(1, 8));
+        assert_eq!(g3, ratio(4 + 5, 8));
+    }
+
+    #[test]
+    fn contraction_closed_form_matches_lp() {
+        let m = 1u64 << 8;
+        let cases: Vec<(usize, usize, Vec<u64>)> = vec![
+            (2, 4, vec![4, 8, 2, 16, 32]),
+            (1, 3, vec![2, 4, 8]),
+            (1, 3, vec![1 << 6, 1 << 6, 1 << 6]),
+            (2, 5, vec![2, 2, 1 << 5, 1 << 5, 1 << 4, 2]),
+            (1, 4, vec![1, 4, 16, 1]),
+        ];
+        for (j, k, bounds) in cases {
+            let nest = contraction_nest(j, k, &bounds);
+            let lp_value = solve_tiling_lp(&nest, m).value;
+            let closed = contraction_exponent(j, k, &bounds, m);
+            assert_eq!(lp_value, closed, "j={j}, k={k}, bounds={bounds:?}");
+        }
+    }
+
+    #[test]
+    fn pointwise_conv_closed_form_matches_lp() {
+        let m = 1u64 << 8;
+        // (batch, c_in, k_out, width, height) mixes of small and large dims,
+        // including the machine-learning-typical tiny channel counts that
+        // motivate the paper.
+        for (b, c, k, w, h) in [
+            (1u64 << 5, 1u64 << 5, 1u64 << 5, 1u64 << 5, 1u64 << 5),
+            (4, 2, 1 << 6, 1 << 5, 1 << 5),
+            (1, 1 << 2, 1 << 2, 1 << 7, 1 << 7),
+            (2, 1, 1 << 8, 1 << 4, 1 << 4),
+            (1, 1, 1, 2, 2),
+        ] {
+            let nest = projtile_loopnest::builders::pointwise_conv(b, c, k, w, h);
+            let lp_value = solve_tiling_lp(&nest, m).value;
+            let closed = pointwise_conv_exponent(b, c, k, w, h, m);
+            assert_eq!(lp_value, closed, "({b},{c},{k},{w},{h})");
+        }
+    }
+
+    #[test]
+    fn fully_connected_matches_matmul() {
+        let m = 1u64 << 10;
+        for (b, c, k) in [(1u64 << 6, 1u64 << 6, 1u64 << 6), (1 << 2, 1 << 9, 1 << 3), (1, 4, 1 << 8)] {
+            let nest = projtile_loopnest::builders::fully_connected(b, c, k);
+            let lp_value = solve_tiling_lp(&nest, m).value;
+            assert_eq!(lp_value, fully_connected_exponent(b, c, k, m), "({b},{c},{k})");
+        }
+    }
+
+    #[test]
+    fn contraction_lower_bound_matches_general_machinery() {
+        let m = 1u64 << 8;
+        let bounds = [4u64, 8, 2, 16, 32];
+        let nest = contraction_nest(2, 4, &bounds);
+        let general = arbitrary_bound_exponent(&nest, m).words;
+        let closed = contraction_lower_bound_words(2, 4, &bounds, m);
+        assert!((general - closed).abs() / closed < 1e-9);
+    }
+
+    #[test]
+    fn large_bound_contraction_recovers_classical_result() {
+        // §6.2: for large bounds the lower bound is ∏ L_i / sqrt(M).
+        let m = 1u64 << 8;
+        let bounds = [1u64 << 5; 5];
+        let lb = contraction_lower_bound_words(2, 4, &bounds, m);
+        let expect = (1u128 << 25) as f64 / (m as f64).sqrt();
+        assert!((lb - expect).abs() / expect < 1e-9);
+        assert_eq!(contraction_exponent(2, 4, &bounds, m), ratio(3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "require 1 <= j < k-1 < d")]
+    fn invalid_split_rejected() {
+        let _ = group_betas(3, 4, &[2, 2, 2, 2], 64);
+    }
+}

@@ -1,0 +1,163 @@
+//! Distributed-memory processor grids (§7, "Discussion and future work").
+//!
+//! The paper notes that its memory model generalizes to multiprocessor
+//! machines, and that the analysis "provides evidence for the intuition that
+//! the best way to split projective loop-nest tasks up on a multiprocessor
+//! system is to assign each processor a rectangular subset of the iteration
+//! space". This module makes that remark executable for power-of-two processor
+//! counts: it searches the processor grids `p_1 × ... × p_d = P` (each
+//! processor owning an `L_1/p_1 × ... × L_d/p_d` block) and returns the grid
+//! minimizing the per-processor data footprint
+//! `Σ_j ∏_{i ∈ supp(φ_j)} ⌈L_i / p_i⌉`, which is the volume of remote data a
+//! processor must receive to execute its block (the distributed analogue of
+//! the per-tile footprint in the sequential model).
+
+use projtile_loopnest::LoopNest;
+use projtile_par::par_map;
+
+/// A processor grid and its communication summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessorGrid {
+    /// Processors along each loop axis (`∏ dims == P`).
+    pub dims: Vec<u64>,
+    /// Block of iteration space owned by one processor (ceil division).
+    pub block: Vec<u64>,
+    /// Words of array data one processor's block touches (its receive volume).
+    pub per_processor_footprint: u128,
+}
+
+/// Enumerates every way to write `2^log_p` as an ordered product of `d`
+/// power-of-two factors.
+fn power_of_two_grids(d: usize, log_p: u32) -> Vec<Vec<u32>> {
+    fn rec(d: usize, remaining: u32, current: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if d == 1 {
+            current.push(remaining);
+            out.push(current.clone());
+            current.pop();
+            return;
+        }
+        for e in 0..=remaining {
+            current.push(e);
+            rec(d - 1, remaining - e, current, out);
+            current.pop();
+        }
+    }
+    let mut out = Vec::new();
+    rec(d, log_p, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Finds the communication-minimizing processor grid for `nest` over
+/// `P = 2^log_num_processors` processors.
+///
+/// Grid dimensions never exceed the corresponding loop bound (a processor must
+/// own at least one iteration along every axis); if `P` is larger than the
+/// iteration space allows, the grid saturates at the loop bounds.
+///
+/// # Panics
+/// Panics if `log_num_processors > 30` (the enumeration is over compositions
+/// of the exponent; real machines are far below this).
+pub fn optimal_processor_grid(nest: &LoopNest, log_num_processors: u32) -> ProcessorGrid {
+    assert!(log_num_processors <= 30, "unreasonably large processor count");
+    let d = nest.num_loops();
+    let bounds = nest.bounds();
+    let candidates = power_of_two_grids(d, log_num_processors);
+
+    let evaluated: Vec<ProcessorGrid> = par_map(&candidates, |exps| {
+        let dims: Vec<u64> = exps
+            .iter()
+            .zip(&bounds)
+            .map(|(&e, &l)| (1u64 << e).min(l))
+            .collect();
+        let block: Vec<u64> = bounds.iter().zip(&dims).map(|(&l, &p)| l.div_ceil(p)).collect();
+        let per_processor_footprint = nest.tile_footprint(&block);
+        ProcessorGrid { dims, block, per_processor_footprint }
+    });
+
+    evaluated
+        .into_iter()
+        .min_by(|a, b| {
+            a.per_processor_footprint
+                .cmp(&b.per_processor_footprint)
+                .then_with(|| a.dims.cmp(&b.dims))
+        })
+        .expect("at least one grid candidate exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use projtile_loopnest::builders;
+
+    #[test]
+    fn grid_enumeration_counts_compositions() {
+        // Number of ways to split exponent k over d axes is C(k + d - 1, d - 1).
+        assert_eq!(power_of_two_grids(3, 0).len(), 1);
+        assert_eq!(power_of_two_grids(3, 2).len(), 6);
+        assert_eq!(power_of_two_grids(2, 4).len(), 5);
+        for grid in power_of_two_grids(3, 6) {
+            assert_eq!(grid.iter().sum::<u32>(), 6);
+        }
+    }
+
+    #[test]
+    fn cubic_matmul_gets_a_cubic_grid() {
+        // 512^3 matmul on 64 processors: the balanced 4x4x4 grid minimizes the
+        // per-processor footprint (the distributed analogue of the square tile).
+        let nest = builders::matmul(1 << 9, 1 << 9, 1 << 9);
+        let grid = optimal_processor_grid(&nest, 6);
+        assert_eq!(grid.dims, vec![4, 4, 4]);
+        assert_eq!(grid.block, vec![128, 128, 128]);
+        assert_eq!(grid.per_processor_footprint, 3 * 128 * 128);
+    }
+
+    #[test]
+    fn small_inner_dimension_is_not_partitioned() {
+        // Matmul with L3 = 2 on 64 processors: splitting the tiny dimension
+        // would replicate the large matrix; the optimal grid keeps it whole.
+        let nest = builders::matmul(1 << 9, 1 << 9, 2);
+        let grid = optimal_processor_grid(&nest, 6);
+        assert_eq!(grid.dims[2], 1);
+        assert_eq!(grid.dims[0] * grid.dims[1], 64);
+        // The owned block spans the full (tiny) third dimension.
+        assert_eq!(grid.block[2], 2);
+    }
+
+    #[test]
+    fn nbody_splits_the_large_side() {
+        let nest = builders::nbody(1 << 4, 1 << 12);
+        let grid = optimal_processor_grid(&nest, 4);
+        // Splitting the x2 axis reduces the Other footprint without
+        // replicating Acc/Src, so all 16 processors go to axis 1.
+        assert_eq!(grid.dims, vec![1, 16]);
+    }
+
+    #[test]
+    fn single_processor_owns_everything() {
+        let nest = builders::matmul(8, 8, 8);
+        let grid = optimal_processor_grid(&nest, 0);
+        assert_eq!(grid.dims, vec![1, 1, 1]);
+        assert_eq!(grid.block, nest.bounds());
+        assert_eq!(grid.per_processor_footprint, nest.total_data_size());
+    }
+
+    #[test]
+    fn grid_never_exceeds_loop_bounds() {
+        let nest = builders::matmul(4, 2, 8);
+        let grid = optimal_processor_grid(&nest, 10);
+        for (p, l) in grid.dims.iter().zip(nest.bounds()) {
+            assert!(*p <= l);
+        }
+    }
+
+    #[test]
+    fn more_processors_never_increase_footprint() {
+        let nest = builders::pointwise_conv(4, 8, 16, 32, 32);
+        let mut prev = u128::MAX;
+        for log_p in 0..=8u32 {
+            let grid = optimal_processor_grid(&nest, log_p);
+            assert!(grid.per_processor_footprint <= prev, "log_p = {log_p}");
+            prev = grid.per_processor_footprint;
+        }
+    }
+}

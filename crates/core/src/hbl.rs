@@ -1,0 +1,187 @@
+//! The Hölder–Brascamp–Lieb linear program (§3 of the paper).
+//!
+//! For projective loop nests, Theorem 6.6 of Christ–Demmel–Knight–Scanlon–
+//! Yelick reduces the HBL constraints to one inequality per *loop index*: the
+//! weights `s_j` of the arrays whose support contains index `i` must sum to at
+//! least one. That is LP (3.1)/(3.2):
+//!
+//! ```text
+//! minimize  Σ_j s_j
+//! subject to Σ_{j : i ∈ supp(φ_j)} s_j ≥ 1      for every loop index i
+//!            s_j ≥ 0
+//! ```
+//!
+//! Its optimal value `k_HBL` bounds the size of any tile whose array
+//! footprints fit in `M` words by `M^{k_HBL}`, giving the classical
+//! large-bound communication lower bound `∏ L_i / M^{k_HBL − 1}`.
+//!
+//! Theorem 2 needs the same LP with some rows (loop indices) deleted — the
+//! indices in the small-bound subset `Q` — so the construction takes the set
+//! of removed rows as a parameter.
+
+use projtile_arith::Rational;
+use projtile_loopnest::{IndexSet, LoopNest};
+use projtile_lp::{solve, Constraint, LinearProgram, LpError, Relation};
+
+/// Solution of the (possibly row-deleted) HBL LP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HblSolution {
+    /// Optimal array weights `s_1, ..., s_n` (indexed like the nest's arrays).
+    pub s: Vec<Rational>,
+    /// Optimal value `Σ_j s_j`.
+    pub value: Rational,
+    /// The loop-index rows that were removed before solving (the paper's `Q`).
+    pub removed_rows: IndexSet,
+}
+
+/// Builds the HBL LP (3.2) for `nest`, omitting the constraint rows of the
+/// loop indices in `removed_rows` (pass [`IndexSet::empty`] for the plain
+/// large-bound LP).
+pub fn hbl_lp(nest: &LoopNest, removed_rows: IndexSet) -> LinearProgram {
+    let n = nest.num_arrays();
+    let d = nest.num_loops();
+    let mut lp = LinearProgram::minimize(vec![Rational::one(); n]);
+    for i in 0..d {
+        if removed_rows.contains(i) {
+            continue;
+        }
+        let coeffs: Vec<Rational> = (0..n)
+            .map(|j| {
+                if nest.support(j).contains(i) {
+                    Rational::one()
+                } else {
+                    Rational::zero()
+                }
+            })
+            .collect();
+        lp.add_constraint(Constraint::new(coeffs, Relation::Ge, Rational::one()));
+    }
+    lp
+}
+
+/// Solves the (row-deleted) HBL LP.
+///
+/// The LP is always feasible (setting every `s_j = 1` satisfies all rows
+/// because every retained loop index appears in at least one support) and
+/// bounded below by zero, so failure indicates an internal error.
+pub fn solve_hbl(nest: &LoopNest, removed_rows: IndexSet) -> HblSolution {
+    let lp = hbl_lp(nest, removed_rows);
+    match solve(&lp) {
+        Ok(sol) => HblSolution { s: sol.values, value: sol.objective_value, removed_rows },
+        Err(LpError::Infeasible) | Err(LpError::Unbounded) | Err(LpError::Malformed(_)) => {
+            unreachable!("the projective HBL LP is always feasible and bounded")
+        }
+    }
+}
+
+/// The large-bound exponent `k_HBL` (§3): the optimal value of the full HBL LP.
+pub fn hbl_exponent(nest: &LoopNest) -> Rational {
+    solve_hbl(nest, IndexSet::empty()).value
+}
+
+/// The classical large-bound communication lower bound
+/// `∏ L_i / M^{k_HBL − 1}`, evaluated as a floating-point word count.
+pub fn large_bound_lower_bound(nest: &LoopNest, cache_size: u64) -> f64 {
+    let k = hbl_exponent(nest);
+    let ops: f64 = nest.iteration_space_size() as f64;
+    let m = cache_size as f64;
+    ops / m.powf(k.to_f64() - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use projtile_arith::{int, ratio};
+    use projtile_loopnest::builders;
+
+    #[test]
+    fn matmul_khbl_is_three_halves() {
+        let nest = builders::matmul(100, 100, 100);
+        let sol = solve_hbl(&nest, IndexSet::empty());
+        assert_eq!(sol.value, ratio(3, 2));
+        assert_eq!(sol.s, vec![ratio(1, 2), ratio(1, 2), ratio(1, 2)]);
+        assert_eq!(hbl_exponent(&nest), ratio(3, 2));
+    }
+
+    #[test]
+    fn matmul_row_deleted_lp_matches_equation_6_2() {
+        // Removing the x3 row leaves constraints s1+s2>=1 (row x1) and
+        // s2+s3>=1 (row x2); the optimum is 1 (s2 = 1).
+        let nest = builders::matmul(100, 100, 100);
+        let k_pos = nest.index_position("k").unwrap();
+        let sol = solve_hbl(&nest, IndexSet::from_indices([k_pos]));
+        assert_eq!(sol.value, int(1));
+        // s2 = 1 is an optimal solution; the solver may return any optimum,
+        // but the value must be exactly 1 and the point must satisfy (6.2).
+        let lp = hbl_lp(&nest, IndexSet::from_indices([k_pos]));
+        assert!(lp.is_feasible(&sol.s));
+    }
+
+    #[test]
+    fn nbody_khbl_is_two() {
+        // n-body: Acc(x1), Src(x1), Other(x2). Row x1: s1+s2>=1; row x2: s3>=1.
+        // Optimum: s1=1 (or s2=1), s3=1 -> k = 2.
+        let nest = builders::nbody(50, 60);
+        assert_eq!(hbl_exponent(&nest), int(2));
+    }
+
+    #[test]
+    fn pointwise_conv_khbl_is_three_halves() {
+        // §6.2: contraction-shaped programs share matmul's exponent.
+        let nest = builders::pointwise_conv(8, 8, 8, 8, 8);
+        assert_eq!(hbl_exponent(&nest), ratio(3, 2));
+    }
+
+    #[test]
+    fn removing_all_rows_gives_zero() {
+        let nest = builders::matmul(10, 10, 10);
+        let sol = solve_hbl(&nest, IndexSet::full(3));
+        assert_eq!(sol.value, int(0));
+        assert!(sol.s.iter().all(|v| v.is_zero()));
+    }
+
+    #[test]
+    fn row_deletion_never_increases_value() {
+        // Removing constraints can only lower (or keep) the optimum of a
+        // minimization problem — the monotonicity Theorem 2 builds on.
+        for seed in 0..10u64 {
+            let nest = builders::random_projective(seed, 4, 4, (2, 64));
+            let full = solve_hbl(&nest, IndexSet::empty()).value;
+            for q in IndexSet::all_subsets(4) {
+                let partial = solve_hbl(&nest, q).value;
+                assert!(partial <= full, "seed {seed}, Q={q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hbl_values_lie_in_valid_range() {
+        // 0 <= k_HBL <= n (taking every s_j = 1 is feasible) and k_HBL >= 1
+        // whenever at least one row remains.
+        for seed in 0..10u64 {
+            let nest = builders::random_projective(seed, 5, 3, (2, 32));
+            let k = hbl_exponent(&nest);
+            assert!(k >= Rational::one());
+            assert!(k <= int(nest.num_arrays() as i64));
+        }
+    }
+
+    #[test]
+    fn large_bound_lower_bound_matches_formula() {
+        let nest = builders::matmul(1 << 6, 1 << 6, 1 << 6);
+        let m = 1u64 << 8;
+        let lb = large_bound_lower_bound(&nest, m);
+        let expect = (1u128 << 18) as f64 / (m as f64).sqrt();
+        assert!((lb - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn lp_structure_matches_nest_dimensions() {
+        let nest = builders::pointwise_conv(4, 4, 4, 4, 4);
+        let lp = hbl_lp(&nest, IndexSet::empty());
+        assert_eq!(lp.num_vars(), nest.num_arrays());
+        assert_eq!(lp.num_constraints(), nest.num_loops());
+        let lp_del = hbl_lp(&nest, IndexSet::from_indices([0, 2]));
+        assert_eq!(lp_del.num_constraints(), nest.num_loops() - 2);
+    }
+}

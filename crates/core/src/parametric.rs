@@ -1,0 +1,149 @@
+//! Piecewise-linear dependence of the optimal exponent on the loop bounds
+//! (§7 of the paper).
+//!
+//! Because the optimal tile cardinality is `M^{f(β_1,…,β_d)}` where `f` is the
+//! optimal value of the tiling LP (5.1) and the `β_i` only enter that LP
+//! through its right-hand side, `f` is a concave piecewise-linear function of
+//! the `β_i`. The paper points out that a multiparametric LP solver can
+//! recover a closed form for `f`; here we compute exact one-dimensional
+//! restrictions of it (vary one loop bound, hold the others fixed), which is
+//! what the §6.1 discussion of matrix multiplication does by hand and what the
+//! experiment harness plots.
+
+use projtile_arith::{log, Rational};
+use projtile_loopnest::LoopNest;
+use projtile_lp::parametric::{parametric_rhs, ValueFunction};
+use projtile_lp::LpError;
+
+use crate::tiling_lp::tiling_lp;
+
+/// The exact piecewise-linear optimal exponent as a function of `β_axis`,
+/// with every other loop bound held at its value in `nest`.
+///
+/// The returned [`ValueFunction`] maps `β_axis ∈ [log_M lo, log_M hi]` to the
+/// optimal tile exponent; its breakpoints are the regime changes the paper
+/// discusses (e.g. `β_3 = 1/2` for matrix multiplication).
+pub fn exponent_vs_beta(
+    nest: &LoopNest,
+    cache_size: u64,
+    axis: usize,
+    lo_bound: u64,
+    hi_bound: u64,
+) -> Result<ValueFunction, LpError> {
+    assert!(axis < nest.num_loops(), "axis out of range");
+    assert!(lo_bound >= 1 && hi_bound >= lo_bound, "invalid bound range");
+    assert!(cache_size >= 2, "cache size must be at least 2 words");
+
+    // Build the tiling LP with the axis bound set so its β row starts at 0,
+    // then sweep that row's right-hand side by θ = β_axis.
+    let mut base_bounds = nest.bounds();
+    base_bounds[axis] = 1; // β_axis = 0 in the base program
+    let base_nest = nest.with_bounds(&base_bounds);
+    let lp = tiling_lp(&base_nest, cache_size);
+
+    // The β rows follow the array rows; the axis row is at offset n + axis.
+    let mut direction = vec![Rational::zero(); lp.num_constraints()];
+    direction[nest.num_arrays() + axis] = Rational::one();
+
+    let lo = log::beta(lo_bound as u128, cache_size as u128);
+    let hi = log::beta(hi_bound as u128, cache_size as u128);
+    parametric_rhs(&lp, &direction, lo, hi)
+}
+
+/// Convenience wrapper: the optimal exponent at a specific bound value along
+/// `axis`, read off the piecewise-linear function (equivalently, a fresh LP
+/// solve on the modified nest — the test suite checks both paths agree).
+pub fn exponent_at_bound(
+    nest: &LoopNest,
+    cache_size: u64,
+    axis: usize,
+    bound: u64,
+) -> Rational {
+    let mut bounds = nest.bounds();
+    bounds[axis] = bound;
+    crate::tiling_lp::solve_tiling_lp(&nest.with_bounds(&bounds), cache_size).value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use projtile_arith::{int, ratio};
+    use projtile_loopnest::builders;
+
+    #[test]
+    fn matmul_exponent_vs_l3_has_breakpoint_at_sqrt_m() {
+        // §6.1: the exponent is 1 + β3 for β3 <= 1/2 and 3/2 afterwards, so
+        // the value function over β3 ∈ [0, 1] has exactly one breakpoint, at 1/2.
+        let m = 1u64 << 10;
+        let nest = builders::matmul(1 << 8, 1 << 8, 1 << 8);
+        let k_axis = nest.index_position("k").unwrap();
+        let vf = exponent_vs_beta(&nest, m, k_axis, 1, m).unwrap();
+        assert_eq!(vf.num_pieces(), 2);
+        assert_eq!(vf.slopes(), vec![int(1), int(0)]);
+        assert!(vf.breakpoints.iter().any(|(t, _)| *t == ratio(1, 2)));
+        assert_eq!(vf.value_at(&Rational::zero()), int(1));
+        assert_eq!(vf.value_at(&ratio(1, 4)), ratio(5, 4));
+        assert_eq!(vf.value_at(&ratio(1, 2)), ratio(3, 2));
+        assert_eq!(vf.value_at(&Rational::one()), ratio(3, 2));
+    }
+
+    #[test]
+    fn value_function_agrees_with_direct_lp_solves() {
+        let m = 1u64 << 10;
+        let nest = builders::matmul(1 << 8, 1 << 8, 1 << 8);
+        let k_axis = nest.index_position("k").unwrap();
+        let vf = exponent_vs_beta(&nest, m, k_axis, 1, m).unwrap();
+        for log_l3 in [0u32, 1, 3, 5, 7, 10] {
+            let l3 = 1u64 << log_l3;
+            let beta3 = ratio(log_l3 as i64, 10);
+            let from_vf = vf.value_at(&beta3);
+            let from_lp = exponent_at_bound(&nest, m, k_axis, l3);
+            assert_eq!(from_vf, from_lp, "L3 = {l3}");
+        }
+    }
+
+    #[test]
+    fn nbody_value_function_is_linear_then_flat() {
+        // n-body over β1 ∈ [0, β_max]: exponent = min(1, β1) + min(1, β2), so
+        // slope 1 until β1 = 1, then flat.
+        let m = 1u64 << 8;
+        let nest = builders::nbody(1 << 4, 1 << 12);
+        let vf = exponent_vs_beta(&nest, m, 0, 1, 1 << 12).unwrap();
+        assert_eq!(vf.num_pieces(), 2);
+        assert_eq!(vf.slopes(), vec![int(1), int(0)]);
+        // β2 = 12/8 > 1, so min(1, β2) = 1 and the function starts at 1.
+        assert_eq!(vf.value_at(&Rational::zero()), int(1));
+        assert_eq!(vf.value_at(&Rational::one()), int(2));
+    }
+
+    #[test]
+    fn everything_small_regime_has_unit_slope_everywhere() {
+        // If the two untouched bounds are tiny, growing the third within the
+        // "everything fits" regime adds β3 one-for-one (single piece).
+        let m = 1u64 << 10;
+        let nest = builders::matmul(2, 4, 2);
+        let k_axis = 2;
+        let vf = exponent_vs_beta(&nest, m, k_axis, 1, 1 << 7).unwrap();
+        assert_eq!(vf.num_pieces(), 1);
+        assert_eq!(vf.slopes(), vec![int(1)]);
+    }
+
+    #[test]
+    fn pointwise_conv_channel_sweep_has_breakpoint() {
+        // Sweeping the input-channel count of a pointwise convolution with
+        // large spatial dims: exponent = min(3/2, 1 + β_c), breakpoint at 1/2.
+        let m = 1u64 << 8;
+        let nest = builders::pointwise_conv(2, 1, 1 << 6, 1 << 5, 1 << 5);
+        let c_axis = nest.index_position("c").unwrap();
+        let vf = exponent_vs_beta(&nest, m, c_axis, 1, m).unwrap();
+        assert!(vf.breakpoints.iter().any(|(t, _)| *t == ratio(1, 2)));
+        assert_eq!(vf.value_at(&Rational::one()), ratio(3, 2));
+    }
+
+    #[test]
+    fn invalid_queries_rejected() {
+        let nest = builders::nbody(8, 8);
+        assert!(std::panic::catch_unwind(|| exponent_vs_beta(&nest, 64, 7, 1, 8)).is_err());
+        assert!(std::panic::catch_unwind(|| exponent_vs_beta(&nest, 64, 0, 8, 4)).is_err());
+    }
+}

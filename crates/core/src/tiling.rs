@@ -1,0 +1,297 @@
+//! Concrete rectangular tilings and their analytic communication cost.
+//!
+//! A [`Tiling`] is a loop nest, a cache size, and integer tile edge lengths
+//! `b_1 × ... × b_d`. Executing the nest tile-by-tile loads, for each tile,
+//! the subset of every array it touches; summing those footprints over all
+//! tiles gives the schedule's analytic communication volume, which the
+//! benchmarks compare against the Theorem-2 lower bound and against the
+//! traffic measured by the cache simulator.
+
+use projtile_arith::Rational;
+use projtile_loopnest::{iteration, LoopNest};
+
+use crate::bounds::arbitrary_bound_exponent;
+
+/// A rectangular tiling of a loop nest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tiling {
+    nest: LoopNest,
+    cache_size: u64,
+    tile: Vec<u64>,
+    /// Log-space exponents this tiling was derived from, if any.
+    lambda: Option<Vec<Rational>>,
+}
+
+/// Summary of the analytic communication behaviour of a [`Tiling`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommunicationModel {
+    /// Number of tiles covering the iteration space.
+    pub num_tiles: u128,
+    /// Words touched by one full (interior) tile.
+    pub tile_footprint: u128,
+    /// Total words loaded over the whole execution, assuming each tile loads
+    /// exactly the array elements it touches (boundary tiles counted exactly).
+    pub total_words: u128,
+    /// The Theorem-2 communication lower bound for the same nest and cache.
+    pub lower_bound_words: f64,
+    /// `total_words / lower_bound_words` — the constant factor the schedule
+    /// pays over the lower bound (≥ 1 up to rounding; the paper ignores such
+    /// constants).
+    pub ratio_to_lower_bound: f64,
+}
+
+impl Tiling {
+    /// Creates a tiling from explicit integer tile edge lengths.
+    ///
+    /// # Panics
+    /// Panics if the tile dimension count does not match the nest or any edge
+    /// is zero.
+    pub fn new(
+        nest: LoopNest,
+        cache_size: u64,
+        tile: Vec<u64>,
+        lambda: Option<Vec<Rational>>,
+    ) -> Tiling {
+        assert_eq!(tile.len(), nest.num_loops(), "tile dimension mismatch");
+        assert!(tile.iter().all(|&b| b > 0), "tile edges must be positive");
+        assert!(cache_size >= 2, "cache size must be at least 2 words");
+        let bounds = nest.bounds();
+        let tile = tile
+            .into_iter()
+            .zip(&bounds)
+            .map(|(b, &l)| b.min(l))
+            .collect();
+        Tiling { nest, cache_size, tile, lambda }
+    }
+
+    /// The underlying loop nest.
+    pub fn nest(&self) -> &LoopNest {
+        &self.nest
+    }
+
+    /// The cache size this tiling targets.
+    pub fn cache_size(&self) -> u64 {
+        self.cache_size
+    }
+
+    /// The integer tile edge lengths `b_1, ..., b_d`.
+    pub fn tile_dims(&self) -> &[u64] {
+        &self.tile
+    }
+
+    /// The log-space exponents this tiling was derived from, if it came from
+    /// the tiling LP.
+    pub fn lambda(&self) -> Option<&[Rational]> {
+        self.lambda.as_deref()
+    }
+
+    /// Number of points in one full tile.
+    pub fn tile_volume(&self) -> u128 {
+        self.tile.iter().map(|&b| b as u128).product()
+    }
+
+    /// Number of tiles covering the iteration space.
+    pub fn num_tiles(&self) -> u128 {
+        iteration::tile_count(&self.nest.bounds(), &self.tile)
+    }
+
+    /// Words touched by one full (interior) tile, summed over all arrays.
+    pub fn tile_footprint(&self) -> u128 {
+        self.nest.tile_footprint(&self.tile)
+    }
+
+    /// Returns `true` iff the per-tile footprint fits in `slack × M` words.
+    ///
+    /// The paper ignores constant factors (a tile touching `n` arrays needs up
+    /// to `n·M` words if each footprint individually is `M`); `slack` makes
+    /// that constant explicit. `slack = nest.num_arrays()` always suffices for
+    /// LP-derived tilings.
+    pub fn fits_in_cache(&self, slack: f64) -> bool {
+        self.tile_footprint() as f64 <= slack * self.cache_size as f64
+    }
+
+    /// Shrinks tile edges (largest first) until the footprint fits in
+    /// `slack × M` words. Used when a downstream consumer needs the literal
+    /// single-`M` guarantee rather than the paper's up-to-constants statement.
+    pub fn shrink_to_fit(&mut self, slack: f64) {
+        while !self.fits_in_cache(slack) {
+            // Halve the largest shrinkable edge; stop if nothing can shrink.
+            let Some((axis, _)) = self
+                .tile
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b > 1)
+                .max_by_key(|(_, &b)| b)
+            else {
+                return;
+            };
+            self.tile[axis] = (self.tile[axis] / 2).max(1);
+        }
+    }
+
+    /// Exact total number of words loaded by a tile-by-tile execution in which
+    /// every tile loads precisely the array elements it touches.
+    ///
+    /// For each array `j`, the elements loaded across all tiles are the whole
+    /// array once per combination of tile positions along the axes *outside*
+    /// `supp(φ_j)`:
+    /// `Σ_j  |A_j| · ∏_{i ∉ supp(φ_j)} ⌈L_i / b_i⌉`.
+    pub fn analytic_communication(&self) -> u128 {
+        let bounds = self.nest.bounds();
+        let tiles_per_axis: Vec<u128> = bounds
+            .iter()
+            .zip(&self.tile)
+            .map(|(&l, &b)| l.div_ceil(b) as u128)
+            .collect();
+        (0..self.nest.num_arrays())
+            .map(|j| {
+                let reloads: u128 = (0..self.nest.num_loops())
+                    .filter(|&i| !self.nest.support(j).contains(i))
+                    .map(|i| tiles_per_axis[i])
+                    .product();
+                self.nest.array_size(j) * reloads
+            })
+            .sum()
+    }
+
+    /// Builds the full communication summary, including the ratio to the
+    /// Theorem-2 lower bound.
+    pub fn communication_model(&self) -> CommunicationModel {
+        let lb = arbitrary_bound_exponent(&self.nest, self.cache_size);
+        let total_words = self.analytic_communication();
+        let ratio = if lb.words > 0.0 { total_words as f64 / lb.words } else { f64::INFINITY };
+        CommunicationModel {
+            num_tiles: self.num_tiles(),
+            tile_footprint: self.tile_footprint(),
+            total_words,
+            lower_bound_words: lb.words,
+            ratio_to_lower_bound: ratio,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiling_lp::optimal_tiling;
+    use projtile_loopnest::builders;
+
+    #[test]
+    fn basic_geometry() {
+        let nest = builders::matmul(64, 64, 64);
+        let t = Tiling::new(nest, 1 << 10, vec![32, 32, 32], None);
+        assert_eq!(t.tile_dims(), &[32, 32, 32]);
+        assert_eq!(t.tile_volume(), 32 * 32 * 32);
+        assert_eq!(t.num_tiles(), 8);
+        assert_eq!(t.tile_footprint(), 3 * 32 * 32);
+        assert!(t.fits_in_cache(3.0));
+        assert!(!t.fits_in_cache(1.0));
+    }
+
+    #[test]
+    fn tile_edges_clamped_to_bounds() {
+        let nest = builders::matmul(4, 4, 4);
+        let t = Tiling::new(nest, 1 << 10, vec![100, 100, 100], None);
+        assert_eq!(t.tile_dims(), &[4, 4, 4]);
+        assert_eq!(t.num_tiles(), 1);
+    }
+
+    #[test]
+    fn analytic_communication_matmul_square_tiles() {
+        // 64^3 matmul with 32^3 tiles: each array is reloaded once per tile
+        // position along its missing axis (2 positions), so total = 3 arrays *
+        // 64*64 elements * 2 reloads.
+        let nest = builders::matmul(64, 64, 64);
+        let t = Tiling::new(nest, 1 << 10, vec![32, 32, 32], None);
+        assert_eq!(t.analytic_communication(), 3 * 64 * 64 * 2);
+    }
+
+    #[test]
+    fn analytic_communication_counts_boundary_tiles_exactly() {
+        // Non-dividing tile sizes: formula still exact.
+        let nest = builders::matmul(5, 7, 3);
+        let t = Tiling::new(nest.clone(), 16, vec![2, 3, 2], None);
+        // Manually: tiles per axis = [3, 3, 2].
+        // C(i,k): size 15, reloads over j-axis tiles = 3 -> 45
+        // A(i,j): size 35, reloads over k-axis tiles = 2 -> 70
+        // B(j,k): size 21, reloads over i-axis tiles = 3 -> 63
+        assert_eq!(t.analytic_communication(), 45 + 70 + 63);
+    }
+
+    #[test]
+    fn optimal_tiling_is_near_lower_bound_for_matmul() {
+        let m = 1u64 << 10;
+        let nest = builders::matmul(1 << 7, 1 << 7, 1 << 7);
+        let t = optimal_tiling(&nest, m);
+        let model = t.communication_model();
+        // The analytic communication of the optimal tiling is within a small
+        // constant of the lower bound (the constant is ~3 here: three arrays).
+        assert!(model.ratio_to_lower_bound >= 0.99);
+        assert!(model.ratio_to_lower_bound < 4.0, "ratio {}", model.ratio_to_lower_bound);
+    }
+
+    #[test]
+    fn matvec_optimal_tiling_reads_matrix_once() {
+        let m = 1u64 << 10;
+        let nest = builders::matvec(1 << 8, 1 << 8);
+        let t = optimal_tiling(&nest, m);
+        let model = t.communication_model();
+        // Lower bound is L1*L2 (the matrix); the tiling's total traffic is
+        // within a small constant of it.
+        assert!((model.lower_bound_words - (1u64 << 16) as f64).abs() < 1.0);
+        assert!(model.ratio_to_lower_bound < 4.0);
+    }
+
+    #[test]
+    fn untiled_execution_is_far_from_lower_bound() {
+        // Tile = a single row of the iteration space (classic untiled inner
+        // loop): communication blows up relative to the lower bound.
+        let m = 1u64 << 10;
+        let nest = builders::matmul(1 << 7, 1 << 7, 1 << 7);
+        let naive = Tiling::new(nest.clone(), m, vec![1, 1, 1 << 7], None);
+        let optimal = optimal_tiling(&nest, m);
+        assert!(
+            naive.analytic_communication() > 4 * optimal.analytic_communication(),
+            "naive {} vs optimal {}",
+            naive.analytic_communication(),
+            optimal.analytic_communication()
+        );
+    }
+
+    #[test]
+    fn shrink_to_fit_reaches_target() {
+        let nest = builders::matmul(1 << 7, 1 << 7, 1 << 7);
+        let mut t = Tiling::new(nest, 1 << 8, vec![128, 128, 128], None);
+        assert!(!t.fits_in_cache(1.0));
+        t.shrink_to_fit(1.0);
+        assert!(t.fits_in_cache(1.0));
+        assert!(t.tile_dims().iter().all(|&b| b >= 1));
+    }
+
+    #[test]
+    fn shrink_to_fit_stops_at_unit_tile() {
+        // Even a 1x1x1 tile has footprint 3 > 1, so shrinking stops gracefully.
+        let nest = builders::matmul(8, 8, 8);
+        let mut t = Tiling::new(nest, 2, vec![8, 8, 8], None);
+        t.shrink_to_fit(1.0);
+        assert_eq!(t.tile_dims(), &[1, 1, 1]);
+    }
+
+    #[test]
+    fn communication_model_fields_consistent() {
+        let nest = builders::nbody(1 << 6, 1 << 9);
+        let t = optimal_tiling(&nest, 1 << 8);
+        let model = t.communication_model();
+        assert_eq!(model.num_tiles, t.num_tiles());
+        assert_eq!(model.tile_footprint, t.tile_footprint());
+        assert_eq!(model.total_words, t.analytic_communication());
+        assert!(model.lower_bound_words > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile edges must be positive")]
+    fn zero_tile_edge_rejected() {
+        let nest = builders::matmul(4, 4, 4);
+        let _ = Tiling::new(nest, 16, vec![0, 1, 1], None);
+    }
+}

@@ -1,0 +1,195 @@
+//! The tiling linear program (5.1) and its solution (§5 of the paper).
+//!
+//! In log base `M` space, a rectangular tile with edge lengths `b_i = M^{λ_i}`
+//! fits its array footprints in cache iff `Σ_{i ∈ supp(φ_j)} λ_i ≤ 1` for
+//! every array `j`, and fits inside the iteration space iff `λ_i ≤ β_i`.
+//! Maximizing the tile volume `Σ_i λ_i` subject to those constraints is LP
+//! (5.1); Theorem 3 shows its optimum equals the Theorem-2 exponent, so the
+//! resulting rectangle attains the communication lower bound.
+
+use projtile_arith::{log, Rational};
+use projtile_loopnest::LoopNest;
+use projtile_lp::{solve, Constraint, LinearProgram, Relation};
+
+use crate::bounds::betas;
+use crate::tiling::Tiling;
+
+/// Solution of the tiling LP in log-space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TilingSolution {
+    /// Optimal block exponents `λ_1, ..., λ_d` (`b_i = M^{λ_i}`).
+    pub lambda: Vec<Rational>,
+    /// Optimal value `Σ_i λ_i` — the log (base `M`) of the tile cardinality.
+    pub value: Rational,
+}
+
+/// Builds LP (5.1) for `nest` with fast-memory size `cache_size`.
+///
+/// Variables are the block exponents `λ_1..λ_d`; constraints are one
+/// footprint row per array plus one loop-bound row `λ_i ≤ β_i` per loop index
+/// (the paper only adds the latter for the "small" indices, but adding them
+/// for every index changes nothing: for large indices they are slack).
+pub fn tiling_lp(nest: &LoopNest, cache_size: u64) -> LinearProgram {
+    let d = nest.num_loops();
+    let beta = betas(nest, cache_size);
+    let mut lp = LinearProgram::maximize(vec![Rational::one(); d]);
+    for j in 0..nest.num_arrays() {
+        let coeffs: Vec<Rational> = (0..d)
+            .map(|i| {
+                if nest.support(j).contains(i) {
+                    Rational::one()
+                } else {
+                    Rational::zero()
+                }
+            })
+            .collect();
+        lp.add_constraint(Constraint::new(coeffs, Relation::Le, Rational::one()));
+    }
+    for (i, beta_i) in beta.into_iter().enumerate() {
+        let mut coeffs = vec![Rational::zero(); d];
+        coeffs[i] = Rational::one();
+        lp.add_constraint(Constraint::new(coeffs, Relation::Le, beta_i));
+    }
+    lp
+}
+
+/// Solves LP (5.1).
+pub fn solve_tiling_lp(nest: &LoopNest, cache_size: u64) -> TilingSolution {
+    assert!(cache_size >= 2, "cache size must be at least 2 words");
+    let lp = tiling_lp(nest, cache_size);
+    let sol = solve(&lp).expect("the tiling LP is always feasible (λ = 0) and bounded (λ_i ≤ 1)");
+    TilingSolution { lambda: sol.values, value: sol.objective_value }
+}
+
+/// Converts a log-space solution to concrete integer tile edge lengths:
+/// `b_i = ⌊M^{λ_i}⌋`, clamped to `[1, L_i]`, using exact integer roots when
+/// `M^{λ_i}` is an exact integer power.
+pub fn tile_dims_from_lambda(nest: &LoopNest, cache_size: u64, lambda: &[Rational]) -> Vec<u64> {
+    let bounds = nest.bounds();
+    lambda
+        .iter()
+        .zip(&bounds)
+        .map(|(l, &bound)| {
+            let b = log::floor_pow(cache_size as u128, l);
+            u64::try_from(b.min(bound as u128)).unwrap_or(bound).max(1)
+        })
+        .collect()
+}
+
+/// Solves LP (5.1) and materializes the optimal rectangular [`Tiling`].
+pub fn optimal_tiling(nest: &LoopNest, cache_size: u64) -> Tiling {
+    let sol = solve_tiling_lp(nest, cache_size);
+    let tile = tile_dims_from_lambda(nest, cache_size, &sol.lambda);
+    Tiling::new(nest.clone(), cache_size, tile, Some(sol.lambda))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use projtile_arith::{int, ratio};
+    use projtile_loopnest::builders;
+
+    #[test]
+    fn matmul_large_bounds_square_tile() {
+        let m = 1u64 << 10;
+        let nest = builders::matmul(1 << 8, 1 << 8, 1 << 8);
+        let sol = solve_tiling_lp(&nest, m);
+        assert_eq!(sol.value, ratio(3, 2));
+        assert_eq!(sol.lambda, vec![ratio(1, 2), ratio(1, 2), ratio(1, 2)]);
+        let dims = tile_dims_from_lambda(&nest, m, &sol.lambda);
+        assert_eq!(dims, vec![32, 32, 32]);
+    }
+
+    #[test]
+    fn matmul_small_l3_lp_matches_equation_6_3() {
+        // §6.1: with β3 <= 1/2 the optimum is 1 + β3.
+        let m = 1u64 << 10;
+        let nest = builders::matmul(1 << 8, 1 << 8, 1 << 2);
+        let sol = solve_tiling_lp(&nest, m);
+        assert_eq!(sol.value, &int(1) + &ratio(2, 10));
+        // λ3 is pinned at β3.
+        assert_eq!(sol.lambda[2], ratio(2, 10));
+        // The other two exponents sum to 1 (the first footprint constraint is
+        // tight at any optimal vertex).
+        assert_eq!(&sol.lambda[0] + &sol.lambda[1], int(1));
+    }
+
+    #[test]
+    fn matvec_tile_is_column_panel() {
+        // L3 = 1: the optimal tile is M/1 x 1 x 1 (or any optimal point with
+        // λ1 + λ2 = 1); its cardinality is M.
+        let m = 1u64 << 10;
+        let nest = builders::matvec(1 << 8, 1 << 9);
+        let sol = solve_tiling_lp(&nest, m);
+        assert_eq!(sol.value, int(1));
+        let dims = tile_dims_from_lambda(&nest, m, &sol.lambda);
+        assert_eq!(dims[2], 1);
+        assert_eq!((dims[0] as u128) * (dims[1] as u128), m as u128);
+    }
+
+    #[test]
+    fn tile_dims_clamped_to_bounds() {
+        // Tiny problem: every dimension clamps to its loop bound.
+        let m = 1u64 << 12;
+        let nest = builders::matmul(4, 8, 2);
+        let tiling = optimal_tiling(&nest, m);
+        assert_eq!(tiling.tile_dims(), &[4, 8, 2]);
+        assert_eq!(tiling.num_tiles(), 1);
+    }
+
+    #[test]
+    fn nbody_tile_shape_matches_section_6_3() {
+        let m = 1u64 << 8;
+        // Both large: M x M tile.
+        let t = optimal_tiling(&builders::nbody(1 << 10, 1 << 10), m);
+        assert_eq!(t.tile_dims(), &[256, 256]);
+        // L1 small: L1 x M tile.
+        let t = optimal_tiling(&builders::nbody(1 << 4, 1 << 10), m);
+        assert_eq!(t.tile_dims(), &[16, 256]);
+        // Both small: the whole space is one tile.
+        let t = optimal_tiling(&builders::nbody(1 << 4, 1 << 6), m);
+        assert_eq!(t.tile_dims(), &[16, 64]);
+        assert_eq!(t.num_tiles(), 1);
+    }
+
+    #[test]
+    fn lp_value_bounded_by_classical_exponent_and_sum_of_betas() {
+        for seed in 0..10u64 {
+            let nest = builders::random_projective(seed, 4, 4, (1, 64));
+            let m = 1u64 << 6;
+            let sol = solve_tiling_lp(&nest, m);
+            let khbl = crate::hbl::hbl_exponent(&nest);
+            let beta_sum: Rational = betas(&nest, m)
+                .into_iter()
+                .fold(Rational::zero(), |acc, b| &acc + &b);
+            assert!(sol.value <= khbl, "seed {seed}");
+            assert!(sol.value <= beta_sum, "seed {seed}");
+            assert!(!sol.value.is_negative(), "seed {seed}");
+            // The returned λ point is feasible for the LP it solves.
+            let lp = tiling_lp(&nest, m);
+            assert!(lp.is_feasible(&sol.lambda), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lambda_never_exceeds_beta_or_one() {
+        let m = 1u64 << 8;
+        for seed in 0..10u64 {
+            let nest = builders::random_projective(seed, 5, 4, (1, 1024));
+            let sol = solve_tiling_lp(&nest, m);
+            for (l, b) in sol.lambda.iter().zip(betas(&nest, m)) {
+                assert!(*l <= b);
+                assert!(*l <= Rational::one());
+                assert!(!l.is_negative());
+            }
+        }
+    }
+
+    #[test]
+    fn lp_structure() {
+        let nest = builders::pointwise_conv(2, 4, 8, 16, 32);
+        let lp = tiling_lp(&nest, 256);
+        assert_eq!(lp.num_vars(), 5);
+        assert_eq!(lp.num_constraints(), 3 + 5);
+    }
+}

@@ -1,0 +1,143 @@
+//! Side-by-side comparison of schedules against the lower bound.
+//!
+//! This is the data behind experiment E8 (DESIGN.md): for one problem
+//! instance, measure the untiled order, the clamped classical tiling, and the
+//! arbitrary-bound optimal tiling on the same simulated cache, and report each
+//! against the Theorem-2 lower bound.
+
+use projtile_core::communication_lower_bound;
+use projtile_loopnest::LoopNest;
+
+use crate::baseline::{classical_square_tiling, optimal_tiling_schedule, untiled_schedule};
+use crate::schedule::Schedule;
+use crate::simulate::{measure, CachePolicy};
+
+/// Measured result for one schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleResult {
+    /// Human-readable schedule label.
+    pub label: String,
+    /// Words moved between slow and fast memory.
+    pub words: u64,
+    /// Ratio to the Theorem-2 lower bound.
+    pub ratio_to_lower_bound: f64,
+}
+
+/// The full comparison for one problem instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleComparison {
+    /// The Theorem-2 communication lower bound, in words.
+    pub lower_bound_words: f64,
+    /// Results for each schedule, in the order untiled / classical / optimal.
+    pub results: Vec<ScheduleResult>,
+}
+
+impl ScheduleComparison {
+    /// The untiled result.
+    pub fn untiled(&self) -> &ScheduleResult {
+        &self.results[0]
+    }
+
+    /// The clamped classical square tiling result.
+    pub fn classical(&self) -> &ScheduleResult {
+        &self.results[1]
+    }
+
+    /// The arbitrary-bound optimal tiling result.
+    pub fn optimal(&self) -> &ScheduleResult {
+        &self.results[2]
+    }
+}
+
+/// Measures the three standard schedules for `nest` on a cache of
+/// `cache_size` words under the given replacement policy.
+pub fn compare_schedules(
+    nest: &LoopNest,
+    cache_size: u64,
+    policy: CachePolicy,
+) -> ScheduleComparison {
+    let lb = communication_lower_bound(nest, cache_size).words;
+
+    let untiled = untiled_schedule(nest);
+    let mut classical = classical_square_tiling(nest, cache_size);
+    classical.shrink_to_fit(1.0);
+    let classical_schedule = Schedule::from_tiling(&classical);
+    let (_, optimal_schedule) = optimal_tiling_schedule(nest, cache_size);
+
+    let run = |label: &str, schedule: &Schedule| {
+        let m = measure(nest, schedule, cache_size, policy);
+        ScheduleResult {
+            label: label.to_string(),
+            words: m.words_transferred(),
+            ratio_to_lower_bound: if lb > 0.0 { m.words_transferred() as f64 / lb } else { f64::INFINITY },
+        }
+    };
+
+    ScheduleComparison {
+        lower_bound_words: lb,
+        results: vec![
+            run("untiled", &untiled),
+            run("classical-square", &classical_schedule),
+            run("optimal-arbitrary-bound", &optimal_schedule),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use projtile_loopnest::builders;
+
+    #[test]
+    fn comparison_has_three_results_in_order() {
+        let nest = builders::matmul(16, 16, 16);
+        let cmp = compare_schedules(&nest, 128, CachePolicy::Lru);
+        assert_eq!(cmp.results.len(), 3);
+        assert_eq!(cmp.untiled().label, "untiled");
+        assert_eq!(cmp.classical().label, "classical-square");
+        assert_eq!(cmp.optimal().label, "optimal-arbitrary-bound");
+        assert!(cmp.lower_bound_words > 0.0);
+    }
+
+    #[test]
+    fn optimal_tiling_is_close_to_lower_bound_and_untiled_is_not() {
+        // Matmul with data much larger than the cache: the optimal tiling
+        // stays within a small constant of the lower bound while the untiled
+        // order exceeds it by a large factor.
+        let nest = builders::matmul(32, 32, 32);
+        let cmp = compare_schedules(&nest, 128, CachePolicy::Lru);
+        assert!(
+            cmp.optimal().ratio_to_lower_bound < 6.0,
+            "optimal ratio {}",
+            cmp.optimal().ratio_to_lower_bound
+        );
+        assert!(
+            cmp.untiled().ratio_to_lower_bound > 2.0 * cmp.optimal().ratio_to_lower_bound,
+            "untiled ratio {} vs optimal {}",
+            cmp.untiled().ratio_to_lower_bound,
+            cmp.optimal().ratio_to_lower_bound
+        );
+    }
+
+    #[test]
+    fn matvec_all_schedules_bounded_below_by_matrix_size() {
+        // For matrix-vector multiplication every schedule must read the matrix
+        // at least once; the lower bound equals that size.
+        let nest = builders::matvec(64, 64);
+        let cmp = compare_schedules(&nest, 256, CachePolicy::Lru);
+        assert!((cmp.lower_bound_words - 4096.0).abs() < 1e-6);
+        for r in &cmp.results {
+            assert!(r.words >= 4096, "{}: {}", r.label, r.words);
+        }
+    }
+
+    #[test]
+    fn ideal_policy_comparison_is_consistent() {
+        let nest = builders::matmul(12, 12, 12);
+        let lru = compare_schedules(&nest, 64, CachePolicy::Lru);
+        let opt = compare_schedules(&nest, 64, CachePolicy::Ideal);
+        for (l, o) in lru.results.iter().zip(&opt.results) {
+            assert!(o.words <= l.words, "{}: ideal {} > lru {}", l.label, o.words, l.words);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Execution schedules and measured communication.
+//!
+//! The theory in `projtile-core` predicts how many words a blocked execution
+//! of a projective loop nest must move between a cache of `M` words and slow
+//! memory. This crate closes the loop by *running* schedules against the
+//! simulators in `projtile-cachesim`:
+//!
+//! * [`schedule`] — execution orders: plain (untiled) loop nests with a chosen
+//!   loop order, and tile-by-tile orders derived from a
+//!   [`projtile_core::Tiling`];
+//! * [`simulate`] — turns a schedule into its word-address stream (via
+//!   [`projtile_loopnest::layout::AddressMap`]) and feeds it to an LRU,
+//!   set-associative, or ideal cache, returning the measured traffic;
+//! * [`baseline`] — the comparison schedules used by the experiments: the
+//!   untiled loop nest, the classical large-bound square tiling (which is
+//!   infeasible/suboptimal when bounds are small — the situation the paper
+//!   fixes), and the paper's arbitrary-bound optimal tiling;
+//! * [`comparison`] — a summary struct tying measured traffic to the analytic
+//!   model and the Theorem-2 lower bound for reporting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod comparison;
+pub mod schedule;
+pub mod simulate;
+
+pub use baseline::{classical_square_tiling, optimal_tiling_schedule, untiled_schedule};
+pub use comparison::{compare_schedules, ScheduleComparison, ScheduleResult};
+pub use schedule::Schedule;
+pub use simulate::{measure, CachePolicy, Measurement};

@@ -1,0 +1,276 @@
+//! Builders for the projective loop nests used throughout the paper.
+//!
+//! Section 6 of the paper works through matrix-matrix and matrix-vector
+//! multiplication (§6.1), general tensor contractions including pointwise
+//! convolutions and fully-connected layers (§6.2), and n-body pairwise
+//! interactions (§6.3). These constructors produce exactly those programs;
+//! [`random_projective`] additionally produces arbitrary valid projective
+//! programs for property tests and for the random-program experiments (E6/E7
+//! in DESIGN.md).
+
+use crate::nest::{ArrayAccess, LoopIndex, LoopNest};
+use crate::support::IndexSet;
+
+/// Classical triply-nested matrix multiplication
+/// `C(i,k) += A(i,j) * B(j,k)` with bounds `L1 × L2 × L3` for `(i, j, k)`.
+///
+/// Note the paper's index convention: `A1 = C` has support `{x1, x3}`,
+/// `A2 = A` has `{x1, x2}` and `A3 = B` has `{x2, x3}`.
+pub fn matmul(l1: u64, l2: u64, l3: u64) -> LoopNest {
+    LoopNest::builder()
+        .index("i", l1)
+        .index("j", l2)
+        .index("k", l3)
+        .array("C", ["i", "k"])
+        .array("A", ["i", "j"])
+        .array("B", ["j", "k"])
+        .build()
+        .expect("matmul nest is always valid")
+}
+
+/// Matrix-vector multiplication `y(i) += A(i,j) * x(j)`: the `L3 = 1` limit of
+/// [`matmul`], kept three-deep so results are directly comparable with §6.1.
+pub fn matvec(l1: u64, l2: u64) -> LoopNest {
+    matmul(l1, l2, 1)
+}
+
+/// General tensor contraction from §6.2 of the paper:
+///
+/// `A1(x_1..x_j, x_k..x_d) += A2(x_1..x_{k-1}) * A3(x_{j+1}..x_d)`
+///
+/// with `1 <= j < k - 1 < d`. `bounds` supplies the `d` loop bounds.
+///
+/// # Panics
+/// Panics if the index pattern or bounds are inconsistent.
+pub fn tensor_contraction(j: usize, k: usize, bounds: &[u64]) -> LoopNest {
+    let d = bounds.len();
+    assert!(j >= 1 && j < k - 1 && k - 1 < d, "require 1 <= j < k-1 < d");
+    let indices: Vec<LoopIndex> = bounds
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| LoopIndex::new(format!("x{}", i + 1), b))
+        .collect();
+    // Output: x_1..x_j and x_k..x_d  (1-based inclusive ranges from the paper).
+    let out: IndexSet = (0..j).chain((k - 1)..d).collect();
+    // Left input: x_1..x_{k-1}.
+    let left: IndexSet = (0..(k - 1)).collect();
+    // Right input: x_{j+1}..x_d.
+    let right: IndexSet = (j..d).collect();
+    let arrays = vec![
+        ArrayAccess { name: "Out".into(), support: out },
+        ArrayAccess { name: "Left".into(), support: left },
+        ArrayAccess { name: "Right".into(), support: right },
+    ];
+    LoopNest::new(indices, arrays).expect("tensor contraction nest is always valid")
+}
+
+/// Pointwise (1×1-filter) convolution from §6.2:
+///
+/// `Out(k,h,w,b) += Image(w,h,c,b) * Filter(k,c)`
+///
+/// over batch `b`, input channels `c`, output channels `k`, width `w`,
+/// height `h`.
+pub fn pointwise_conv(batch: u64, c_in: u64, k_out: u64, width: u64, height: u64) -> LoopNest {
+    LoopNest::builder()
+        .index("b", batch)
+        .index("c", c_in)
+        .index("k", k_out)
+        .index("w", width)
+        .index("h", height)
+        .array("Out", ["k", "h", "w", "b"])
+        .array("Image", ["w", "h", "c", "b"])
+        .array("Filter", ["k", "c"])
+        .build()
+        .expect("pointwise convolution nest is always valid")
+}
+
+/// Fully-connected layer (a batched matrix multiplication):
+/// `Out(b,k) += In(b,c) * W(k,c)`.
+pub fn fully_connected(batch: u64, c_in: u64, k_out: u64) -> LoopNest {
+    LoopNest::builder()
+        .index("b", batch)
+        .index("c", c_in)
+        .index("k", k_out)
+        .array("Out", ["b", "k"])
+        .array("In", ["b", "c"])
+        .array("W", ["k", "c"])
+        .build()
+        .expect("fully connected nest is always valid")
+}
+
+/// n-body pairwise interactions from §6.3:
+/// `A1[x1] = f(A2[x1], A3[x2])` over all pairs `(x1, x2)`.
+pub fn nbody(l1: u64, l2: u64) -> LoopNest {
+    LoopNest::builder()
+        .index("x1", l1)
+        .index("x2", l2)
+        .array("Acc", ["x1"])
+        .array("Src", ["x1"])
+        .array("Other", ["x2"])
+        .build()
+        .expect("n-body nest is always valid")
+}
+
+/// Deterministic pseudo-random projective program generator (no external RNG
+/// dependency; a fixed-increment SplitMix64 keeps results reproducible across
+/// runs and platforms).
+///
+/// Produces a valid nest with `d` loops and `n` arrays whose bounds lie in
+/// `bound_range`, suitable for property tests and the random-program
+/// experiments. Supports are random non-empty subsets, patched so that every
+/// loop index is covered (validity requirement of §2).
+pub fn random_projective(seed: u64, d: usize, n: usize, bound_range: (u64, u64)) -> LoopNest {
+    assert!(d >= 1 && d <= 16, "d must be in 1..=16");
+    assert!(n >= 1 && n <= 16, "n must be in 1..=16");
+    let (lo, hi) = bound_range;
+    assert!(lo >= 1 && hi >= lo, "bound range must be non-empty and positive");
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = move || {
+        // SplitMix64.
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+
+    let indices: Vec<LoopIndex> = (0..d)
+        .map(|i| {
+            let span = hi - lo + 1;
+            LoopIndex::new(format!("x{}", i + 1), lo + next() % span)
+        })
+        .collect();
+
+    let full_mask = if d == 64 { u64::MAX } else { (1u64 << d) - 1 };
+    let mut supports: Vec<IndexSet> = (0..n)
+        .map(|_| {
+            let mut bits = next() & full_mask;
+            if bits == 0 {
+                bits = 1 << (next() as usize % d);
+            }
+            IndexSet::from_bits(bits)
+        })
+        .collect();
+    // Ensure every loop index is covered by some support.
+    let covered = supports.iter().fold(IndexSet::empty(), |acc, s| acc.union(*s));
+    for missing in IndexSet::full(d).difference(covered).iter() {
+        let victim = (next() as usize) % n;
+        let mut s = supports[victim];
+        s.insert(missing);
+        supports[victim] = s;
+    }
+
+    let arrays: Vec<ArrayAccess> = supports
+        .into_iter()
+        .enumerate()
+        .map(|(j, support)| ArrayAccess { name: format!("A{}", j + 1), support })
+        .collect();
+    LoopNest::new(indices, arrays).expect("random projective nest is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_structure() {
+        let nest = matmul(4, 5, 6);
+        assert_eq!(nest.num_loops(), 3);
+        assert_eq!(nest.num_arrays(), 3);
+        assert_eq!(nest.bounds(), vec![4, 5, 6]);
+        assert_eq!(nest.support(0), IndexSet::from_indices([0, 2]));
+        assert_eq!(nest.support(1), IndexSet::from_indices([0, 1]));
+        assert_eq!(nest.support(2), IndexSet::from_indices([1, 2]));
+    }
+
+    #[test]
+    fn matvec_is_matmul_with_unit_k() {
+        let nest = matvec(10, 20);
+        assert_eq!(nest.bounds(), vec![10, 20, 1]);
+        assert_eq!(nest.array_size(0), 10); // y
+        assert_eq!(nest.array_size(1), 200); // A
+        assert_eq!(nest.array_size(2), 20); // x
+    }
+
+    #[test]
+    fn contraction_supports_partition_as_in_paper() {
+        // d = 5, j = 2, k = 4: Out = x1,x2,x4,x5; Left = x1..x3; Right = x3..x5.
+        let nest = tensor_contraction(2, 4, &[3, 4, 5, 6, 7]);
+        assert_eq!(nest.num_loops(), 5);
+        assert_eq!(nest.support(0), IndexSet::from_indices([0, 1, 3, 4]));
+        assert_eq!(nest.support(1), IndexSet::from_indices([0, 1, 2]));
+        assert_eq!(nest.support(2), IndexSet::from_indices([2, 3, 4]));
+        // Every loop index is covered.
+        let covered = (0..3).fold(IndexSet::empty(), |acc, j| acc.union(nest.support(j)));
+        assert_eq!(covered, IndexSet::full(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "require 1 <= j < k-1 < d")]
+    fn contraction_rejects_bad_split() {
+        let _ = tensor_contraction(2, 3, &[2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn pointwise_conv_matches_equation_6_5() {
+        let nest = pointwise_conv(8, 3, 16, 32, 32);
+        // Out(k,h,w,b), Image(w,h,c,b), Filter(k,c)
+        let b = nest.index_position("b").unwrap();
+        let c = nest.index_position("c").unwrap();
+        let k = nest.index_position("k").unwrap();
+        let w = nest.index_position("w").unwrap();
+        let h = nest.index_position("h").unwrap();
+        assert_eq!(nest.support(0), IndexSet::from_indices([k, h, w, b]));
+        assert_eq!(nest.support(1), IndexSet::from_indices([w, h, c, b]));
+        assert_eq!(nest.support(2), IndexSet::from_indices([k, c]));
+        assert_eq!(nest.array_size(2), 3 * 16);
+    }
+
+    #[test]
+    fn fully_connected_is_matmul_shaped() {
+        let nest = fully_connected(32, 128, 64);
+        assert_eq!(nest.num_loops(), 3);
+        assert_eq!(nest.num_arrays(), 3);
+        // Each pair of loops is covered by exactly one array, like matmul.
+        for i in 0..3 {
+            assert_eq!(nest.arrays_containing(i).len(), 2);
+        }
+    }
+
+    #[test]
+    fn nbody_structure() {
+        let nest = nbody(100, 200);
+        assert_eq!(nest.num_loops(), 2);
+        assert_eq!(nest.num_arrays(), 3);
+        assert_eq!(nest.arrays_containing(0).len(), 2); // Acc, Src
+        assert_eq!(nest.arrays_containing(1).len(), 1); // Other
+        assert_eq!(nest.iteration_space_size(), 20_000);
+    }
+
+    #[test]
+    fn random_projective_is_valid_and_deterministic() {
+        for seed in 0..20u64 {
+            let a = random_projective(seed, 4, 3, (1, 64));
+            let b = random_projective(seed, 4, 3, (1, 64));
+            assert_eq!(a, b, "same seed must give the same program");
+            assert_eq!(a.num_loops(), 4);
+            assert_eq!(a.num_arrays(), 3);
+            // Validation invariants hold by construction (would have panicked).
+            let covered = (0..a.num_arrays())
+                .fold(IndexSet::empty(), |acc, j| acc.union(a.support(j)));
+            assert_eq!(covered, IndexSet::full(4));
+        }
+        // Different seeds give different programs at least sometimes.
+        let distinct = (0..20u64)
+            .map(|s| random_projective(s, 4, 3, (1, 64)))
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        assert!(distinct > 1);
+    }
+
+    #[test]
+    fn random_projective_respects_bound_range() {
+        let nest = random_projective(7, 5, 4, (3, 9));
+        assert!(nest.bounds().iter().all(|&b| (3..=9).contains(&b)));
+    }
+}

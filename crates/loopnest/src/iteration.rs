@@ -1,0 +1,259 @@
+//! Iteration over rectangular subdomains of the iteration space.
+//!
+//! The tiled executor in `projtile-exec` walks the iteration space twice over:
+//! an outer walk over tile origins and an inner walk over the points of each
+//! tile. Both are rectangular walks, provided here as allocation-light
+//! iterators with a configurable loop order (outermost-to-innermost
+//! permutation), which is what distinguishes the "naive" baseline schedules
+//! from one another.
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open axis-aligned box `[origin_i, origin_i + extent_i)` in the
+/// 0-based iteration space.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Domain {
+    /// Inclusive lower corner.
+    pub origin: Vec<u64>,
+    /// Edge lengths (all strictly positive for a non-empty domain).
+    pub extent: Vec<u64>,
+}
+
+impl Domain {
+    /// The full iteration space `[0, bounds_i)` of a loop nest.
+    pub fn full(bounds: &[u64]) -> Domain {
+        Domain { origin: vec![0; bounds.len()], extent: bounds.to_vec() }
+    }
+
+    /// Creates a domain from its corner and edge lengths.
+    pub fn new(origin: Vec<u64>, extent: Vec<u64>) -> Domain {
+        assert_eq!(origin.len(), extent.len(), "origin/extent dimension mismatch");
+        Domain { origin, extent }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.origin.len()
+    }
+
+    /// Number of points in the domain.
+    pub fn num_points(&self) -> u128 {
+        if self.extent.is_empty() {
+            return 0;
+        }
+        self.extent.iter().map(|&e| e as u128).product()
+    }
+
+    /// Returns `true` iff the domain contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.extent.iter().any(|&e| e == 0)
+    }
+
+    /// Returns `true` iff `point` lies inside the domain.
+    pub fn contains(&self, point: &[u64]) -> bool {
+        point.len() == self.dim()
+            && point
+                .iter()
+                .zip(self.origin.iter().zip(&self.extent))
+                .all(|(&p, (&o, &e))| p >= o && p < o + e)
+    }
+
+    /// Iterates the points in lexicographic order with the *last* axis varying
+    /// fastest (the natural order of the written-out loop nest).
+    pub fn points(&self) -> PointIter {
+        let order: Vec<usize> = (0..self.dim()).collect();
+        self.points_with_order(&order)
+    }
+
+    /// Iterates the points with an explicit loop order: `order[0]` is the
+    /// outermost loop axis and `order[d-1]` the innermost.
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of `0..d`.
+    pub fn points_with_order(&self, order: &[usize]) -> PointIter {
+        let d = self.dim();
+        assert_eq!(order.len(), d, "loop order must mention every axis exactly once");
+        let mut seen = vec![false; d];
+        for &axis in order {
+            assert!(axis < d && !seen[axis], "loop order must be a permutation");
+            seen[axis] = true;
+        }
+        PointIter {
+            domain: self.clone(),
+            order: order.to_vec(),
+            cursor: self.origin.clone(),
+            done: self.is_empty(),
+        }
+    }
+}
+
+/// Iterator over the integer points of a [`Domain`]. See
+/// [`Domain::points_with_order`].
+#[derive(Debug, Clone)]
+pub struct PointIter {
+    domain: Domain,
+    order: Vec<usize>,
+    cursor: Vec<u64>,
+    done: bool,
+}
+
+impl Iterator for PointIter {
+    type Item = Vec<u64>;
+
+    fn next(&mut self) -> Option<Vec<u64>> {
+        if self.done {
+            return None;
+        }
+        let current = self.cursor.clone();
+        // Advance like an odometer, innermost axis first.
+        for &axis in self.order.iter().rev() {
+            self.cursor[axis] += 1;
+            if self.cursor[axis] < self.domain.origin[axis] + self.domain.extent[axis] {
+                return Some(current);
+            }
+            self.cursor[axis] = self.domain.origin[axis];
+        }
+        self.done = true;
+        Some(current)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.done {
+            (0, Some(0))
+        } else {
+            let n = self.domain.num_points().min(usize::MAX as u128) as usize;
+            (n, Some(n))
+        }
+    }
+}
+
+/// Iterates the origins of the tiles produced by covering `bounds` with a grid
+/// of rectangular tiles of edge lengths `tile` (the boundary tiles are
+/// clipped by the caller via [`tile_domain`]).
+pub fn tile_origins(bounds: &[u64], tile: &[u64]) -> impl Iterator<Item = Vec<u64>> {
+    assert_eq!(bounds.len(), tile.len(), "tile dimension mismatch");
+    assert!(tile.iter().all(|&t| t > 0), "tile edges must be positive");
+    let counts: Vec<u64> = bounds
+        .iter()
+        .zip(tile)
+        .map(|(&b, &t)| b.div_ceil(t))
+        .collect();
+    let tile = tile.to_vec();
+    Domain::full(&counts).points().map(move |grid_pos| {
+        grid_pos.iter().zip(&tile).map(|(&g, &t)| g * t).collect()
+    })
+}
+
+/// The (clipped) domain of the tile anchored at `origin` with nominal edge
+/// lengths `tile`, inside a space of the given `bounds`.
+pub fn tile_domain(bounds: &[u64], tile: &[u64], origin: &[u64]) -> Domain {
+    let extent: Vec<u64> = origin
+        .iter()
+        .zip(tile.iter().zip(bounds))
+        .map(|(&o, (&t, &b))| t.min(b.saturating_sub(o)))
+        .collect();
+    Domain::new(origin.to_vec(), extent)
+}
+
+/// Number of tiles needed to cover `bounds` with tiles of edge lengths `tile`.
+pub fn tile_count(bounds: &[u64], tile: &[u64]) -> u128 {
+    bounds
+        .iter()
+        .zip(tile)
+        .map(|(&b, &t)| b.div_ceil(t) as u128)
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_domain_enumerates_all_points() {
+        let d = Domain::full(&[2, 3]);
+        let pts: Vec<_> = d.points().collect();
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0], vec![0, 0]);
+        assert_eq!(pts[1], vec![0, 1]); // last axis fastest
+        assert_eq!(pts[5], vec![1, 2]);
+        assert_eq!(d.num_points(), 6);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn custom_loop_order() {
+        let d = Domain::full(&[2, 2]);
+        // Axis 1 outermost, axis 0 innermost.
+        let pts: Vec<_> = d.points_with_order(&[1, 0]).collect();
+        assert_eq!(pts, vec![vec![0, 0], vec![1, 0], vec![0, 1], vec![1, 1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn bad_loop_order_rejected() {
+        let d = Domain::full(&[2, 2]);
+        let _ = d.points_with_order(&[0, 0]);
+    }
+
+    #[test]
+    fn offset_domain_and_containment() {
+        let d = Domain::new(vec![2, 3], vec![2, 1]);
+        let pts: Vec<_> = d.points().collect();
+        assert_eq!(pts, vec![vec![2, 3], vec![3, 3]]);
+        assert!(d.contains(&[3, 3]));
+        assert!(!d.contains(&[1, 3]));
+        assert!(!d.contains(&[2, 4]));
+        assert!(!d.contains(&[2]));
+    }
+
+    #[test]
+    fn empty_domain() {
+        let d = Domain::new(vec![0, 0], vec![3, 0]);
+        assert!(d.is_empty());
+        assert_eq!(d.num_points(), 0);
+        assert_eq!(d.points().count(), 0);
+    }
+
+    #[test]
+    fn tiling_covers_space_exactly_once() {
+        let bounds = [5u64, 7];
+        let tile = [2u64, 3];
+        let mut seen = std::collections::HashSet::new();
+        let mut tiles = 0u128;
+        for origin in tile_origins(&bounds, &tile) {
+            tiles += 1;
+            let dom = tile_domain(&bounds, &tile, &origin);
+            assert!(!dom.is_empty());
+            for p in dom.points() {
+                assert!(p[0] < bounds[0] && p[1] < bounds[1], "point inside bounds");
+                assert!(seen.insert(p), "no point visited twice");
+            }
+        }
+        assert_eq!(tiles, tile_count(&bounds, &tile));
+        assert_eq!(tiles, 3 * 3);
+        assert_eq!(seen.len() as u128, 35);
+    }
+
+    #[test]
+    fn tile_domain_clips_at_boundary() {
+        let dom = tile_domain(&[5, 7], &[2, 3], &[4, 6]);
+        assert_eq!(dom.extent, vec![1, 1]);
+        let dom2 = tile_domain(&[5, 7], &[2, 3], &[0, 0]);
+        assert_eq!(dom2.extent, vec![2, 3]);
+    }
+
+    #[test]
+    fn tile_count_matches_ceil_division() {
+        assert_eq!(tile_count(&[10, 10], &[3, 4]), 4 * 3);
+        assert_eq!(tile_count(&[1, 1], &[5, 5]), 1);
+        assert_eq!(tile_count(&[8], &[2]), 4);
+    }
+
+    #[test]
+    fn size_hint_matches_count() {
+        let d = Domain::full(&[3, 4]);
+        let it = d.points();
+        assert_eq!(it.size_hint(), (12, Some(12)));
+        assert_eq!(it.count(), 12);
+    }
+}

@@ -1,0 +1,203 @@
+//! Array layouts: mapping projected loop indices to flat word addresses.
+//!
+//! The cache simulator in `projtile-cachesim` operates on a stream of word
+//! addresses. This module gives each array of a [`LoopNest`] a contiguous
+//! row-major allocation in a single flat address space, so that an execution
+//! schedule (a sequence of iteration points) can be turned into the exact
+//! sequence of words it touches.
+
+use serde::{Deserialize, Serialize};
+
+use crate::nest::LoopNest;
+
+/// Row-major layout of a single array.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayLayout {
+    /// First word address of the array.
+    pub base: u64,
+    /// Loop-index positions forming the array's subscript, in increasing
+    /// position order (the projection `φ_j`).
+    pub axes: Vec<usize>,
+    /// Extent of each subscript axis (the loop bound of that axis).
+    pub extents: Vec<u64>,
+    /// Row-major strides matching `axes`.
+    pub strides: Vec<u64>,
+}
+
+impl ArrayLayout {
+    /// Number of words occupied by the array.
+    pub fn size(&self) -> u64 {
+        self.extents.iter().product::<u64>().max(1)
+    }
+
+    /// Flat address of the element touched by the iteration point `point`
+    /// (full-dimensional loop-nest coordinates, 0-based).
+    pub fn address_of(&self, point: &[u64]) -> u64 {
+        let mut addr = self.base;
+        for (&axis, stride) in self.axes.iter().zip(&self.strides) {
+            addr += point[axis] * stride;
+        }
+        addr
+    }
+}
+
+/// Address map for every array of a loop nest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressMap {
+    layouts: Vec<ArrayLayout>,
+    total_words: u64,
+}
+
+impl AddressMap {
+    /// Lays the arrays of `nest` out consecutively in address order.
+    ///
+    /// # Panics
+    /// Panics if the total data size does not fit in a `u64` address space
+    /// (far beyond anything the simulator is asked to handle).
+    pub fn new(nest: &LoopNest) -> AddressMap {
+        let bounds = nest.bounds();
+        let mut layouts = Vec::with_capacity(nest.num_arrays());
+        let mut next_base: u64 = 0;
+        for j in 0..nest.num_arrays() {
+            let axes: Vec<usize> = nest.support(j).iter().collect();
+            let extents: Vec<u64> = axes.iter().map(|&a| bounds[a]).collect();
+            // Row-major: last axis has stride 1.
+            let mut strides = vec![1u64; axes.len()];
+            for i in (0..axes.len().saturating_sub(1)).rev() {
+                strides[i] = strides[i + 1]
+                    .checked_mul(extents[i + 1])
+                    .expect("array too large for 64-bit address space");
+            }
+            let size: u64 = extents.iter().copied().fold(1u64, |acc, e| {
+                acc.checked_mul(e).expect("array too large for 64-bit address space")
+            });
+            layouts.push(ArrayLayout { base: next_base, axes, extents, strides });
+            next_base = next_base
+                .checked_add(size.max(1))
+                .expect("total data too large for 64-bit address space");
+        }
+        AddressMap { layouts, total_words: next_base }
+    }
+
+    /// Layout of array `j`.
+    pub fn layout(&self, j: usize) -> &ArrayLayout {
+        &self.layouts[j]
+    }
+
+    /// Number of arrays.
+    pub fn num_arrays(&self) -> usize {
+        self.layouts.len()
+    }
+
+    /// Total number of distinct words across all arrays.
+    pub fn total_words(&self) -> u64 {
+        self.total_words
+    }
+
+    /// Flat address of array `j`'s element at iteration point `point`.
+    pub fn address(&self, j: usize, point: &[u64]) -> u64 {
+        self.layouts[j].address_of(point)
+    }
+
+    /// All addresses touched by one iteration point, in array order.
+    pub fn addresses_of_point<'a>(
+        &'a self,
+        point: &'a [u64],
+    ) -> impl Iterator<Item = u64> + 'a {
+        self.layouts.iter().map(move |l| l.address_of(point))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn matmul_layout_sizes_and_disjoint_ranges() {
+        let nest = builders::matmul(4, 5, 6);
+        let map = AddressMap::new(&nest);
+        assert_eq!(map.num_arrays(), 3);
+        // C is 4x6, A is 4x5, B is 5x6.
+        assert_eq!(map.layout(0).size(), 24);
+        assert_eq!(map.layout(1).size(), 20);
+        assert_eq!(map.layout(2).size(), 30);
+        assert_eq!(map.total_words(), 74);
+        // Bases are consecutive and non-overlapping.
+        assert_eq!(map.layout(0).base, 0);
+        assert_eq!(map.layout(1).base, 24);
+        assert_eq!(map.layout(2).base, 44);
+    }
+
+    #[test]
+    fn addresses_are_within_each_arrays_range() {
+        let nest = builders::matmul(3, 4, 5);
+        let map = AddressMap::new(&nest);
+        for i in 0..3u64 {
+            for j in 0..4u64 {
+                for k in 0..5u64 {
+                    let point = [i, j, k];
+                    for a in 0..3 {
+                        let addr = map.address(a, &point);
+                        let lo = map.layout(a).base;
+                        let hi = lo + map.layout(a).size();
+                        assert!(addr >= lo && addr < hi, "address inside array {a}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn address_depends_only_on_support_indices() {
+        let nest = builders::matmul(4, 4, 4);
+        let map = AddressMap::new(&nest);
+        // C(i,k) must not depend on j.
+        let a1 = map.address(0, &[1, 0, 2]);
+        let a2 = map.address(0, &[1, 3, 2]);
+        assert_eq!(a1, a2);
+        // A(i,j) must not depend on k.
+        assert_eq!(map.address(1, &[1, 2, 0]), map.address(1, &[1, 2, 3]));
+        // But it must depend on j.
+        assert_ne!(map.address(1, &[1, 2, 0]), map.address(1, &[1, 1, 0]));
+    }
+
+    #[test]
+    fn distinct_elements_get_distinct_addresses() {
+        let nest = builders::nbody(7, 9);
+        let map = AddressMap::new(&nest);
+        let mut seen = std::collections::HashSet::new();
+        // Acc[x1] over x1: 7 distinct addresses.
+        for x1 in 0..7u64 {
+            assert!(seen.insert(map.address(0, &[x1, 0])));
+        }
+        assert_eq!(seen.len(), 7);
+        // Other[x2] over x2: 9 distinct addresses, disjoint from Acc and Src.
+        let mut other = std::collections::HashSet::new();
+        for x2 in 0..9u64 {
+            other.insert(map.address(2, &[0, x2]));
+        }
+        assert_eq!(other.len(), 9);
+        assert!(seen.is_disjoint(&other));
+    }
+
+    #[test]
+    fn addresses_of_point_yields_one_per_array() {
+        let nest = builders::pointwise_conv(2, 3, 4, 5, 6);
+        let map = AddressMap::new(&nest);
+        let point = vec![1u64, 2, 3, 4, 5];
+        let addrs: Vec<u64> = map.addresses_of_point(&point).collect();
+        assert_eq!(addrs.len(), 3);
+        assert_eq!(addrs[0], map.address(0, &point));
+        assert!(map.total_words() >= addrs.iter().copied().max().unwrap());
+    }
+
+    #[test]
+    fn scalar_like_array_occupies_one_word() {
+        // L3 = 1 in matvec: the "k" extent of C is 1 but C still occupies l1 words.
+        let nest = builders::matvec(6, 8);
+        let map = AddressMap::new(&nest);
+        assert_eq!(map.layout(0).size(), 6); // y(i,k) with k extent 1
+        assert_eq!(map.layout(2).size(), 8); // x(j,k) with k extent 1
+    }
+}

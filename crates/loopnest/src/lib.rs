@@ -1,0 +1,40 @@
+//! Projective nested-loop program representation.
+//!
+//! The object of study in Dinh & Demmel (SPAA 2020) is the `d`-deep loop nest
+//!
+//! ```text
+//! for x1 in 1..=L1, ..., for xd in 1..=Ld:
+//!     operate on A1[φ1(x)], ..., An[φn(x)]
+//! ```
+//!
+//! in the *projective* case: each access function `φ_j` simply selects a
+//! subset of the loop indices (its *support*). This crate provides:
+//!
+//! * [`LoopNest`] — the IR: loop indices with bounds and arrays with supports,
+//!   plus validation (§2 assumes every index appears in at least one support);
+//! * [`support::IndexSet`] — a small bitset over loop indices used for
+//!   supports and for the subset enumeration of Theorem 2;
+//! * [`builders`] — the kernels used throughout the paper (matrix
+//!   multiplication, matrix-vector multiplication, general tensor
+//!   contractions, pointwise convolutions, fully-connected layers, n-body
+//!   pairwise interactions) and a generator of random projective programs for
+//!   property tests;
+//! * [`iteration`] — iteration over rectangular subdomains of the iteration
+//!   space (used by the tiled executor in `projtile-exec`);
+//! * [`layout`] — array layouts mapping projected indices to flat word
+//!   addresses, so cache simulation sees a realistic address stream.
+//!
+//! Everything here is substrate: the communication bounds and tilings
+//! themselves live in `projtile-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builders;
+pub mod iteration;
+pub mod layout;
+mod nest;
+pub mod support;
+
+pub use nest::{ArrayAccess, LoopIndex, LoopNest, ValidationError};
+pub use support::IndexSet;

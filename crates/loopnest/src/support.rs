@@ -1,0 +1,224 @@
+//! Small bitsets over loop indices.
+//!
+//! Supports `supp(φ_j)` and the subsets `Q ⊆ [d]` of Theorem 2 are sets of
+//! loop-index positions. Loop nests in practice have single-digit depth, so a
+//! 64-bit mask is more than enough and keeps subset enumeration (`2^d` masks)
+//! allocation-free.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of loop-index positions (`0..d`, `d <= 64`), stored as a bitmask.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct IndexSet(u64);
+
+impl IndexSet {
+    /// Maximum number of distinct loop indices representable.
+    pub const MAX_INDICES: usize = 64;
+
+    /// The empty set.
+    pub fn empty() -> IndexSet {
+        IndexSet(0)
+    }
+
+    /// The full set `{0, 1, ..., d-1}`.
+    ///
+    /// # Panics
+    /// Panics if `d > 64`.
+    pub fn full(d: usize) -> IndexSet {
+        assert!(d <= Self::MAX_INDICES, "at most 64 loop indices supported");
+        if d == 64 {
+            IndexSet(u64::MAX)
+        } else {
+            IndexSet((1u64 << d) - 1)
+        }
+    }
+
+    /// Builds a set from an iterator of index positions.
+    ///
+    /// # Panics
+    /// Panics if any position is `>= 64`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(indices: I) -> IndexSet {
+        let mut s = IndexSet::empty();
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Builds a set directly from a bitmask.
+    pub fn from_bits(bits: u64) -> IndexSet {
+        IndexSet(bits)
+    }
+
+    /// The underlying bitmask.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Inserts an index position.
+    ///
+    /// # Panics
+    /// Panics if `i >= 64`.
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < Self::MAX_INDICES, "index position out of range");
+        self.0 |= 1 << i;
+    }
+
+    /// Removes an index position (no-op if absent).
+    pub fn remove(&mut self, i: usize) {
+        if i < Self::MAX_INDICES {
+            self.0 &= !(1 << i);
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(self, i: usize) -> bool {
+        i < Self::MAX_INDICES && (self.0 >> i) & 1 == 1
+    }
+
+    /// Number of elements.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Returns `true` iff the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: IndexSet) -> IndexSet {
+        IndexSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersection(self, other: IndexSet) -> IndexSet {
+        IndexSet(self.0 & other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn difference(self, other: IndexSet) -> IndexSet {
+        IndexSet(self.0 & !other.0)
+    }
+
+    /// Returns `true` iff `self ⊆ other`.
+    pub fn is_subset_of(self, other: IndexSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Returns `true` iff the sets share no element.
+    pub fn is_disjoint_from(self, other: IndexSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Iterates over the member positions in increasing order.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        (0..Self::MAX_INDICES).filter(move |&i| self.contains(i))
+    }
+
+    /// Enumerates all `2^d` subsets of `{0, ..., d-1}` in mask order.
+    ///
+    /// # Panics
+    /// Panics if `d > 30` (the Theorem-2 sweep is exponential in `d`; real
+    /// loop nests have depth well below 30, and anything larger is almost
+    /// certainly a bug in the caller).
+    pub fn all_subsets(d: usize) -> impl Iterator<Item = IndexSet> {
+        assert!(d <= 30, "subset enumeration over more than 30 indices refused");
+        (0u64..(1u64 << d)).map(IndexSet)
+    }
+}
+
+impl fmt::Debug for IndexSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for IndexSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromIterator<usize> for IndexSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        IndexSet::from_indices(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_set_operations() {
+        let a = IndexSet::from_indices([0, 2, 4]);
+        let b = IndexSet::from_indices([2, 3]);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(2));
+        assert!(!a.contains(1));
+        assert_eq!(a.union(b), IndexSet::from_indices([0, 2, 3, 4]));
+        assert_eq!(a.intersection(b), IndexSet::from_indices([2]));
+        assert_eq!(a.difference(b), IndexSet::from_indices([0, 4]));
+        assert!(IndexSet::from_indices([2]).is_subset_of(a));
+        assert!(!b.is_subset_of(a));
+        assert!(a.is_disjoint_from(IndexSet::from_indices([1, 3])));
+        assert!(!a.is_disjoint_from(b));
+    }
+
+    #[test]
+    fn insert_remove_and_iter() {
+        let mut s = IndexSet::empty();
+        assert!(s.is_empty());
+        s.insert(5);
+        s.insert(1);
+        s.remove(9); // no-op
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 5]);
+        s.remove(1);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![5]);
+    }
+
+    #[test]
+    fn full_and_bits() {
+        assert_eq!(IndexSet::full(3), IndexSet::from_indices([0, 1, 2]));
+        assert_eq!(IndexSet::full(0), IndexSet::empty());
+        assert_eq!(IndexSet::full(64).len(), 64);
+        assert_eq!(IndexSet::from_bits(0b101).iter().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn subset_enumeration() {
+        let subsets: Vec<_> = IndexSet::all_subsets(3).collect();
+        assert_eq!(subsets.len(), 8);
+        assert_eq!(subsets[0], IndexSet::empty());
+        assert_eq!(subsets[7], IndexSet::full(3));
+        // Every enumerated set is a subset of the full set.
+        assert!(subsets.iter().all(|s| s.is_subset_of(IndexSet::full(3))));
+    }
+
+    #[test]
+    #[should_panic(expected = "refused")]
+    fn huge_subset_enumeration_refused() {
+        let _ = IndexSet::all_subsets(31).count();
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(IndexSet::from_indices([0, 3]).to_string(), "{0,3}");
+        assert_eq!(IndexSet::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: IndexSet = vec![1usize, 2, 2, 3].into_iter().collect();
+        assert_eq!(s, IndexSet::from_indices([1, 2, 3]));
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the loop-nest IR, iteration utilities, and layouts.
+
+use projtile_loopnest::iteration::{tile_count, tile_domain, tile_origins, Domain};
+use projtile_loopnest::layout::AddressMap;
+use projtile_loopnest::{builders, IndexSet};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn small_bounds(d: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(1u64..8, d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_programs_validate_and_expose_consistent_structure(
+        seed in any::<u64>(),
+        d in 1usize..6,
+        n in 1usize..6,
+    ) {
+        let nest = builders::random_projective(seed, d, n, (1, 64));
+        prop_assert_eq!(nest.num_loops(), d);
+        prop_assert_eq!(nest.num_arrays(), n);
+        // Every index covered; every support within range.
+        let covered = (0..n).fold(IndexSet::empty(), |acc, j| acc.union(nest.support(j)));
+        prop_assert_eq!(covered, IndexSet::full(d));
+        // R_j / supports are transposes of each other.
+        for i in 0..d {
+            for j in 0..n {
+                prop_assert_eq!(nest.arrays_containing(i).contains(j), nest.support(j).contains(i));
+            }
+        }
+        // Sizes multiply out.
+        let total: u128 = nest.bounds().iter().map(|&b| b as u128).product();
+        prop_assert_eq!(nest.iteration_space_size(), total);
+    }
+
+    #[test]
+    fn tiling_partitions_the_iteration_space(
+        bounds in small_bounds(3),
+        tile in small_bounds(3),
+    ) {
+        // Tiles cover every point exactly once and their count matches the
+        // ceiling-division formula.
+        let mut seen = HashSet::new();
+        let mut tiles = 0u128;
+        for origin in tile_origins(&bounds, &tile) {
+            let dom = tile_domain(&bounds, &tile, &origin);
+            prop_assert!(!dom.is_empty());
+            tiles += 1;
+            for p in dom.points() {
+                prop_assert!(p.iter().zip(&bounds).all(|(&x, &b)| x < b));
+                prop_assert!(seen.insert(p));
+            }
+        }
+        prop_assert_eq!(tiles, tile_count(&bounds, &tile));
+        let total: u128 = bounds.iter().map(|&b| b as u128).product();
+        prop_assert_eq!(seen.len() as u128, total);
+    }
+
+    #[test]
+    fn loop_orders_are_permutations_of_the_same_point_set(
+        bounds in small_bounds(3),
+        perm_seed in 0usize..6,
+    ) {
+        let orders = [
+            vec![0usize, 1, 2],
+            vec![0, 2, 1],
+            vec![1, 0, 2],
+            vec![1, 2, 0],
+            vec![2, 0, 1],
+            vec![2, 1, 0],
+        ];
+        let dom = Domain::full(&bounds);
+        let base: HashSet<Vec<u64>> = dom.points().collect();
+        let permuted: HashSet<Vec<u64>> =
+            dom.points_with_order(&orders[perm_seed]).collect();
+        prop_assert_eq!(base.len() as u128, dom.num_points());
+        prop_assert_eq!(base, permuted);
+    }
+
+    #[test]
+    fn footprints_are_monotone_and_bounded(
+        seed in any::<u64>(),
+        tile_a in small_bounds(4),
+        tile_b in small_bounds(4),
+    ) {
+        let nest = builders::random_projective(seed, 4, 3, (1, 8));
+        let bigger: Vec<u64> = tile_a.iter().zip(&tile_b).map(|(&a, &b)| a.max(b)).collect();
+        for j in 0..nest.num_arrays() {
+            let fa = nest.array_footprint(j, &tile_a);
+            let fb = nest.array_footprint(j, &bigger);
+            prop_assert!(fa <= fb, "array footprint not monotone");
+            prop_assert!(fb <= nest.array_size(j).max(1));
+        }
+        prop_assert!(nest.tile_footprint(&bigger) <= nest.total_data_size().max(1));
+    }
+
+    #[test]
+    fn address_map_is_injective_per_array_and_arrays_are_disjoint(seed in any::<u64>()) {
+        let nest = builders::random_projective(seed, 3, 3, (1, 5));
+        let map = AddressMap::new(&nest);
+        let mut per_array: Vec<HashSet<u64>> = vec![HashSet::new(); nest.num_arrays()];
+        for p in Domain::full(&nest.bounds()).points() {
+            for j in 0..nest.num_arrays() {
+                per_array[j].insert(map.address(j, &p));
+            }
+        }
+        // Each array's address count equals its element count (projection is
+        // onto, linearization injective).
+        for j in 0..nest.num_arrays() {
+            prop_assert_eq!(per_array[j].len() as u128, nest.array_size(j));
+        }
+        // Address ranges of different arrays never overlap.
+        for a in 0..nest.num_arrays() {
+            for b in (a + 1)..nest.num_arrays() {
+                prop_assert!(per_array[a].is_disjoint(&per_array[b]));
+            }
+        }
+        // Total addresses fit in the map's reported extent.
+        let max_addr = per_array.iter().flatten().max().copied().unwrap_or(0);
+        prop_assert!(max_addr < map.total_words());
+    }
+
+    #[test]
+    fn with_bounds_preserves_structure(seed in any::<u64>(), bounds in small_bounds(4)) {
+        let nest = builders::random_projective(seed, 4, 4, (1, 64));
+        let resized = nest.with_bounds(&bounds);
+        prop_assert_eq!(resized.bounds(), bounds);
+        for j in 0..nest.num_arrays() {
+            prop_assert_eq!(resized.support(j), nest.support(j));
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Explicit construction of the dual of a linear program.
+//!
+//! Theorem 3 of the paper is a strong-duality argument: the tiling LP (5.1) is
+//! the dual of (a lifted form of) the Theorem-2 bound, so the optimal tile
+//! attains the lower bound. Rather than trusting reduced costs extracted from
+//! a tableau, this module builds the dual program explicitly so that the
+//! equality of the primal and dual optima can be *checked exactly* by solving
+//! both sides.
+//!
+//! Duality rules used (primal variables are non-negative in this crate):
+//!
+//! | primal (max)                | dual (min)                    |
+//! |-----------------------------|-------------------------------|
+//! | constraint `a·x <= b`       | variable `y >= 0`             |
+//! | constraint `a·x >= b`       | variable `y <= 0`             |
+//! | constraint `a·x == b`       | variable `y` free             |
+//! | variable `x_j >= 0`         | constraint `A_j·y >= c_j`     |
+//!
+//! (and symmetrically for a minimization primal). Since the solver only
+//! handles non-negative variables, non-positive dual variables are negated and
+//! free dual variables are split into a difference of two non-negative ones;
+//! this changes neither feasibility nor the optimal value.
+
+use projtile_arith::Rational;
+
+use crate::problem::{Constraint, LinearProgram, Objective, Relation};
+
+/// Builds the dual of `lp` as another [`LinearProgram`] over non-negative
+/// variables. The dual's optimal objective value equals the primal's whenever
+/// the primal has a finite optimum (strong duality); the test suite and the
+/// tightness checks in `projtile-core` rely on that equality being exact.
+pub fn dual_program(lp: &LinearProgram) -> LinearProgram {
+    let m = lp.num_constraints();
+    let n = lp.num_vars();
+
+    // For each primal constraint, decide how its dual variable is represented:
+    // a scale factor for a single non-negative variable, or a split pair.
+    #[derive(Clone, Copy)]
+    enum Repr {
+        /// One non-negative column, multiplied by the given sign.
+        Signed(i32),
+        /// Two non-negative columns `u - v` (free variable).
+        Split,
+    }
+
+    let reprs: Vec<Repr> = lp
+        .constraints
+        .iter()
+        .map(|c| match (lp.objective, c.relation) {
+            // max primal: Le -> y >= 0, Ge -> y <= 0, Eq -> free
+            (Objective::Maximize, Relation::Le) => Repr::Signed(1),
+            (Objective::Maximize, Relation::Ge) => Repr::Signed(-1),
+            (Objective::Maximize, Relation::Eq) => Repr::Split,
+            // min primal: Ge -> y >= 0, Le -> y <= 0, Eq -> free
+            (Objective::Minimize, Relation::Ge) => Repr::Signed(1),
+            (Objective::Minimize, Relation::Le) => Repr::Signed(-1),
+            (Objective::Minimize, Relation::Eq) => Repr::Split,
+        })
+        .collect();
+
+    // Map each primal constraint to its dual column(s).
+    let mut col_of: Vec<(usize, Option<usize>)> = Vec::with_capacity(m);
+    let mut num_dual_vars = 0usize;
+    for repr in &reprs {
+        match repr {
+            Repr::Signed(_) => {
+                col_of.push((num_dual_vars, None));
+                num_dual_vars += 1;
+            }
+            Repr::Split => {
+                col_of.push((num_dual_vars, Some(num_dual_vars + 1)));
+                num_dual_vars += 2;
+            }
+        }
+    }
+
+    // Dual objective: b^T y.
+    let mut costs = vec![Rational::zero(); num_dual_vars];
+    for (i, c) in lp.constraints.iter().enumerate() {
+        let (col, split) = col_of[i];
+        match reprs[i] {
+            Repr::Signed(sign) => {
+                costs[col] = if sign >= 0 { c.rhs.clone() } else { -&c.rhs };
+            }
+            Repr::Split => {
+                costs[col] = c.rhs.clone();
+                costs[split.unwrap()] = -&c.rhs;
+            }
+        }
+    }
+
+    let (dual_objective, dual_relation) = match lp.objective {
+        Objective::Maximize => (Objective::Minimize, Relation::Ge),
+        Objective::Minimize => (Objective::Maximize, Relation::Le),
+    };
+
+    let mut dual = LinearProgram {
+        objective: dual_objective,
+        costs,
+        constraints: Vec::with_capacity(n),
+    };
+
+    // One dual constraint per primal variable: column(A)_j^T y (>= or <=) c_j.
+    for j in 0..n {
+        let mut coeffs = vec![Rational::zero(); num_dual_vars];
+        for (i, c) in lp.constraints.iter().enumerate() {
+            let a_ij = &c.coeffs[j];
+            if a_ij.is_zero() {
+                continue;
+            }
+            let (col, split) = col_of[i];
+            match reprs[i] {
+                Repr::Signed(sign) => {
+                    coeffs[col] = if sign >= 0 { a_ij.clone() } else { -a_ij };
+                }
+                Repr::Split => {
+                    coeffs[col] = a_ij.clone();
+                    coeffs[split.unwrap()] = -a_ij;
+                }
+            }
+        }
+        dual.add_constraint(Constraint::new(coeffs, dual_relation, lp.costs[j].clone()));
+    }
+
+    dual
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve, Constraint, LinearProgram, Relation};
+    use projtile_arith::{int, ratio};
+
+    fn le(coeffs: Vec<Rational>, rhs: Rational) -> Constraint {
+        Constraint::new(coeffs, Relation::Le, rhs)
+    }
+
+    fn ge(coeffs: Vec<Rational>, rhs: Rational) -> Constraint {
+        Constraint::new(coeffs, Relation::Ge, rhs)
+    }
+
+    #[test]
+    fn strong_duality_max_le() {
+        let mut lp = LinearProgram::maximize(vec![int(3), int(5)]);
+        lp.add_constraint(le(vec![int(1), int(0)], int(4)));
+        lp.add_constraint(le(vec![int(0), int(2)], int(12)));
+        lp.add_constraint(le(vec![int(3), int(2)], int(18)));
+        let p = solve(&lp).unwrap();
+        let d = solve(&dual_program(&lp)).unwrap();
+        assert_eq!(p.objective_value, int(36));
+        assert_eq!(p.objective_value, d.objective_value);
+    }
+
+    #[test]
+    fn strong_duality_min_ge() {
+        let mut lp = LinearProgram::minimize(vec![int(2), int(3)]);
+        lp.add_constraint(ge(vec![int(1), int(1)], int(4)));
+        lp.add_constraint(ge(vec![int(1), int(0)], int(1)));
+        let p = solve(&lp).unwrap();
+        let d = solve(&dual_program(&lp)).unwrap();
+        assert_eq!(p.objective_value, d.objective_value);
+    }
+
+    #[test]
+    fn strong_duality_with_equalities_and_mixed_relations() {
+        let mut lp = LinearProgram::maximize(vec![int(1), int(2), int(-1)]);
+        lp.add_constraint(Constraint::new(vec![int(1), int(1), int(1)], Relation::Eq, int(3)));
+        lp.add_constraint(le(vec![int(1), int(0), int(2)], int(4)));
+        lp.add_constraint(ge(vec![int(0), int(1), int(0)], int(1)));
+        let p = solve(&lp).unwrap();
+        let d = solve(&dual_program(&lp)).unwrap();
+        assert_eq!(p.objective_value, d.objective_value);
+    }
+
+    #[test]
+    fn hbl_and_tiling_lp_are_dual_pairs() {
+        // The paper's observation that LP (3.3) (tiling, large bounds) and LP
+        // (3.2) (HBL) are dual: both optimal values are 3/2 for matmul.
+        let mut tiling = LinearProgram::maximize(vec![int(1), int(1), int(1)]);
+        tiling.add_constraint(le(vec![int(1), int(0), int(1)], int(1)));
+        tiling.add_constraint(le(vec![int(1), int(1), int(0)], int(1)));
+        tiling.add_constraint(le(vec![int(0), int(1), int(1)], int(1)));
+        let dual = dual_program(&tiling);
+        let p = solve(&tiling).unwrap();
+        let d = solve(&dual).unwrap();
+        assert_eq!(p.objective_value, ratio(3, 2));
+        assert_eq!(d.objective_value, ratio(3, 2));
+    }
+
+    #[test]
+    fn dual_of_dual_value_matches_primal() {
+        let mut lp = LinearProgram::maximize(vec![int(2), int(1)]);
+        lp.add_constraint(le(vec![int(1), int(1)], int(5)));
+        lp.add_constraint(le(vec![int(3), int(1)], int(9)));
+        let p = solve(&lp).unwrap();
+        let dd = dual_program(&dual_program(&lp));
+        let pdd = solve(&dd).unwrap();
+        assert_eq!(p.objective_value, pdd.objective_value);
+    }
+}

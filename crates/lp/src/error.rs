@@ -1,0 +1,39 @@
+//! Error types for the LP solver.
+
+use core::fmt;
+
+/// Reasons an LP solve can fail to return an optimal solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// The problem is structurally malformed (e.g. a constraint whose
+    /// coefficient vector length does not match the number of variables).
+    Malformed(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::Malformed(msg) => write!(f, "malformed linear program: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(LpError::Infeasible.to_string().contains("infeasible"));
+        assert!(LpError::Unbounded.to_string().contains("unbounded"));
+        assert!(LpError::Malformed("bad".into()).to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Exact linear-programming substrate for `projtile`.
+//!
+//! Every result in Dinh & Demmel (SPAA 2020) is phrased in terms of small
+//! linear programs:
+//!
+//! * the HBL LP (3.1)/(3.2) whose optimum `k_HBL` gives the large-bound
+//!   communication lower bound `∏L_i / M^{k_HBL−1}`;
+//! * its row-deleted variants, which give the Theorem-2 arbitrary-bound
+//!   exponents; and
+//! * the tiling LP (5.1), whose optimal solution *is* the optimal rectangular
+//!   tile (in log-space) and whose dual is exactly the Theorem-2 bound
+//!   (Theorem 3).
+//!
+//! This crate provides a dense, two-phase simplex solver over exact rationals
+//! ([`projtile_arith::Rational`]), explicit dual-program construction (so that
+//! strong duality can be *checked*, not assumed), and a one-dimensional
+//! parametric right-hand-side analysis used for the piecewise-linear
+//! closed-form exponents of Section 7 of the paper.
+//!
+//! The solver uses Bland's rule, so it terminates on every input, including
+//! the degenerate LPs that appear when several loop bounds are exactly at a
+//! crossover point (e.g. `L_3 = √M` in the matrix-multiplication example).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dual;
+mod error;
+pub mod parametric;
+mod problem;
+mod simplex;
+
+pub use dual::dual_program;
+pub use error::LpError;
+pub use problem::{Constraint, LinearProgram, Objective, Relation, Solution};
+pub use simplex::{solve, verify_optimal};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use projtile_arith::{int, ratio};
+
+    #[test]
+    fn end_to_end_matmul_hbl() {
+        // minimize s1+s2+s3 st pairwise sums >= 1 -> optimum 3/2.
+        let mut lp = LinearProgram::minimize(vec![int(1), int(1), int(1)]);
+        lp.add_constraint(Constraint::new(vec![int(1), int(1), int(0)], Relation::Ge, int(1)));
+        lp.add_constraint(Constraint::new(vec![int(0), int(1), int(1)], Relation::Ge, int(1)));
+        lp.add_constraint(Constraint::new(vec![int(1), int(0), int(1)], Relation::Ge, int(1)));
+        let sol = solve(&lp).unwrap();
+        assert_eq!(sol.objective_value, ratio(3, 2));
+    }
+}

@@ -1,0 +1,342 @@
+//! One-dimensional parametric right-hand-side analysis.
+//!
+//! Section 7 of the paper observes that the optimal tile cardinality is
+//! `M^{f(L_1,…,L_d)}` for a *piecewise-linear* function `f` of the log-bounds
+//! `β_i = log_M L_i`, because the tiling LP (5.1) is a linear program whose
+//! right-hand side depends linearly on the `β_i`. This module computes the
+//! exact value function of an LP along a one-dimensional ray of right-hand
+//! sides, i.e. `θ ↦ opt(lp with rhs b + θ·direction)`, as a list of
+//! breakpoints of a piecewise-linear function.
+//!
+//! The algorithm exploits the fact that the optimal-value function of an LP is
+//! concave in the right-hand side for maximization problems (convex for
+//! minimization): if the value at the midpoint of an interval lies exactly on
+//! the chord between the endpoint values, the function is linear on the whole
+//! interval. Bisection with that exact test yields every breakpoint. All
+//! arithmetic is exact, so no breakpoint can be missed due to rounding.
+
+use projtile_arith::Rational;
+
+use crate::problem::{LinearProgram, Objective};
+use crate::{solve, LpError};
+
+/// A piecewise-linear function sampled at its breakpoints.
+///
+/// Between consecutive breakpoints the function is affine; the breakpoint list
+/// always includes both interval endpoints and is sorted by parameter value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueFunction {
+    /// `(θ, value)` pairs, sorted by `θ`, containing every breakpoint.
+    pub breakpoints: Vec<(Rational, Rational)>,
+}
+
+impl ValueFunction {
+    /// Evaluates the function at `theta` by linear interpolation.
+    ///
+    /// # Panics
+    /// Panics if `theta` lies outside the analyzed interval.
+    pub fn value_at(&self, theta: &Rational) -> Rational {
+        let first = &self.breakpoints.first().expect("non-empty value function").0;
+        let last = &self.breakpoints.last().expect("non-empty value function").0;
+        assert!(theta >= first && theta <= last, "theta outside analyzed interval");
+        for window in self.breakpoints.windows(2) {
+            let (t0, v0) = &window[0];
+            let (t1, v1) = &window[1];
+            if theta >= t0 && theta <= t1 {
+                if t0 == t1 {
+                    return v0.clone();
+                }
+                let slope = &(v1 - v0) / &(t1 - t0);
+                return v0 + &(&slope * &(theta - t0));
+            }
+        }
+        unreachable!("theta bracketed by construction")
+    }
+
+    /// Number of affine pieces.
+    pub fn num_pieces(&self) -> usize {
+        self.breakpoints.len().saturating_sub(1)
+    }
+
+    /// The distinct slopes of the pieces, in parameter order.
+    pub fn slopes(&self) -> Vec<Rational> {
+        self.breakpoints
+            .windows(2)
+            .filter(|w| w[0].0 != w[1].0)
+            .map(|w| &(&w[1].1 - &w[0].1) / &(&w[1].0 - &w[0].0))
+            .collect()
+    }
+}
+
+/// Computes the optimal value of `lp` with its right-hand side replaced by
+/// `rhs_i + θ·direction_i`, for `θ` ranging over `[lo, hi]`, as an exact
+/// piecewise-linear [`ValueFunction`].
+///
+/// Returns an error if the LP is infeasible or unbounded anywhere on the
+/// interval (the projective tiling LPs of this workspace are always feasible
+/// and bounded, so an error indicates a malformed query).
+pub fn parametric_rhs(
+    lp: &LinearProgram,
+    direction: &[Rational],
+    lo: Rational,
+    hi: Rational,
+) -> Result<ValueFunction, LpError> {
+    if direction.len() != lp.num_constraints() {
+        return Err(LpError::Malformed(format!(
+            "direction has {} entries but the program has {} constraints",
+            direction.len(),
+            lp.num_constraints()
+        )));
+    }
+    if lo > hi {
+        return Err(LpError::Malformed("empty parameter interval".into()));
+    }
+    let value = |theta: &Rational| -> Result<Rational, LpError> {
+        let mut shifted = lp.clone();
+        for (c, d) in shifted.constraints.iter_mut().zip(direction.iter()) {
+            c.rhs = &c.rhs + &(d * theta);
+        }
+        Ok(solve(&shifted)?.objective_value)
+    };
+
+    let v_lo = value(&lo)?;
+    if lo == hi {
+        return Ok(ValueFunction { breakpoints: vec![(lo, v_lo)] });
+    }
+    let v_hi = value(&hi)?;
+
+    let mut breakpoints = vec![(lo.clone(), v_lo.clone())];
+    refine(&value, lp.objective, &lo, &v_lo, &hi, &v_hi, &mut breakpoints, 0)?;
+    breakpoints.push((hi, v_hi));
+    // Merge collinear interior points so each remaining breakpoint is genuine.
+    let merged = merge_collinear(breakpoints);
+    Ok(ValueFunction { breakpoints: merged })
+}
+
+/// Tests whether the value function is affine on `[a, b]` by probing the
+/// midpoint. For a concave (max) or convex (min) function, midpoint-on-chord
+/// is equivalent to linearity on the whole segment, so there are no false
+/// positives.
+fn segment_is_linear(
+    value: &dyn Fn(&Rational) -> Result<Rational, LpError>,
+    a: &Rational,
+    va: &Rational,
+    b: &Rational,
+    vb: &Rational,
+) -> Result<bool, LpError> {
+    let two = Rational::from(2u32);
+    let mid = &(a + b) / &two;
+    let vmid = value(&mid)?;
+    Ok(vmid == &(va + vb) / &two)
+}
+
+/// Finds the affine piece containing the endpoint `a` (resp. `b` when
+/// `from_left` is false) within `[a, b]`, returning a second point on that
+/// piece. The piece has positive length, so repeated halving towards the
+/// endpoint terminates quickly.
+#[allow(clippy::too_many_arguments)]
+fn piece_anchor(
+    value: &dyn Fn(&Rational) -> Result<Rational, LpError>,
+    a: &Rational,
+    va: &Rational,
+    b: &Rational,
+    vb: &Rational,
+    from_left: bool,
+) -> Result<(Rational, Rational), LpError> {
+    let two = Rational::from(2u32);
+    let (fixed, vfixed) = if from_left { (a, va) } else { (b, vb) };
+    let mut other = if from_left { b.clone() } else { a.clone() };
+    let mut vother = if from_left { vb.clone() } else { va.clone() };
+    for _ in 0..128 {
+        let linear = if from_left {
+            segment_is_linear(value, fixed, vfixed, &other, &vother)?
+        } else {
+            segment_is_linear(value, &other, &vother, fixed, vfixed)?
+        };
+        if linear {
+            return Ok((other, vother));
+        }
+        other = &(fixed + &other) / &two;
+        vother = value(&other)?;
+    }
+    Ok((other, vother))
+}
+
+/// Recursively refines `[a, b]`, appending interior breakpoints in order.
+///
+/// Strategy: if the interval is linear, stop. Otherwise determine the exact
+/// affine pieces containing each endpoint (via [`piece_anchor`]) and intersect
+/// their lines; if the value function passes through that intersection it is
+/// the unique breakpoint of the interval (concavity/convexity makes the check
+/// sound) and is recorded *exactly*, even when it is not a dyadic point of the
+/// interval. Intervals containing several breakpoints recurse on halves.
+#[allow(clippy::too_many_arguments)]
+fn refine(
+    value: &dyn Fn(&Rational) -> Result<Rational, LpError>,
+    objective: Objective,
+    a: &Rational,
+    va: &Rational,
+    b: &Rational,
+    vb: &Rational,
+    out: &mut Vec<(Rational, Rational)>,
+    depth: usize,
+) -> Result<(), LpError> {
+    // The value function of an LP with ≤ a few dozen constraints has at most a
+    // few dozen breakpoints; depth 64 is far beyond anything reachable and
+    // guards against a (theoretically impossible) runaway recursion.
+    if depth > 64 {
+        return Ok(());
+    }
+    let two = Rational::from(2u32);
+    let mid = &(a + b) / &two;
+    let vmid = value(&mid)?;
+    let chord = &(va + vb) / &two;
+    // Concavity (max) / convexity (min) sanity check: the midpoint can never
+    // fall strictly on the wrong side of the chord.
+    match objective {
+        Objective::Maximize => debug_assert!(vmid >= chord),
+        Objective::Minimize => debug_assert!(vmid <= chord),
+    }
+    if vmid == chord {
+        return Ok(());
+    }
+
+    // Exact single-breakpoint detection: intersect the endpoint pieces.
+    let (xl, vxl) = piece_anchor(value, a, va, b, vb, true)?;
+    let (xr, vxr) = piece_anchor(value, a, va, b, vb, false)?;
+    let slope_left = &(&vxl - va) / &(&xl - a);
+    let slope_right = &(vb - &vxr) / &(b - &xr);
+    if slope_left != slope_right {
+        // va + sL (θ - a) = vb + sR (θ - b)
+        let numer = &(&(vb - va) + &(&slope_left * a)) - &(&slope_right * b);
+        let theta = &numer / &(&slope_left - &slope_right);
+        if theta > *a && theta < *b {
+            let vtheta = value(&theta)?;
+            let on_left_line = vtheta == va + &(&slope_left * &(&theta - a));
+            if on_left_line {
+                // For a concave/convex piecewise-linear function, lying on the
+                // extension of both endpoint pieces means both pieces reach θ,
+                // so θ is the unique breakpoint in (a, b).
+                out.push((theta, vtheta));
+                return Ok(());
+            }
+        }
+    }
+
+    // Fallback: plain bisection (more than one breakpoint in the interval).
+    refine(value, objective, a, va, &mid, &vmid, out, depth + 1)?;
+    out.push((mid.clone(), vmid.clone()));
+    refine(value, objective, &mid, &vmid, b, vb, out, depth + 1)
+}
+
+fn merge_collinear(points: Vec<(Rational, Rational)>) -> Vec<(Rational, Rational)> {
+    if points.len() <= 2 {
+        return points;
+    }
+    let mut out: Vec<(Rational, Rational)> = Vec::with_capacity(points.len());
+    for p in points {
+        while out.len() >= 2 {
+            let a = &out[out.len() - 2];
+            let b = &out[out.len() - 1];
+            // Collinear iff (b-a) x (p-a) == 0.
+            let cross = &(&(&b.0 - &a.0) * &(&p.1 - &a.1)) - &(&(&b.1 - &a.1) * &(&p.0 - &a.0));
+            if cross.is_zero() {
+                out.pop();
+            } else {
+                break;
+            }
+        }
+        out.push(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Constraint, Relation};
+    use projtile_arith::{int, ratio};
+
+    /// The paper's matrix-multiplication tiling LP (6.3) with β₃ as the
+    /// parameter: value is 1 + β₃ for β₃ ≤ 1/2 and 3/2 afterwards.
+    fn matmul_tiling_lp() -> LinearProgram {
+        let mut lp = LinearProgram::maximize(vec![int(1), int(1), int(1)]);
+        lp.add_constraint(Constraint::new(vec![int(1), int(0), int(1)], Relation::Le, int(1)));
+        lp.add_constraint(Constraint::new(vec![int(1), int(1), int(0)], Relation::Le, int(1)));
+        lp.add_constraint(Constraint::new(vec![int(0), int(1), int(1)], Relation::Le, int(1)));
+        lp.add_constraint(Constraint::new(vec![int(0), int(0), int(1)], Relation::Le, int(0)));
+        lp
+    }
+
+    #[test]
+    fn matmul_value_function_has_one_breakpoint_at_half() {
+        let lp = matmul_tiling_lp();
+        let direction = vec![int(0), int(0), int(0), int(1)];
+        let vf = parametric_rhs(&lp, &direction, int(0), int(1)).unwrap();
+        // Pieces: slope 1 on [0, 1/2], slope 0 on [1/2, 1].
+        assert_eq!(vf.num_pieces(), 2);
+        assert_eq!(vf.slopes(), vec![int(1), int(0)]);
+        assert_eq!(vf.value_at(&int(0)), int(1));
+        assert_eq!(vf.value_at(&ratio(1, 4)), ratio(5, 4));
+        assert_eq!(vf.value_at(&ratio(1, 2)), ratio(3, 2));
+        assert_eq!(vf.value_at(&int(1)), ratio(3, 2));
+        assert!(vf.breakpoints.iter().any(|(t, _)| *t == ratio(1, 2)));
+    }
+
+    #[test]
+    fn linear_value_function_is_single_piece() {
+        // max x st x <= theta: value = theta (single affine piece).
+        let mut lp = LinearProgram::maximize(vec![int(1)]);
+        lp.add_constraint(Constraint::new(vec![int(1)], Relation::Le, int(0)));
+        let vf = parametric_rhs(&lp, &[int(1)], int(0), int(10)).unwrap();
+        assert_eq!(vf.num_pieces(), 1);
+        assert_eq!(vf.slopes(), vec![int(1)]);
+        assert_eq!(vf.value_at(&int(7)), int(7));
+    }
+
+    #[test]
+    fn degenerate_interval() {
+        let lp = matmul_tiling_lp();
+        let direction = vec![int(0), int(0), int(0), int(1)];
+        let vf = parametric_rhs(&lp, &direction, ratio(1, 3), ratio(1, 3)).unwrap();
+        assert_eq!(vf.breakpoints.len(), 1);
+        assert_eq!(vf.breakpoints[0].1, ratio(4, 3));
+    }
+
+    #[test]
+    fn mismatched_direction_rejected() {
+        let lp = matmul_tiling_lp();
+        assert!(matches!(
+            parametric_rhs(&lp, &[int(1)], int(0), int(1)),
+            Err(LpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parametric_rhs(&lp, &[int(0), int(0), int(0), int(1)], int(1), int(0)),
+            Err(LpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn value_at_outside_interval_panics() {
+        let mut lp = LinearProgram::maximize(vec![int(1)]);
+        lp.add_constraint(Constraint::new(vec![int(1)], Relation::Le, int(0)));
+        let vf = parametric_rhs(&lp, &[int(1)], int(0), int(1)).unwrap();
+        let res = std::panic::catch_unwind(|| vf.value_at(&int(5)));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn minimization_value_function_is_convex() {
+        // min x st x >= theta, x >= 1-theta: value = max(theta, 1-theta), convex with
+        // a breakpoint at 1/2.
+        let mut lp = LinearProgram::minimize(vec![int(1)]);
+        lp.add_constraint(Constraint::new(vec![int(1)], Relation::Ge, int(0)));
+        lp.add_constraint(Constraint::new(vec![int(1)], Relation::Ge, int(1)));
+        let direction = vec![int(1), int(-1)];
+        let vf = parametric_rhs(&lp, &direction, int(0), int(1)).unwrap();
+        assert_eq!(vf.num_pieces(), 2);
+        assert_eq!(vf.value_at(&ratio(1, 2)), ratio(1, 2));
+        assert_eq!(vf.value_at(&int(0)), int(1));
+        assert_eq!(vf.value_at(&int(1)), int(1));
+    }
+}

@@ -1,0 +1,194 @@
+//! Linear-program problem description and solution types.
+//!
+//! All variables are implicitly constrained to be non-negative, which matches
+//! every LP in the paper (the `s_i`, `ŝ_i`, `λ_i`, and `ζ_i` variables are all
+//! exponents or dual multipliers and are non-negative by definition).
+
+use projtile_arith::Rational;
+
+use crate::LpError;
+
+/// Whether the objective is maximized or minimized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Maximize the objective function.
+    Maximize,
+    /// Minimize the objective function.
+    Minimize,
+}
+
+/// Direction of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `a·x <= b`
+    Le,
+    /// `a·x >= b`
+    Ge,
+    /// `a·x == b`
+    Eq,
+}
+
+/// A single linear constraint `coeffs · x  (relation)  rhs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    /// Coefficients, one per structural variable.
+    pub coeffs: Vec<Rational>,
+    /// Constraint direction.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: Rational,
+}
+
+impl Constraint {
+    /// Creates a constraint.
+    pub fn new(coeffs: Vec<Rational>, relation: Relation, rhs: Rational) -> Constraint {
+        Constraint { coeffs, relation, rhs }
+    }
+
+    /// Evaluates the left-hand side at a point.
+    pub fn lhs_at(&self, x: &[Rational]) -> Rational {
+        dot(&self.coeffs, x)
+    }
+
+    /// Returns `true` iff the point satisfies this constraint exactly.
+    pub fn is_satisfied_by(&self, x: &[Rational]) -> bool {
+        let lhs = self.lhs_at(x);
+        match self.relation {
+            Relation::Le => lhs <= self.rhs,
+            Relation::Ge => lhs >= self.rhs,
+            Relation::Eq => lhs == self.rhs,
+        }
+    }
+}
+
+/// A linear program over non-negative variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearProgram {
+    /// Maximize or minimize.
+    pub objective: Objective,
+    /// Objective coefficients, one per structural variable.
+    pub costs: Vec<Rational>,
+    /// The constraints.
+    pub constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Creates a maximization problem with the given objective coefficients.
+    pub fn maximize(costs: Vec<Rational>) -> LinearProgram {
+        LinearProgram { objective: Objective::Maximize, costs, constraints: Vec::new() }
+    }
+
+    /// Creates a minimization problem with the given objective coefficients.
+    pub fn minimize(costs: Vec<Rational>) -> LinearProgram {
+        LinearProgram { objective: Objective::Minimize, costs, constraints: Vec::new() }
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Adds a constraint, returning `&mut self` for chaining.
+    pub fn add_constraint(&mut self, constraint: Constraint) -> &mut Self {
+        self.constraints.push(constraint);
+        self
+    }
+
+    /// Evaluates the objective at a point.
+    pub fn objective_at(&self, x: &[Rational]) -> Rational {
+        dot(&self.costs, x)
+    }
+
+    /// Returns `true` iff `x` is feasible: correct dimension, non-negative, and
+    /// satisfying every constraint exactly.
+    pub fn is_feasible(&self, x: &[Rational]) -> bool {
+        x.len() == self.num_vars()
+            && x.iter().all(|v| !v.is_negative())
+            && self.constraints.iter().all(|c| c.is_satisfied_by(x))
+    }
+
+    /// Validates structural consistency (constraint widths match variable count).
+    pub fn validate(&self) -> Result<(), LpError> {
+        for (i, c) in self.constraints.iter().enumerate() {
+            if c.coeffs.len() != self.num_vars() {
+                return Err(LpError::Malformed(format!(
+                    "constraint {i} has {} coefficients but the program has {} variables",
+                    c.coeffs.len(),
+                    self.num_vars()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An optimal solution to a linear program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    /// Optimal objective value (in the original problem's sense).
+    pub objective_value: Rational,
+    /// Optimal values of the structural variables.
+    pub values: Vec<Rational>,
+}
+
+pub(crate) fn dot(a: &[Rational], b: &[Rational]) -> Rational {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = Rational::zero();
+    for (x, y) in a.iter().zip(b.iter()) {
+        if !x.is_zero() && !y.is_zero() {
+            acc += &(x * y);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use projtile_arith::{int, ratio};
+
+    #[test]
+    fn constraint_satisfaction() {
+        let c = Constraint::new(vec![int(1), int(2)], Relation::Le, int(4));
+        assert!(c.is_satisfied_by(&[int(0), int(2)]));
+        assert!(c.is_satisfied_by(&[int(4), int(0)]));
+        assert!(!c.is_satisfied_by(&[int(1), int(2)]));
+        assert_eq!(c.lhs_at(&[int(1), int(1)]), int(3));
+
+        let e = Constraint::new(vec![int(1), int(1)], Relation::Eq, int(1));
+        assert!(e.is_satisfied_by(&[ratio(1, 2), ratio(1, 2)]));
+        assert!(!e.is_satisfied_by(&[ratio(1, 2), ratio(1, 3)]));
+    }
+
+    #[test]
+    fn feasibility_checks_nonnegativity_and_dimension() {
+        let mut lp = LinearProgram::maximize(vec![int(1), int(1)]);
+        lp.add_constraint(Constraint::new(vec![int(1), int(1)], Relation::Le, int(1)));
+        assert!(lp.is_feasible(&[ratio(1, 2), ratio(1, 2)]));
+        assert!(!lp.is_feasible(&[ratio(1, 2)]));
+        assert!(!lp.is_feasible(&[int(-1), int(1)]));
+        assert!(!lp.is_feasible(&[int(1), int(1)]));
+    }
+
+    #[test]
+    fn validate_rejects_ragged_constraints() {
+        let mut lp = LinearProgram::minimize(vec![int(1), int(1)]);
+        lp.add_constraint(Constraint::new(vec![int(1)], Relation::Ge, int(1)));
+        assert!(matches!(lp.validate(), Err(LpError::Malformed(_))));
+        let mut ok = LinearProgram::minimize(vec![int(1), int(1)]);
+        ok.add_constraint(Constraint::new(vec![int(1), int(0)], Relation::Ge, int(1)));
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn objective_evaluation() {
+        let lp = LinearProgram::maximize(vec![int(2), int(3)]);
+        assert_eq!(lp.objective_at(&[int(1), int(1)]), int(5));
+        assert_eq!(lp.objective_at(&[ratio(1, 2), ratio(1, 3)]), int(2));
+    }
+}

@@ -1,0 +1,452 @@
+//! Dense two-phase simplex over exact rationals with Bland's rule.
+//!
+//! The LPs solved in this workspace are tiny (at most a few dozen variables
+//! and constraints), so the implementation optimizes for exactness and
+//! auditability rather than speed: a dense tableau of [`Rational`]s, explicit
+//! artificial variables, and Bland's anti-cycling pivot rule which guarantees
+//! termination even on the degenerate programs that arise when loop bounds sit
+//! exactly on a crossover (e.g. `L = √M`).
+
+use projtile_arith::Rational;
+
+use crate::problem::{dot, LinearProgram, Objective, Relation, Solution};
+use crate::LpError;
+
+/// Solves a linear program to optimality.
+///
+/// Returns the optimal objective value (in the problem's own sense) and the
+/// optimal values of the structural variables. The returned point is always
+/// exactly feasible (this is asserted in debug builds and checked by the test
+/// suite via [`LinearProgram::is_feasible`]).
+pub fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
+    lp.validate()?;
+    let mut tableau = Tableau::build(lp);
+    tableau.phase_one()?;
+    tableau.phase_two()?;
+    let values = tableau.structural_values();
+    let raw = tableau.objective_value();
+    let objective_value = match lp.objective {
+        Objective::Maximize => raw,
+        Objective::Minimize => -raw,
+    };
+    debug_assert!(lp.is_feasible(&values), "simplex returned an infeasible point");
+    debug_assert_eq!(lp.objective_at(&values), objective_value);
+    Ok(Solution { objective_value, values })
+}
+
+/// Internal simplex tableau.
+struct Tableau {
+    /// Constraint rows; each row has `num_cols + 1` entries (rhs last).
+    rows: Vec<Vec<Rational>>,
+    /// Objective row in the `z - c·x = 0` convention (rhs entry = objective value).
+    obj: Vec<Rational>,
+    /// Basic variable (column index) for each row.
+    basis: Vec<usize>,
+    /// Number of structural variables.
+    num_structural: usize,
+    /// Total number of variable columns (structural + slack + artificial).
+    num_cols: usize,
+    /// Column indices of artificial variables.
+    artificial_cols: Vec<usize>,
+    /// Objective coefficients of the original problem, negated if minimizing
+    /// (so the tableau always maximizes).
+    max_costs: Vec<Rational>,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Tableau {
+        let n = lp.num_vars();
+        let m = lp.num_constraints();
+
+        // Normalize rows to have non-negative right-hand sides.
+        let mut norm: Vec<(Vec<Rational>, Relation, Rational)> = Vec::with_capacity(m);
+        for c in &lp.constraints {
+            if c.rhs.is_negative() {
+                let coeffs: Vec<Rational> = c.coeffs.iter().map(|v| -v).collect();
+                let relation = match c.relation {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+                norm.push((coeffs, relation, -&c.rhs));
+            } else {
+                norm.push((c.coeffs.clone(), c.relation, c.rhs.clone()));
+            }
+        }
+
+        // Count slack/surplus and artificial columns.
+        let num_slack = norm.iter().filter(|(_, r, _)| *r != Relation::Eq).count();
+        let num_artificial = norm.iter().filter(|(_, r, _)| *r != Relation::Le).count();
+        let num_cols = n + num_slack + num_artificial;
+
+        let mut rows = Vec::with_capacity(m);
+        let mut basis = Vec::with_capacity(m);
+        let mut artificial_cols = Vec::with_capacity(num_artificial);
+        let mut next_slack = n;
+        let mut next_artificial = n + num_slack;
+
+        for (coeffs, relation, rhs) in &norm {
+            let mut row = vec![Rational::zero(); num_cols + 1];
+            row[..n].clone_from_slice(coeffs);
+            row[num_cols] = rhs.clone();
+            match relation {
+                Relation::Le => {
+                    row[next_slack] = Rational::one();
+                    basis.push(next_slack);
+                    next_slack += 1;
+                }
+                Relation::Ge => {
+                    row[next_slack] = -Rational::one();
+                    next_slack += 1;
+                    row[next_artificial] = Rational::one();
+                    basis.push(next_artificial);
+                    artificial_cols.push(next_artificial);
+                    next_artificial += 1;
+                }
+                Relation::Eq => {
+                    row[next_artificial] = Rational::one();
+                    basis.push(next_artificial);
+                    artificial_cols.push(next_artificial);
+                    next_artificial += 1;
+                }
+            }
+            rows.push(row);
+        }
+
+        let max_costs: Vec<Rational> = match lp.objective {
+            Objective::Maximize => lp.costs.clone(),
+            Objective::Minimize => lp.costs.iter().map(|c| -c).collect(),
+        };
+
+        Tableau {
+            rows,
+            obj: vec![Rational::zero(); num_cols + 1],
+            basis,
+            num_structural: n,
+            num_cols,
+            artificial_cols,
+            max_costs,
+        }
+    }
+
+    /// Installs an objective row for maximizing `costs · x` (costs indexed by
+    /// column; missing columns have zero cost) and canonicalizes it against
+    /// the current basis.
+    fn set_objective(&mut self, costs: &[Rational]) {
+        self.obj = vec![Rational::zero(); self.num_cols + 1];
+        for (j, c) in costs.iter().enumerate() {
+            self.obj[j] = -c;
+        }
+        for (i, &b) in self.basis.iter().enumerate() {
+            if !self.obj[b].is_zero() {
+                let factor = self.obj[b].clone();
+                let row = self.rows[i].clone();
+                for (o, r) in self.obj.iter_mut().zip(row.iter()) {
+                    *o -= &(&factor * r);
+                }
+            }
+        }
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        // Normalize the pivot row.
+        let pivot = self.rows[row][col].clone();
+        debug_assert!(!pivot.is_zero());
+        let inv = pivot.recip();
+        for entry in self.rows[row].iter_mut() {
+            *entry *= &inv;
+        }
+        // Eliminate the pivot column from every other row and the objective.
+        let pivot_row = self.rows[row].clone();
+        for (i, r) in self.rows.iter_mut().enumerate() {
+            if i == row || r[col].is_zero() {
+                continue;
+            }
+            let factor = r[col].clone();
+            for (entry, p) in r.iter_mut().zip(pivot_row.iter()) {
+                *entry -= &(&factor * p);
+            }
+        }
+        if !self.obj[col].is_zero() {
+            let factor = self.obj[col].clone();
+            for (entry, p) in self.obj.iter_mut().zip(pivot_row.iter()) {
+                *entry -= &(&factor * p);
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs simplex iterations until optimality or unboundedness, using
+    /// Bland's rule. Columns in `forbidden` may never enter the basis.
+    fn iterate(&mut self, forbidden: &[bool]) -> Result<(), LpError> {
+        loop {
+            // Entering column: smallest index with negative reduced cost.
+            let entering = (0..self.num_cols)
+                .find(|&j| !forbidden[j] && self.obj[j].is_negative());
+            let Some(col) = entering else {
+                return Ok(());
+            };
+            // Leaving row: minimum ratio test, ties broken by smallest basic index.
+            let mut best: Option<(usize, Rational)> = None;
+            for (i, row) in self.rows.iter().enumerate() {
+                if !row[col].is_positive() {
+                    continue;
+                }
+                let ratio = &row[self.num_cols] / &row[col];
+                match &best {
+                    None => best = Some((i, ratio)),
+                    Some((bi, br)) => {
+                        if ratio < *br || (ratio == *br && self.basis[i] < self.basis[*bi]) {
+                            best = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+            let Some((row, _)) = best else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(row, col);
+        }
+    }
+
+    fn phase_one(&mut self) -> Result<(), LpError> {
+        if self.artificial_cols.is_empty() {
+            return Ok(());
+        }
+        // Maximize -(sum of artificials).
+        let mut costs = vec![Rational::zero(); self.num_cols];
+        for &a in &self.artificial_cols {
+            costs[a] = -Rational::one();
+        }
+        self.set_objective(&costs);
+        let forbidden = vec![false; self.num_cols];
+        self.iterate(&forbidden)?;
+        if self.objective_value().is_negative() {
+            return Err(LpError::Infeasible);
+        }
+        self.drive_out_artificials();
+        Ok(())
+    }
+
+    /// After phase 1, pivots any artificial variable still in the basis (at
+    /// value zero) out of it, or drops its row if it is entirely redundant.
+    fn drive_out_artificials(&mut self) {
+        let is_artificial = |col: usize, arts: &[usize]| arts.contains(&col);
+        let arts = self.artificial_cols.clone();
+        let mut row_idx = 0;
+        while row_idx < self.rows.len() {
+            if is_artificial(self.basis[row_idx], &arts) {
+                // Find any non-artificial column with a nonzero entry.
+                let col = (0..self.num_structural + (self.num_cols - self.num_structural))
+                    .filter(|j| !is_artificial(*j, &arts))
+                    .find(|&j| !self.rows[row_idx][j].is_zero());
+                match col {
+                    Some(c) => {
+                        self.pivot(row_idx, c);
+                        row_idx += 1;
+                    }
+                    None => {
+                        // Redundant row: every real coefficient is zero.
+                        self.rows.remove(row_idx);
+                        self.basis.remove(row_idx);
+                    }
+                }
+            } else {
+                row_idx += 1;
+            }
+        }
+    }
+
+    fn phase_two(&mut self) -> Result<(), LpError> {
+        let mut costs = vec![Rational::zero(); self.num_cols];
+        costs[..self.num_structural].clone_from_slice(&self.max_costs);
+        self.set_objective(&costs);
+        let mut forbidden = vec![false; self.num_cols];
+        for &a in &self.artificial_cols {
+            forbidden[a] = true;
+        }
+        self.iterate(&forbidden)
+    }
+
+    fn structural_values(&self) -> Vec<Rational> {
+        let mut values = vec![Rational::zero(); self.num_structural];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < self.num_structural {
+                values[b] = self.rows[i][self.num_cols].clone();
+            }
+        }
+        values
+    }
+
+    fn objective_value(&self) -> Rational {
+        self.obj[self.num_cols].clone()
+    }
+}
+
+/// Verifies that `candidate` is an optimal solution of `lp` by checking
+/// feasibility and comparing the objective value against a fresh solve.
+/// Useful in tests for validating hand-derived closed forms.
+pub fn verify_optimal(lp: &LinearProgram, candidate: &[Rational]) -> Result<bool, LpError> {
+    if !lp.is_feasible(candidate) {
+        return Ok(false);
+    }
+    let sol = solve(lp)?;
+    Ok(dot(&lp.costs, candidate) == sol.objective_value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Constraint;
+    use projtile_arith::{int, ratio};
+
+    fn le(coeffs: Vec<projtile_arith::Rational>, rhs: projtile_arith::Rational) -> Constraint {
+        Constraint::new(coeffs, Relation::Le, rhs)
+    }
+
+    fn ge(coeffs: Vec<projtile_arith::Rational>, rhs: projtile_arith::Rational) -> Constraint {
+        Constraint::new(coeffs, Relation::Ge, rhs)
+    }
+
+    #[test]
+    fn simple_max_le() {
+        // max x + y st x <= 2, y <= 3, x + y <= 4 -> 4
+        let mut lp = LinearProgram::maximize(vec![int(1), int(1)]);
+        lp.add_constraint(le(vec![int(1), int(0)], int(2)));
+        lp.add_constraint(le(vec![int(0), int(1)], int(3)));
+        lp.add_constraint(le(vec![int(1), int(1)], int(4)));
+        let sol = solve(&lp).unwrap();
+        assert_eq!(sol.objective_value, int(4));
+        assert!(lp.is_feasible(&sol.values));
+    }
+
+    #[test]
+    fn simple_min_ge() {
+        // min 2x + 3y st x + y >= 4, x >= 1 -> x=4,y=0 cost 8? check: cost(4,0)=8, cost(1,3)=11 -> 8
+        let mut lp = LinearProgram::minimize(vec![int(2), int(3)]);
+        lp.add_constraint(ge(vec![int(1), int(1)], int(4)));
+        lp.add_constraint(ge(vec![int(1), int(0)], int(1)));
+        let sol = solve(&lp).unwrap();
+        assert_eq!(sol.objective_value, int(8));
+        assert_eq!(sol.values, vec![int(4), int(0)]);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + 2y st x + y == 3, y <= 2 -> x=1, y=2, obj 5
+        let mut lp = LinearProgram::maximize(vec![int(1), int(2)]);
+        lp.add_constraint(Constraint::new(vec![int(1), int(1)], Relation::Eq, int(3)));
+        lp.add_constraint(le(vec![int(0), int(1)], int(2)));
+        let sol = solve(&lp).unwrap();
+        assert_eq!(sol.objective_value, int(5));
+        assert_eq!(sol.values, vec![int(1), int(2)]);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut lp = LinearProgram::maximize(vec![int(1)]);
+        lp.add_constraint(le(vec![int(1)], int(1)));
+        lp.add_constraint(ge(vec![int(1)], int(2)));
+        assert_eq!(solve(&lp), Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut lp = LinearProgram::maximize(vec![int(1), int(1)]);
+        lp.add_constraint(ge(vec![int(1), int(0)], int(1)));
+        assert_eq!(solve(&lp), Err(LpError::Unbounded));
+    }
+
+    #[test]
+    fn no_constraints() {
+        // max -x -> 0 at x=0; max x -> unbounded.
+        let lp = LinearProgram::maximize(vec![int(-1)]);
+        assert_eq!(solve(&lp).unwrap().objective_value, int(0));
+        let lp2 = LinearProgram::maximize(vec![int(1)]);
+        assert_eq!(solve(&lp2), Err(LpError::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_handled() {
+        // min x st -x <= -3  (i.e. x >= 3)
+        let mut lp = LinearProgram::minimize(vec![int(1)]);
+        lp.add_constraint(le(vec![int(-1)], int(-3)));
+        let sol = solve(&lp).unwrap();
+        assert_eq!(sol.objective_value, int(3));
+    }
+
+    #[test]
+    fn fractional_optimum_hbl_matmul() {
+        // The matmul HBL LP: min s1+s2+s3 st s1+s2>=1, s2+s3>=1, s1+s3>=1.
+        let mut lp = LinearProgram::minimize(vec![int(1), int(1), int(1)]);
+        lp.add_constraint(ge(vec![int(1), int(1), int(0)], int(1)));
+        lp.add_constraint(ge(vec![int(0), int(1), int(1)], int(1)));
+        lp.add_constraint(ge(vec![int(1), int(0), int(1)], int(1)));
+        let sol = solve(&lp).unwrap();
+        assert_eq!(sol.objective_value, ratio(3, 2));
+        assert_eq!(sol.values, vec![ratio(1, 2), ratio(1, 2), ratio(1, 2)]);
+    }
+
+    #[test]
+    fn tiling_lp_matmul_small_l3() {
+        // LP (6.3) of the paper: max l1+l2+l3 st l1+l3<=1, l1+l2<=1, l2+l3<=1, l3<=beta3.
+        // With beta3 = 1/4 the optimum is 1 + 1/4.
+        let beta3 = ratio(1, 4);
+        let mut lp = LinearProgram::maximize(vec![int(1), int(1), int(1)]);
+        lp.add_constraint(le(vec![int(1), int(0), int(1)], int(1)));
+        lp.add_constraint(le(vec![int(1), int(1), int(0)], int(1)));
+        lp.add_constraint(le(vec![int(0), int(1), int(1)], int(1)));
+        lp.add_constraint(le(vec![int(0), int(0), int(1)], beta3.clone()));
+        let sol = solve(&lp).unwrap();
+        assert_eq!(sol.objective_value, &int(1) + &beta3);
+        // With beta3 = 3/4 >= 1/2 the classical 3/2 optimum is retained.
+        let mut lp2 = LinearProgram::maximize(vec![int(1), int(1), int(1)]);
+        lp2.add_constraint(le(vec![int(1), int(0), int(1)], int(1)));
+        lp2.add_constraint(le(vec![int(1), int(1), int(0)], int(1)));
+        lp2.add_constraint(le(vec![int(0), int(1), int(1)], int(1)));
+        lp2.add_constraint(le(vec![int(0), int(0), int(1)], ratio(3, 4)));
+        assert_eq!(solve(&lp2).unwrap().objective_value, ratio(3, 2));
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Highly degenerate: several redundant constraints through the optimum.
+        let mut lp = LinearProgram::maximize(vec![int(1), int(1)]);
+        for _ in 0..5 {
+            lp.add_constraint(le(vec![int(1), int(1)], int(1)));
+        }
+        lp.add_constraint(le(vec![int(1), int(0)], int(1)));
+        lp.add_constraint(le(vec![int(0), int(1)], int(1)));
+        lp.add_constraint(Constraint::new(vec![int(1), int(-1)], Relation::Eq, int(0)));
+        let sol = solve(&lp).unwrap();
+        assert_eq!(sol.objective_value, int(1));
+    }
+
+    #[test]
+    fn redundant_equality_rows_dropped() {
+        // x + y == 2 stated twice plus its double.
+        let mut lp = LinearProgram::maximize(vec![int(1), int(0)]);
+        lp.add_constraint(Constraint::new(vec![int(1), int(1)], Relation::Eq, int(2)));
+        lp.add_constraint(Constraint::new(vec![int(1), int(1)], Relation::Eq, int(2)));
+        lp.add_constraint(Constraint::new(vec![int(2), int(2)], Relation::Eq, int(4)));
+        let sol = solve(&lp).unwrap();
+        assert_eq!(sol.objective_value, int(2));
+    }
+
+    #[test]
+    fn verify_optimal_works() {
+        let mut lp = LinearProgram::maximize(vec![int(1), int(1)]);
+        lp.add_constraint(le(vec![int(1), int(1)], int(1)));
+        assert!(verify_optimal(&lp, &[ratio(1, 2), ratio(1, 2)]).unwrap());
+        assert!(verify_optimal(&lp, &[int(1), int(0)]).unwrap());
+        assert!(!verify_optimal(&lp, &[int(0), int(0)]).unwrap());
+        assert!(!verify_optimal(&lp, &[int(2), int(0)]).unwrap());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        let mut lp = LinearProgram::maximize(vec![int(1), int(1)]);
+        lp.add_constraint(le(vec![int(1)], int(1)));
+        assert!(matches!(solve(&lp), Err(LpError::Malformed(_))));
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the exact simplex solver.
+//!
+//! * Returned points are always exactly feasible and achieve the reported
+//!   objective value.
+//! * Strong duality: when both the primal and its explicitly-constructed dual
+//!   have finite optima, the optimal values agree exactly.
+//! * On bounded feasible regions (box constraints added), the solver never
+//!   reports infeasibility or unboundedness.
+
+use projtile_arith::{int, ratio, Rational};
+use projtile_lp::{dual_program, solve, Constraint, LinearProgram, LpError, Objective, Relation};
+use proptest::prelude::*;
+
+/// Strategy: a random LP with `n` variables and `m` random `<=` constraints
+/// with non-negative right-hand sides, plus a box `x_j <= box_bound` so the
+/// problem is always feasible (x = 0) and bounded.
+fn bounded_lp(n: usize, m: usize) -> impl Strategy<Value = LinearProgram> {
+    let coeff = -3i64..=3i64;
+    let costs = proptest::collection::vec(-5i64..=5i64, n);
+    let rows = proptest::collection::vec(proptest::collection::vec(coeff, n), m);
+    let rhs = proptest::collection::vec(0i64..=10i64, m);
+    (costs, rows, rhs).prop_map(move |(costs, rows, rhs)| {
+        let mut lp = LinearProgram::maximize(costs.into_iter().map(int).collect());
+        for (row, b) in rows.into_iter().zip(rhs) {
+            lp.add_constraint(Constraint::new(
+                row.into_iter().map(int).collect(),
+                Relation::Le,
+                int(b),
+            ));
+        }
+        // Box constraints keep the problem bounded.
+        for j in 0..n {
+            let mut coeffs = vec![Rational::zero(); n];
+            coeffs[j] = Rational::one();
+            lp.add_constraint(Constraint::new(coeffs, Relation::Le, int(7)));
+        }
+        lp
+    })
+}
+
+/// Strategy: a "covering LP" shaped like the paper's HBL programs: minimize
+/// `1ᵀs` subject to a random 0/1 matrix times `s >= 1`, where every row has at
+/// least one `1` (so the program is feasible) — exactly the structure of LP
+/// (3.1) for projective loop nests.
+fn covering_lp(n: usize, d: usize) -> impl Strategy<Value = LinearProgram> {
+    proptest::collection::vec(proptest::collection::vec(proptest::bool::ANY, n), d).prop_map(
+        move |mut rows| {
+            let mut lp = LinearProgram::minimize(vec![Rational::one(); n]);
+            for row in rows.iter_mut() {
+                if row.iter().all(|b| !b) {
+                    row[0] = true;
+                }
+                lp.add_constraint(Constraint::new(
+                    row.iter().map(|&b| if b { int(1) } else { int(0) }).collect(),
+                    Relation::Ge,
+                    Rational::one(),
+                ));
+            }
+            lp
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bounded_lps_solve_and_are_feasible(lp in bounded_lp(4, 5)) {
+        let sol = solve(&lp).expect("bounded feasible LP must solve");
+        prop_assert!(lp.is_feasible(&sol.values));
+        prop_assert_eq!(lp.objective_at(&sol.values), sol.objective_value.clone());
+        // x = 0 is feasible with objective 0, so the max is >= 0.
+        prop_assert!(sol.objective_value >= Rational::zero());
+    }
+
+    #[test]
+    fn strong_duality_on_bounded_lps(lp in bounded_lp(3, 4)) {
+        let p = solve(&lp).expect("primal solves");
+        let dual = dual_program(&lp);
+        let d = solve(&dual).expect("dual of a bounded feasible LP solves");
+        prop_assert_eq!(p.objective_value, d.objective_value);
+    }
+
+    #[test]
+    fn covering_lps_have_optimal_value_in_unit_range(lp in covering_lp(5, 5)) {
+        // For 0/1 covering LPs with unit costs and d rows, the optimum lies in
+        // (0, d] and the solution is a fractional cover.
+        let sol = solve(&lp).expect("covering LP is feasible");
+        prop_assert!(sol.objective_value > Rational::zero());
+        prop_assert!(sol.objective_value <= int(lp.num_constraints() as i64));
+        prop_assert!(lp.is_feasible(&sol.values));
+        // Strong duality against the packing dual.
+        let d = solve(&dual_program(&lp)).expect("packing dual solves");
+        prop_assert_eq!(d.objective_value, sol.objective_value);
+    }
+
+    #[test]
+    fn weak_duality_holds_for_feasible_dual_points(lp in bounded_lp(3, 3)) {
+        // Any feasible dual point bounds the primal optimum from above
+        // (maximization primal). Use the dual optimum perturbation 0 (itself).
+        let p = solve(&lp).expect("primal solves");
+        let dual = dual_program(&lp);
+        if let Ok(d) = solve(&dual) {
+            prop_assert!(d.objective_value >= p.objective_value.clone());
+            prop_assert!(d.objective_value <= p.objective_value);
+        }
+    }
+
+    #[test]
+    fn scaling_objective_scales_optimum(lp in bounded_lp(3, 4), k in 1i64..5) {
+        let base = solve(&lp).expect("solves");
+        let mut scaled = lp.clone();
+        for c in scaled.costs.iter_mut() {
+            *c = &*c * &int(k);
+        }
+        let s = solve(&scaled).expect("scaled solves");
+        prop_assert_eq!(s.objective_value, &base.objective_value * &int(k));
+    }
+}
+
+#[test]
+fn objective_sense_consistency() {
+    // max(c·x) over a region equals -min(-c·x).
+    let mut max_lp = LinearProgram::maximize(vec![int(2), ratio(1, 2)]);
+    max_lp.add_constraint(Constraint::new(vec![int(1), int(1)], Relation::Le, int(3)));
+    max_lp.add_constraint(Constraint::new(vec![int(1), int(0)], Relation::Le, int(2)));
+    let mut min_lp = max_lp.clone();
+    min_lp.objective = Objective::Minimize;
+    min_lp.costs = min_lp.costs.iter().map(|c| -c).collect();
+    let vmax = solve(&max_lp).unwrap().objective_value;
+    let vmin = solve(&min_lp).unwrap().objective_value;
+    assert_eq!(vmax, -vmin);
+}
+
+#[test]
+fn infeasible_and_unbounded_are_distinguished() {
+    let mut infeasible = LinearProgram::maximize(vec![int(1)]);
+    infeasible.add_constraint(Constraint::new(vec![int(1)], Relation::Le, int(0)));
+    infeasible.add_constraint(Constraint::new(vec![int(1)], Relation::Ge, int(1)));
+    assert_eq!(solve(&infeasible), Err(LpError::Infeasible));
+
+    let mut unbounded = LinearProgram::maximize(vec![int(1), int(0)]);
+    unbounded.add_constraint(Constraint::new(vec![int(0), int(1)], Relation::Le, int(1)));
+    assert_eq!(solve(&unbounded), Err(LpError::Unbounded));
+}

@@ -1,0 +1,176 @@
+//! Minimal data-parallel utilities built on `crossbeam` scoped threads.
+//!
+//! The workspace's allowed dependency set includes `crossbeam` but not a
+//! full work-stealing runtime, so this crate provides the three primitives the
+//! rest of `projtile` actually needs, in the data-parallel style the HPC
+//! guides recommend (independent work items, no shared mutable state,
+//! deterministic output order):
+//!
+//! * [`par_map`] — apply a function to every element of a slice in parallel,
+//!   returning results in input order;
+//! * [`par_map_indexed`] — the same, with the element index passed through
+//!   (used for parameter sweeps where the index identifies the configuration);
+//! * [`par_reduce`] — parallel map followed by an associative fold.
+//!
+//! Work is split into contiguous chunks, one per worker thread, which is the
+//! right shape for this workspace: every parallel call site (the `2^d`
+//! Theorem-2 subset sweep, parameter sweeps over cache sizes, batched cache
+//! simulations) has items of comparable cost. Inputs smaller than
+//! [`PARALLEL_THRESHOLD`] are processed sequentially to avoid paying thread
+//! start-up cost on tiny workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+use parking_lot::Mutex;
+
+/// Inputs shorter than this are processed on the calling thread.
+pub const PARALLEL_THRESHOLD: usize = 16;
+
+/// Number of worker threads used by the parallel primitives.
+///
+/// Respects the `PROJTILE_THREADS` environment variable when set to a positive
+/// integer; otherwise uses the machine's available parallelism.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("PROJTILE_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Applies `f` to every element of `items` and collects the results in input
+/// order, splitting the work across [`num_threads`] scoped threads.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items, |_, item| f(item))
+}
+
+/// Like [`par_map`], but `f` also receives the element's index.
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = num_threads().min(n.max(1));
+    if n < PARALLEL_THRESHOLD || workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    // One contiguous chunk per worker; results are stitched back in order.
+    let chunk_size = n.div_ceil(workers);
+    let num_chunks = n.div_ceil(chunk_size);
+    let results: Mutex<Vec<Option<Vec<R>>>> = Mutex::new((0..num_chunks).map(|_| None).collect());
+    crossbeam::scope(|scope| {
+        for (w, chunk) in items.chunks(chunk_size).enumerate() {
+            let f = &f;
+            let results = &results;
+            let base = w * chunk_size;
+            scope.spawn(move |_| {
+                let out: Vec<R> =
+                    chunk.iter().enumerate().map(|(i, t)| f(base + i, t)).collect();
+                results.lock()[w] = Some(out);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    let mut collected = Vec::with_capacity(n);
+    for slot in results.into_inner() {
+        collected.extend(slot.expect("every chunk produces results"));
+    }
+    collected
+}
+
+/// Parallel map-reduce: applies `map` to every element and folds the results
+/// with the associative `combine`, starting from `identity`.
+///
+/// `combine` must be associative and `identity` its neutral element; the fold
+/// order across chunks is unspecified (but deterministic for a fixed thread
+/// count because chunks are combined in index order).
+pub fn par_reduce<T, R, M, C>(items: &[T], identity: R, map: M, combine: C) -> R
+where
+    T: Sync,
+    R: Send + Clone,
+    M: Fn(&T) -> R + Sync,
+    C: Fn(R, R) -> R,
+{
+    let mapped = par_map(items, map);
+    mapped.into_iter().fold(identity, combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * x);
+        let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn par_map_small_input_sequential_path() {
+        let items = vec![1, 2, 3];
+        assert_eq!(par_map(&items, |&x| x + 1), vec![2, 3, 4]);
+        let empty: Vec<i32> = vec![];
+        assert_eq!(par_map(&empty, |&x| x), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn par_map_indexed_passes_correct_indices() {
+        let items: Vec<u32> = (0..500).map(|i| i * 2).collect();
+        let out = par_map_indexed(&items, |i, &x| (i, x));
+        for (i, (idx, val)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*val, items[i]);
+        }
+    }
+
+    #[test]
+    fn par_reduce_sums() {
+        let items: Vec<u64> = (1..=1000).collect();
+        let total = par_reduce(&items, 0u64, |&x| x, |a, b| a + b);
+        assert_eq!(total, 500_500);
+    }
+
+    #[test]
+    fn par_reduce_with_non_scalar_accumulator() {
+        let items: Vec<u64> = (0..100).collect();
+        let maxima = par_reduce(
+            &items,
+            (0u64, 0u64),
+            |&x| (x, x % 7),
+            |a, b| (a.0.max(b.0), a.1.max(b.1)),
+        );
+        assert_eq!(maxima, (99, 6));
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn results_identical_to_sequential_for_various_sizes() {
+        for n in [0usize, 1, 15, 16, 17, 100, 257] {
+            let items: Vec<usize> = (0..n).collect();
+            let par = par_map(&items, |&x| x * 3 + 1);
+            let seq: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+            assert_eq!(par, seq, "mismatch at n = {n}");
+        }
+    }
+}

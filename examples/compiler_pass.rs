@@ -1,0 +1,113 @@
+//! Using the library the way a compiler pass would (§7, "Discussion").
+//!
+//! Run with `cargo run --example compiler_pass`.
+//!
+//! The paper's intended application is automatic blocking of projective loop
+//! nests inside a compiler: given any nest the front-end hands us — including
+//! shapes nobody has hand-optimized — emit tile sizes that are provably
+//! communication-optimal for the target cache, plus the piecewise-linear
+//! description of how the optimum moves as a problem dimension changes
+//! (useful for JIT-style specialization decisions).
+
+use projtile::arith::Rational;
+use projtile::core::{check_tightness, optimal_tiling, parametric};
+use projtile::loopnest::LoopNest;
+
+/// What the "compiler" emits for one loop nest.
+struct BlockingDecision {
+    tile: Vec<u64>,
+    exponent: Rational,
+    tight: bool,
+}
+
+/// The pass: analyze a nest for a given cache and emit a blocking decision.
+fn block_loop_nest(nest: &LoopNest, cache_words: u64) -> BlockingDecision {
+    let tiling = optimal_tiling(nest, cache_words);
+    let report = check_tightness(nest, cache_words);
+    BlockingDecision {
+        tile: tiling.tile_dims().to_vec(),
+        exponent: report.tiling_exponent.clone(),
+        tight: report.tight,
+    }
+}
+
+fn main() {
+    let cache_words = 1u64 << 10;
+
+    // A grab-bag of projective nests a compiler might encounter, written with
+    // the builder API an IR lowering would use. The last one is a 4-operand
+    // "unconventional" kernel with no hand-tuned library equivalent — the
+    // capsule-network situation the introduction describes.
+    let programs: Vec<(&str, LoopNest)> = vec![
+        (
+            "batched GEMM, tiny batch",
+            LoopNest::builder()
+                .index("b", 4)
+                .index("i", 256)
+                .index("j", 256)
+                .index("k", 256)
+                .array("C", ["b", "i", "k"])
+                .array("A", ["b", "i", "j"])
+                .array("B", ["b", "j", "k"])
+                .build()
+                .unwrap(),
+        ),
+        (
+            "attention score block, short sequence",
+            LoopNest::builder()
+                .index("h", 8)
+                .index("q", 16)
+                .index("kv", 512)
+                .index("d", 64)
+                .array("S", ["h", "q", "kv"])
+                .array("Q", ["h", "q", "d"])
+                .array("K", ["h", "kv", "d"])
+                .build()
+                .unwrap(),
+        ),
+        (
+            "4-operand contraction (no BLAS equivalent)",
+            LoopNest::builder()
+                .index("a", 32)
+                .index("b", 4)
+                .index("c", 128)
+                .index("d", 8)
+                .array("Out", ["a", "c"])
+                .array("T1", ["a", "b", "d"])
+                .array("T2", ["b", "c"])
+                .array("T3", ["c", "d"])
+                .build()
+                .unwrap(),
+        ),
+    ];
+
+    println!("automatic blocking decisions for a {cache_words}-word cache");
+    println!();
+    for (name, nest) in &programs {
+        let decision = block_loop_nest(nest, cache_words);
+        println!("{name}");
+        println!("  nest        : {nest}");
+        println!("  tile sizes  : {:?}", decision.tile);
+        println!(
+            "  tile volume : M^{}   (provably optimal: {})",
+            decision.exponent, decision.tight
+        );
+
+        // How does the optimum move if the first loop's bound changes? A JIT
+        // can use the breakpoints to decide when re-blocking is worthwhile.
+        let vf = parametric::exponent_vs_beta(nest, cache_words, 0, 1, 1 << 12)
+            .expect("parametric analysis");
+        let breakpoints: Vec<String> = vf
+            .breakpoints
+            .iter()
+            .map(|(beta, value)| format!("beta={beta} -> M^{value}"))
+            .collect();
+        println!(
+            "  exponent vs {} bound: {} piece(s): {}",
+            nest.indices()[0].name,
+            vf.num_pieces(),
+            breakpoints.join(", ")
+        );
+        println!();
+    }
+}

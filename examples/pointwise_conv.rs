@@ -1,0 +1,63 @@
+//! Pointwise (1×1) convolution tiling for machine-learning shapes (§6.2).
+//!
+//! Run with `cargo run --example pointwise_conv`.
+//!
+//! Convolutional networks routinely use pointwise convolutions whose channel
+//! counts are tiny compared to `√M` — exactly the small-bound regime the paper
+//! targets. This example analyses a few MobileNet-style layer shapes: it
+//! prints the lower bound, the optimal tile over (batch, channels-in,
+//! channels-out, width, height), and verifies the §6.2 closed form against the
+//! general LP machinery.
+
+use projtile::core::{check_tightness, communication_lower_bound, contraction, optimal_tiling, solve_tiling_lp};
+use projtile::loopnest::builders;
+
+fn main() {
+    let m = 1u64 << 12; // 4096-word fast memory
+    println!("pointwise convolution Out(k,h,w,b) += Image(w,h,c,b) * Filter(k,c)");
+    println!("cache M = {m} words");
+    println!();
+    println!(
+        "{:>26} | {:>14} | {:>10} | {:>26} | {:>6}",
+        "(B, C, K, W, H)", "lower bound", "exponent", "optimal tile (b,c,k,w,h)", "tight"
+    );
+    println!("{}", "-".repeat(100));
+
+    // (batch, c_in, k_out, width, height) — MobileNet-ish shapes with small
+    // channel counts and one "fat" classifier-style layer.
+    let shapes: &[(u64, u64, u64, u64, u64)] = &[
+        (1, 3, 32, 112, 112),
+        (1, 32, 64, 56, 56),
+        (4, 16, 16, 28, 28),
+        (8, 256, 256, 7, 7),
+        (1, 1024, 1024, 1, 1),
+    ];
+
+    for &(b, c, k, w, h) in shapes {
+        let nest = builders::pointwise_conv(b, c, k, w, h);
+        let bound = communication_lower_bound(&nest, m);
+        let tiling = optimal_tiling(&nest, m);
+        let report = check_tightness(&nest, m);
+
+        // §6.2 closed form must agree with the LP.
+        let closed = contraction::pointwise_conv_exponent(b, c, k, w, h, m);
+        let lp_value = solve_tiling_lp(&nest, m).value;
+        assert_eq!(closed, lp_value, "closed form disagrees with the LP");
+
+        println!(
+            "{:>26} | {:>14.0} | {:>10} | {:>26} | {:>6}",
+            format!("({b}, {c}, {k}, {w}, {h})"),
+            bound.words,
+            bound.exponent.to_string(),
+            format!("{:?}", tiling.tile_dims()),
+            report.tight
+        );
+    }
+
+    println!();
+    println!(
+        "Small channel counts (C = 3, 16, 32) pull the exponent below 3/2: the optimal\n\
+         tile keeps whole channel fibers resident and blocks the spatial dimensions,\n\
+         rather than using the classical square blocking that assumes every bound is large."
+    );
+}

@@ -1,0 +1,169 @@
+//! End-to-end integration tests spanning every crate in the workspace:
+//! loop-nest construction → lower bounds → tiling → schedule → cache
+//! simulation, checked against the paper's claims.
+
+use projtile::arith::{ratio, Rational};
+use projtile::core::{
+    check_tightness, closed_forms, communication_lower_bound, hbl, optimal_tiling,
+    ProblemInstance,
+};
+use projtile::exec::{compare_schedules, measure, CachePolicy, Schedule};
+use projtile::loopnest::builders;
+
+#[test]
+fn matmul_pipeline_large_bounds() {
+    // §6.1, all bounds large: exponent 3/2, square tile, measured traffic of
+    // the tiled schedule within a small constant of the lower bound.
+    let m = 1u64 << 10;
+    let nest = builders::matmul(1 << 6, 1 << 6, 1 << 6);
+    let inst = ProblemInstance::new(nest.clone(), m);
+
+    assert_eq!(inst.hbl_exponent(), ratio(3, 2));
+    assert!(inst.check_tightness().tight);
+
+    let tiling = inst.optimal_tiling();
+    assert_eq!(tiling.tile_dims(), &[32, 32, 32]);
+
+    let lb = inst.communication_lower_bound();
+    let expected = (1u64 << 18) as f64 / 32.0;
+    assert!((lb - expected).abs() / expected < 1e-9);
+
+    let cmp = compare_schedules(&nest, m, CachePolicy::Lru);
+    assert!(cmp.optimal().ratio_to_lower_bound < 6.0);
+    assert!(cmp.untiled().ratio_to_lower_bound > cmp.optimal().ratio_to_lower_bound);
+}
+
+#[test]
+fn matvec_pipeline_small_bound_regime() {
+    // §6.1, L3 = 1: the lower bound is the matrix size and the measured
+    // traffic of every schedule is at least that.
+    let m = 1u64 << 10;
+    let l = 1u64 << 7;
+    let nest = builders::matvec(l, l);
+
+    let bound = communication_lower_bound(&nest, m);
+    assert_eq!(bound.exponent, Rational::one());
+    assert!((bound.words - (l * l) as f64).abs() < 1e-6);
+
+    // The classical analysis would claim l*l/sqrt(M), which is unachievable.
+    let classical = hbl::large_bound_lower_bound(&nest, m);
+    assert!(classical < bound.words);
+
+    let measured = measure(
+        &nest,
+        &Schedule::untiled(&nest),
+        m,
+        CachePolicy::Lru,
+    );
+    assert!(measured.words_transferred() >= (l * l) as u64);
+
+    assert!(check_tightness(&nest, m).tight);
+}
+
+#[test]
+fn every_builder_kernel_is_tight_across_cache_sizes() {
+    // Theorem 3 end-to-end on every kernel the paper mentions, across several
+    // cache sizes (powers of two so the exponents are exact rationals).
+    for m in [4u64, 64, 1 << 10, 1 << 16] {
+        let nests = vec![
+            builders::matmul(1 << 7, 1 << 5, 1 << 2),
+            builders::matvec(1 << 6, 1 << 9),
+            builders::pointwise_conv(2, 4, 1 << 6, 1 << 4, 1 << 4),
+            builders::fully_connected(1 << 5, 1 << 3, 1 << 7),
+            builders::nbody(1 << 3, 1 << 9),
+            builders::tensor_contraction(1, 3, &[1 << 4, 1 << 2, 1 << 6]),
+            builders::tensor_contraction(2, 4, &[4, 8, 2, 16, 32]),
+        ];
+        for nest in nests {
+            let report = check_tightness(&nest, m);
+            assert!(report.tight, "M={m}, nest={nest}: {report:?}");
+        }
+    }
+}
+
+#[test]
+fn lower_bound_is_never_violated_by_any_simulated_schedule() {
+    // Soundness of Theorem 2 against the machine model: no schedule and no
+    // replacement policy (including the offline-optimal one) moves fewer words
+    // than (lower bound / #arrays); the division accounts for the fact that
+    // the paper's bound counts per-tile refills of M words while the simulator
+    // counts individual misses.
+    let m = 64u64;
+    for nest in [
+        builders::matmul(12, 12, 12),
+        builders::matmul(16, 16, 2),
+        builders::nbody(16, 48),
+        builders::pointwise_conv(2, 2, 8, 6, 6),
+    ] {
+        let lb = communication_lower_bound(&nest, m).words;
+        let floor = lb / nest.num_arrays() as f64;
+        for policy in [CachePolicy::Lru, CachePolicy::Ideal] {
+            for schedule in [
+                Schedule::untiled(&nest),
+                Schedule::from_tiling(&optimal_tiling(&nest, m)),
+            ] {
+                let measured = measure(&nest, &schedule, m, policy);
+                assert!(
+                    measured.words_transferred() as f64 >= floor * 0.99,
+                    "{nest} / {policy:?} / {}: {} < {floor}",
+                    schedule.label(),
+                    measured.words_transferred()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn closed_forms_match_general_machinery_end_to_end() {
+    let m = 1u64 << 8;
+    for (l1, l2, l3) in [(1u64 << 6, 1u64 << 6, 1u64 << 6), (1 << 6, 1 << 6, 2), (4, 4, 4)] {
+        let nest = builders::matmul(l1, l2, l3);
+        let bound = communication_lower_bound(&nest, m);
+        assert_eq!(bound.exponent, closed_forms::matmul_exponent(l1, l2, l3, m));
+        let closed = closed_forms::matmul_lower_bound_words(l1, l2, l3, m);
+        assert!((bound.words - closed).abs() / closed < 1e-9);
+    }
+    for (l1, l2) in [(1u64 << 9, 1u64 << 9), (1 << 3, 1 << 9), (4, 4)] {
+        let nest = builders::nbody(l1, l2);
+        let bound = communication_lower_bound(&nest, m);
+        assert_eq!(bound.exponent, closed_forms::nbody_exponent(l1, l2, m));
+    }
+}
+
+#[test]
+fn growing_the_cache_never_hurts() {
+    // Larger fast memory: lower bound shrinks (or stays), optimal tile grows
+    // (or stays), measured traffic of the optimal schedule shrinks (or stays).
+    let nest = builders::matmul(32, 32, 32);
+    let mut prev_lb = f64::INFINITY;
+    let mut prev_measured = u64::MAX;
+    for m in [32u64, 64, 128, 256, 512, 1024] {
+        let lb = communication_lower_bound(&nest, m).words;
+        assert!(lb <= prev_lb * (1.0 + 1e-12), "lower bound grew at M={m}");
+        prev_lb = lb;
+
+        let (_, schedule) = projtile::exec::optimal_tiling_schedule(&nest, m);
+        let measured = measure(&nest, &schedule, m, CachePolicy::Lru).words_transferred();
+        assert!(measured <= prev_measured, "measured traffic grew at M={m}");
+        prev_measured = measured;
+    }
+}
+
+#[test]
+fn alpha_family_members_all_attain_the_bound() {
+    let m = 1u64 << 10;
+    let nest = builders::matmul(1 << 7, 1 << 7, 1 << 2);
+    let family = projtile::core::alpha::optimal_family(&nest, m, 0);
+    let lb = communication_lower_bound(&nest, m).words;
+    for num in 0..=4i64 {
+        let alpha = ratio(num, 4);
+        let tiling = family.tiling_at(&nest, m, &alpha);
+        let model = tiling.communication_model();
+        assert!(
+            model.ratio_to_lower_bound < 4.0,
+            "alpha={alpha}: ratio {} (lb {lb})",
+            model.ratio_to_lower_bound
+        );
+    }
+}

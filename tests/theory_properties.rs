@@ -1,0 +1,119 @@
+//! Property-based integration tests of the paper's theorems over random
+//! projective programs and random power-of-two problem sizes.
+
+use projtile::arith::Rational;
+use projtile::core::{
+    bounds, check_tightness, communication_lower_bound, hbl, optimal_tiling, solve_tiling_lp,
+};
+use projtile::loopnest::{builders, IndexSet};
+use proptest::prelude::*;
+
+/// Strategy: a random projective program (via the deterministic generator in
+/// `builders`) with power-of-two bounds, plus a power-of-two cache size.
+fn random_instance() -> impl Strategy<Value = (projtile::loopnest::LoopNest, u64)> {
+    (
+        any::<u64>(),
+        2usize..=5,
+        2usize..=5,
+        proptest::collection::vec(0u32..=9, 5),
+        3u32..=12,
+    )
+        .prop_map(|(seed, d, n, exps, log_m)| {
+            // Build with the generator, then overwrite bounds with powers of
+            // two so every β is an exact rational.
+            let nest = builders::random_projective(seed, d, n, (1, 4));
+            let bounds: Vec<u64> = (0..d).map(|i| 1u64 << exps[i]).collect();
+            (nest.with_bounds(&bounds), 1u64 << log_m)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn theorem_3_tightness_holds((nest, m) in random_instance()) {
+        let report = check_tightness(&nest, m);
+        prop_assert!(report.tight, "{nest} M={m}: {report:?}");
+        // The enumerated bound is sandwiched between k̂ and k_HBL.
+        prop_assert!(report.enumerated_exponent >= report.bound_exponent);
+        prop_assert!(report.enumerated_exponent <= hbl::hbl_exponent(&nest));
+    }
+
+    #[test]
+    fn arbitrary_bound_dominates_classical_and_trivial((nest, m) in random_instance()) {
+        let lb = communication_lower_bound(&nest, m);
+        // Never weaker than the classical bound.
+        let classical = hbl::large_bound_lower_bound(&nest, m);
+        prop_assert!(lb.words >= classical * (1.0 - 1e-9));
+        // The exponent never exceeds min(k_HBL, Σβ).
+        let beta_sum: Rational = bounds::betas(&nest, m)
+            .into_iter()
+            .fold(Rational::zero(), |acc, b| &acc + &b);
+        prop_assert!(lb.exponent <= hbl::hbl_exponent(&nest));
+        prop_assert!(lb.exponent <= beta_sum);
+        // Tile-size bound is at least one point and at most the whole space.
+        prop_assert!(lb.tile_size_bound >= 1.0 - 1e-9);
+        prop_assert!(lb.tile_size_bound <= nest.iteration_space_size() as f64 * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn optimal_tiling_is_feasible_and_attains_the_exponent((nest, m) in random_instance()) {
+        let sol = solve_tiling_lp(&nest, m);
+        let tiling = optimal_tiling(&nest, m);
+        // Integer tile dims stay inside the bounds and within the footprint
+        // allowance of one M per array.
+        for (b, l) in tiling.tile_dims().iter().zip(nest.bounds()) {
+            prop_assert!(*b >= 1 && *b <= l);
+        }
+        for j in 0..nest.num_arrays() {
+            prop_assert!(nest.array_footprint(j, tiling.tile_dims()) <= m as u128);
+        }
+        // The tile volume equals M^{Σλ} up to integer rounding: it is bounded
+        // above by the exact bound and below by (M / 2^d)^{Σλ}-ish; we check
+        // the sound direction (never exceeds the Theorem-2 bound).
+        let bound = bounds::arbitrary_bound_exponent(&nest, m);
+        let tile_volume = tiling.tile_volume() as f64;
+        prop_assert!(tile_volume <= bound.tile_size_bound * (1.0 + 1e-9));
+        prop_assert_eq!(sol.value.clone(), bound.exponent);
+    }
+
+    #[test]
+    fn theorem_2_formula_upper_bounds_every_subset((nest, m) in random_instance()) {
+        // Every subset's enumerated exponent is a valid upper bound: it
+        // dominates the strongest bound, and removing rows never increases
+        // the row-deleted HBL optimum.
+        let best = bounds::arbitrary_bound_exponent(&nest, m);
+        let d = nest.num_loops();
+        for q in IndexSet::all_subsets(d) {
+            let k_q = bounds::exponent_for_subset(&nest, m, q);
+            prop_assert!(k_q >= best.exponent, "Q={q:?}");
+        }
+    }
+
+    #[test]
+    fn monotone_in_every_loop_bound((nest, m) in random_instance()) {
+        // Doubling any single loop bound never decreases the lower bound.
+        let base = communication_lower_bound(&nest, m).words;
+        for axis in 0..nest.num_loops() {
+            let mut bigger = nest.bounds();
+            bigger[axis] *= 2;
+            let grown = communication_lower_bound(&nest.with_bounds(&bigger), m).words;
+            prop_assert!(grown >= base * (1.0 - 1e-9), "axis {axis}");
+        }
+    }
+}
+
+#[test]
+fn tiny_cache_and_unit_bounds_edge_cases() {
+    // Degenerate but legal instances must not panic and must keep exponents
+    // within range.
+    let nest = builders::matmul(1, 1, 1);
+    for m in [2u64, 3, 4] {
+        let report = check_tightness(&nest, m);
+        assert!(report.tight);
+        assert_eq!(report.tiling_exponent, Rational::zero());
+    }
+    let nest = builders::nbody(1, 1 << 12);
+    let report = check_tightness(&nest, 2);
+    assert!(report.tight);
+}
