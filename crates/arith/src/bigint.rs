@@ -1,21 +1,47 @@
-//! Arbitrary-precision signed integers.
+//! Arbitrary-precision signed integers with an inline small-value fast path.
 //!
-//! [`BigInt`] is a sign-magnitude integer with 32-bit limbs stored
-//! little-endian. The representation is canonical: the limb vector never has
-//! trailing zero limbs and the value zero is represented by an empty limb
-//! vector with [`Sign::Zero`].
+//! # Representation
 //!
-//! The implementation favours clarity over asymptotic speed: multiplication is
-//! schoolbook and division is binary long division. The integers appearing in
-//! the exact simplex solver stay small (tens of digits at most for the LPs of
-//! the paper), so this is more than fast enough, and the simple algorithms are
-//! easy to audit for the exactness guarantees the rest of the workspace
-//! depends on.
+//! [`BigInt`] is a two-variant sum type:
+//!
+//! * `Small(i64)` — every value in `[i64::MIN, i64::MAX]` is stored inline,
+//!   with no heap allocation. This is the representation the exact simplex
+//!   solver lives in: the LPs of Dinh & Demmel (SPAA 2020) keep numerators
+//!   and denominators at tens of digits *at most*, and in practice far below
+//!   64 bits.
+//! * `Large { sign, limbs }` — sign-magnitude with 32-bit little-endian
+//!   limbs, used only when the magnitude exceeds `i64::MAX`.
+//!
+//! The representation is **canonical**: a value is `Large` *iff* it does not
+//! fit in `i64`, and a `Large` limb vector never has trailing zero limbs.
+//! Every constructor and operation re-establishes this invariant (see
+//! [`BigInt::from_limbs`]), so the derived `PartialEq`/`Eq`/`Hash` are
+//! value-correct.
+//!
+//! # Algorithms
+//!
+//! * `Small × Small` arithmetic fast-paths through machine integers
+//!   (widening to `i128` where the result can overflow).
+//! * Multi-limb multiplication is schoolbook below
+//!   [`KARATSUBA_THRESHOLD`] limbs and Karatsuba above it.
+//! * Multi-limb division is limb-wise Knuth Algorithm D (TAOCP vol. 2,
+//!   §4.3.1), replacing the seed's bit-by-bit binary long division.
+//!
+//! The seed's simple algorithms are retained verbatim in [`reference`] and
+//! the property suite checks the fast paths against them exactly
+//! (`crates/arith/tests/proptest_arith.rs`).
 
 use core::cmp::Ordering;
 use core::fmt;
 use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
 use core::str::FromStr;
+
+/// Limb count below which multi-limb multiplication stays schoolbook.
+///
+/// Karatsuba's ~25% instruction saving only overtakes its allocation and
+/// recursion overhead for operands of a few dozen limbs; 32 limbs (1024 bits)
+/// is a conservative crossover for 32-bit limbs.
+const KARATSUBA_THRESHOLD: usize = 32;
 
 /// Sign of a [`BigInt`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -48,87 +74,197 @@ impl Sign {
     }
 }
 
+/// Internal representation; see the module docs for the canonical-form
+/// invariant that makes the derived `Eq`/`Hash` value-correct.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// Inline value; used for every value that fits in `i64`.
+    Small(i64),
+    /// Sign + little-endian 32-bit limbs; magnitude always exceeds
+    /// `i64::MAX`, so the limb vector has at least two limbs and no trailing
+    /// zeros.
+    Large { sign: Sign, limbs: Vec<u32> },
+}
+
 /// An arbitrary-precision signed integer.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BigInt {
-    sign: Sign,
-    /// Little-endian 32-bit limbs; empty iff the value is zero.
-    limbs: Vec<u32>,
+    repr: Repr,
 }
+
+/// Stack buffer for viewing a `Small` value as magnitude limbs.
+type SmallBuf = [u32; 2];
 
 impl BigInt {
     /// The value `0`.
     pub fn zero() -> BigInt {
-        BigInt { sign: Sign::Zero, limbs: Vec::new() }
+        BigInt {
+            repr: Repr::Small(0),
+        }
     }
 
     /// The value `1`.
     pub fn one() -> BigInt {
-        BigInt::from(1u32)
+        BigInt {
+            repr: Repr::Small(1),
+        }
     }
 
     /// Returns `true` iff the value is zero.
     pub fn is_zero(&self) -> bool {
-        self.sign == Sign::Zero
+        matches!(self.repr, Repr::Small(0))
     }
 
     /// Returns `true` iff the value is one.
     pub fn is_one(&self) -> bool {
-        self.sign == Sign::Positive && self.limbs.len() == 1 && self.limbs[0] == 1
+        matches!(self.repr, Repr::Small(1))
     }
 
     /// Returns `true` iff the value is strictly negative.
     pub fn is_negative(&self) -> bool {
-        self.sign == Sign::Negative
+        self.sign() == Sign::Negative
     }
 
     /// Returns `true` iff the value is strictly positive.
     pub fn is_positive(&self) -> bool {
-        self.sign == Sign::Positive
+        self.sign() == Sign::Positive
     }
 
     /// The sign of the value.
     pub fn sign(&self) -> Sign {
-        self.sign
+        match &self.repr {
+            Repr::Small(v) => match v.cmp(&0) {
+                Ordering::Less => Sign::Negative,
+                Ordering::Equal => Sign::Zero,
+                Ordering::Greater => Sign::Positive,
+            },
+            Repr::Large { sign, .. } => *sign,
+        }
+    }
+
+    /// The value as an `i64`, exactly when it fits.
+    ///
+    /// Because the representation is canonical this is `Some` *iff* the value
+    /// is stored inline, so callers can use it to detect the fast path.
+    pub fn to_i64(&self) -> Option<i64> {
+        match &self.repr {
+            Repr::Small(v) => Some(*v),
+            Repr::Large { .. } => None,
+        }
     }
 
     /// Absolute value.
     pub fn abs(&self) -> BigInt {
-        let mut out = self.clone();
-        if out.sign == Sign::Negative {
-            out.sign = Sign::Positive;
+        match &self.repr {
+            Repr::Small(v) => match v.checked_abs() {
+                Some(a) => BigInt {
+                    repr: Repr::Small(a),
+                },
+                // |i64::MIN| = 2^63 does not fit in i64.
+                None => BigInt::from_u128_sign(Sign::Positive, 1u128 << 63),
+            },
+            Repr::Large { limbs, .. } => BigInt {
+                repr: Repr::Large {
+                    sign: Sign::Positive,
+                    limbs: limbs.clone(),
+                },
+            },
         }
-        out
     }
 
     /// Number of bits in the magnitude (0 for zero).
     pub fn bit_len(&self) -> usize {
-        match self.limbs.last() {
-            None => 0,
-            Some(&top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        match &self.repr {
+            Repr::Small(v) => (64 - v.unsigned_abs().leading_zeros()) as usize,
+            Repr::Large { limbs, .. } => {
+                let top = *limbs.last().expect("Large is non-empty");
+                (limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize)
+            }
         }
     }
 
-    /// Returns bit `i` of the magnitude (little-endian bit order).
-    fn magnitude_bit(&self, i: usize) -> bool {
-        let limb = i / 32;
-        let off = i % 32;
-        match self.limbs.get(limb) {
-            Some(&w) => (w >> off) & 1 == 1,
-            None => false,
+    /// Views the magnitude as limbs, using `buf` as backing storage for
+    /// inline values. Returns the sign alongside.
+    fn parts<'a>(&'a self, buf: &'a mut SmallBuf) -> (Sign, &'a [u32]) {
+        match &self.repr {
+            Repr::Small(v) => {
+                let mag = v.unsigned_abs();
+                buf[0] = mag as u32;
+                buf[1] = (mag >> 32) as u32;
+                let len = if mag == 0 {
+                    0
+                } else if mag >> 32 == 0 {
+                    1
+                } else {
+                    2
+                };
+                (self.sign(), &buf[..len])
+            }
+            Repr::Large { sign, limbs } => (*sign, limbs.as_slice()),
         }
     }
 
+    /// Builds a value from a sign and magnitude limbs, restoring the
+    /// canonical form (trailing zeros trimmed, small magnitudes demoted to
+    /// the inline representation).
     fn from_limbs(sign: Sign, mut limbs: Vec<u32>) -> BigInt {
         while limbs.last() == Some(&0) {
             limbs.pop();
         }
         if limbs.is_empty() {
-            BigInt::zero()
-        } else {
-            debug_assert_ne!(sign, Sign::Zero, "nonzero magnitude must carry a sign");
-            BigInt { sign, limbs }
+            return BigInt::zero();
         }
+        debug_assert_ne!(sign, Sign::Zero, "nonzero magnitude must carry a sign");
+        if limbs.len() <= 2 {
+            let mag = limbs[0] as u64 | ((*limbs.get(1).unwrap_or(&0) as u64) << 32);
+            if let Some(small) = small_from_mag(sign, mag) {
+                return BigInt {
+                    repr: Repr::Small(small),
+                };
+            }
+        }
+        BigInt {
+            repr: Repr::Large { sign, limbs },
+        }
+    }
+
+    /// Builds a value from a sign and a `u128` magnitude.
+    fn from_u128_sign(sign: Sign, mag: u128) -> BigInt {
+        if mag == 0 {
+            return BigInt::zero();
+        }
+        if let Some(small) = u64::try_from(mag)
+            .ok()
+            .and_then(|m| small_from_mag(sign, m))
+        {
+            return BigInt {
+                repr: Repr::Small(small),
+            };
+        }
+        let mut limbs = Vec::with_capacity(4);
+        let mut m = mag;
+        while m > 0 {
+            limbs.push(m as u32);
+            m >>= 32;
+        }
+        BigInt {
+            repr: Repr::Large { sign, limbs },
+        }
+    }
+
+    /// Builds a value from an `i128`.
+    fn from_i128_value(v: i128) -> BigInt {
+        if let Ok(small) = i64::try_from(v) {
+            return BigInt {
+                repr: Repr::Small(small),
+            };
+        }
+        let sign = if v < 0 {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        };
+        BigInt::from_u128_sign(sign, v.unsigned_abs())
     }
 
     /// Compares magnitudes, ignoring signs.
@@ -149,8 +285,8 @@ impl BigInt {
         let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry: u64 = 0;
-        for i in 0..long.len() {
-            let s = long[i] as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+        for (i, &w) in long.iter().enumerate() {
+            let s = w as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
             out.push(s as u32);
             carry = s >> 32;
         }
@@ -165,8 +301,8 @@ impl BigInt {
         debug_assert_ne!(Self::cmp_magnitude(a, b), Ordering::Less);
         let mut out = Vec::with_capacity(a.len());
         let mut borrow: i64 = 0;
-        for i in 0..a.len() {
-            let mut d = a[i] as i64 - *b.get(i).unwrap_or(&0) as i64 - borrow;
+        for (i, &w) in a.iter().enumerate() {
+            let mut d = w as i64 - *b.get(i).unwrap_or(&0) as i64 - borrow;
             if d < 0 {
                 d += 1 << 32;
                 borrow = 1;
@@ -182,7 +318,9 @@ impl BigInt {
         out
     }
 
-    fn mul_magnitude(a: &[u32], b: &[u32]) -> Vec<u32> {
+    /// Schoolbook magnitude multiplication (quadratic; used below the
+    /// Karatsuba threshold and by the [`reference`] implementations).
+    fn mul_magnitude_schoolbook(a: &[u32], b: &[u32]) -> Vec<u32> {
         if a.is_empty() || b.is_empty() {
             return Vec::new();
         }
@@ -211,67 +349,197 @@ impl BigInt {
         out
     }
 
-    /// Shifts a magnitude left by one bit in place.
-    fn shl1_magnitude(limbs: &mut Vec<u32>) {
-        let mut carry = 0u32;
-        for limb in limbs.iter_mut() {
-            let new_carry = *limb >> 31;
-            *limb = (*limb << 1) | carry;
-            carry = new_carry;
+    /// Adds `addend << (32 * shift)` into `acc` in place.
+    fn add_into_shifted(acc: &mut Vec<u32>, addend: &[u32], shift: usize) {
+        if addend.is_empty() {
+            return;
         }
-        if carry != 0 {
-            limbs.push(carry);
+        if acc.len() < shift + addend.len() {
+            acc.resize(shift + addend.len(), 0);
+        }
+        let mut carry: u64 = 0;
+        for (i, &w) in addend.iter().enumerate() {
+            let s = acc[shift + i] as u64 + w as u64 + carry;
+            acc[shift + i] = s as u32;
+            carry = s >> 32;
+        }
+        let mut k = shift + addend.len();
+        while carry != 0 {
+            if k == acc.len() {
+                acc.push(carry as u32);
+                break;
+            }
+            let s = acc[k] as u64 + carry;
+            acc[k] = s as u32;
+            carry = s >> 32;
+            k += 1;
         }
     }
 
-    /// Magnitude division by binary long division. Returns `(quotient, remainder)`.
+    /// Magnitude multiplication: schoolbook below [`KARATSUBA_THRESHOLD`]
+    /// limbs, Karatsuba above it.
+    fn mul_magnitude(a: &[u32], b: &[u32]) -> Vec<u32> {
+        if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+            return Self::mul_magnitude_schoolbook(a, b);
+        }
+        // Karatsuba: split both operands at m limbs; with
+        // a = a0 + a1·B^m and b = b0 + b1·B^m,
+        //   a·b = z0 + z1·B^m + z2·B^{2m}
+        // where z0 = a0·b0, z2 = a1·b1, and
+        //   z1 = (a0 + a1)(b0 + b1) − z0 − z2.
+        let m = a.len().max(b.len()).div_ceil(2);
+        let (a0, a1) = (&a[..m.min(a.len())], a.get(m..).unwrap_or(&[]));
+        let (b0, b1) = (&b[..m.min(b.len())], b.get(m..).unwrap_or(&[]));
+        let z0 = Self::mul_magnitude(trim(a0), trim(b0));
+        let z2 = Self::mul_magnitude(a1, b1);
+        let sa = Self::add_magnitude(trim(a0), a1);
+        let sb = Self::add_magnitude(trim(b0), b1);
+        let mut z1 = Self::mul_magnitude(&sa, &sb);
+        z1 = Self::sub_magnitude(&z1, &z0);
+        z1 = Self::sub_magnitude(&z1, &z2);
+
+        let mut out = z0;
+        Self::add_into_shifted(&mut out, &z1, m);
+        Self::add_into_shifted(&mut out, &z2, 2 * m);
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Divides a magnitude by a single limb. Returns `(quotient, remainder)`.
+    fn divrem_by_limb(a: &[u32], d: u32) -> (Vec<u32>, u32) {
+        debug_assert!(d != 0);
+        let d = d as u64;
+        let mut q = vec![0u32; a.len()];
+        let mut rem: u64 = 0;
+        for i in (0..a.len()).rev() {
+            let cur = (rem << 32) | a[i] as u64;
+            q[i] = (cur / d) as u32;
+            rem = cur % d;
+        }
+        while q.last() == Some(&0) {
+            q.pop();
+        }
+        (q, rem as u32)
+    }
+
+    /// Shifts a magnitude left by `shift < 32` bits, appending a spill limb.
+    fn shl_bits_with_spill(a: &[u32], shift: u32) -> Vec<u32> {
+        let mut out = Vec::with_capacity(a.len() + 1);
+        let mut carry = 0u32;
+        for &w in a {
+            if shift == 0 {
+                out.push(w);
+            } else {
+                out.push((w << shift) | carry);
+                carry = w >> (32 - shift);
+            }
+        }
+        out.push(carry);
+        out
+    }
+
+    /// Shifts a magnitude right by `shift < 32` bits, trimming zeros.
+    fn shr_bits(a: &[u32], shift: u32) -> Vec<u32> {
+        let mut out = a.to_vec();
+        if shift != 0 {
+            for i in 0..out.len() {
+                let hi = out.get(i + 1).copied().unwrap_or(0);
+                out[i] = (out[i] >> shift) | (hi << (32 - shift));
+            }
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Multi-limb magnitude division by Knuth Algorithm D (TAOCP vol. 2,
+    /// §4.3.1). Requires `b.len() >= 2` and `a >= b`.
+    fn divrem_magnitude_knuth(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        let n = b.len();
+        debug_assert!(n >= 2);
+        debug_assert_ne!(Self::cmp_magnitude(a, b), Ordering::Less);
+
+        // D1: normalize so the divisor's top limb has its high bit set; the
+        // dividend gains one (possibly zero) spill limb.
+        let shift = b[n - 1].leading_zeros();
+        let mut u = Self::shl_bits_with_spill(a, shift);
+        let mut v = Self::shl_bits_with_spill(b, shift);
+        debug_assert_eq!(v.pop(), Some(0), "normalization never spills the divisor");
+        debug_assert!(v[n - 1] >= 1 << 31);
+
+        let m = u.len() - 1 - n;
+        let mut q = vec![0u32; m + 1];
+        let vn1 = v[n - 1] as u64;
+        let vn2 = v[n - 2] as u64;
+
+        // D2–D7: one quotient limb per iteration, most significant first.
+        for j in (0..=m).rev() {
+            // D3: estimate the quotient limb from the top three dividend
+            // limbs and top two divisor limbs; the estimate is at most 2 too
+            // large, corrected by the loop below and the add-back step.
+            let top = ((u[j + n] as u64) << 32) | u[j + n - 1] as u64;
+            let mut qhat = top / vn1;
+            let mut rhat = top % vn1;
+            while qhat >= 1 << 32 || qhat * vn2 > ((rhat << 32) | u[j + n - 2] as u64) {
+                qhat -= 1;
+                rhat += vn1;
+                if rhat >= 1 << 32 {
+                    break;
+                }
+            }
+
+            // D4: multiply-subtract qhat·v from u[j..=j+n] (wrapping on
+            // underflow, detected via the final borrow).
+            let mut mul_carry: u64 = 0;
+            let mut borrow: i64 = 0;
+            for i in 0..n {
+                let p = qhat * v[i] as u64 + mul_carry;
+                mul_carry = p >> 32;
+                let t = u[j + i] as i64 - (p as u32) as i64 - borrow;
+                u[j + i] = t as u32;
+                borrow = i64::from(t < 0);
+            }
+            let t = u[j + n] as i64 - mul_carry as i64 - borrow;
+            u[j + n] = t as u32;
+
+            // D5/D6: if the subtraction underflowed, the estimate was one too
+            // large — add one multiple of v back.
+            if t < 0 {
+                qhat -= 1;
+                let mut carry: u64 = 0;
+                for i in 0..n {
+                    let s = u[j + i] as u64 + v[i] as u64 + carry;
+                    u[j + i] = s as u32;
+                    carry = s >> 32;
+                }
+                u[j + n] = (u[j + n] as u64).wrapping_add(carry) as u32;
+            }
+            q[j] = qhat as u32;
+        }
+
+        // D8: denormalize the remainder.
+        while q.last() == Some(&0) {
+            q.pop();
+        }
+        let rem = Self::shr_bits(&u[..n], shift);
+        (q, rem)
+    }
+
+    /// Magnitude division dispatch. Returns `(quotient, remainder)`.
     fn divrem_magnitude(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
         assert!(!b.is_empty(), "division by zero BigInt");
         if Self::cmp_magnitude(a, b) == Ordering::Less {
             return (Vec::new(), a.to_vec());
         }
-        // Fast path: single-limb divisor.
         if b.len() == 1 {
-            let d = b[0] as u64;
-            let mut q = vec![0u32; a.len()];
-            let mut rem: u64 = 0;
-            for i in (0..a.len()).rev() {
-                let cur = (rem << 32) | a[i] as u64;
-                q[i] = (cur / d) as u32;
-                rem = cur % d;
-            }
-            while q.last() == Some(&0) {
-                q.pop();
-            }
-            let r = if rem == 0 { Vec::new() } else { vec![rem as u32] };
-            return (q, r);
+            let (q, r) = Self::divrem_by_limb(a, b[0]);
+            let rem = if r == 0 { Vec::new() } else { vec![r] };
+            return (q, rem);
         }
-        // General case: shift-subtract long division over bits.
-        let nbits = {
-            let top = *a.last().unwrap();
-            (a.len() - 1) * 32 + (32 - top.leading_zeros() as usize)
-        };
-        let mut quotient = vec![0u32; a.len()];
-        let mut remainder: Vec<u32> = Vec::with_capacity(b.len() + 1);
-        let a_big = BigInt { sign: Sign::Positive, limbs: a.to_vec() };
-        for bit in (0..nbits).rev() {
-            Self::shl1_magnitude(&mut remainder);
-            if a_big.magnitude_bit(bit) {
-                if remainder.is_empty() {
-                    remainder.push(1);
-                } else {
-                    remainder[0] |= 1;
-                }
-            }
-            if Self::cmp_magnitude(&remainder, b) != Ordering::Less {
-                remainder = Self::sub_magnitude(&remainder, b);
-                quotient[bit / 32] |= 1 << (bit % 32);
-            }
-        }
-        while quotient.last() == Some(&0) {
-            quotient.pop();
-        }
-        (quotient, remainder)
+        Self::divrem_magnitude_knuth(a, b)
     }
 
     /// Truncated division: returns `(q, r)` with `self == q * rhs + r`,
@@ -280,27 +548,61 @@ impl BigInt {
     /// # Panics
     /// Panics if `rhs` is zero.
     pub fn div_rem(&self, rhs: &BigInt) -> (BigInt, BigInt) {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            assert!(*b != 0, "division by zero BigInt");
+            // i64::MIN / -1 overflows i64; widen that one case.
+            return match (a.checked_div(*b), a.checked_rem(*b)) {
+                (Some(q), Some(r)) => (
+                    BigInt {
+                        repr: Repr::Small(q),
+                    },
+                    BigInt {
+                        repr: Repr::Small(r),
+                    },
+                ),
+                _ => (
+                    BigInt::from_i128_value(*a as i128 / *b as i128),
+                    BigInt::from_i128_value(*a as i128 % *b as i128),
+                ),
+            };
+        }
         assert!(!rhs.is_zero(), "division by zero BigInt");
         if self.is_zero() {
             return (BigInt::zero(), BigInt::zero());
         }
-        let (qm, rm) = Self::divrem_magnitude(&self.limbs, &rhs.limbs);
+        let (mut abuf, mut bbuf) = ([0u32; 2], [0u32; 2]);
+        let (a_sign, a_mag) = self.parts(&mut abuf);
+        let (b_sign, b_mag) = rhs.parts(&mut bbuf);
+        let (qm, rm) = Self::divrem_magnitude(a_mag, b_mag);
         let q_sign = if qm.is_empty() {
             Sign::Zero
-        } else if self.sign == rhs.sign {
+        } else if a_sign == b_sign {
             Sign::Positive
         } else {
             Sign::Negative
         };
-        let r_sign = if rm.is_empty() { Sign::Zero } else { self.sign };
-        (BigInt::from_limbs(q_sign, qm), BigInt::from_limbs(r_sign, rm))
+        let r_sign = if rm.is_empty() { Sign::Zero } else { a_sign };
+        (
+            BigInt::from_limbs(q_sign, qm),
+            BigInt::from_limbs(r_sign, rm),
+        )
     }
 
     /// Greatest common divisor of the magnitudes (always non-negative).
     pub fn gcd(&self, rhs: &BigInt) -> BigInt {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            let g = crate::gcd::gcd_u64(a.unsigned_abs(), b.unsigned_abs());
+            return BigInt::from_u128_sign(Sign::Positive, g as u128);
+        }
+        // Euclid on magnitudes; each step drops to the small fast path as
+        // soon as both operands fit in i64.
         let mut a = self.abs();
         let mut b = rhs.abs();
         while !b.is_zero() {
+            if let (Some(x), Some(y)) = (a.to_i64(), b.to_i64()) {
+                let g = crate::gcd::gcd_u64(x.unsigned_abs(), y.unsigned_abs());
+                return BigInt::from_u128_sign(Sign::Positive, g as u128);
+            }
             let (_, r) = a.div_rem(&b);
             a = b;
             b = r;
@@ -326,42 +628,179 @@ impl BigInt {
 
     /// Converts to `i128` if the value fits.
     pub fn to_i128(&self) -> Option<i128> {
-        if self.bit_len() > 127 {
-            return None;
-        }
-        let mut mag: u128 = 0;
-        for &limb in self.limbs.iter().rev() {
-            mag = (mag << 32) | limb as u128;
-        }
-        match self.sign {
-            Sign::Zero => Some(0),
-            Sign::Positive => i128::try_from(mag).ok(),
-            Sign::Negative => Some(-(i128::try_from(mag).ok()?)),
+        match &self.repr {
+            Repr::Small(v) => Some(*v as i128),
+            Repr::Large { sign, limbs } => {
+                if self.bit_len() > 127 {
+                    return None;
+                }
+                let mut mag: u128 = 0;
+                for &limb in limbs.iter().rev() {
+                    mag = (mag << 32) | limb as u128;
+                }
+                match sign {
+                    Sign::Zero => Some(0),
+                    Sign::Positive => i128::try_from(mag).ok(),
+                    Sign::Negative => Some(-(i128::try_from(mag).ok()?)),
+                }
+            }
         }
     }
 
     /// Converts to `u64` if the value is non-negative and fits.
     pub fn to_u64(&self) -> Option<u64> {
-        if self.is_negative() || self.bit_len() > 64 {
-            return None;
+        match &self.repr {
+            Repr::Small(v) => u64::try_from(*v).ok(),
+            Repr::Large { sign, limbs } => {
+                if *sign == Sign::Negative || limbs.len() > 2 {
+                    return None;
+                }
+                let mut mag: u64 = 0;
+                for &limb in limbs.iter().rev() {
+                    mag = (mag << 32) | limb as u64;
+                }
+                Some(mag)
+            }
         }
-        let mut mag: u64 = 0;
-        for &limb in self.limbs.iter().rev() {
-            mag = (mag << 32) | limb as u64;
-        }
-        Some(mag)
     }
 
     /// Lossy conversion to `f64` (saturating to infinity for huge values).
     pub fn to_f64(&self) -> f64 {
-        let mut val = 0.0f64;
-        for &limb in self.limbs.iter().rev() {
-            val = val * 4294967296.0 + limb as f64;
+        match &self.repr {
+            Repr::Small(v) => *v as f64,
+            Repr::Large { sign, limbs } => {
+                let mut val = 0.0f64;
+                for &limb in limbs.iter().rev() {
+                    val = val * 4294967296.0 + limb as f64;
+                }
+                match sign {
+                    Sign::Negative => -val,
+                    _ => val,
+                }
+            }
         }
-        match self.sign {
-            Sign::Negative => -val,
-            _ => val,
+    }
+}
+
+/// Converts a sign + `u64` magnitude to the inline representation if it fits.
+fn small_from_mag(sign: Sign, mag: u64) -> Option<i64> {
+    match sign {
+        Sign::Zero => Some(0),
+        Sign::Positive => i64::try_from(mag).ok(),
+        Sign::Negative => {
+            if mag <= 1 << 63 {
+                Some((mag as i64).wrapping_neg())
+            } else {
+                None
+            }
         }
+    }
+}
+
+/// Trims trailing zero limbs from a slice view.
+fn trim(mut a: &[u32]) -> &[u32] {
+    while a.last() == Some(&0) {
+        a = &a[..a.len() - 1];
+    }
+    a
+}
+
+/// Reference implementations of the seed's simple algorithms (schoolbook
+/// multiplication, bit-by-bit binary long division), kept as the oracle for
+/// the differential property tests of the fast paths. Not part of the public
+/// API surface.
+#[doc(hidden)]
+pub mod reference {
+    use super::{BigInt, Sign};
+    use core::cmp::Ordering;
+
+    /// Shifts a magnitude left by one bit in place.
+    fn shl1_magnitude(limbs: &mut Vec<u32>) {
+        let mut carry = 0u32;
+        for limb in limbs.iter_mut() {
+            let new_carry = *limb >> 31;
+            *limb = (*limb << 1) | carry;
+            carry = new_carry;
+        }
+        if carry != 0 {
+            limbs.push(carry);
+        }
+    }
+
+    fn magnitude_bit(limbs: &[u32], i: usize) -> bool {
+        match limbs.get(i / 32) {
+            Some(&w) => (w >> (i % 32)) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// Schoolbook multiplication with full sign handling.
+    pub fn schoolbook_mul(a: &BigInt, b: &BigInt) -> BigInt {
+        if a.is_zero() || b.is_zero() {
+            return BigInt::zero();
+        }
+        let (mut abuf, mut bbuf) = ([0u32; 2], [0u32; 2]);
+        let (a_sign, a_mag) = a.parts(&mut abuf);
+        let (b_sign, b_mag) = b.parts(&mut bbuf);
+        let sign = if a_sign == b_sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        BigInt::from_limbs(sign, BigInt::mul_magnitude_schoolbook(a_mag, b_mag))
+    }
+
+    /// Bit-by-bit binary long division (truncated), the seed's algorithm.
+    ///
+    /// # Panics
+    /// Panics if `b` is zero.
+    pub fn binary_long_divrem(a: &BigInt, b: &BigInt) -> (BigInt, BigInt) {
+        assert!(!b.is_zero(), "division by zero BigInt");
+        if a.is_zero() {
+            return (BigInt::zero(), BigInt::zero());
+        }
+        let (mut abuf, mut bbuf) = ([0u32; 2], [0u32; 2]);
+        let (a_sign, a_mag) = a.parts(&mut abuf);
+        let (b_sign, b_mag) = b.parts(&mut bbuf);
+
+        let (qm, rm) = if BigInt::cmp_magnitude(a_mag, b_mag) == Ordering::Less {
+            (Vec::new(), a_mag.to_vec())
+        } else {
+            let nbits = a.bit_len();
+            let mut quotient = vec![0u32; a_mag.len()];
+            let mut remainder: Vec<u32> = Vec::with_capacity(b_mag.len() + 1);
+            for bit in (0..nbits).rev() {
+                shl1_magnitude(&mut remainder);
+                if magnitude_bit(a_mag, bit) {
+                    if remainder.is_empty() {
+                        remainder.push(1);
+                    } else {
+                        remainder[0] |= 1;
+                    }
+                }
+                if BigInt::cmp_magnitude(&remainder, b_mag) != Ordering::Less {
+                    remainder = BigInt::sub_magnitude(&remainder, b_mag);
+                    quotient[bit / 32] |= 1 << (bit % 32);
+                }
+            }
+            while quotient.last() == Some(&0) {
+                quotient.pop();
+            }
+            (quotient, remainder)
+        };
+
+        let q_sign = if qm.is_empty() {
+            Sign::Zero
+        } else if a_sign == b_sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        let r_sign = if rm.is_empty() { Sign::Zero } else { a_sign };
+        (
+            BigInt::from_limbs(q_sign, qm),
+            BigInt::from_limbs(r_sign, rm),
+        )
     }
 }
 
@@ -371,42 +810,47 @@ impl Default for BigInt {
     }
 }
 
-macro_rules! impl_from_unsigned {
+macro_rules! impl_from_small_int {
     ($($t:ty),*) => {$(
         impl From<$t> for BigInt {
             fn from(v: $t) -> BigInt {
-                let mut v = v as u128;
-                if v == 0 {
-                    return BigInt::zero();
-                }
-                let mut limbs = Vec::new();
-                while v > 0 {
-                    limbs.push(v as u32);
-                    v >>= 32;
-                }
-                BigInt { sign: Sign::Positive, limbs }
+                BigInt { repr: Repr::Small(v as i64) }
             }
         }
     )*};
 }
 
-macro_rules! impl_from_signed {
-    ($($t:ty),*) => {$(
-        impl From<$t> for BigInt {
-            fn from(v: $t) -> BigInt {
-                let mag = (v as i128).unsigned_abs();
-                let mut out = BigInt::from(mag);
-                if v < 0 {
-                    out.sign = Sign::Negative;
-                }
-                out
-            }
-        }
-    )*};
+impl_from_small_int!(u8, u16, u32, i8, i16, i32, i64);
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> BigInt {
+        BigInt::from_u128_sign(Sign::Positive, v as u128)
+    }
 }
 
-impl_from_unsigned!(u8, u16, u32, u64, u128, usize);
-impl_from_signed!(i8, i16, i32, i64, i128, isize);
+impl From<u128> for BigInt {
+    fn from(v: u128) -> BigInt {
+        BigInt::from_u128_sign(Sign::Positive, v)
+    }
+}
+
+impl From<usize> for BigInt {
+    fn from(v: usize) -> BigInt {
+        BigInt::from_u128_sign(Sign::Positive, v as u128)
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> BigInt {
+        BigInt::from_i128_value(v)
+    }
+}
+
+impl From<isize> for BigInt {
+    fn from(v: isize) -> BigInt {
+        BigInt::from_i128_value(v as i128)
+    }
+}
 
 impl PartialOrd for BigInt {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
@@ -416,13 +860,31 @@ impl PartialOrd for BigInt {
 
 impl Ord for BigInt {
     fn cmp(&self, other: &Self) -> Ordering {
-        match (self.sign, other.sign) {
-            (Sign::Zero, Sign::Zero) => Ordering::Equal,
-            (Sign::Negative, Sign::Negative) => {
-                Self::cmp_magnitude(&other.limbs, &self.limbs)
-            }
-            (Sign::Positive, Sign::Positive) => Self::cmp_magnitude(&self.limbs, &other.limbs),
-            _ => self.sign.signum().cmp(&other.sign.signum()),
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => a.cmp(b),
+            // Canonical form: a Large magnitude always exceeds any Small one.
+            (Repr::Small(_), Repr::Large { sign, .. }) => match sign {
+                Sign::Negative => Ordering::Greater,
+                _ => Ordering::Less,
+            },
+            (Repr::Large { sign, .. }, Repr::Small(_)) => match sign {
+                Sign::Negative => Ordering::Less,
+                _ => Ordering::Greater,
+            },
+            (
+                Repr::Large {
+                    sign: sa,
+                    limbs: la,
+                },
+                Repr::Large {
+                    sign: sb,
+                    limbs: lb,
+                },
+            ) => match (sa, sb) {
+                (Sign::Negative, Sign::Negative) => Self::cmp_magnitude(lb, la),
+                (Sign::Positive, Sign::Positive) => Self::cmp_magnitude(la, lb),
+                _ => sa.signum().cmp(&sb.signum()),
+            },
         }
     }
 }
@@ -430,38 +892,58 @@ impl Ord for BigInt {
 impl Neg for &BigInt {
     type Output = BigInt;
     fn neg(self) -> BigInt {
-        let mut out = self.clone();
-        out.sign = out.sign.negate();
-        out
+        match &self.repr {
+            Repr::Small(v) => match v.checked_neg() {
+                Some(n) => BigInt {
+                    repr: Repr::Small(n),
+                },
+                None => BigInt::from_u128_sign(Sign::Positive, 1u128 << 63),
+            },
+            // from_limbs re-canonicalizes: negating 2^63 lands on i64::MIN.
+            Repr::Large { sign, limbs } => BigInt::from_limbs(sign.negate(), limbs.clone()),
+        }
     }
 }
 
 impl Neg for BigInt {
     type Output = BigInt;
     fn neg(self) -> BigInt {
-        -&self
+        match self.repr {
+            Repr::Small(v) => match v.checked_neg() {
+                Some(n) => BigInt {
+                    repr: Repr::Small(n),
+                },
+                None => BigInt::from_u128_sign(Sign::Positive, 1u128 << 63),
+            },
+            Repr::Large { sign, limbs } => BigInt::from_limbs(sign.negate(), limbs),
+        }
     }
 }
 
 impl Add for &BigInt {
     type Output = BigInt;
     fn add(self, rhs: &BigInt) -> BigInt {
-        match (self.sign, rhs.sign) {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            return match a.checked_add(*b) {
+                Some(s) => BigInt {
+                    repr: Repr::Small(s),
+                },
+                None => BigInt::from_i128_value(*a as i128 + *b as i128),
+            };
+        }
+        let (mut abuf, mut bbuf) = ([0u32; 2], [0u32; 2]);
+        let (a_sign, a_mag) = self.parts(&mut abuf);
+        let (b_sign, b_mag) = rhs.parts(&mut bbuf);
+        match (a_sign, b_sign) {
             (Sign::Zero, _) => rhs.clone(),
             (_, Sign::Zero) => self.clone(),
-            (a, b) if a == b => {
-                BigInt::from_limbs(a, BigInt::add_magnitude(&self.limbs, &rhs.limbs))
-            }
-            _ => match BigInt::cmp_magnitude(&self.limbs, &rhs.limbs) {
+            (a, b) if a == b => BigInt::from_limbs(a, BigInt::add_magnitude(a_mag, b_mag)),
+            _ => match BigInt::cmp_magnitude(a_mag, b_mag) {
                 Ordering::Equal => BigInt::zero(),
-                Ordering::Greater => BigInt::from_limbs(
-                    self.sign,
-                    BigInt::sub_magnitude(&self.limbs, &rhs.limbs),
-                ),
-                Ordering::Less => BigInt::from_limbs(
-                    rhs.sign,
-                    BigInt::sub_magnitude(&rhs.limbs, &self.limbs),
-                ),
+                Ordering::Greater => {
+                    BigInt::from_limbs(a_sign, BigInt::sub_magnitude(a_mag, b_mag))
+                }
+                Ordering::Less => BigInt::from_limbs(b_sign, BigInt::sub_magnitude(b_mag, a_mag)),
             },
         }
     }
@@ -470,6 +952,14 @@ impl Add for &BigInt {
 impl Sub for &BigInt {
     type Output = BigInt;
     fn sub(self, rhs: &BigInt) -> BigInt {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            return match a.checked_sub(*b) {
+                Some(s) => BigInt {
+                    repr: Repr::Small(s),
+                },
+                None => BigInt::from_i128_value(*a as i128 - *b as i128),
+            };
+        }
         self + &(-rhs)
     }
 }
@@ -477,11 +967,22 @@ impl Sub for &BigInt {
 impl Mul for &BigInt {
     type Output = BigInt;
     fn mul(self, rhs: &BigInt) -> BigInt {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            // i64 × i64 always fits in i128.
+            return BigInt::from_i128_value(*a as i128 * *b as i128);
+        }
         if self.is_zero() || rhs.is_zero() {
             return BigInt::zero();
         }
-        let sign = if self.sign == rhs.sign { Sign::Positive } else { Sign::Negative };
-        BigInt::from_limbs(sign, BigInt::mul_magnitude(&self.limbs, &rhs.limbs))
+        let (mut abuf, mut bbuf) = ([0u32; 2], [0u32; 2]);
+        let (a_sign, a_mag) = self.parts(&mut abuf);
+        let (b_sign, b_mag) = rhs.parts(&mut bbuf);
+        let sign = if a_sign == b_sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        BigInt::from_limbs(sign, BigInt::mul_magnitude(a_mag, b_mag))
     }
 }
 
@@ -530,12 +1031,24 @@ forward_binop!(Rem, rem);
 
 impl AddAssign<&BigInt> for BigInt {
     fn add_assign(&mut self, rhs: &BigInt) {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            if let Some(s) = a.checked_add(*b) {
+                self.repr = Repr::Small(s);
+                return;
+            }
+        }
         *self = &*self + rhs;
     }
 }
 
 impl SubAssign<&BigInt> for BigInt {
     fn sub_assign(&mut self, rhs: &BigInt) {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            if let Some(s) = a.checked_sub(*b) {
+                self.repr = Repr::Small(s);
+                return;
+            }
+        }
         *self = &*self - rhs;
     }
 }
@@ -548,26 +1061,27 @@ impl MulAssign<&BigInt> for BigInt {
 
 impl fmt::Display for BigInt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_zero() {
-            return write!(f, "0");
+        match &self.repr {
+            Repr::Small(v) => write!(f, "{v}"),
+            Repr::Large { sign, limbs } => {
+                // Convert the magnitude to decimal by repeated division by 10^9.
+                let mut chunks: Vec<u32> = Vec::new();
+                let mut mag = limbs.clone();
+                while !mag.is_empty() {
+                    let (q, r) = BigInt::divrem_by_limb(&mag, 1_000_000_000);
+                    chunks.push(r);
+                    mag = q;
+                }
+                if *sign == Sign::Negative {
+                    write!(f, "-")?;
+                }
+                write!(f, "{}", chunks.last().expect("Large is nonzero"))?;
+                for chunk in chunks.iter().rev().skip(1) {
+                    write!(f, "{:09}", chunk)?;
+                }
+                Ok(())
+            }
         }
-        // Convert magnitude to decimal by repeated division by 10^9.
-        let mut chunks: Vec<u32> = Vec::new();
-        let mut mag = self.limbs.clone();
-        let base = vec![1_000_000_000u32];
-        while !mag.is_empty() {
-            let (q, r) = BigInt::divrem_magnitude(&mag, &base);
-            chunks.push(*r.first().unwrap_or(&0));
-            mag = q;
-        }
-        if self.sign == Sign::Negative {
-            write!(f, "-")?;
-        }
-        write!(f, "{}", chunks.last().unwrap())?;
-        for chunk in chunks.iter().rev().skip(1) {
-            write!(f, "{:09}", chunk)?;
-        }
-        Ok(())
     }
 }
 
@@ -600,15 +1114,37 @@ impl FromStr for BigInt {
         if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
             return Err(ParseBigIntError);
         }
-        let ten = BigInt::from(10u32);
-        let mut acc = BigInt::zero();
-        for b in digits.bytes() {
-            acc = &(&acc * &ten) + &BigInt::from((b - b'0') as u32);
+        // Accumulate the magnitude in 9-digit decimal chunks: each step is a
+        // single-limb multiply-add rather than a full BigInt multiply.
+        let mut limbs: Vec<u32> = Vec::new();
+        let bytes = digits.as_bytes();
+        let mut pos = 0;
+        while pos < bytes.len() {
+            let take = (bytes.len() - pos).min(9);
+            let mut chunk: u32 = 0;
+            for &b in &bytes[pos..pos + take] {
+                chunk = chunk * 10 + (b - b'0') as u32;
+            }
+            let scale = 10u32.pow(take as u32);
+            mul_add_limb(&mut limbs, scale, chunk);
+            pos += take;
         }
-        if neg {
-            acc = -acc;
-        }
-        Ok(acc)
+        let sign = if neg { Sign::Negative } else { Sign::Positive };
+        Ok(BigInt::from_limbs(sign, limbs))
+    }
+}
+
+/// Computes `limbs = limbs * m + a` in place.
+fn mul_add_limb(limbs: &mut Vec<u32>, m: u32, a: u32) {
+    let mut carry = a as u64;
+    for limb in limbs.iter_mut() {
+        let cur = *limb as u64 * m as u64 + carry;
+        *limb = cur as u32;
+        carry = cur >> 32;
+    }
+    while carry != 0 {
+        limbs.push(carry as u32);
+        carry >>= 32;
     }
 }
 
@@ -620,6 +1156,19 @@ mod tests {
         BigInt::from(v)
     }
 
+    /// Asserts the canonical-form invariant for a value.
+    fn assert_canonical(x: &BigInt) {
+        match &x.repr {
+            Repr::Small(_) => {}
+            Repr::Large { sign, limbs } => {
+                assert_ne!(*sign, Sign::Zero);
+                assert_ne!(limbs.last(), Some(&0), "trailing zero limb");
+                assert!(x.bit_len() >= 64, "Large magnitude must exceed i64::MAX");
+                assert!(x.to_i64().is_none());
+            }
+        }
+    }
+
     #[test]
     fn construction_and_zero() {
         assert!(bi(0).is_zero());
@@ -629,6 +1178,61 @@ mod tests {
         assert_eq!(bi(1), BigInt::one());
         assert!(BigInt::one().is_one());
         assert!(!bi(2).is_one());
+    }
+
+    #[test]
+    fn canonical_form_at_the_small_large_boundary() {
+        for v in [
+            0i128,
+            1,
+            -1,
+            i64::MAX as i128,
+            i64::MAX as i128 + 1,
+            i64::MIN as i128,
+            i64::MIN as i128 - 1,
+            u64::MAX as i128,
+            -(u64::MAX as i128),
+            i128::MAX,
+            i128::MIN + 1,
+        ] {
+            let x = bi(v);
+            assert_canonical(&x);
+            assert_eq!(x.to_i128(), Some(v), "roundtrip {v}");
+            // Values that fit i64 must be Small (so Eq/Hash are value-based).
+            assert_eq!(
+                x.to_i64().is_some(),
+                i64::try_from(v).is_ok(),
+                "repr of {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn arithmetic_stays_canonical_across_the_boundary() {
+        let near = [
+            bi(i64::MAX as i128),
+            bi(i64::MAX as i128 - 1),
+            bi(i64::MIN as i128),
+            bi(i64::MIN as i128 + 1),
+            bi(1),
+            bi(-1),
+            bi(0),
+        ];
+        for a in &near {
+            for b in &near {
+                for v in [a + b, a - b, a * b] {
+                    assert_canonical(&v);
+                }
+                assert_eq!(a + b, bi(a.to_i128().unwrap() + b.to_i128().unwrap()));
+            }
+            assert_canonical(&-a);
+        }
+        // Subtraction pulling a Large value back into Small territory.
+        let big = bi(i64::MAX as i128) + bi(1);
+        assert_canonical(&big);
+        let back = &big - &bi(1);
+        assert_eq!(back, bi(i64::MAX as i128));
+        assert!(back.to_i64().is_some());
     }
 
     #[test]
@@ -671,6 +1275,9 @@ mod tests {
             (1 << 40, 3),
             (123456789012345678, 987654321),
             (-123456789012345678, 987654321),
+            (i64::MIN as i128, -1),
+            (i128::MAX / 2, i64::MAX as i128),
+            (i128::MIN + 1, 3),
         ];
         for &(a, b) in cases {
             let (q, r) = bi(a).div_rem(&bi(b));
@@ -680,9 +1287,50 @@ mod tests {
     }
 
     #[test]
+    fn knuth_division_matches_binary_reference_on_multi_limb_values() {
+        // Deterministic multi-limb stress cases, including add-back triggers
+        // (dividend top limbs just below a multiple of the divisor).
+        let mut vals: Vec<BigInt> = Vec::new();
+        for e in [64u32, 65, 95, 96, 127, 160, 224] {
+            let p = bi(2).pow(e);
+            vals.push(p.clone());
+            vals.push(&p - &bi(1));
+            vals.push(&p + &bi(1));
+            vals.push(&p * &bi(0x1234_5678));
+        }
+        for a in &vals {
+            for b in &vals {
+                let (q, r) = a.div_rem(b);
+                let (qr, rr) = reference::binary_long_divrem(a, b);
+                assert_eq!(q, qr, "quotient {a}/{b}");
+                assert_eq!(r, rr, "remainder {a}%{b}");
+                assert_eq!(&(&q * b) + &r, a.clone(), "reconstruction {a}/{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook_above_threshold() {
+        // 40-limb operands force at least one Karatsuba split.
+        let a = (&bi(10).pow(350) - &bi(7)) * &bi(3);
+        let b = &bi(10).pow(340) + &bi(987654321);
+        assert!(a.bit_len() > KARATSUBA_THRESHOLD * 32);
+        assert_eq!(&a * &b, reference::schoolbook_mul(&a, &b));
+        assert_eq!(&a * &a, reference::schoolbook_mul(&a, &a));
+        let neg = -&a;
+        assert_eq!(&neg * &b, reference::schoolbook_mul(&neg, &b));
+    }
+
+    #[test]
     #[should_panic(expected = "division by zero")]
     fn div_by_zero_panics() {
         let _ = bi(1).div_rem(&bi(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics_large() {
+        let _ = bi(i128::MAX).div_rem(&bi(0));
     }
 
     #[test]
@@ -693,6 +1341,15 @@ mod tests {
                 assert_eq!(bi(a).gcd(&bi(b)), bi(expect), "gcd({a},{b})");
             }
         }
+        // Mixed small/large and large/large.
+        let p = bi(2).pow(90) * bi(3).pow(5);
+        let q = bi(2).pow(70) * bi(5).pow(4);
+        assert_eq!(p.gcd(&q), bi(2).pow(70));
+        assert_eq!(p.gcd(&bi(6)), bi(6));
+        assert_eq!(
+            bi(i64::MIN as i128).gcd(&bi(i64::MIN as i128)),
+            bi(1i128 << 63)
+        );
     }
 
     #[test]
@@ -712,11 +1369,24 @@ mod tests {
         assert!(bi(1) < bi(5));
         assert!(bi(1i128 << 40) > bi(1i128 << 20));
         assert!(bi(-(1i128 << 40)) < bi(-(1i128 << 20)));
+        // Across the Small/Large boundary.
+        assert!(bi(i64::MAX as i128) < bi(i64::MAX as i128) + bi(1));
+        assert!(bi(i64::MIN as i128) > bi(i64::MIN as i128) - bi(1));
+        assert!(bi(i128::MIN + 1) < bi(i64::MIN as i128));
     }
 
     #[test]
     fn display_and_parse_roundtrip() {
-        for v in [0i128, 1, -1, 42, -42, 1_000_000_007, i64::MAX as i128, i64::MIN as i128] {
+        for v in [
+            0i128,
+            1,
+            -1,
+            42,
+            -42,
+            1_000_000_007,
+            i64::MAX as i128,
+            i64::MIN as i128,
+        ] {
             let s = bi(v).to_string();
             assert_eq!(s, v.to_string());
             assert_eq!(s.parse::<BigInt>().unwrap(), bi(v));
@@ -725,6 +1395,10 @@ mod tests {
         let s = huge.to_string();
         assert_eq!(s.len(), 41);
         assert_eq!(s.parse::<BigInt>().unwrap(), huge);
+        for v in [i128::MAX, i128::MIN + 1, i64::MAX as i128 + 1] {
+            assert_eq!(bi(v).to_string(), v.to_string());
+            assert_eq!(v.to_string().parse::<BigInt>().unwrap(), bi(v));
+        }
     }
 
     #[test]
@@ -741,8 +1415,21 @@ mod tests {
         assert_eq!(bi(-12345).to_i128(), Some(-12345));
         assert_eq!(bi(12345).to_u64(), Some(12345));
         assert_eq!(bi(-1).to_u64(), None);
+        assert_eq!(bi(u64::MAX as i128).to_u64(), Some(u64::MAX));
+        assert_eq!(bi(u64::MAX as i128 + 1).to_u64(), None);
         assert_eq!(bi(10).pow(50).to_i128(), None);
         assert!((bi(1i128 << 80).to_f64() - (1i128 << 80) as f64).abs() < 1e10);
+        assert_eq!(bi(7).to_i64(), Some(7));
+        assert_eq!(bi(i64::MAX as i128 + 1).to_i64(), None);
+    }
+
+    #[test]
+    fn negation_at_i64_min() {
+        let x = bi(i64::MIN as i128);
+        let n = -&x;
+        assert_canonical(&n);
+        assert_eq!(n.to_i128(), Some(-(i64::MIN as i128)));
+        assert_eq!(-n, x);
     }
 
     #[test]
@@ -752,5 +1439,21 @@ mod tests {
         assert_eq!(bi(255).bit_len(), 8);
         assert_eq!(bi(256).bit_len(), 9);
         assert_eq!(bi(1i128 << 64).bit_len(), 65);
+        assert_eq!(bi(i64::MIN as i128).bit_len(), 64);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = bi(10);
+        x += &bi(5);
+        assert_eq!(x, bi(15));
+        x -= &bi(20);
+        assert_eq!(x, bi(-5));
+        x *= &bi(-3);
+        assert_eq!(x, bi(15));
+        let mut y = bi(i64::MAX as i128);
+        y += &bi(1);
+        assert_canonical(&y);
+        assert_eq!(y.to_i128(), Some(i64::MAX as i128 + 1));
     }
 }

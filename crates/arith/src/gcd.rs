@@ -3,6 +3,31 @@
 //! These are used both directly (by the fast paths of [`crate::Rational`]) and
 //! as reference implementations in the property tests for [`crate::BigInt`].
 
+/// Binary GCD for unsigned 64-bit integers. `gcd(0, 0) == 0`.
+///
+/// This is the workhorse of the `Rational` small fast path: one call per
+/// normalization, no allocation, no division.
+pub fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            core::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
 /// Binary GCD for unsigned 128-bit integers. `gcd(0, 0) == 0`.
 pub fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
     if a == 0 {

@@ -18,6 +18,54 @@
 //!
 //! The crate has no dependencies; it is deliberately small and heavily tested
 //! (unit tests in each module plus property tests against `i128` semantics).
+//!
+//! # Representation and fast paths
+//!
+//! This crate is the hot path of the whole workspace — every Theorem-2 bound,
+//! tiling LP, and tightness check bottoms out in `Rational` ops inside the
+//! exact simplex solver — so both types are built around a small-value fast
+//! path:
+//!
+//! * [`BigInt`] stores every value in `[i64::MIN, i64::MAX]` **inline**
+//!   (`Small(i64)`), touching the heap only beyond 64 bits (`Large`:
+//!   sign + 32-bit limbs). The representation is *canonical*: a value is
+//!   `Large` iff it does not fit in `i64`, and `Large` limb vectors carry no
+//!   trailing zeros. Every constructor restores this invariant, which is what
+//!   makes the derived `Eq`/`Hash` value-correct. `Small × Small` arithmetic
+//!   runs on machine integers (widened to `i128` where needed); multi-limb
+//!   multiplication is schoolbook below 32 limbs and Karatsuba above;
+//!   multi-limb division is limb-wise Knuth Algorithm D.
+//! * [`Rational`] is always in lowest terms with a positive denominator.
+//!   When all four components of a binary operation fit in `i64`, the op is
+//!   one `i128` cross-multiplication plus one binary-GCD normalization
+//!   ([`gcd_u64`]/[`gcd_u128`]) — no allocation. The fused
+//!   [`Rational::sub_mul_assign`] / [`Rational::add_mul_assign`] perform the
+//!   simplex row-update `x ← x ∓ f·p` with a *single* normalization, and
+//!   [`Rational::cmp_div`] compares two quotients without forming either —
+//!   these are the "gcd-light" kernels `projtile_lp::simplex` pivots on.
+//!
+//! The seed's simple algorithms (schoolbook multiplication, bit-by-bit binary
+//! long division) are retained under `reference` (doc-hidden) and the
+//! property suite (`tests/proptest_arith.rs`) checks the fast paths against
+//! them *exactly*, limb-for-limb, alongside `i128` differential checks for
+//! `Rational`.
+//!
+//! # Benchmark protocol
+//!
+//! Perf snapshots live in `BENCH_*.json` at the repository root and are
+//! produced by the `report` binary of `projtile-bench`:
+//!
+//! ```text
+//! cargo run --release -p projtile-bench --bin report -- --bench \
+//!     --label <label> --out BENCH_N.json [--baseline BENCH_{N-1}.json]
+//! ```
+//!
+//! The snapshot wall-times the simplex-heavy inputs of the `lower_bound` and
+//! `matmul` Criterion benches (median of 5 batched samples per workload,
+//! ~0.5 s budget each) and records seconds/iteration per workload under
+//! `"current"`, embedding the previous snapshot's measurements under
+//! `"baseline"` when `--baseline` is given. The Criterion benches themselves
+//! (`cargo bench -p projtile-bench`) remain the fine-grained view.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,8 +75,10 @@ mod gcd;
 pub mod log;
 mod rational;
 
+#[doc(hidden)]
+pub use bigint::reference;
 pub use bigint::{BigInt, Sign};
-pub use gcd::{gcd_i128, gcd_u128};
+pub use gcd::{gcd_i128, gcd_u128, gcd_u64};
 pub use rational::Rational;
 
 /// Convenience constructor for a rational `num / den` from machine integers.

@@ -23,7 +23,7 @@ pub fn integer_root(x: u128, k: u32) -> Option<u128> {
     // Binary search on r in [1, x].
     let mut lo: u128 = 1;
     let mut hi: u128 = 1u128 << (128 / k).min(127);
-    while hi.checked_pow(k).map_or(false, |p| p < x) {
+    while hi.checked_pow(k).is_some_and(|p| p < x) {
         hi = hi.saturating_mul(2);
     }
     while lo <= hi {

@@ -3,6 +3,27 @@
 //! A [`Rational`] is always stored in canonical form: the denominator is
 //! strictly positive and `gcd(|numerator|, denominator) == 1` (with `0`
 //! represented as `0/1`). Equality and ordering are therefore exact and cheap.
+//!
+//! # Fast paths
+//!
+//! Because [`BigInt`] stores every `i64`-sized value inline, a rational whose
+//! numerator and denominator both fit in `i64` occupies no heap at all. Every
+//! arithmetic operation first tries an `i128` cross-multiplication fast path
+//! (the products of two `i64`s always fit in `i128`), normalizing with the
+//! machine binary GCD ([`crate::gcd_u64`]/[`gcd_u128`]) instead of the
+//! allocating `BigInt` Euclid loop; only results that overflow the checked
+//! `i128` arithmetic fall back to the general `BigInt` path.
+//!
+//! # Deferred normalization (gcd-light fused ops)
+//!
+//! The exact simplex solver spends almost all of its time in row updates of
+//! the form `x ← x − f·p`. Computed naively that is two canonicalizing
+//! operations (one multiply, one subtract), i.e. two GCD normalizations per
+//! element. [`Rational::sub_mul_assign`] / [`Rational::add_mul_assign`] fuse
+//! the multiply into the addition over a common denominator and normalize
+//! exactly **once**, and [`Rational::cmp_div`] compares two quotients without
+//! materializing (or normalizing) either of them — the minimum-ratio test
+//! needs no division at all.
 
 use core::cmp::Ordering;
 use core::fmt;
@@ -10,6 +31,7 @@ use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 use core::str::FromStr;
 
 use crate::bigint::{BigInt, Sign};
+use crate::gcd::gcd_u128;
 
 /// An exact rational number.
 #[derive(Clone, PartialEq, Eq, Hash)]
@@ -21,12 +43,48 @@ pub struct Rational {
 impl Rational {
     /// The value `0`.
     pub fn zero() -> Rational {
-        Rational { numer: BigInt::zero(), denom: BigInt::one() }
+        Rational {
+            numer: BigInt::zero(),
+            denom: BigInt::one(),
+        }
     }
 
     /// The value `1`.
     pub fn one() -> Rational {
-        Rational { numer: BigInt::one(), denom: BigInt::one() }
+        Rational {
+            numer: BigInt::one(),
+            denom: BigInt::one(),
+        }
+    }
+
+    /// Views the value as machine integers when both parts fit in `i64`
+    /// (exactly the case where [`BigInt`] stores them inline).
+    #[inline]
+    fn small_parts(&self) -> Option<(i64, i64)> {
+        Some((self.numer.to_i64()?, self.denom.to_i64()?))
+    }
+
+    /// Builds the canonical rational for `numer / denom` given as `i128`s.
+    /// `denom` must be nonzero; both magnitudes must stay clear of
+    /// `i128::MIN` (guaranteed for cross-products of `i64`s).
+    fn from_i128_frac(mut numer: i128, mut denom: i128) -> Rational {
+        debug_assert!(denom != 0, "rational with zero denominator");
+        if numer == 0 {
+            return Rational::zero();
+        }
+        if denom < 0 {
+            numer = -numer;
+            denom = -denom;
+        }
+        let g = gcd_u128(numer.unsigned_abs(), denom.unsigned_abs());
+        if g > 1 {
+            numer /= g as i128;
+            denom /= g as i128;
+        }
+        Rational {
+            numer: BigInt::from(numer),
+            denom: BigInt::from(denom),
+        }
     }
 
     /// Builds the rational `numer / denom`, normalizing sign and common factors.
@@ -35,6 +93,9 @@ impl Rational {
     /// Panics if `denom` is zero.
     pub fn from_frac(numer: BigInt, denom: BigInt) -> Rational {
         assert!(!denom.is_zero(), "rational with zero denominator");
+        if let (Some(n), Some(d)) = (numer.to_i64(), denom.to_i64()) {
+            return Rational::from_i128_frac(n as i128, d as i128);
+        }
         if numer.is_zero() {
             return Rational::zero();
         }
@@ -54,7 +115,10 @@ impl Rational {
 
     /// Builds an integer-valued rational.
     pub fn from_integer(value: BigInt) -> Rational {
-        Rational { numer: value, denom: BigInt::one() }
+        Rational {
+            numer: value,
+            denom: BigInt::one(),
+        }
     }
 
     /// Best rational approximation of an `f64` with denominator at most
@@ -118,6 +182,11 @@ impl Rational {
         self.numer.is_zero()
     }
 
+    /// Returns `true` iff the value is one.
+    pub fn is_one(&self) -> bool {
+        self.numer.is_one() && self.denom.is_one()
+    }
+
     /// Returns `true` iff the value is strictly negative.
     pub fn is_negative(&self) -> bool {
         self.numer.is_negative()
@@ -153,7 +222,18 @@ impl Rational {
     /// Panics if the value is zero.
     pub fn recip(&self) -> Rational {
         assert!(!self.is_zero(), "reciprocal of zero");
-        Rational::from_frac(self.denom.clone(), self.numer.clone())
+        // Already in lowest terms: only the sign may need moving.
+        if self.numer.is_negative() {
+            Rational {
+                numer: -&self.denom,
+                denom: -&self.numer,
+            }
+        } else {
+            Rational {
+                numer: self.denom.clone(),
+                denom: self.numer.clone(),
+            }
+        }
     }
 
     /// Raises to an integer power (negative exponents invert; `0^0 == 1`).
@@ -165,6 +245,7 @@ impl Rational {
             return Rational::one();
         }
         let mag = exp.unsigned_abs();
+        // Powers of a canonical fraction stay canonical; no gcd needed.
         let out = Rational {
             numer: self.numer.pow(mag),
             denom: self.denom.pow(mag),
@@ -219,6 +300,87 @@ impl Rational {
             other
         }
     }
+
+    /// Fused `self ← self − f·p` with a **single** normalization.
+    ///
+    /// This is the simplex row-update kernel: the product is folded into the
+    /// subtraction over the common denominator `d(self)·d(f)·d(p)`, so the
+    /// whole update costs one GCD instead of the two a separate multiply and
+    /// subtract would pay — and on the `i64` fast path, no allocation at all.
+    pub fn sub_mul_assign(&mut self, f: &Rational, p: &Rational) {
+        self.fused_mul_acc(f, p, true);
+    }
+
+    /// Fused `self ← self + f·p`; see [`Rational::sub_mul_assign`].
+    pub fn add_mul_assign(&mut self, f: &Rational, p: &Rational) {
+        self.fused_mul_acc(f, p, false);
+    }
+
+    fn fused_mul_acc(&mut self, f: &Rational, p: &Rational, subtract: bool) {
+        if f.is_zero() || p.is_zero() {
+            return;
+        }
+        if let (Some((an, ad)), Some((fn_, fd)), Some((pn, pd))) =
+            (self.small_parts(), f.small_parts(), p.small_parts())
+        {
+            // num = an·(fd·pd) ∓ ad·(fn·pn),  den = ad·(fd·pd).
+            // The inner products always fit in i128; the outer ones are
+            // checked and overflow falls through to the BigInt path.
+            let fp_n = fn_ as i128 * pn as i128;
+            let fp_d = fd as i128 * pd as i128;
+            let outer = || -> Option<(i128, i128)> {
+                let t1 = (an as i128).checked_mul(fp_d)?;
+                let t2 = (ad as i128).checked_mul(fp_n)?;
+                let num = if subtract {
+                    t1.checked_sub(t2)?
+                } else {
+                    t1.checked_add(t2)?
+                };
+                let den = (ad as i128).checked_mul(fp_d)?;
+                Some((num, den))
+            };
+            if let Some((num, den)) = outer() {
+                *self = Rational::from_i128_frac(num, den);
+                return;
+            }
+        }
+        let fp_d = &f.denom * &p.denom;
+        let t1 = &self.numer * &fp_d;
+        let t2 = &self.denom * &(&f.numer * &p.numer);
+        let num = if subtract { &t1 - &t2 } else { &t1 + &t2 };
+        let den = &self.denom * &fp_d;
+        *self = Rational::from_frac(num, den);
+    }
+
+    /// Compares `a/b` against `c/d` (as exact values) without forming either
+    /// quotient. `b` and `d` must be strictly positive.
+    ///
+    /// This is the simplex minimum-ratio comparison: it needs no division,
+    /// no normalization, and on the `i64` fast path no allocation.
+    pub fn cmp_div(a: &Rational, b: &Rational, c: &Rational, d: &Rational) -> Ordering {
+        debug_assert!(
+            b.is_positive() && d.is_positive(),
+            "cmp_div needs positive denominators"
+        );
+        // a/b vs c/d  ⇔  a·d vs c·b (b, d > 0), expanded over the four
+        // component fractions:
+        //   (an·dn)·(cd·bd)  vs  (cn·bn)·(ad·dd)
+        if let (Some((an, ad)), Some((bn, bd)), Some((cn, cd)), Some((dn, dd))) = (
+            a.small_parts(),
+            b.small_parts(),
+            c.small_parts(),
+            d.small_parts(),
+        ) {
+            let lhs = (an as i128 * dn as i128).checked_mul(cd as i128 * bd as i128);
+            let rhs = (cn as i128 * bn as i128).checked_mul(ad as i128 * dd as i128);
+            if let (Some(l), Some(r)) = (lhs, rhs) {
+                return l.cmp(&r);
+            }
+        }
+        let lhs = &(&a.numer * &d.numer) * &(&c.denom * &b.denom);
+        let rhs = &(&c.numer * &b.numer) * &(&a.denom * &d.denom);
+        lhs.cmp(&rhs)
+    }
 }
 
 impl Default for Rational {
@@ -254,6 +416,9 @@ impl PartialOrd for Rational {
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
         // a/b vs c/d  <=>  a*d vs c*b  (b, d > 0).
+        if let (Some((an, ad)), Some((bn, bd))) = (self.small_parts(), other.small_parts()) {
+            return (an as i128 * bd as i128).cmp(&(bn as i128 * ad as i128));
+        }
         let lhs = &self.numer * &other.denom;
         let rhs = &other.numer * &self.denom;
         lhs.cmp(&rhs)
@@ -263,20 +428,34 @@ impl Ord for Rational {
 impl Neg for &Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { numer: -&self.numer, denom: self.denom.clone() }
+        Rational {
+            numer: -&self.numer,
+            denom: self.denom.clone(),
+        }
     }
 }
 
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        -&self
+        Rational {
+            numer: -self.numer,
+            denom: self.denom,
+        }
     }
 }
 
 impl Add for &Rational {
     type Output = Rational;
     fn add(self, rhs: &Rational) -> Rational {
+        if let (Some((an, ad)), Some((bn, bd))) = (self.small_parts(), rhs.small_parts()) {
+            // an·bd + bn·ad can overflow i128 only at the extreme corner
+            // (both summands near 2^126); checked-add and fall through.
+            let num = (an as i128 * bd as i128).checked_add(bn as i128 * ad as i128);
+            if let Some(num) = num {
+                return Rational::from_i128_frac(num, ad as i128 * bd as i128);
+            }
+        }
         Rational::from_frac(
             &(&self.numer * &rhs.denom) + &(&rhs.numer * &self.denom),
             &self.denom * &rhs.denom,
@@ -287,6 +466,12 @@ impl Add for &Rational {
 impl Sub for &Rational {
     type Output = Rational;
     fn sub(self, rhs: &Rational) -> Rational {
+        if let (Some((an, ad)), Some((bn, bd))) = (self.small_parts(), rhs.small_parts()) {
+            let num = (an as i128 * bd as i128).checked_sub(bn as i128 * ad as i128);
+            if let Some(num) = num {
+                return Rational::from_i128_frac(num, ad as i128 * bd as i128);
+            }
+        }
         self + &(-rhs)
     }
 }
@@ -294,6 +479,9 @@ impl Sub for &Rational {
 impl Mul for &Rational {
     type Output = Rational;
     fn mul(self, rhs: &Rational) -> Rational {
+        if let (Some((an, ad)), Some((bn, bd))) = (self.small_parts(), rhs.small_parts()) {
+            return Rational::from_i128_frac(an as i128 * bn as i128, ad as i128 * bd as i128);
+        }
         Rational::from_frac(&self.numer * &rhs.numer, &self.denom * &rhs.denom)
     }
 }
@@ -302,6 +490,9 @@ impl Div for &Rational {
     type Output = Rational;
     fn div(self, rhs: &Rational) -> Rational {
         assert!(!rhs.is_zero(), "division of Rational by zero");
+        if let (Some((an, ad)), Some((bn, bd))) = (self.small_parts(), rhs.small_parts()) {
+            return Rational::from_i128_frac(an as i128 * bd as i128, ad as i128 * bn as i128);
+        }
         Rational::from_frac(&self.numer * &rhs.denom, &self.denom * &rhs.numer)
     }
 }
@@ -431,6 +622,80 @@ mod tests {
     }
 
     #[test]
+    fn arithmetic_beyond_the_small_path() {
+        // Denominators of ~2^80 force the BigInt fallback; results must agree
+        // with hand-computed canonical forms.
+        let big = Rational::from_frac(BigInt::one(), BigInt::from(2).pow(80));
+        let sum = &big + &big;
+        assert_eq!(
+            sum,
+            Rational::from_frac(BigInt::one(), BigInt::from(2).pow(79))
+        );
+        let prod = &big * &Rational::from_integer(BigInt::from(2).pow(80));
+        assert_eq!(prod, Rational::one());
+        assert!(big < ratio(1, 1_000_000));
+        assert!(big.is_positive());
+    }
+
+    #[test]
+    fn fused_sub_mul_matches_separate_ops() {
+        let cases = [
+            (ratio(3, 4), ratio(5, 6), ratio(-7, 8)),
+            (ratio(0, 1), ratio(1, 3), ratio(3, 1)),
+            (ratio(-2, 9), ratio(0, 5), ratio(4, 7)),
+            (ratio(1, 1), ratio(1, 1), ratio(1, 1)),
+            (
+                ratio(i64::MAX - 1, 3),
+                ratio(i64::MAX - 2, 5),
+                ratio(7, i64::MAX - 3),
+            ),
+        ];
+        for (a, f, p) in cases {
+            let mut fused = a.clone();
+            fused.sub_mul_assign(&f, &p);
+            assert_eq!(fused, &a - &(&f * &p), "sub_mul {a} {f} {p}");
+            let mut fused = a.clone();
+            fused.add_mul_assign(&f, &p);
+            assert_eq!(fused, &a + &(&f * &p), "add_mul {a} {f} {p}");
+        }
+    }
+
+    #[test]
+    fn fused_ops_fall_back_to_bigint_cleanly() {
+        let huge = Rational::from_frac(BigInt::from(3), BigInt::from(2).pow(100));
+        let mut x = ratio(1, 3);
+        x.sub_mul_assign(&huge, &ratio(1, 7));
+        assert_eq!(x, &ratio(1, 3) - &(&huge * &ratio(1, 7)));
+    }
+
+    #[test]
+    fn cmp_div_matches_division() {
+        let vals = [
+            ratio(1, 2),
+            ratio(-3, 4),
+            ratio(5, 1),
+            ratio(0, 1),
+            ratio(7, 9),
+            ratio(-1, 100),
+        ];
+        let dens = [ratio(1, 3), ratio(2, 1), ratio(9, 7)];
+        for a in &vals {
+            for b in &dens {
+                for c in &vals {
+                    for d in &dens {
+                        let expect = (a / b).cmp(&(c / d));
+                        assert_eq!(
+                            Rational::cmp_div(a, b, c, d),
+                            expect,
+                            "cmp_div({a},{b},{c},{d})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn ordering_and_minmax() {
         assert!(ratio(1, 3) < ratio(1, 2));
         assert!(ratio(-1, 2) < ratio(-1, 3));
@@ -445,6 +710,8 @@ mod tests {
         assert_eq!(ratio(2, 3).pow(-2), ratio(9, 4));
         assert_eq!(ratio(2, 3).pow(0), Rational::one());
         assert_eq!(ratio(2, 3).recip(), ratio(3, 2));
+        assert_eq!(ratio(-2, 3).recip(), ratio(-3, 2));
+        assert!(ratio(-2, 3).recip().denom().is_positive());
     }
 
     #[test]

@@ -13,8 +13,11 @@ use projtile_loopnest::builders;
 fn bench_pointwise_conv(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_pointwise_conv");
     let m = 1u64 << 12;
-    let shapes: [(u64, u64, u64, u64, u64); 3] =
-        [(1, 3, 32, 112, 112), (4, 16, 16, 28, 28), (8, 256, 256, 7, 7)];
+    let shapes: [(u64, u64, u64, u64, u64); 3] = [
+        (1, 3, 32, 112, 112),
+        (4, 16, 16, 28, 28),
+        (8, 256, 256, 7, 7),
+    ];
     for (i, &(b_, cc, k, w, h)) in shapes.iter().enumerate() {
         let nest = builders::pointwise_conv(b_, cc, k, w, h);
         group.bench_with_input(BenchmarkId::new("tiling_lp", i), &nest, |bch, nest| {

@@ -8,32 +8,35 @@
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use projtile_bench::perf;
 use projtile_core::{bounds, check_tightness};
-use projtile_loopnest::builders;
 
 fn bench_bound_vs_enumeration(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_bound_vs_enumeration");
-    let m = 1u64 << 6;
-    for d in [3usize, 5, 7, 9] {
-        let nest = builders::random_projective(42, d, 4, (1, 256));
+    // Inputs shared with the BENCH_*.json snapshot (see projtile_bench::perf).
+    let m = perf::BOUND_M;
+    for (d, nest) in perf::bound_vs_enumeration_nests() {
         group.bench_with_input(BenchmarkId::new("bound_lp", d), &nest, |b, nest| {
             b.iter(|| bounds::arbitrary_bound_exponent(black_box(nest), m))
         });
-        group.bench_with_input(BenchmarkId::new("subset_enumeration_2^d", d), &nest, |b, nest| {
-            b.iter(|| bounds::enumerated_exponent(black_box(nest), m))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("subset_enumeration_2^d", d),
+            &nest,
+            |b, nest| b.iter(|| bounds::enumerated_exponent(black_box(nest), m)),
+        );
     }
     group.finish();
 }
 
 fn bench_tightness_random(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_tightness_random");
-    let m = 1u64 << 8;
-    for seed in [0u64, 1, 2] {
-        let nest = builders::random_projective(seed, 5, 4, (1, 512));
-        group.bench_with_input(BenchmarkId::new("check_tightness", seed), &nest, |b, nest| {
-            b.iter(|| check_tightness(black_box(nest), m))
-        });
+    let m = perf::TIGHTNESS_M;
+    for (seed, nest) in perf::tightness_nests() {
+        group.bench_with_input(
+            BenchmarkId::new("check_tightness", seed),
+            &nest,
+            |b, nest| b.iter(|| check_tightness(black_box(nest), m)),
+        );
     }
     group.finish();
 }

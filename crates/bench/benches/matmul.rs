@@ -6,19 +6,19 @@
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use projtile_bench::perf;
 use projtile_core::{communication_lower_bound, hbl, optimal_tiling};
-use projtile_loopnest::builders;
 
 fn bench_matmul_large(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_matmul_large");
-    let l = 1u64 << 9;
-    let nest = builders::matmul(l, l, l);
+    // Inputs shared with the BENCH_*.json snapshot (see projtile_bench::perf).
+    let nest = perf::matmul_nest();
 
     group.bench_function("hbl_exponent", |b| {
         b.iter(|| hbl::hbl_exponent(black_box(&nest)))
     });
 
-    for log_m in [8u32, 12, 16] {
+    for log_m in perf::MATMUL_LOG_MS {
         let m = 1u64 << log_m;
         group.bench_with_input(BenchmarkId::new("lower_bound", log_m), &m, |b, &m| {
             b.iter(|| communication_lower_bound(black_box(&nest), m))

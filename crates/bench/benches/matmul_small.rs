@@ -19,9 +19,11 @@ fn bench_small_l3(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("bound_lp", l3), &nest, |b, nest| {
             b.iter(|| bounds::arbitrary_bound_exponent(black_box(nest), m))
         });
-        group.bench_with_input(BenchmarkId::new("subset_enumeration", l3), &nest, |b, nest| {
-            b.iter(|| bounds::enumerated_exponent(black_box(nest), m))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("subset_enumeration", l3),
+            &nest,
+            |b, nest| b.iter(|| bounds::enumerated_exponent(black_box(nest), m)),
+        );
         group.bench_with_input(BenchmarkId::new("optimal_tiling", l3), &nest, |b, nest| {
             b.iter(|| optimal_tiling(black_box(nest), m))
         });

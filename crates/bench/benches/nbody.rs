@@ -21,9 +21,11 @@ fn bench_nbody(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("lower_bound", label), &nest, |b, nest| {
             b.iter(|| communication_lower_bound(black_box(nest), m))
         });
-        group.bench_with_input(BenchmarkId::new("optimal_tiling", label), &nest, |b, nest| {
-            b.iter(|| optimal_tiling(black_box(nest), m))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("optimal_tiling", label),
+            &nest,
+            |b, nest| b.iter(|| optimal_tiling(black_box(nest), m)),
+        );
         group.bench_with_input(BenchmarkId::new("closed_form", label), &(), |b, _| {
             b.iter(|| {
                 (

@@ -42,9 +42,11 @@ fn bench_simulated_schedules(c: &mut Criterion) {
     // trace, so keep it modest.
     let small = builders::matmul(12, 12, 12);
     let (_, optimal_small) = optimal_tiling_schedule(&small, 64);
-    group.bench_with_input(BenchmarkId::new("ideal", "optimal"), &optimal_small, |b, s| {
-        b.iter(|| measure(black_box(&small), s, 64, CachePolicy::Ideal))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("ideal", "optimal"),
+        &optimal_small,
+        |b, s| b.iter(|| measure(black_box(&small), s, 64, CachePolicy::Ideal)),
+    );
     group.finish();
 }
 

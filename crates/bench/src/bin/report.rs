@@ -1,16 +1,92 @@
-//! Regenerates every experiment table from DESIGN.md / EXPERIMENTS.md.
+//! Regenerates every experiment table from DESIGN.md / EXPERIMENTS.md, and
+//! emits machine-readable perf snapshots.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p projtile-bench --bin report            # all experiments
 //! cargo run --release -p projtile-bench --bin report -- e2 e8   # a subset
+//!
+//! # Perf snapshot mode: wall-time the lower_bound / matmul bench inputs and
+//! # write a BENCH_*.json document (see projtile_arith docs for the protocol).
+//! cargo run --release -p projtile-bench --bin report -- --bench \
+//!     --label after --out BENCH_1.json [--baseline prev_current.json]
 //! ```
 
-use projtile_bench::all_experiments;
+use std::time::Duration;
+
+use projtile_bench::{all_experiments, perf};
+
+fn run_bench_mode(args: &[String]) {
+    let mut label = "snapshot".to_string();
+    let mut out: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut budget_ms: u64 = 500;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bench" => {}
+            "--label" => label = it.next().expect("--label needs a value").clone(),
+            "--out" => out = Some(it.next().expect("--out needs a value").clone()),
+            "--baseline" => {
+                baseline_path = Some(it.next().expect("--baseline needs a value").clone())
+            }
+            "--budget-ms" => {
+                budget_ms = it
+                    .next()
+                    .expect("--budget-ms needs a value")
+                    .parse()
+                    .expect("--budget-ms must be an integer")
+            }
+            other => {
+                eprintln!("unknown --bench option: {other}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // The baseline file may be a full snapshot document or a bare
+    // measurements object; embed the `current` object when present.
+    let baseline = baseline_path.map(|p| {
+        let text =
+            std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"));
+        match text.find("\"current\":") {
+            Some(pos) => {
+                let obj = &text[pos + "\"current\":".len()..];
+                let end = obj.rfind('}').expect("baseline JSON has no closing brace");
+                obj[..end].trim().to_string()
+            }
+            None => text.trim().to_string(),
+        }
+    });
+
+    eprintln!(
+        "timing {} workloads ({budget_ms} ms budget each)...",
+        perf::default_workloads().len()
+    );
+    let measurements = perf::measure_all(
+        &perf::default_workloads(),
+        Duration::from_millis(budget_ms),
+        5,
+    );
+    let doc = perf::snapshot_json(&label, &measurements, baseline.as_deref());
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &doc).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+        None => println!("{doc}"),
+    }
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--bench") {
+        run_bench_mode(&args);
+        return;
+    }
+
+    let args: Vec<String> = args.iter().map(|a| a.to_lowercase()).collect();
     let tables = all_experiments();
 
     let selected: Vec<_> = if args.is_empty() {

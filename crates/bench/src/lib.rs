@@ -10,6 +10,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use projtile_core::{
     alpha, bounds, check_tightness, closed_forms, communication_lower_bound, contraction, hbl,
     optimal_tiling, parametric, solve_tiling_lp,
@@ -59,7 +61,13 @@ impl Table {
                 .collect::<Vec<_>>()
                 .join("  ")
         };
-        out.push_str(&fmt_row(&self.header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+        out.push_str(&fmt_row(
+            &self
+                .header
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+        ));
         out.push('\n');
         out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
         out.push('\n');
@@ -98,7 +106,14 @@ pub fn e1_matmul_large() -> Table {
     Table {
         id: "E1",
         title: "matmul, all bounds large: classical exponent 3/2 and square tiles",
-        header: vec!["L", "M", "k_HBL", "k_hat", "optimal tile", "lower bound (words)"],
+        header: vec![
+            "L",
+            "M",
+            "k_HBL",
+            "k_hat",
+            "optimal tile",
+            "lower bound (words)",
+        ],
         rows,
     }
 }
@@ -197,7 +212,14 @@ pub fn e4_contraction() -> Table {
     Table {
         id: "E4",
         title: "pointwise convolutions (B,C,K,W,H), M=4096: closed form (6.2) vs tiling LP",
-        header: vec!["shape", "LP exponent", "closed form", "agree", "lower bound", "optimal tile"],
+        header: vec![
+            "shape",
+            "LP exponent",
+            "closed form",
+            "agree",
+            "lower bound",
+            "optimal tile",
+        ],
         rows,
     }
 }
@@ -226,7 +248,14 @@ pub fn e5_nbody() -> Table {
     Table {
         id: "E5",
         title: "n-body pairwise interactions, |Other|=2048, M=256: closed forms (6.3) vs machinery",
-        header: vec!["L1", "max tile (6.3)", "closed LB", "general LB", "k_hat", "optimal tile"],
+        header: vec![
+            "L1",
+            "max tile (6.3)",
+            "closed LB",
+            "general LB",
+            "k_hat",
+            "optimal tile",
+        ],
         rows,
     }
 }
@@ -252,8 +281,16 @@ pub fn e6_random_programs() -> Table {
     });
     Table {
         id: "E6",
-        title: "random projective programs (d=4, n=4), M=64: classical vs arbitrary-bound exponents",
-        header: vec!["seed", "bounds", "k_HBL", "k_hat (LP)", "k_hat (enum)", "witness Q"],
+        title:
+            "random projective programs (d=4, n=4), M=64: classical vs arbitrary-bound exponents",
+        header: vec![
+            "seed",
+            "bounds",
+            "k_HBL",
+            "k_hat (LP)",
+            "k_hat (enum)",
+            "witness Q",
+        ],
         rows,
     }
 }
@@ -262,13 +299,33 @@ pub fn e6_random_programs() -> Table {
 pub fn e7_tightness() -> Table {
     let mut rows = Vec::new();
     let cases: Vec<(&str, projtile_loopnest::LoopNest, u64)> = vec![
-        ("matmul large", builders::matmul(1 << 8, 1 << 8, 1 << 8), 1 << 10),
-        ("matmul small L3", builders::matmul(1 << 8, 1 << 8, 4), 1 << 10),
+        (
+            "matmul large",
+            builders::matmul(1 << 8, 1 << 8, 1 << 8),
+            1 << 10,
+        ),
+        (
+            "matmul small L3",
+            builders::matmul(1 << 8, 1 << 8, 4),
+            1 << 10,
+        ),
         ("matvec", builders::matvec(1 << 8, 1 << 8), 1 << 10),
-        ("pointwise conv", builders::pointwise_conv(1, 3, 32, 112, 112), 1 << 12),
-        ("fully connected", builders::fully_connected(32, 1 << 10, 1 << 10), 1 << 12),
+        (
+            "pointwise conv",
+            builders::pointwise_conv(1, 3, 32, 112, 112),
+            1 << 12,
+        ),
+        (
+            "fully connected",
+            builders::fully_connected(32, 1 << 10, 1 << 10),
+            1 << 12,
+        ),
         ("n-body", builders::nbody(1 << 4, 1 << 11), 1 << 8),
-        ("contraction d=5", builders::tensor_contraction(2, 4, &[4, 8, 2, 16, 32]), 1 << 8),
+        (
+            "contraction d=5",
+            builders::tensor_contraction(2, 4, &[4, 8, 2, 16, 32]),
+            1 << 8,
+        ),
     ];
     for (name, nest, m) in cases {
         let report = check_tightness(&nest, m);
@@ -284,7 +341,14 @@ pub fn e7_tightness() -> Table {
     Table {
         id: "E7",
         title: "Theorem 3 tightness: tiling-LP optimum vs Theorem-2 exponent (exact equality)",
-        header: vec!["kernel", "M", "tiling exp", "bound exp", "enum exp", "tight"],
+        header: vec![
+            "kernel",
+            "M",
+            "tiling exp",
+            "bound exp",
+            "enum exp",
+            "tight",
+        ],
         rows,
     }
 }
@@ -296,7 +360,11 @@ pub fn e8_simulated() -> Table {
         ("matmul 32^3", builders::matmul(32, 32, 32), 128),
         ("matmul 64x64x2", builders::matmul(64, 64, 2), 256),
         ("matvec 64x64", builders::matvec(64, 64), 256),
-        ("conv 2x2x8x12x12", builders::pointwise_conv(2, 2, 8, 12, 12), 128),
+        (
+            "conv 2x2x8x12x12",
+            builders::pointwise_conv(2, 2, 8, 12, 12),
+            128,
+        ),
         ("nbody 32x2048", builders::nbody(32, 2048), 256),
     ];
     let rows: Vec<Row> = par_map(&cases, |(name, nest, m)| {
@@ -336,7 +404,11 @@ pub fn e9_parametric() -> Table {
     let cases: Vec<(&str, projtile_loopnest::LoopNest, usize)> = vec![
         ("matmul vs L3", builders::matmul(1 << 9, 1 << 9, 1 << 9), 2),
         ("nbody vs L1", builders::nbody(1 << 4, 1 << 12), 0),
-        ("conv vs C", builders::pointwise_conv(2, 1, 1 << 6, 1 << 5, 1 << 5), 1),
+        (
+            "conv vs C",
+            builders::pointwise_conv(2, 1, 1 << 6, 1 << 5, 1 << 5),
+            1,
+        ),
     ];
     for (name, nest, axis) in cases {
         let vf = parametric::exponent_vs_beta(&nest, m, axis, 1, m).expect("parametric analysis");
@@ -348,13 +420,20 @@ pub fn e9_parametric() -> Table {
         rows.push(row(vec![
             name.to_string(),
             vf.num_pieces().to_string(),
-            format!("{:?}", vf.slopes().iter().map(|s| s.to_string()).collect::<Vec<_>>()),
+            format!(
+                "{:?}",
+                vf.slopes()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+            ),
             breakpoints.join(" "),
         ]));
     }
     Table {
         id: "E9",
-        title: "piecewise-linear optimal exponent vs one log-bound (breakpoints are exact rationals)",
+        title:
+            "piecewise-linear optimal exponent vs one log-bound (breakpoints are exact rationals)",
         header: vec!["sweep", "pieces", "slopes", "breakpoints"],
         rows,
     }
@@ -429,6 +508,9 @@ mod tests {
             }
         }
         // At least some of the instances show the headline separation.
-        assert!(big_wins >= 2, "expected at least two large wins, saw {big_wins}");
+        assert!(
+            big_wins >= 2,
+            "expected at least two large wins, saw {big_wins}"
+        );
     }
 }

@@ -1,0 +1,270 @@
+//! Wall-clock perf snapshots for the `report --bench` mode.
+//!
+//! This module mirrors the simplex-heavy inputs of the `lower_bound` and
+//! `matmul` Criterion benches and times them with a plain
+//! warm-up + batched-samples loop, emitting a machine-readable JSON snapshot
+//! (`BENCH_*.json`) so successive PRs have a perf trajectory to compare
+//! against. See the module docs of `projtile_arith` for the full benchmark
+//! protocol.
+
+use std::time::{Duration, Instant};
+
+use projtile_core::{bounds, check_tightness, communication_lower_bound, hbl, optimal_tiling};
+use projtile_loopnest::{builders, LoopNest};
+
+/// Cache size for the bound-LP / subset-enumeration workloads (E6).
+pub const BOUND_M: u64 = 1 << 6;
+
+/// Cache size for the tightness workloads (E7).
+pub const TIGHTNESS_M: u64 = 1 << 8;
+
+/// Loop-bound edge length of the large matmul workload (E1).
+pub const MATMUL_L: u64 = 1 << 9;
+
+/// `log2(M)` sweep of the matmul workloads (E1).
+pub const MATMUL_LOG_MS: [u32; 3] = [8, 12, 16];
+
+/// The depth-swept random nests of the `lower_bound` bench, as `(d, nest)`.
+///
+/// These constructors are the **single source of truth** for the bench
+/// inputs: `benches/lower_bound.rs` / `benches/matmul.rs` and the
+/// `BENCH_*.json` snapshot both call them, so the Criterion view and the
+/// perf trajectory can never time different workloads under the same name.
+pub fn bound_vs_enumeration_nests() -> Vec<(usize, LoopNest)> {
+    [3usize, 5, 7, 9]
+        .into_iter()
+        .map(|d| (d, builders::random_projective(42, d, 4, (1, 256))))
+        .collect()
+}
+
+/// The seed-swept random nests of the tightness bench, as `(seed, nest)`.
+pub fn tightness_nests() -> Vec<(u64, LoopNest)> {
+    [0u64, 1, 2]
+        .into_iter()
+        .map(|seed| (seed, builders::random_projective(seed, 5, 4, (1, 512))))
+        .collect()
+}
+
+/// The large matmul nest of the `matmul` bench.
+pub fn matmul_nest() -> LoopNest {
+    builders::matmul(MATMUL_L, MATMUL_L, MATMUL_L)
+}
+
+/// One named, timed workload.
+pub struct Workload {
+    /// Stable snapshot key, e.g. `lower_bound/bound_lp/d7`.
+    pub name: String,
+    /// Runs the workload once.
+    pub run: Box<dyn Fn()>,
+}
+
+/// A timing result for one workload.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Workload key.
+    pub name: String,
+    /// Median seconds per iteration.
+    pub secs_per_iter: f64,
+    /// Total iterations timed (across all samples).
+    pub iters: u64,
+}
+
+/// The workload set snapshotted into `BENCH_*.json`: the bound LP and subset
+/// enumeration of the `lower_bound` bench plus the full matmul pipeline of
+/// the `matmul` bench. All of these bottom out in the exact simplex solver.
+pub fn default_workloads() -> Vec<Workload> {
+    let mut workloads: Vec<Workload> = Vec::new();
+
+    // lower_bound bench inputs (E6/E7).
+    for (d, nest) in bound_vs_enumeration_nests() {
+        let n = nest.clone();
+        workloads.push(Workload {
+            name: format!("lower_bound/bound_lp/d{d}"),
+            run: Box::new(move || {
+                std::hint::black_box(bounds::arbitrary_bound_exponent(&n, BOUND_M));
+            }),
+        });
+        let n = nest;
+        workloads.push(Workload {
+            name: format!("lower_bound/subset_enumeration/d{d}"),
+            run: Box::new(move || {
+                std::hint::black_box(bounds::enumerated_exponent(&n, BOUND_M));
+            }),
+        });
+    }
+    for (seed, nest) in tightness_nests() {
+        workloads.push(Workload {
+            name: format!("lower_bound/check_tightness/seed{seed}"),
+            run: Box::new(move || {
+                std::hint::black_box(check_tightness(&nest, TIGHTNESS_M));
+            }),
+        });
+    }
+
+    // matmul bench inputs (E1).
+    let nest = matmul_nest();
+    let n = nest.clone();
+    workloads.push(Workload {
+        name: "matmul/hbl_exponent".to_string(),
+        run: Box::new(move || {
+            std::hint::black_box(hbl::hbl_exponent(&n));
+        }),
+    });
+    for log_m in MATMUL_LOG_MS {
+        let m = 1u64 << log_m;
+        let n = nest.clone();
+        workloads.push(Workload {
+            name: format!("matmul/lower_bound/logM{log_m}"),
+            run: Box::new(move || {
+                std::hint::black_box(communication_lower_bound(&n, m));
+            }),
+        });
+        let n = nest.clone();
+        workloads.push(Workload {
+            name: format!("matmul/optimal_tiling/logM{log_m}"),
+            run: Box::new(move || {
+                std::hint::black_box(optimal_tiling(&n, m));
+            }),
+        });
+    }
+    workloads
+}
+
+/// Times one closure: warm up, then `samples` batched samples; returns the
+/// median seconds/iteration and the total iteration count.
+pub fn time_workload(run: &dyn Fn(), budget: Duration, samples: usize) -> (f64, u64) {
+    // Warm-up & calibration: run until ~1/8 of the budget is spent.
+    let calibration_budget = budget / 8;
+    let start = Instant::now();
+    let mut warm_iters = 0u64;
+    while start.elapsed() < calibration_budget {
+        run();
+        warm_iters += 1;
+    }
+    let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+    let sample_budget = budget.as_secs_f64() * 7.0 / 8.0 / samples as f64;
+    let iters_per_sample = ((sample_budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 30);
+
+    let mut medians: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters_per_sample {
+            run();
+        }
+        medians.push(t.elapsed().as_secs_f64() / iters_per_sample as f64);
+    }
+    medians.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    (
+        medians[medians.len() / 2],
+        iters_per_sample * samples as u64 + warm_iters,
+    )
+}
+
+/// Times every workload in `workloads` with the given per-workload budget.
+pub fn measure_all(workloads: &[Workload], budget: Duration, samples: usize) -> Vec<Measurement> {
+    workloads
+        .iter()
+        .map(|w| {
+            let (secs_per_iter, iters) = time_workload(&*w.run, budget, samples);
+            eprintln!("  {:<42} {:>12.3} µs/iter", w.name, secs_per_iter * 1e6);
+            Measurement {
+                name: w.name.clone(),
+                secs_per_iter,
+                iters,
+            }
+        })
+        .collect()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders measurements as a JSON object `{name: {secs_per_iter, iters}}`.
+pub fn measurements_json(measurements: &[Measurement], indent: &str) -> String {
+    let mut out = String::from("{\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "{indent}  \"{}\": {{\"secs_per_iter\": {:.9e}, \"iters\": {}}}{}\n",
+            json_escape(&m.name),
+            m.secs_per_iter,
+            m.iters,
+            if i + 1 < measurements.len() { "," } else { "" },
+        ));
+    }
+    out.push_str(&format!("{indent}}}"));
+    out
+}
+
+/// Renders the full snapshot document. `baseline_json`, when given, must be a
+/// JSON object (e.g. the `current` object of an earlier snapshot) and is
+/// embedded verbatim under `"baseline"`.
+pub fn snapshot_json(
+    label: &str,
+    measurements: &[Measurement],
+    baseline_json: Option<&str>,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"projtile-bench-v1\",\n");
+    out.push_str(&format!("  \"label\": \"{}\",\n", json_escape(label)));
+    if let Some(base) = baseline_json {
+        out.push_str(&format!("  \"baseline\": {},\n", base.trim()));
+    }
+    out.push_str(&format!(
+        "  \"current\": {}\n",
+        measurements_json(measurements, "  ")
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_returns_positive_values() {
+        let counter = std::cell::Cell::new(0u64);
+        let (secs, iters) = time_workload(
+            &|| counter.set(counter.get() + 1),
+            Duration::from_millis(20),
+            3,
+        );
+        assert!(secs >= 0.0);
+        assert!(iters > 0);
+        assert!(counter.get() >= iters);
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let ms = vec![
+            Measurement {
+                name: "a/b".into(),
+                secs_per_iter: 1.25e-6,
+                iters: 100,
+            },
+            Measurement {
+                name: "c".into(),
+                secs_per_iter: 2.0,
+                iters: 3,
+            },
+        ];
+        let doc = snapshot_json("test", &ms, Some("{\"x\": {}}"));
+        assert!(doc.contains("\"schema\": \"projtile-bench-v1\""));
+        assert!(doc.contains("\"a/b\""));
+        assert!(doc.contains("\"baseline\": {\"x\": {}}"));
+        // Balanced braces — a cheap well-formedness check without a parser.
+        let open = doc.matches('{').count();
+        let close = doc.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn default_workloads_have_unique_names() {
+        let w = default_workloads();
+        let mut names: Vec<_> = w.iter().map(|x| x.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), w.len());
+    }
+}

@@ -44,8 +44,10 @@ pub fn simulate_ideal(trace: &[u64], capacity: usize) -> CacheStats {
         } else {
             stats.record_miss();
             if resident.len() >= capacity {
-                let &(victim_next, victim) =
-                    by_next_use.iter().next_back().expect("non-empty resident set");
+                let &(victim_next, victim) = by_next_use
+                    .iter()
+                    .next_back()
+                    .expect("non-empty resident set");
                 by_next_use.remove(&(victim_next, victim));
                 resident.remove(&victim);
                 stats.record_eviction();

@@ -1,24 +1,44 @@
 //! Fully associative least-recently-used cache.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 use crate::sim::Cache;
 use crate::stats::CacheStats;
 
+/// Sentinel slot index for list ends.
+const NIL: usize = usize::MAX;
+
+/// A node of the intrusive recency list, stored in a slab.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    addr: u64,
+    /// Towards more recently used.
+    prev: usize,
+    /// Towards less recently used.
+    next: usize,
+}
+
 /// A fully associative LRU cache over word addresses with a line size of one
 /// word.
 ///
-/// Recency is tracked with a monotonically increasing logical clock: a
-/// `HashMap` gives O(1) expected residency checks and a `BTreeMap` keyed by
-/// last-use time gives O(log M) eviction of the least recently used word.
+/// Recency is an intrusive doubly-linked list threaded through a slab of
+/// nodes (`head` = most recently used, `tail` = least recently used), with a
+/// `HashMap` from address to slab slot. Every operation — residency check,
+/// touch, eviction — is O(1) (amortized for the hash map), replacing the
+/// seed's `BTreeMap`-by-recency design whose eviction was O(log M).
+/// Eviction order is identical to true LRU.
 #[derive(Debug, Clone)]
 pub struct LruCache {
     capacity: usize,
-    clock: u64,
-    /// addr -> last-use time
-    resident: HashMap<u64, u64>,
-    /// last-use time -> addr (times are unique because the clock is monotone)
-    by_recency: BTreeMap<u64, u64>,
+    /// addr -> slot in `nodes`.
+    resident: HashMap<u64, usize>,
+    /// Slab of list nodes; free slots are tracked in `free`.
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    /// Most recently used slot (NIL when empty).
+    head: usize,
+    /// Least recently used slot (NIL when empty).
+    tail: usize,
     stats: CacheStats,
 }
 
@@ -31,9 +51,11 @@ impl LruCache {
         assert!(capacity > 0, "cache capacity must be positive");
         LruCache {
             capacity,
-            clock: 0,
             resident: HashMap::with_capacity(capacity),
-            by_recency: BTreeMap::new(),
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
             stats: CacheStats::new(),
         }
     }
@@ -48,32 +70,86 @@ impl LruCache {
         self.resident.contains_key(&addr)
     }
 
-    fn touch(&mut self, addr: u64) {
-        self.clock += 1;
-        if let Some(old) = self.resident.insert(addr, self.clock) {
-            self.by_recency.remove(&old);
+    /// Unlinks `slot` from the recency list.
+    fn unlink(&mut self, slot: usize) {
+        let Node { prev, next, .. } = self.nodes[slot];
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev].next = next;
         }
-        self.by_recency.insert(self.clock, addr);
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next].prev = prev;
+        }
+    }
+
+    /// Links `slot` at the head (most recently used position).
+    fn link_front(&mut self, slot: usize) {
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Inserts a new address at the most recently used position.
+    fn insert_front(&mut self, addr: u64) {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.nodes[s] = Node {
+                    addr,
+                    prev: NIL,
+                    next: NIL,
+                };
+                s
+            }
+            None => {
+                self.nodes.push(Node {
+                    addr,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.nodes.len() - 1
+            }
+        };
+        self.resident.insert(addr, slot);
+        self.link_front(slot);
+    }
+
+    /// Removes and returns the least recently used address.
+    fn evict_lru(&mut self) -> u64 {
+        let slot = self.tail;
+        debug_assert_ne!(slot, NIL, "evicting from an empty cache");
+        let victim = self.nodes[slot].addr;
+        self.unlink(slot);
+        self.resident.remove(&victim);
+        self.free.push(slot);
+        victim
     }
 }
 
 impl Cache for LruCache {
     fn access(&mut self, addr: u64) -> bool {
-        if self.resident.contains_key(&addr) {
+        if let Some(&slot) = self.resident.get(&addr) {
             self.stats.record_hit();
-            self.touch(addr);
+            if self.head != slot {
+                self.unlink(slot);
+                self.link_front(slot);
+            }
             true
         } else {
             self.stats.record_miss();
             if self.resident.len() >= self.capacity {
-                // Evict the least recently used word.
-                let (&oldest_time, &victim) =
-                    self.by_recency.iter().next().expect("non-empty cache has an LRU entry");
-                self.by_recency.remove(&oldest_time);
-                self.resident.remove(&victim);
+                self.evict_lru();
                 self.stats.record_eviction();
             }
-            self.touch(addr);
+            self.insert_front(addr);
             false
         }
     }
@@ -87,9 +163,11 @@ impl Cache for LruCache {
     }
 
     fn reset(&mut self) {
-        self.clock = 0;
         self.resident.clear();
-        self.by_recency.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
         self.stats = CacheStats::new();
     }
 }
@@ -181,5 +259,87 @@ mod tests {
         let s = simulate(&mut small, trace.iter().copied());
         let l = simulate(&mut large, trace.iter().copied());
         assert!(l.misses <= s.misses);
+    }
+
+    /// The seed's `BTreeMap`-by-recency implementation, kept as a test oracle
+    /// so the slab/intrusive-list rewrite can be checked for *identical*
+    /// eviction behaviour, not just matching hit counts.
+    #[derive(Debug)]
+    struct ReferenceLru {
+        capacity: usize,
+        clock: u64,
+        resident: HashMap<u64, u64>,
+        by_recency: std::collections::BTreeMap<u64, u64>,
+    }
+
+    impl ReferenceLru {
+        fn new(capacity: usize) -> ReferenceLru {
+            ReferenceLru {
+                capacity,
+                clock: 0,
+                resident: HashMap::new(),
+                by_recency: std::collections::BTreeMap::new(),
+            }
+        }
+
+        fn touch(&mut self, addr: u64) {
+            self.clock += 1;
+            if let Some(old) = self.resident.insert(addr, self.clock) {
+                self.by_recency.remove(&old);
+            }
+            self.by_recency.insert(self.clock, addr);
+        }
+
+        /// Returns (hit, evicted address if any).
+        fn access(&mut self, addr: u64) -> (bool, Option<u64>) {
+            if self.resident.contains_key(&addr) {
+                self.touch(addr);
+                (true, None)
+            } else {
+                let mut evicted = None;
+                if self.resident.len() >= self.capacity {
+                    let (&oldest, &victim) =
+                        self.by_recency.iter().next().expect("non-empty cache");
+                    self.by_recency.remove(&oldest);
+                    self.resident.remove(&victim);
+                    evicted = Some(victim);
+                }
+                self.touch(addr);
+                (false, evicted)
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_order_identical_to_reference_btreemap_lru() {
+        // Pseudo-random trace with reuse; after every access the hit/miss
+        // outcome and the full resident set must match the seed design.
+        for capacity in [1usize, 2, 3, 7, 16] {
+            let mut fast = LruCache::new(capacity);
+            let mut reference = ReferenceLru::new(capacity);
+            let mut x = 12345u64;
+            for step in 0..5000u64 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let addr = (x >> 33) % 40;
+                let (ref_hit, ref_evicted) = reference.access(addr);
+                let fast_hit = fast.access(addr);
+                assert_eq!(fast_hit, ref_hit, "cap {capacity} step {step} addr {addr}");
+                if let Some(v) = ref_evicted {
+                    assert!(
+                        !fast.contains(v),
+                        "cap {capacity} step {step}: {v} must be evicted"
+                    );
+                }
+                assert_eq!(fast.occupancy(), reference.resident.len());
+                for (&a, _) in reference.resident.iter() {
+                    assert!(
+                        fast.contains(a),
+                        "cap {capacity} step {step}: {a} must be resident"
+                    );
+                }
+            }
+        }
     }
 }

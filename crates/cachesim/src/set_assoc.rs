@@ -42,7 +42,10 @@ impl SetAssociativeCache {
     /// associativity, rounding the set count up so the total capacity is at
     /// least `capacity`.
     pub fn with_capacity(capacity: usize, ways: usize) -> SetAssociativeCache {
-        assert!(capacity > 0 && ways > 0, "capacity and associativity must be positive");
+        assert!(
+            capacity > 0 && ways > 0,
+            "capacity and associativity must be positive"
+        );
         let num_sets = capacity.div_ceil(ways).max(1);
         SetAssociativeCache::new(num_sets, ways)
     }

@@ -18,8 +18,8 @@ use projtile_arith::Rational;
 use projtile_loopnest::LoopNest;
 use projtile_lp::{solve, Constraint, Objective, Relation};
 
-use crate::tiling_lp::{solve_tiling_lp, tile_dims_from_lambda, tiling_lp};
 use crate::tiling::Tiling;
+use crate::tiling_lp::{solve_tiling_lp, tile_dims_from_lambda, tiling_lp};
 
 /// A one-parameter family of optimal tilings along a chosen axis.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,7 +61,10 @@ impl AlphaFamily {
 
     /// The range of exponents available on the distinguished axis.
     pub fn axis_range(&self) -> (Rational, Rational) {
-        (self.lambda_lo[self.axis].clone(), self.lambda_hi[self.axis].clone())
+        (
+            self.lambda_lo[self.axis].clone(),
+            self.lambda_hi[self.axis].clone(),
+        )
     }
 
     /// Materializes the tiling at parameter `alpha`.
@@ -92,7 +95,11 @@ pub fn optimal_family(nest: &LoopNest, cache_size: u64, axis: usize) -> AlphaFam
         let mut costs = vec![Rational::zero(); nest.num_loops()];
         costs[axis] = Rational::one();
         lp.costs = costs;
-        lp.objective = if maximize { Objective::Maximize } else { Objective::Minimize };
+        lp.objective = if maximize {
+            Objective::Maximize
+        } else {
+            Objective::Minimize
+        };
         solve(&lp)
             .expect("the optimal face of the tiling LP is non-empty and bounded")
             .values
@@ -100,7 +107,12 @@ pub fn optimal_family(nest: &LoopNest, cache_size: u64, axis: usize) -> AlphaFam
 
     let lambda_lo = extremize(false);
     let lambda_hi = extremize(true);
-    AlphaFamily { axis, value: base.value, lambda_lo, lambda_hi }
+    AlphaFamily {
+        axis,
+        value: base.value,
+        lambda_lo,
+        lambda_hi,
+    }
 }
 
 #[cfg(test)]
@@ -143,8 +155,7 @@ mod tests {
             let alpha = ratio(num, 4);
             let lambda = family.lambda_at(&alpha);
             assert!(lp.is_feasible(&lambda), "alpha = {alpha}");
-            let total: Rational =
-                lambda.iter().fold(Rational::zero(), |acc, l| &acc + l);
+            let total: Rational = lambda.iter().fold(Rational::zero(), |acc, l| &acc + l);
             assert_eq!(total, family.value, "alpha = {alpha}");
         }
     }
@@ -170,7 +181,10 @@ mod tests {
         let nest = builders::matmul(1 << 8, 1 << 8, 1 << 8);
         let family = optimal_family(&nest, m, 0);
         assert!(family.is_degenerate());
-        assert_eq!(family.lambda_lo, vec![ratio(1, 2), ratio(1, 2), ratio(1, 2)]);
+        assert_eq!(
+            family.lambda_lo,
+            vec![ratio(1, 2), ratio(1, 2), ratio(1, 2)]
+        );
         assert_eq!(family.axis_range(), (ratio(1, 2), ratio(1, 2)));
     }
 

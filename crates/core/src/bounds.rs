@@ -85,9 +85,9 @@ pub fn bound_lp(nest: &LoopNest, cache_size: u64) -> LinearProgram {
     let mut lp = LinearProgram::minimize(costs);
     for j in 0..d {
         let mut coeffs = vec![Rational::zero(); n + d];
-        for i in 0..n {
+        for (i, c) in coeffs.iter_mut().enumerate().take(n) {
             if nest.support(i).contains(j) {
-                coeffs[i] = Rational::one();
+                *c = Rational::one();
             }
         }
         coeffs[n + j] = Rational::one();
@@ -105,16 +105,32 @@ pub fn exponent_from_s_hat(
     q: IndexSet,
     s_hat: &[Rational],
 ) -> Rational {
-    assert_eq!(s_hat.len(), nest.num_arrays(), "one weight per array required");
-    let bounds = nest.bounds();
+    exponent_from_s_hat_with_betas(nest, &betas(nest, cache_size), q, s_hat)
+}
+
+/// [`exponent_from_s_hat`] with the `β_i` precomputed by the caller, so sweeps
+/// over many subsets (the `2^d` enumeration) compute the logs exactly once.
+pub fn exponent_from_s_hat_with_betas(
+    nest: &LoopNest,
+    beta: &[Rational],
+    q: IndexSet,
+    s_hat: &[Rational],
+) -> Rational {
+    assert_eq!(
+        s_hat.len(),
+        nest.num_arrays(),
+        "one weight per array required"
+    );
+    assert_eq!(beta.len(), nest.num_loops(), "one beta per loop required");
+    let one = Rational::one();
     let mut k: Rational = s_hat.iter().fold(Rational::zero(), |acc, s| &acc + s);
     for j in q.iter() {
         let r_j_sum: Rational = (0..nest.num_arrays())
             .filter(|&a| nest.support(a).contains(j))
             .fold(Rational::zero(), |acc, a| &acc + &s_hat[a]);
-        if r_j_sum <= Rational::one() {
-            let beta_j = log::beta(bounds[j] as u128, cache_size as u128);
-            k += &(&beta_j * &(&Rational::one() - &r_j_sum));
+        if r_j_sum <= one {
+            // k += β_j · (1 − Σ_{R_j} ŝ): fused, one normalization.
+            k.add_mul_assign(&beta[j], &(&one - &r_j_sum));
         }
     }
     k
@@ -137,14 +153,22 @@ pub fn enumerated_exponent(nest: &LoopNest, cache_size: u64) -> EnumeratedBound 
     assert!(cache_size >= 2, "cache size must be at least 2 words");
     let d = nest.num_loops();
     let subsets: Vec<IndexSet> = IndexSet::all_subsets(d).collect();
-    let per_subset: Vec<(IndexSet, Rational)> =
-        par_map(&subsets, |&q| (q, exponent_for_subset(nest, cache_size, q)));
+    // One betas computation shared by all 2^d subset evaluations.
+    let beta = betas(nest, cache_size);
+    let per_subset: Vec<(IndexSet, Rational)> = par_map(&subsets, |&q| {
+        let sol = solve_hbl(nest, q);
+        (q, exponent_from_s_hat_with_betas(nest, &beta, q, &sol.s))
+    });
     let (best_subset, exponent) = per_subset
         .iter()
         .min_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.len().cmp(&b.0.len())))
         .map(|(q, k)| (*q, k.clone()))
         .expect("at least the empty subset is evaluated");
-    EnumeratedBound { exponent, best_subset, per_subset }
+    EnumeratedBound {
+        exponent,
+        best_subset,
+        per_subset,
+    }
 }
 
 /// Computes the strongest Theorem-2 bound by solving the bound LP, and returns
@@ -157,15 +181,20 @@ pub fn arbitrary_bound_exponent(nest: &LoopNest, cache_size: u64) -> LowerBound 
     let sol = solve(&lp).expect("the bound LP is always feasible and bounded");
     let s_hat = sol.values[..n].to_vec();
     let zeta = sol.values[n..n + d].to_vec();
-    let witness_subset = IndexSet::from_indices(
-        (0..d).filter(|&j| zeta[j].is_positive()),
-    );
+    let witness_subset = IndexSet::from_indices((0..d).filter(|&j| zeta[j].is_positive()));
     let exponent = sol.objective_value;
     let m = cache_size as f64;
     let tile_size_bound = m.powf(exponent.to_f64());
     let ops = nest.iteration_space_size() as f64;
     let words = ops * m.powf(1.0 - exponent.to_f64());
-    LowerBound { exponent, witness_subset, s_hat, zeta, tile_size_bound, words }
+    LowerBound {
+        exponent,
+        witness_subset,
+        s_hat,
+        zeta,
+        tile_size_bound,
+        words,
+    }
 }
 
 /// The communication lower bound in words (Theorem 2 followed by the
@@ -273,7 +302,7 @@ mod tests {
     #[test]
     fn nbody_exponents_match_section_6_3() {
         let m = 1u64 << 8; // M = 256
-        // Both bounds large: tile size M^2, i.e. exponent 2.
+                           // Both bounds large: tile size M^2, i.e. exponent 2.
         let lb = arbitrary_bound_exponent(&builders::nbody(1 << 10, 1 << 10), m);
         assert_eq!(lb.exponent, int(2));
         // L1 small: tile size L1 * M -> exponent β1 + 1.
@@ -298,7 +327,10 @@ mod tests {
             // The LP bound is at least as strong as the explicit enumeration.
             assert!(lb.exponent <= en.exponent, "seed {seed}");
             // Every enumerated subset gives a valid (>= k̂) upper bound.
-            assert!(en.per_subset.iter().all(|(_, k)| *k >= lb.exponent), "seed {seed}");
+            assert!(
+                en.per_subset.iter().all(|(_, k)| *k >= lb.exponent),
+                "seed {seed}"
+            );
         }
     }
 
@@ -310,8 +342,7 @@ mod tests {
             let nest = builders::random_projective(seed, 4, 3, (1, 128));
             let m = 1u64 << 8;
             let lb = arbitrary_bound_exponent(&nest, m);
-            let k_from_formula =
-                exponent_from_s_hat(&nest, m, lb.witness_subset, &lb.s_hat);
+            let k_from_formula = exponent_from_s_hat(&nest, m, lb.witness_subset, &lb.s_hat);
             assert_eq!(k_from_formula, lb.exponent, "seed {seed}");
             let row_deleted = crate::hbl::hbl_lp(&nest, lb.witness_subset);
             assert!(row_deleted.is_feasible(&lb.s_hat), "seed {seed}");

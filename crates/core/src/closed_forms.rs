@@ -91,7 +91,10 @@ mod tests {
         // L3 = 1: exponent 1.
         assert_eq!(matmul_exponent(1 << 8, 1 << 8, 1, m), int(1));
         // L3 = 2^2: exponent 1 + 1/5.
-        assert_eq!(matmul_exponent(1 << 8, 1 << 8, 1 << 2, m), &int(1) + &ratio(1, 5));
+        assert_eq!(
+            matmul_exponent(1 << 8, 1 << 8, 1 << 2, m),
+            &int(1) + &ratio(1, 5)
+        );
         // Everything tiny: sum of betas.
         assert_eq!(matmul_exponent(2, 4, 8, m), ratio(1 + 2 + 3, 10));
     }
@@ -136,7 +139,10 @@ mod tests {
     #[test]
     fn matvec_lower_bound_is_matrix_size() {
         let m = 1u64 << 10;
-        assert_eq!(matvec_lower_bound_words(1 << 8, 1 << 9, m), (1u64 << 17) as f64);
+        assert_eq!(
+            matvec_lower_bound_words(1 << 8, 1 << 9, m),
+            (1u64 << 17) as f64
+        );
         // Tiny matrix: saturates at M.
         assert_eq!(matvec_lower_bound_words(4, 4, m), m as f64);
     }
@@ -178,7 +184,10 @@ mod tests {
             ((1u128 << 20) / (1 << 8)) as f64
         );
         // L1 small: communication L2 (stream the big side once).
-        assert_eq!(nbody_lower_bound_words(1 << 4, 1 << 12, m), (1u64 << 12) as f64);
+        assert_eq!(
+            nbody_lower_bound_words(1 << 4, 1 << 12, m),
+            (1u64 << 12) as f64
+        );
         // Both small: the model's floor of M words.
         assert_eq!(nbody_lower_bound_words(4, 4, m), m as f64);
     }

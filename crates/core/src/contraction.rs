@@ -22,9 +22,8 @@ pub fn group_betas(j: usize, k: usize, bounds: &[u64], cache_size: u64) -> [Rati
     let d = bounds.len();
     assert!(j >= 1 && j < k - 1 && k - 1 < d, "require 1 <= j < k-1 < d");
     let beta = |i: usize| log::beta(bounds[i] as u128, cache_size as u128);
-    let sum = |range: std::ops::Range<usize>| {
-        range.fold(Rational::zero(), |acc, i| &acc + &beta(i))
-    };
+    let sum =
+        |range: std::ops::Range<usize>| range.fold(Rational::zero(), |acc, i| &acc + &beta(i));
     [sum(0..j), sum(j..k - 1), sum(k - 1..d)]
 }
 
@@ -68,12 +67,7 @@ pub fn fully_connected_exponent(batch: u64, c_in: u64, k_out: u64, cache_size: u
 
 /// Communication lower bound for the contraction, in words:
 /// `∏ L_i · M^{1 − k}` with `k` the contraction exponent.
-pub fn contraction_lower_bound_words(
-    j: usize,
-    k: usize,
-    bounds: &[u64],
-    cache_size: u64,
-) -> f64 {
+pub fn contraction_lower_bound_words(j: usize, k: usize, bounds: &[u64], cache_size: u64) -> f64 {
     let exponent = contraction_exponent(j, k, bounds, cache_size);
     let ops: f64 = bounds.iter().map(|&b| b as f64).product();
     ops * (cache_size as f64).powf(1.0 - exponent.to_f64())
@@ -98,9 +92,9 @@ mod tests {
         let bounds = [4u64, 8, 2, 16, 32];
         let [g1, g2, g3] = group_betas(2, 4, &bounds, m);
         let total = &(&g1 + &g2) + &g3;
-        let direct: Rational = bounds
-            .iter()
-            .fold(Rational::zero(), |acc, &l| &acc + &projtile_arith::log::beta(l as u128, m as u128));
+        let direct: Rational = bounds.iter().fold(Rational::zero(), |acc, &l| {
+            &acc + &projtile_arith::log::beta(l as u128, m as u128)
+        });
         assert_eq!(total, direct);
         // Group 1 = x1,x2; group 2 = x3; group 3 = x4,x5 (1-based paper indexing).
         assert_eq!(g1, ratio(2 + 3, 8));
@@ -149,10 +143,18 @@ mod tests {
     #[test]
     fn fully_connected_matches_matmul() {
         let m = 1u64 << 10;
-        for (b, c, k) in [(1u64 << 6, 1u64 << 6, 1u64 << 6), (1 << 2, 1 << 9, 1 << 3), (1, 4, 1 << 8)] {
+        for (b, c, k) in [
+            (1u64 << 6, 1u64 << 6, 1u64 << 6),
+            (1 << 2, 1 << 9, 1 << 3),
+            (1, 4, 1 << 8),
+        ] {
             let nest = projtile_loopnest::builders::fully_connected(b, c, k);
             let lp_value = solve_tiling_lp(&nest, m).value;
-            assert_eq!(lp_value, fully_connected_exponent(b, c, k, m), "({b},{c},{k})");
+            assert_eq!(
+                lp_value,
+                fully_connected_exponent(b, c, k, m),
+                "({b},{c},{k})"
+            );
         }
     }
 

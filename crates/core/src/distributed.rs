@@ -58,7 +58,10 @@ fn power_of_two_grids(d: usize, log_p: u32) -> Vec<Vec<u32>> {
 /// Panics if `log_num_processors > 30` (the enumeration is over compositions
 /// of the exponent; real machines are far below this).
 pub fn optimal_processor_grid(nest: &LoopNest, log_num_processors: u32) -> ProcessorGrid {
-    assert!(log_num_processors <= 30, "unreasonably large processor count");
+    assert!(
+        log_num_processors <= 30,
+        "unreasonably large processor count"
+    );
     let d = nest.num_loops();
     let bounds = nest.bounds();
     let candidates = power_of_two_grids(d, log_num_processors);
@@ -69,9 +72,17 @@ pub fn optimal_processor_grid(nest: &LoopNest, log_num_processors: u32) -> Proce
             .zip(&bounds)
             .map(|(&e, &l)| (1u64 << e).min(l))
             .collect();
-        let block: Vec<u64> = bounds.iter().zip(&dims).map(|(&l, &p)| l.div_ceil(p)).collect();
+        let block: Vec<u64> = bounds
+            .iter()
+            .zip(&dims)
+            .map(|(&l, &p)| l.div_ceil(p))
+            .collect();
         let per_processor_footprint = nest.tile_footprint(&block);
-        ProcessorGrid { dims, block, per_processor_footprint }
+        ProcessorGrid {
+            dims,
+            block,
+            per_processor_footprint,
+        }
     });
 
     evaluated

@@ -67,7 +67,11 @@ pub fn hbl_lp(nest: &LoopNest, removed_rows: IndexSet) -> LinearProgram {
 pub fn solve_hbl(nest: &LoopNest, removed_rows: IndexSet) -> HblSolution {
     let lp = hbl_lp(nest, removed_rows);
     match solve(&lp) {
-        Ok(sol) => HblSolution { s: sol.values, value: sol.objective_value, removed_rows },
+        Ok(sol) => HblSolution {
+            s: sol.values,
+            value: sol.objective_value,
+            removed_rows,
+        },
         Err(LpError::Infeasible) | Err(LpError::Unbounded) | Err(LpError::Malformed(_)) => {
             unreachable!("the projective HBL LP is always feasible and bounded")
         }

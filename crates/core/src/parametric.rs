@@ -53,12 +53,7 @@ pub fn exponent_vs_beta(
 /// Convenience wrapper: the optimal exponent at a specific bound value along
 /// `axis`, read off the piecewise-linear function (equivalently, a fresh LP
 /// solve on the modified nest — the test suite checks both paths agree).
-pub fn exponent_at_bound(
-    nest: &LoopNest,
-    cache_size: u64,
-    axis: usize,
-    bound: u64,
-) -> Rational {
+pub fn exponent_at_bound(nest: &LoopNest, cache_size: u64, axis: usize, bound: u64) -> Rational {
     let mut bounds = nest.bounds();
     bounds[axis] = bound;
     crate::tiling_lp::solve_tiling_lp(&nest.with_bounds(&bounds), cache_size).value

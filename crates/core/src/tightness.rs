@@ -22,9 +22,7 @@
 use projtile_arith::Rational;
 use projtile_loopnest::{IndexSet, LoopNest};
 
-use crate::bounds::{
-    arbitrary_bound_exponent, enumerated_exponent, exponent_from_s_hat,
-};
+use crate::bounds::{arbitrary_bound_exponent, enumerated_exponent, exponent_from_s_hat};
 use crate::hbl::hbl_lp;
 use crate::tiling_lp::solve_tiling_lp;
 
@@ -51,11 +49,9 @@ pub fn check_tightness(nest: &LoopNest, cache_size: u64) -> TightnessReport {
     let enumerated = enumerated_exponent(nest, cache_size);
 
     // Certificate validation (step 4 above).
-    let formula_value =
-        exponent_from_s_hat(nest, cache_size, bound.witness_subset, &bound.s_hat);
+    let formula_value = exponent_from_s_hat(nest, cache_size, bound.witness_subset, &bound.s_hat);
     let row_deleted = hbl_lp(nest, bound.witness_subset);
-    let certificate_ok =
-        formula_value == bound.exponent && row_deleted.is_feasible(&bound.s_hat);
+    let certificate_ok = formula_value == bound.exponent && row_deleted.is_feasible(&bound.s_hat);
 
     let tight = tiling.value == bound.exponent && certificate_ok;
     TightnessReport {

@@ -61,7 +61,12 @@ impl Tiling {
             .zip(&bounds)
             .map(|(b, &l)| b.min(l))
             .collect();
-        Tiling { nest, cache_size, tile, lambda }
+        Tiling {
+            nest,
+            cache_size,
+            tile,
+            lambda,
+        }
     }
 
     /// The underlying loop nest.
@@ -159,7 +164,11 @@ impl Tiling {
     pub fn communication_model(&self) -> CommunicationModel {
         let lb = arbitrary_bound_exponent(&self.nest, self.cache_size);
         let total_words = self.analytic_communication();
-        let ratio = if lb.words > 0.0 { total_words as f64 / lb.words } else { f64::INFINITY };
+        let ratio = if lb.words > 0.0 {
+            total_words as f64 / lb.words
+        } else {
+            f64::INFINITY
+        };
         CommunicationModel {
             num_tiles: self.num_tiles(),
             tile_footprint: self.tile_footprint(),
@@ -227,7 +236,11 @@ mod tests {
         // The analytic communication of the optimal tiling is within a small
         // constant of the lower bound (the constant is ~3 here: three arrays).
         assert!(model.ratio_to_lower_bound >= 0.99);
-        assert!(model.ratio_to_lower_bound < 4.0, "ratio {}", model.ratio_to_lower_bound);
+        assert!(
+            model.ratio_to_lower_bound < 4.0,
+            "ratio {}",
+            model.ratio_to_lower_bound
+        );
     }
 
     #[test]

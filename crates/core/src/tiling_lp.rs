@@ -58,7 +58,10 @@ pub fn solve_tiling_lp(nest: &LoopNest, cache_size: u64) -> TilingSolution {
     assert!(cache_size >= 2, "cache size must be at least 2 words");
     let lp = tiling_lp(nest, cache_size);
     let sol = solve(&lp).expect("the tiling LP is always feasible (λ = 0) and bounded (λ_i ≤ 1)");
-    TilingSolution { lambda: sol.values, value: sol.objective_value }
+    TilingSolution {
+        lambda: sol.values,
+        value: sol.objective_value,
+    }
 }
 
 /// Converts a log-space solution to concrete integer tile edge lengths:

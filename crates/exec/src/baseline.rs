@@ -35,7 +35,10 @@ pub fn classical_square_tiling(nest: &LoopNest, cache_size: u64) -> Tiling {
         .max()
         .unwrap_or(1)
         .max(1);
-    let edge = (cache_size as f64).powf(1.0 / widest as f64).floor().max(1.0) as u64;
+    let edge = (cache_size as f64)
+        .powf(1.0 / widest as f64)
+        .floor()
+        .max(1.0) as u64;
     let tile = vec![edge; nest.num_loops()];
     Tiling::new(nest.clone(), cache_size, tile, None)
 }
@@ -90,7 +93,10 @@ mod tests {
         let nest = builders::matmul(1 << 6, 1 << 6, 2);
         let cache = 1u64 << 10;
         let classical_edge = ((cache as f64).sqrt()) as u64;
-        assert!(classical_edge > nest.bounds()[2], "classical tile exceeds L3");
+        assert!(
+            classical_edge > nest.bounds()[2],
+            "classical tile exceeds L3"
+        );
 
         let (tiling, _) = optimal_tiling_schedule(&nest, cache);
         assert!(tiling
@@ -118,7 +124,12 @@ mod tests {
         let mut classical = classical_square_tiling(&nest, cache);
         classical.shrink_to_fit(1.0);
         let opt = measure(&nest, &opt_sched, cache, CachePolicy::Lru);
-        let cls = measure(&nest, &Schedule::from_tiling(&classical), cache, CachePolicy::Lru);
+        let cls = measure(
+            &nest,
+            &Schedule::from_tiling(&classical),
+            cache,
+            CachePolicy::Lru,
+        );
         assert!(
             (opt.words_transferred() as f64) <= 1.1 * cls.words_transferred() as f64,
             "optimal {} vs classical {}",

@@ -69,7 +69,11 @@ pub fn compare_schedules(
         ScheduleResult {
             label: label.to_string(),
             words: m.words_transferred(),
-            ratio_to_lower_bound: if lb > 0.0 { m.words_transferred() as f64 / lb } else { f64::INFINITY },
+            ratio_to_lower_bound: if lb > 0.0 {
+                m.words_transferred() as f64 / lb
+            } else {
+                f64::INFINITY
+            },
         }
     };
 
@@ -137,7 +141,13 @@ mod tests {
         let lru = compare_schedules(&nest, 64, CachePolicy::Lru);
         let opt = compare_schedules(&nest, 64, CachePolicy::Ideal);
         for (l, o) in lru.results.iter().zip(&opt.results) {
-            assert!(o.words <= l.words, "{}: ideal {} > lru {}", l.label, o.words, l.words);
+            assert!(
+                o.words <= l.words,
+                "{}: ideal {} > lru {}",
+                l.label,
+                o.words,
+                l.words
+            );
         }
     }
 }

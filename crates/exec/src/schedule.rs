@@ -25,7 +25,9 @@ pub enum Schedule {
 impl Schedule {
     /// The natural untiled schedule (loops in declaration order).
     pub fn untiled(nest: &LoopNest) -> Schedule {
-        Schedule::Untiled { order: (0..nest.num_loops()).collect() }
+        Schedule::Untiled {
+            order: (0..nest.num_loops()).collect(),
+        }
     }
 
     /// An untiled schedule with an explicit loop order.
@@ -40,7 +42,9 @@ impl Schedule {
 
     /// A tiled schedule from a [`Tiling`] produced by `projtile-core`.
     pub fn from_tiling(tiling: &Tiling) -> Schedule {
-        Schedule::Tiled { tile: tiling.tile_dims().to_vec() }
+        Schedule::Tiled {
+            tile: tiling.tile_dims().to_vec(),
+        }
     }
 
     /// A short human-readable label for reports.
@@ -61,14 +65,13 @@ impl Schedule {
     pub fn points<'a>(&'a self, nest: &'a LoopNest) -> Box<dyn Iterator<Item = Vec<u64>> + 'a> {
         let bounds = nest.bounds();
         match self {
-            Schedule::Untiled { order } => {
-                Box::new(Domain::full(&bounds).points_with_order(order))
-            }
+            Schedule::Untiled { order } => Box::new(Domain::full(&bounds).points_with_order(order)),
             Schedule::Tiled { tile } => {
                 let tile = tile.clone();
-                Box::new(tile_origins(&bounds, &tile).flat_map(move |origin| {
-                    tile_domain(&bounds, &tile, &origin).points()
-                }))
+                Box::new(
+                    tile_origins(&bounds, &tile)
+                        .flat_map(move |origin| tile_domain(&bounds, &tile, &origin).points()),
+                )
             }
         }
     }
@@ -104,7 +107,9 @@ mod tests {
     fn untiled_order_changes_sequence_not_coverage() {
         let nest = builders::nbody(3, 4);
         let a: Vec<_> = Schedule::untiled(&nest).points(&nest).collect();
-        let b: Vec<_> = Schedule::untiled_with_order(vec![1, 0]).points(&nest).collect();
+        let b: Vec<_> = Schedule::untiled_with_order(vec![1, 0])
+            .points(&nest)
+            .collect();
         assert_ne!(a, b);
         let sa: HashSet<_> = a.into_iter().collect();
         let sb: HashSet<_> = b.into_iter().collect();

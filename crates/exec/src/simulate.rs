@@ -75,7 +75,11 @@ pub fn measure(
             ideal::simulate_ideal(&trace, cache_size as usize)
         }
     };
-    Measurement { policy, cache_size, stats }
+    Measurement {
+        policy,
+        cache_size,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -95,7 +99,11 @@ mod tests {
     #[test]
     fn misses_at_least_compulsory_and_at_most_accesses() {
         let nest = builders::matmul(8, 8, 8);
-        for policy in [CachePolicy::Lru, CachePolicy::Ideal, CachePolicy::SetAssociative { ways: 4 }] {
+        for policy in [
+            CachePolicy::Lru,
+            CachePolicy::Ideal,
+            CachePolicy::SetAssociative { ways: 4 },
+        ] {
             let m = measure(&nest, &Schedule::untiled(&nest), 64, policy);
             let distinct_words = nest.total_data_size() as u64;
             assert!(m.words_transferred() >= distinct_words, "{policy:?}");
@@ -120,7 +128,12 @@ mod tests {
         // The LP sizes each array footprint to M; for a real cache of exactly
         // M words shrink until the *total* footprint fits (constant factor).
         tiling.shrink_to_fit(1.0);
-        let tiled = measure(&nest, &Schedule::from_tiling(&tiling), cache, CachePolicy::Lru);
+        let tiled = measure(
+            &nest,
+            &Schedule::from_tiling(&tiling),
+            cache,
+            CachePolicy::Lru,
+        );
         let untiled = measure(&nest, &Schedule::untiled(&nest), cache, CachePolicy::Lru);
         assert!(
             tiled.words_transferred() < untiled.words_transferred(),
@@ -145,10 +158,19 @@ mod tests {
         // (up to the paper's convention of counting the first load of each
         // word, which the bound also counts).
         let cache = 64u64;
-        for nest in [builders::matmul(16, 16, 16), builders::matmul(16, 16, 2), builders::nbody(32, 64)] {
+        for nest in [
+            builders::matmul(16, 16, 16),
+            builders::matmul(16, 16, 2),
+            builders::nbody(32, 64),
+        ] {
             let lb = projtile_core::communication_lower_bound(&nest, cache).words;
             let tiling = optimal_tiling(&nest, cache);
-            let measured = measure(&nest, &Schedule::from_tiling(&tiling), cache, CachePolicy::Ideal);
+            let measured = measure(
+                &nest,
+                &Schedule::from_tiling(&tiling),
+                cache,
+                CachePolicy::Ideal,
+            );
             // The ideal-cache measured traffic of the optimal schedule is at
             // least (a constant fraction of) the lower bound; because the
             // bound ignores constant factors we only check the weak direction

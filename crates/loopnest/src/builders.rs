@@ -57,9 +57,18 @@ pub fn tensor_contraction(j: usize, k: usize, bounds: &[u64]) -> LoopNest {
     // Right input: x_{j+1}..x_d.
     let right: IndexSet = (j..d).collect();
     let arrays = vec![
-        ArrayAccess { name: "Out".into(), support: out },
-        ArrayAccess { name: "Left".into(), support: left },
-        ArrayAccess { name: "Right".into(), support: right },
+        ArrayAccess {
+            name: "Out".into(),
+            support: out,
+        },
+        ArrayAccess {
+            name: "Left".into(),
+            support: left,
+        },
+        ArrayAccess {
+            name: "Right".into(),
+            support: right,
+        },
     ];
     LoopNest::new(indices, arrays).expect("tensor contraction nest is always valid")
 }
@@ -120,10 +129,13 @@ pub fn nbody(l1: u64, l2: u64) -> LoopNest {
 /// experiments. Supports are random non-empty subsets, patched so that every
 /// loop index is covered (validity requirement of §2).
 pub fn random_projective(seed: u64, d: usize, n: usize, bound_range: (u64, u64)) -> LoopNest {
-    assert!(d >= 1 && d <= 16, "d must be in 1..=16");
-    assert!(n >= 1 && n <= 16, "n must be in 1..=16");
+    assert!((1..=16).contains(&d), "d must be in 1..=16");
+    assert!((1..=16).contains(&n), "n must be in 1..=16");
     let (lo, hi) = bound_range;
-    assert!(lo >= 1 && hi >= lo, "bound range must be non-empty and positive");
+    assert!(
+        lo >= 1 && hi >= lo,
+        "bound range must be non-empty and positive"
+    );
     let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
     let mut next = move || {
         // SplitMix64.
@@ -152,7 +164,9 @@ pub fn random_projective(seed: u64, d: usize, n: usize, bound_range: (u64, u64))
         })
         .collect();
     // Ensure every loop index is covered by some support.
-    let covered = supports.iter().fold(IndexSet::empty(), |acc, s| acc.union(*s));
+    let covered = supports
+        .iter()
+        .fold(IndexSet::empty(), |acc, s| acc.union(*s));
     for missing in IndexSet::full(d).difference(covered).iter() {
         let victim = (next() as usize) % n;
         let mut s = supports[victim];
@@ -163,7 +177,10 @@ pub fn random_projective(seed: u64, d: usize, n: usize, bound_range: (u64, u64))
     let arrays: Vec<ArrayAccess> = supports
         .into_iter()
         .enumerate()
-        .map(|(j, support)| ArrayAccess { name: format!("A{}", j + 1), support })
+        .map(|(j, support)| ArrayAccess {
+            name: format!("A{}", j + 1),
+            support,
+        })
         .collect();
     LoopNest::new(indices, arrays).expect("random projective nest is valid by construction")
 }
@@ -256,8 +273,8 @@ mod tests {
             assert_eq!(a.num_loops(), 4);
             assert_eq!(a.num_arrays(), 3);
             // Validation invariants hold by construction (would have panicked).
-            let covered = (0..a.num_arrays())
-                .fold(IndexSet::empty(), |acc, j| acc.union(a.support(j)));
+            let covered =
+                (0..a.num_arrays()).fold(IndexSet::empty(), |acc, j| acc.union(a.support(j)));
             assert_eq!(covered, IndexSet::full(4));
         }
         // Different seeds give different programs at least sometimes.

@@ -22,12 +22,19 @@ pub struct Domain {
 impl Domain {
     /// The full iteration space `[0, bounds_i)` of a loop nest.
     pub fn full(bounds: &[u64]) -> Domain {
-        Domain { origin: vec![0; bounds.len()], extent: bounds.to_vec() }
+        Domain {
+            origin: vec![0; bounds.len()],
+            extent: bounds.to_vec(),
+        }
     }
 
     /// Creates a domain from its corner and edge lengths.
     pub fn new(origin: Vec<u64>, extent: Vec<u64>) -> Domain {
-        assert_eq!(origin.len(), extent.len(), "origin/extent dimension mismatch");
+        assert_eq!(
+            origin.len(),
+            extent.len(),
+            "origin/extent dimension mismatch"
+        );
         Domain { origin, extent }
     }
 
@@ -46,7 +53,7 @@ impl Domain {
 
     /// Returns `true` iff the domain contains no points.
     pub fn is_empty(&self) -> bool {
-        self.extent.iter().any(|&e| e == 0)
+        self.extent.contains(&0)
     }
 
     /// Returns `true` iff `point` lies inside the domain.
@@ -72,7 +79,11 @@ impl Domain {
     /// Panics if `order` is not a permutation of `0..d`.
     pub fn points_with_order(&self, order: &[usize]) -> PointIter {
         let d = self.dim();
-        assert_eq!(order.len(), d, "loop order must mention every axis exactly once");
+        assert_eq!(
+            order.len(),
+            d,
+            "loop order must mention every axis exactly once"
+        );
         let mut seen = vec![false; d];
         for &axis in order {
             assert!(axis < d && !seen[axis], "loop order must be a permutation");
@@ -139,9 +150,9 @@ pub fn tile_origins(bounds: &[u64], tile: &[u64]) -> impl Iterator<Item = Vec<u6
         .map(|(&b, &t)| b.div_ceil(t))
         .collect();
     let tile = tile.to_vec();
-    Domain::full(&counts).points().map(move |grid_pos| {
-        grid_pos.iter().zip(&tile).map(|(&g, &t)| g * t).collect()
-    })
+    Domain::full(&counts)
+        .points()
+        .map(move |grid_pos| grid_pos.iter().zip(&tile).map(|(&g, &t)| g * t).collect())
 }
 
 /// The (clipped) domain of the tile anchored at `origin` with nominal edge

@@ -69,14 +69,23 @@ impl AddressMap {
                     .expect("array too large for 64-bit address space");
             }
             let size: u64 = extents.iter().copied().fold(1u64, |acc, e| {
-                acc.checked_mul(e).expect("array too large for 64-bit address space")
+                acc.checked_mul(e)
+                    .expect("array too large for 64-bit address space")
             });
-            layouts.push(ArrayLayout { base: next_base, axes, extents, strides });
+            layouts.push(ArrayLayout {
+                base: next_base,
+                axes,
+                extents,
+                strides,
+            });
             next_base = next_base
                 .checked_add(size.max(1))
                 .expect("total data too large for 64-bit address space");
         }
-        AddressMap { layouts, total_words: next_base }
+        AddressMap {
+            layouts,
+            total_words: next_base,
+        }
     }
 
     /// Layout of array `j`.
@@ -100,10 +109,7 @@ impl AddressMap {
     }
 
     /// All addresses touched by one iteration point, in array order.
-    pub fn addresses_of_point<'a>(
-        &'a self,
-        point: &'a [u64],
-    ) -> impl Iterator<Item = u64> + 'a {
+    pub fn addresses_of_point<'a>(&'a self, point: &'a [u64]) -> impl Iterator<Item = u64> + 'a {
         self.layouts.iter().map(move |l| l.address_of(point))
     }
 }

@@ -18,7 +18,10 @@ pub struct LoopIndex {
 impl LoopIndex {
     /// Creates a loop index.
     pub fn new(name: impl Into<String>, bound: u64) -> LoopIndex {
-        LoopIndex { name: name.into(), bound }
+        LoopIndex {
+            name: name.into(),
+            bound,
+        }
     }
 }
 
@@ -36,7 +39,10 @@ pub struct ArrayAccess {
 impl ArrayAccess {
     /// Creates an array access from its support positions.
     pub fn new<I: IntoIterator<Item = usize>>(name: impl Into<String>, support: I) -> ArrayAccess {
-        ArrayAccess { name: name.into(), support: IndexSet::from_indices(support) }
+        ArrayAccess {
+            name: name.into(),
+            support: IndexSet::from_indices(support),
+        }
     }
 }
 
@@ -107,7 +113,10 @@ pub struct LoopNest {
 
 impl LoopNest {
     /// Builds and validates a loop nest.
-    pub fn new(indices: Vec<LoopIndex>, arrays: Vec<ArrayAccess>) -> Result<LoopNest, ValidationError> {
+    pub fn new(
+        indices: Vec<LoopIndex>,
+        arrays: Vec<ArrayAccess>,
+    ) -> Result<LoopNest, ValidationError> {
         if indices.is_empty() {
             return Err(ValidationError::NoIndices);
         }
@@ -141,12 +150,21 @@ impl LoopNest {
         for a in &arrays {
             if !a.support.is_subset_of(full) {
                 let position = a.support.iter().find(|&p| p >= d).unwrap_or(d);
-                return Err(ValidationError::SupportOutOfRange { array: a.name.clone(), position });
+                return Err(ValidationError::SupportOutOfRange {
+                    array: a.name.clone(),
+                    position,
+                });
             }
         }
-        let covered = arrays.iter().fold(IndexSet::empty(), |acc, a| acc.union(a.support));
+        let covered = arrays
+            .iter()
+            .fold(IndexSet::empty(), |acc, a| acc.union(a.support));
         if covered != full {
-            let missing = full.difference(covered).iter().next().expect("missing index exists");
+            let missing = full
+                .difference(covered)
+                .iter()
+                .next()
+                .expect("missing index exists");
             return Err(ValidationError::UnusedIndex(indices[missing].name.clone()));
         }
         Ok(LoopNest { indices, arrays })
@@ -234,7 +252,9 @@ impl LoopNest {
     /// this is at most the cache size `M` (up to the constant factors the
     /// paper ignores).
     pub fn tile_footprint(&self, tile: &[u64]) -> u128 {
-        (0..self.num_arrays()).map(|j| self.array_footprint(j, tile)).sum()
+        (0..self.num_arrays())
+            .map(|j| self.array_footprint(j, tile))
+            .sum()
     }
 
     /// Looks up a loop index position by name.
@@ -260,7 +280,10 @@ impl LoopNest {
             .zip(bounds)
             .map(|(i, &b)| LoopIndex::new(i.name.clone(), b))
             .collect();
-        LoopNest { indices, arrays: self.arrays.clone() }
+        LoopNest {
+            indices,
+            arrays: self.arrays.clone(),
+        }
     }
 }
 
@@ -395,7 +418,10 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_nests() {
-        assert_eq!(LoopNest::new(vec![], vec![]), Err(ValidationError::NoIndices));
+        assert_eq!(
+            LoopNest::new(vec![], vec![]),
+            Err(ValidationError::NoIndices)
+        );
         assert_eq!(
             LoopNest::new(vec![LoopIndex::new("i", 4)], vec![]),
             Err(ValidationError::NoArrays)
@@ -412,7 +438,10 @@ mod tests {
                 vec![LoopIndex::new("i", 2)],
                 vec![ArrayAccess::new("A", [1])]
             ),
-            Err(ValidationError::SupportOutOfRange { array: "A".into(), position: 1 })
+            Err(ValidationError::SupportOutOfRange {
+                array: "A".into(),
+                position: 1
+            })
         );
         assert_eq!(
             LoopNest::new(
@@ -471,7 +500,10 @@ mod tests {
             ValidationError::NoArrays,
             ValidationError::TooManyIndices(70),
             ValidationError::ZeroBound("i".into()),
-            ValidationError::SupportOutOfRange { array: "A".into(), position: 3 },
+            ValidationError::SupportOutOfRange {
+                array: "A".into(),
+                position: 3,
+            },
             ValidationError::UnusedIndex("j".into()),
             ValidationError::DuplicateIndexName("i".into()),
             ValidationError::DuplicateArrayName("A".into()),

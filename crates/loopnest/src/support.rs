@@ -124,7 +124,10 @@ impl IndexSet {
     /// loop nests have depth well below 30, and anything larger is almost
     /// certainly a bug in the caller).
     pub fn all_subsets(d: usize) -> impl Iterator<Item = IndexSet> {
-        assert!(d <= 30, "subset enumeration over more than 30 indices refused");
+        assert!(
+            d <= 30,
+            "subset enumeration over more than 30 indices refused"
+        );
         (0u64..(1u64 << d)).map(IndexSet)
     }
 }
@@ -191,7 +194,10 @@ mod tests {
         assert_eq!(IndexSet::full(3), IndexSet::from_indices([0, 1, 2]));
         assert_eq!(IndexSet::full(0), IndexSet::empty());
         assert_eq!(IndexSet::full(64).len(), 64);
-        assert_eq!(IndexSet::from_bits(0b101).iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(
+            IndexSet::from_bits(0b101).iter().collect::<Vec<_>>(),
+            vec![0, 2]
+        );
     }
 
     #[test]

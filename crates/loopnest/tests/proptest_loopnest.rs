@@ -103,14 +103,14 @@ proptest! {
         let map = AddressMap::new(&nest);
         let mut per_array: Vec<HashSet<u64>> = vec![HashSet::new(); nest.num_arrays()];
         for p in Domain::full(&nest.bounds()).points() {
-            for j in 0..nest.num_arrays() {
-                per_array[j].insert(map.address(j, &p));
+            for (j, addrs) in per_array.iter_mut().enumerate() {
+                addrs.insert(map.address(j, &p));
             }
         }
         // Each array's address count equals its element count (projection is
         // onto, linearization injective).
-        for j in 0..nest.num_arrays() {
-            prop_assert_eq!(per_array[j].len() as u128, nest.array_size(j));
+        for (j, addrs) in per_array.iter().enumerate() {
+            prop_assert_eq!(addrs.len() as u128, nest.array_size(j));
         }
         // Address ranges of different arrays never overlap.
         for a in 0..nest.num_arrays() {

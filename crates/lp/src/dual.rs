@@ -164,7 +164,11 @@ mod tests {
     #[test]
     fn strong_duality_with_equalities_and_mixed_relations() {
         let mut lp = LinearProgram::maximize(vec![int(1), int(2), int(-1)]);
-        lp.add_constraint(Constraint::new(vec![int(1), int(1), int(1)], Relation::Eq, int(3)));
+        lp.add_constraint(Constraint::new(
+            vec![int(1), int(1), int(1)],
+            Relation::Eq,
+            int(3),
+        ));
         lp.add_constraint(le(vec![int(1), int(0), int(2)], int(4)));
         lp.add_constraint(ge(vec![int(0), int(1), int(0)], int(1)));
         let p = solve(&lp).unwrap();

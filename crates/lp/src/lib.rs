@@ -44,9 +44,21 @@ mod tests {
     fn end_to_end_matmul_hbl() {
         // minimize s1+s2+s3 st pairwise sums >= 1 -> optimum 3/2.
         let mut lp = LinearProgram::minimize(vec![int(1), int(1), int(1)]);
-        lp.add_constraint(Constraint::new(vec![int(1), int(1), int(0)], Relation::Ge, int(1)));
-        lp.add_constraint(Constraint::new(vec![int(0), int(1), int(1)], Relation::Ge, int(1)));
-        lp.add_constraint(Constraint::new(vec![int(1), int(0), int(1)], Relation::Ge, int(1)));
+        lp.add_constraint(Constraint::new(
+            vec![int(1), int(1), int(0)],
+            Relation::Ge,
+            int(1),
+        ));
+        lp.add_constraint(Constraint::new(
+            vec![int(0), int(1), int(1)],
+            Relation::Ge,
+            int(1),
+        ));
+        lp.add_constraint(Constraint::new(
+            vec![int(1), int(0), int(1)],
+            Relation::Ge,
+            int(1),
+        ));
         let sol = solve(&lp).unwrap();
         assert_eq!(sol.objective_value, ratio(3, 2));
     }

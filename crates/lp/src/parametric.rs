@@ -36,9 +36,16 @@ impl ValueFunction {
     /// # Panics
     /// Panics if `theta` lies outside the analyzed interval.
     pub fn value_at(&self, theta: &Rational) -> Rational {
-        let first = &self.breakpoints.first().expect("non-empty value function").0;
+        let first = &self
+            .breakpoints
+            .first()
+            .expect("non-empty value function")
+            .0;
         let last = &self.breakpoints.last().expect("non-empty value function").0;
-        assert!(theta >= first && theta <= last, "theta outside analyzed interval");
+        assert!(
+            theta >= first && theta <= last,
+            "theta outside analyzed interval"
+        );
         for window in self.breakpoints.windows(2) {
             let (t0, v0) = &window[0];
             let (t1, v1) = &window[1];
@@ -91,26 +98,52 @@ pub fn parametric_rhs(
     if lo > hi {
         return Err(LpError::Malformed("empty parameter interval".into()));
     }
+    // One scratch program reused across every probe of the value function:
+    // only the right-hand sides change with θ, so the coefficient matrix is
+    // cloned exactly once instead of once per evaluation.
+    let base_rhs: Vec<Rational> = lp.constraints.iter().map(|c| c.rhs.clone()).collect();
+    let scratch = std::cell::RefCell::new(lp.clone());
     let value = |theta: &Rational| -> Result<Rational, LpError> {
-        let mut shifted = lp.clone();
-        for (c, d) in shifted.constraints.iter_mut().zip(direction.iter()) {
-            c.rhs = &c.rhs + &(d * theta);
+        let mut shifted = scratch.borrow_mut();
+        for ((c, b), d) in shifted
+            .constraints
+            .iter_mut()
+            .zip(&base_rhs)
+            .zip(direction.iter())
+        {
+            c.rhs = b.clone();
+            if !d.is_zero() {
+                c.rhs.add_mul_assign(d, theta);
+            }
         }
         Ok(solve(&shifted)?.objective_value)
     };
 
     let v_lo = value(&lo)?;
     if lo == hi {
-        return Ok(ValueFunction { breakpoints: vec![(lo, v_lo)] });
+        return Ok(ValueFunction {
+            breakpoints: vec![(lo, v_lo)],
+        });
     }
     let v_hi = value(&hi)?;
 
     let mut breakpoints = vec![(lo.clone(), v_lo.clone())];
-    refine(&value, lp.objective, &lo, &v_lo, &hi, &v_hi, &mut breakpoints, 0)?;
+    refine(
+        &value,
+        lp.objective,
+        &lo,
+        &v_lo,
+        &hi,
+        &v_hi,
+        &mut breakpoints,
+        0,
+    )?;
     breakpoints.push((hi, v_hi));
     // Merge collinear interior points so each remaining breakpoint is genuine.
     let merged = merge_collinear(breakpoints);
-    Ok(ValueFunction { breakpoints: merged })
+    Ok(ValueFunction {
+        breakpoints: merged,
+    })
 }
 
 /// Tests whether the value function is affine on `[a, b]` by probing the
@@ -261,10 +294,26 @@ mod tests {
     /// parameter: value is 1 + β₃ for β₃ ≤ 1/2 and 3/2 afterwards.
     fn matmul_tiling_lp() -> LinearProgram {
         let mut lp = LinearProgram::maximize(vec![int(1), int(1), int(1)]);
-        lp.add_constraint(Constraint::new(vec![int(1), int(0), int(1)], Relation::Le, int(1)));
-        lp.add_constraint(Constraint::new(vec![int(1), int(1), int(0)], Relation::Le, int(1)));
-        lp.add_constraint(Constraint::new(vec![int(0), int(1), int(1)], Relation::Le, int(1)));
-        lp.add_constraint(Constraint::new(vec![int(0), int(0), int(1)], Relation::Le, int(0)));
+        lp.add_constraint(Constraint::new(
+            vec![int(1), int(0), int(1)],
+            Relation::Le,
+            int(1),
+        ));
+        lp.add_constraint(Constraint::new(
+            vec![int(1), int(1), int(0)],
+            Relation::Le,
+            int(1),
+        ));
+        lp.add_constraint(Constraint::new(
+            vec![int(0), int(1), int(1)],
+            Relation::Le,
+            int(1),
+        ));
+        lp.add_constraint(Constraint::new(
+            vec![int(0), int(0), int(1)],
+            Relation::Le,
+            int(0),
+        ));
         lp
     }
 

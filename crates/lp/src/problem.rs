@@ -42,7 +42,11 @@ pub struct Constraint {
 impl Constraint {
     /// Creates a constraint.
     pub fn new(coeffs: Vec<Rational>, relation: Relation, rhs: Rational) -> Constraint {
-        Constraint { coeffs, relation, rhs }
+        Constraint {
+            coeffs,
+            relation,
+            rhs,
+        }
     }
 
     /// Evaluates the left-hand side at a point.
@@ -75,12 +79,20 @@ pub struct LinearProgram {
 impl LinearProgram {
     /// Creates a maximization problem with the given objective coefficients.
     pub fn maximize(costs: Vec<Rational>) -> LinearProgram {
-        LinearProgram { objective: Objective::Maximize, costs, constraints: Vec::new() }
+        LinearProgram {
+            objective: Objective::Maximize,
+            costs,
+            constraints: Vec::new(),
+        }
     }
 
     /// Creates a minimization problem with the given objective coefficients.
     pub fn minimize(costs: Vec<Rational>) -> LinearProgram {
-        LinearProgram { objective: Objective::Minimize, costs, constraints: Vec::new() }
+        LinearProgram {
+            objective: Objective::Minimize,
+            costs,
+            constraints: Vec::new(),
+        }
     }
 
     /// Number of structural variables.

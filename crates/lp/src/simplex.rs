@@ -29,9 +29,15 @@ pub fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
         Objective::Maximize => raw,
         Objective::Minimize => -raw,
     };
-    debug_assert!(lp.is_feasible(&values), "simplex returned an infeasible point");
+    debug_assert!(
+        lp.is_feasible(&values),
+        "simplex returned an infeasible point"
+    );
     debug_assert_eq!(lp.objective_at(&values), objective_value);
-    Ok(Solution { objective_value, values })
+    Ok(Solution {
+        objective_value,
+        values,
+    })
 }
 
 /// Internal simplex tableau.
@@ -133,46 +139,82 @@ impl Tableau {
     /// column; missing columns have zero cost) and canonicalizes it against
     /// the current basis.
     fn set_objective(&mut self, costs: &[Rational]) {
-        self.obj = vec![Rational::zero(); self.num_cols + 1];
+        self.obj.clear();
+        self.obj.resize(self.num_cols + 1, Rational::zero());
         for (j, c) in costs.iter().enumerate() {
-            self.obj[j] = -c;
+            if !c.is_zero() {
+                self.obj[j] = -c;
+            }
         }
-        for (i, &b) in self.basis.iter().enumerate() {
-            if !self.obj[b].is_zero() {
-                let factor = self.obj[b].clone();
-                let row = self.rows[i].clone();
-                for (o, r) in self.obj.iter_mut().zip(row.iter()) {
-                    *o -= &(&factor * r);
+        // Split borrows: the objective row and the constraint rows are
+        // disjoint fields, so no row needs to be cloned.
+        let Tableau {
+            obj, rows, basis, ..
+        } = self;
+        for (i, &b) in basis.iter().enumerate() {
+            if obj[b].is_zero() {
+                continue;
+            }
+            // The basic column of row i is exactly 1, so obj[b] lands on
+            // exactly zero; taking it out up front keeps the loop disjoint.
+            let factor = std::mem::replace(&mut obj[b], Rational::zero());
+            for (j, r) in rows[i].iter().enumerate() {
+                if j != b && !r.is_zero() {
+                    obj[j].sub_mul_assign(&factor, r);
                 }
             }
         }
     }
 
     fn pivot(&mut self, row: usize, col: usize) {
-        // Normalize the pivot row.
-        let pivot = self.rows[row][col].clone();
+        // Take the pivot row out of the tableau: this both avoids cloning it
+        // (the buffer is moved, not copied) and lets every other row borrow
+        // it while being updated.
+        let mut pivot_row = std::mem::take(&mut self.rows[row]);
+
+        // Normalize the pivot row; its pivot entry becomes exactly 1.
+        let pivot = std::mem::replace(&mut pivot_row[col], Rational::one());
         debug_assert!(!pivot.is_zero());
         let inv = pivot.recip();
-        for entry in self.rows[row].iter_mut() {
-            *entry *= &inv;
+        if !inv.is_one() {
+            for (j, entry) in pivot_row.iter_mut().enumerate() {
+                if j != col && !entry.is_zero() {
+                    *entry *= &inv;
+                }
+            }
         }
+
+        // Columns (including the rhs) where the pivot row is nonzero: every
+        // other column of the tableau is untouched by this pivot and is
+        // skipped wholesale below.
+        let nonzero: Vec<usize> = pivot_row
+            .iter()
+            .enumerate()
+            .filter(|&(j, v)| j != col && !v.is_zero())
+            .map(|(j, _)| j)
+            .collect();
+
         // Eliminate the pivot column from every other row and the objective.
-        let pivot_row = self.rows[row].clone();
+        // Each touched entry pays a single fused `x -= factor * p` update;
+        // the pivot-column entry itself lands on exactly zero (the pivot row
+        // has a 1 there), so it is written directly.
         for (i, r) in self.rows.iter_mut().enumerate() {
             if i == row || r[col].is_zero() {
                 continue;
             }
-            let factor = r[col].clone();
-            for (entry, p) in r.iter_mut().zip(pivot_row.iter()) {
-                *entry -= &(&factor * p);
+            let factor = std::mem::replace(&mut r[col], Rational::zero());
+            for &j in &nonzero {
+                r[j].sub_mul_assign(&factor, &pivot_row[j]);
             }
         }
         if !self.obj[col].is_zero() {
-            let factor = self.obj[col].clone();
-            for (entry, p) in self.obj.iter_mut().zip(pivot_row.iter()) {
-                *entry -= &(&factor * p);
+            let factor = std::mem::replace(&mut self.obj[col], Rational::zero());
+            for &j in &nonzero {
+                self.obj[j].sub_mul_assign(&factor, &pivot_row[j]);
             }
         }
+
+        self.rows[row] = pivot_row;
         self.basis[row] = col;
     }
 
@@ -181,28 +223,36 @@ impl Tableau {
     fn iterate(&mut self, forbidden: &[bool]) -> Result<(), LpError> {
         loop {
             // Entering column: smallest index with negative reduced cost.
-            let entering = (0..self.num_cols)
-                .find(|&j| !forbidden[j] && self.obj[j].is_negative());
+            let entering = (0..self.num_cols).find(|&j| !forbidden[j] && self.obj[j].is_negative());
             let Some(col) = entering else {
                 return Ok(());
             };
-            // Leaving row: minimum ratio test, ties broken by smallest basic index.
-            let mut best: Option<(usize, Rational)> = None;
-            for (i, row) in self.rows.iter().enumerate() {
-                if !row[col].is_positive() {
+            // Leaving row: minimum ratio test, ties broken by smallest basic
+            // index. `cmp_div` compares rhs_i/a_i against rhs_b/a_b by cross
+            // multiplication, so no quotient is ever materialized.
+            let mut best: Option<usize> = None;
+            for i in 0..self.rows.len() {
+                if !self.rows[i][col].is_positive() {
                     continue;
                 }
-                let ratio = &row[self.num_cols] / &row[col];
-                match &best {
-                    None => best = Some((i, ratio)),
-                    Some((bi, br)) => {
-                        if ratio < *br || (ratio == *br && self.basis[i] < self.basis[*bi]) {
-                            best = Some((i, ratio));
+                best = Some(match best {
+                    None => i,
+                    Some(b) => {
+                        let ord = Rational::cmp_div(
+                            &self.rows[i][self.num_cols],
+                            &self.rows[i][col],
+                            &self.rows[b][self.num_cols],
+                            &self.rows[b][col],
+                        );
+                        match ord {
+                            std::cmp::Ordering::Less => i,
+                            std::cmp::Ordering::Equal if self.basis[i] < self.basis[b] => i,
+                            _ => b,
                         }
                     }
-                }
+                });
             }
-            let Some((row, _)) = best else {
+            let Some(row) = best else {
                 return Err(LpError::Unbounded);
             };
             self.pivot(row, col);
@@ -237,7 +287,7 @@ impl Tableau {
         while row_idx < self.rows.len() {
             if is_artificial(self.basis[row_idx], &arts) {
                 // Find any non-artificial column with a nonzero entry.
-                let col = (0..self.num_structural + (self.num_cols - self.num_structural))
+                let col = (0..self.num_cols)
                     .filter(|j| !is_artificial(*j, &arts))
                     .find(|&j| !self.rows[row_idx][j].is_zero());
                 match col {

@@ -51,7 +51,9 @@ fn covering_lp(n: usize, d: usize) -> impl Strategy<Value = LinearProgram> {
                     row[0] = true;
                 }
                 lp.add_constraint(Constraint::new(
-                    row.iter().map(|&b| if b { int(1) } else { int(0) }).collect(),
+                    row.iter()
+                        .map(|&b| if b { int(1) } else { int(0) })
+                        .collect(),
                     Relation::Ge,
                     Rational::one(),
                 ));

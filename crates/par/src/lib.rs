@@ -41,7 +41,9 @@ pub fn num_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// Applies `f` to every element of `items` and collects the results in input
@@ -78,8 +80,11 @@ where
             let results = &results;
             let base = w * chunk_size;
             scope.spawn(move |_| {
-                let out: Vec<R> =
-                    chunk.iter().enumerate().map(|(i, t)| f(base + i, t)).collect();
+                let out: Vec<R> = chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| f(base + i, t))
+                    .collect();
                 results.lock()[w] = Some(out);
             });
         }

@@ -18,8 +18,8 @@ fn main() {
 
     println!("matrix multiply {l1} x {l2} x L3, cache M = {m} words (sqrt(M) = 32)");
     println!(
-        "{:>6} | {:>14} | {:>14} | {:>18} | {}",
-        "L3", "classical LB", "arbitrary LB", "optimal tile", "alternative tile (alpha = 0)"
+        "{:>6} | {:>14} | {:>14} | {:>18} | alternative tile (alpha = 0)",
+        "L3", "classical LB", "arbitrary LB", "optimal tile"
     );
     println!("{}", "-".repeat(95));
 

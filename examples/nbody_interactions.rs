@@ -41,7 +41,9 @@ fn main() {
         // Measured traffic on the LRU simulator.
         let cmp = compare_schedules(&nest, m, CachePolicy::Lru);
 
-        let optimal_dims = projtile::core::optimal_tiling(&nest, m).tile_dims().to_vec();
+        let optimal_dims = projtile::core::optimal_tiling(&nest, m)
+            .tile_dims()
+            .to_vec();
         println!(
             "{:>8} | {:>12} | {:>12.0} | {:>14} | {:>12} | {:>12}",
             l1,

@@ -9,7 +9,9 @@
 //! channels-out, width, height), and verifies the §6.2 closed form against the
 //! general LP machinery.
 
-use projtile::core::{check_tightness, communication_lower_bound, contraction, optimal_tiling, solve_tiling_lp};
+use projtile::core::{
+    check_tightness, communication_lower_bound, contraction, optimal_tiling, solve_tiling_lp,
+};
 use projtile::loopnest::builders;
 
 fn main() {

@@ -51,14 +51,21 @@ fn main() {
         "tightness (thm 3)               : tiling exponent {} == bound exponent {} -> {}",
         report.tiling_exponent,
         report.bound_exponent,
-        if report.tight { "TIGHT" } else { "NOT TIGHT (bug!)" }
+        if report.tight {
+            "TIGHT"
+        } else {
+            "NOT TIGHT (bug!)"
+        }
     );
     println!();
 
     // --- Measured on the cache simulator ------------------------------------
     println!("simulated LRU cache ({cache_words} words):");
     let cmp = compare_schedules(&nest, cache_words, CachePolicy::Lru);
-    println!("  lower bound          : {:>12.0} words", cmp.lower_bound_words);
+    println!(
+        "  lower bound          : {:>12.0} words",
+        cmp.lower_bound_words
+    );
     for r in &cmp.results {
         println!(
             "  {:<22}: {:>12} words   ({:.2}x lower bound)",

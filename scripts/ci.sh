@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI gate for the projtile workspace: build, test, lint, format.
+#
+# Usage: scripts/ci.sh [--no-bench-build]
+#
+# Mirrors the tier-1 verify command (`cargo build --release && cargo test -q`)
+# and adds clippy (warnings are errors) and rustfmt checks over all targets,
+# including the Criterion benches the tier-1 command does not compile.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_benches=1
+for arg in "$@"; do
+    case "$arg" in
+        --no-bench-build) build_benches=0 ;;
+        *) echo "unknown option: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if [ "$build_benches" = 1 ]; then
+    echo "==> cargo build --benches (compile Criterion benches)"
+    cargo build --benches --workspace
+fi
+
+echo "==> cargo clippy --all-targets (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "ci.sh: all checks passed"

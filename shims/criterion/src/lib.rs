@@ -1,0 +1,349 @@
+//! Minimal Criterion-compatible benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this in-workspace
+//! crate implements the slice of the `criterion` API that `projtile`'s
+//! benches use: `Criterion` with `sample_size` / `warm_up_time` /
+//! `measurement_time` builders, `bench_function`, `benchmark_group` with
+//! `bench_with_input`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up for the configured warm-up
+//! time, then `sample_size` samples are taken; each sample runs a batch of
+//! iterations sized so the samples together roughly fill the measurement
+//! time. The median per-iteration time is reported on stdout as
+//! `<name> time: <t>`, one line per benchmark, so results are easy to grep.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of a parameterized benchmark, e.g. `tiling_lp/3`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            function_name: function_name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Creates an id carrying only a parameter.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            function_name: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function_name.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else if self.parameter.is_empty() {
+            write!(f, "{}", self.function_name)
+        } else {
+            write!(f, "{}/{}", self.function_name, self.parameter)
+        }
+    }
+}
+
+/// Conversion trait so `bench_function` accepts both `&str` and
+/// [`BenchmarkId`], as in real Criterion.
+pub trait IntoBenchmarkId {
+    /// Renders the id as the benchmark's display name.
+    fn into_benchmark_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_name(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it in batches and recording one duration per
+    /// sample. Return values are passed through [`black_box`] so the work is
+    /// not optimized away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples
+            .push(start.elapsed() / u32::try_from(self.iters_per_sample).unwrap_or(1));
+    }
+}
+
+/// The benchmark harness configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Criterion
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_benchmark_name();
+        self.run_one(&name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks. Configuration overrides
+    /// made through the group are scoped to it: the previous settings are
+    /// restored when the group is finished or dropped, as in real Criterion.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let saved = (self.sample_size, self.warm_up_time, self.measurement_time);
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            saved,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: &mut F) {
+        // Warm-up: also estimates the per-call cost so samples can be batched.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            let mut b = Bencher {
+                iters_per_sample: 1,
+                samples: Vec::new(),
+            };
+            f(&mut b);
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / u32::try_from(warm_iters.max(1)).unwrap_or(1);
+        let budget = self.measurement_time.as_nanos() / self.sample_size.max(1) as u128;
+        let iters_per_sample = (budget / per_iter.as_nanos().max(1)).clamp(1, 1_000_000_000) as u64;
+
+        let mut bencher = Bencher {
+            iters_per_sample,
+            samples: Vec::new(),
+        };
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{name:<50} time: <no samples: closure never called iter()>");
+            return;
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        println!("{name:<50} time: {}", format_duration(median));
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    /// Parent configuration to restore on drop (group overrides are scoped).
+    saved: (usize, Duration, Duration),
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        let (sample_size, warm_up_time, measurement_time) = self.saved;
+        self.criterion.sample_size = sample_size;
+        self.criterion.warm_up_time = warm_up_time;
+        self.criterion.measurement_time = measurement_time;
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Overrides the warm-up time for benchmarks in this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.warm_up_time = d;
+        self
+    }
+
+    /// Overrides the measurement time for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_benchmark_name());
+        self.criterion.run_one(&name, &mut f);
+        self
+    }
+
+    /// Runs a benchmark that borrows a per-case input.
+    pub fn bench_with_input<I, In, F>(&mut self, id: I, input: &In, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        In: ?Sized,
+        F: FnMut(&mut Bencher, &In),
+    {
+        let name = format!("{}/{}", self.name, id.into_benchmark_name());
+        self.criterion.run_one(&name, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group, restoring the parent configuration (via `Drop`).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut calls = 0u64;
+        fast_config().bench_function("smoke", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_config_overrides_are_scoped() {
+        let mut c = fast_config();
+        {
+            let mut group = c.benchmark_group("g");
+            group
+                .sample_size(7)
+                .measurement_time(Duration::from_millis(9));
+            group.finish();
+        }
+        assert_eq!(c.sample_size, 3);
+        assert_eq!(c.measurement_time, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn groups_and_ids_render() {
+        let mut c = fast_config();
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u64, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.finish();
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

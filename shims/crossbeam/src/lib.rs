@@ -1,0 +1,85 @@
+//! Minimal `crossbeam` shim backed by `std::thread::scope`.
+//!
+//! The build environment has no access to crates.io, so this in-workspace
+//! crate provides the one primitive `projtile` uses: `crossbeam::scope` with
+//! spawn closures that receive the scope as their argument.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+
+/// A scope handle passed to [`scope`] closures; mirrors
+/// `crossbeam_utils::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// A handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope, so it can
+    /// spawn further threads, matching crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Runs `f` with a scope in which threads borrowing from the environment can
+/// be spawned; all threads are joined before `scope` returns.
+///
+/// Unlike crossbeam, panics of child threads propagate as panics of the
+/// calling thread (via `std::thread::scope`), so the returned `Result` is
+/// always `Ok`; the `Result` wrapper is kept for call-site compatibility.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut results = vec![0u64; 2];
+        let (left, right) = results.split_at_mut(1);
+        scope(|s| {
+            let d = &data;
+            s.spawn(move |_| left[0] = d[..2].iter().sum());
+            s.spawn(move |_| right[0] = d[2..].iter().sum());
+        })
+        .unwrap();
+        assert_eq!(results, vec![3, 7]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let out = scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}

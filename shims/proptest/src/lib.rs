@@ -1,0 +1,256 @@
+//! Minimal `proptest`-compatible property-testing harness.
+//!
+//! The build environment has no access to crates.io, so this in-workspace
+//! crate implements the slice of the `proptest` API that `projtile`'s test
+//! suites use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`], and
+//!   [`prop_assume!`];
+//! * integer range strategies (`lo..hi`, `lo..=hi`), [`any`],
+//!   [`collection::vec`], [`bool::ANY`], tuple strategies, `prop_map`, and
+//!   [`strategy::Just`].
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with the
+//! case number and the deterministic seed, which is enough to reproduce it
+//! (generation is seeded from the case index only).
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Generates `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Error raised inside a property body by the `prop_*` macros.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!`; another input is drawn.
+    Reject,
+    /// The property failed with the given message.
+    Fail(String),
+}
+
+/// Everything a property-test file normally imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// process) so the harness can report the case number and seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts exact equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Rejects the current case unless the condition holds; the harness draws a
+/// fresh input instead of counting the case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests. Mirrors proptest's macro for bodies of the form
+/// `#[test] fn name(arg in strategy, ...) { ... }` with an optional
+/// `#![proptest_config(...)]` header.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:pat_param in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut case: u32 = 0;
+                let mut rejects: u32 = 0;
+                while case < config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        stringify!($name),
+                        case,
+                        rejects,
+                    );
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng); )+
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => case += 1,
+                        ::core::result::Result::Err($crate::TestCaseError::Reject) => {
+                            rejects += 1;
+                            assert!(
+                                rejects < config.cases.saturating_mul(64).max(1024),
+                                "proptest `{}`: too many prop_assume! rejections",
+                                stringify!($name),
+                            );
+                        }
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest `{}` failed at case {case} (rejects {rejects}): {msg}",
+                                stringify!($name),
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn ranges_stay_in_range(a in -50i64..50, b in 1u64..=7, c in 0usize..3) {
+            prop_assert!((-50..50).contains(&a));
+            prop_assert!((1..=7).contains(&b));
+            prop_assert!(c < 3);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            (x, y) in (0i64..10, 0i64..10),
+            z in (0u32..5).prop_map(|v| v * 2),
+        ) {
+            prop_assert!(x + y <= 18);
+            prop_assert_eq!(z % 2, 0);
+        }
+
+        #[test]
+        fn vec_respects_size_range(v in crate::collection::vec(0u64..64, 1..40)) {
+            prop_assert!(!v.is_empty() && v.len() < 40);
+            prop_assert!(v.iter().all(|&x| x < 64));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0i64..10) {
+            prop_assume!(a != 3);
+            prop_assert_ne!(a, 3);
+        }
+
+        #[test]
+        fn any_and_bool_generate(x in any::<u64>(), flag in crate::bool::ANY) {
+            // Trivially true; exercises the generators.
+            prop_assert!(u64::from(flag) <= 1 && x.count_ones() <= 64);
+        }
+
+        #[test]
+        fn just_yields_constant(v in Just(41)) {
+            prop_assert_eq!(v, 41);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = crate::collection::vec(0u64..1000, 5..10);
+        let a = s.generate(&mut TestRng::for_case("det", 7, 0));
+        let b = s.generate(&mut TestRng::for_case("det", 7, 0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn always_fails(a in 0i64..10) {
+                prop_assert!(a > 100, "a = {a}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,238 @@
+//! The [`Strategy`] trait, integer range strategies, tuples, and adapters.
+
+use core::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A generator of random values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking; a strategy is
+/// just a deterministic function of the RNG state.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Regenerates until `f` accepts the value (up to an attempt cap).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy yielding a constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({}) rejected 10000 consecutive values",
+            self.whence
+        );
+    }
+}
+
+/// Integer types usable as range strategies. Implemented over `i128`/`u128`
+/// arithmetic so a single code path covers every machine-int width.
+pub trait RangeValue: Copy {
+    /// Widens to `i128`.
+    fn to_wide(self) -> i128;
+    /// Narrows from `i128` (the value is known to be in range).
+    fn from_wide(wide: i128) -> Self;
+}
+
+macro_rules! impl_range_value {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn to_wide(self) -> i128 {
+                self as i128
+            }
+            fn from_wide(wide: i128) -> $t {
+                wide as $t
+            }
+        }
+    )*};
+}
+
+impl_range_value!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl<T: RangeValue> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let lo = self.start.to_wide();
+        let hi = self.end.to_wide();
+        assert!(lo < hi, "empty range strategy");
+        let span = (hi - lo) as u128;
+        T::from_wide(lo + rng.below_u128(span) as i128)
+    }
+}
+
+impl<T: RangeValue> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let lo = self.start().to_wide();
+        let hi = self.end().to_wide();
+        assert!(lo <= hi, "empty range strategy");
+        let span = (hi - lo) as u128 + 1;
+        T::from_wide(lo + rng.below_u128(span) as i128)
+    }
+}
+
+// i128/u128 ranges cannot ride the widening path (the span may overflow),
+// so they draw raw 128-bit values and reduce into the range.
+impl Strategy for Range<i128> {
+    type Value = i128;
+    fn generate(&self, rng: &mut TestRng) -> i128 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end.wrapping_sub(self.start) as u128;
+        self.start.wrapping_add(rng.below_u128(span) as i128)
+    }
+}
+
+impl Strategy for Range<u128> {
+    type Value = u128;
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below_u128(self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_small_domains() {
+        let mut rng = TestRng::new(3);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[(0usize..5).generate(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn inclusive_range_hits_endpoints() {
+        let mut rng = TestRng::new(4);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..500 {
+            match (1u32..=3).generate(&mut rng) {
+                1 => lo_seen = true,
+                3 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn i128_range_in_bounds() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..200 {
+            let v = (-1_000_000_000_000i128..1_000_000_000_000).generate(&mut rng);
+            assert!((-1_000_000_000_000..1_000_000_000_000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn filter_applies_predicate() {
+        let mut rng = TestRng::new(6);
+        let s = (0i64..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut rng) % 2, 0);
+        }
+    }
+}

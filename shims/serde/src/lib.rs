@@ -1,0 +1,21 @@
+//! Minimal `serde` shim: no-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The build environment has no access to crates.io. The workspace only uses
+//! serde as `#[derive(Serialize, Deserialize)]` markers on plain data types —
+//! nothing consumes the generated impls (there is no serde_json or similar in
+//! the dependency set) — so the derives expand to nothing. Swapping this shim
+//! for the real `serde` crate requires no source changes.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`'s derive macro.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`'s derive macro.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -4,8 +4,7 @@
 
 use projtile::arith::{ratio, Rational};
 use projtile::core::{
-    check_tightness, closed_forms, communication_lower_bound, hbl, optimal_tiling,
-    ProblemInstance,
+    check_tightness, closed_forms, communication_lower_bound, hbl, optimal_tiling, ProblemInstance,
 };
 use projtile::exec::{compare_schedules, measure, CachePolicy, Schedule};
 use projtile::loopnest::builders;
@@ -49,13 +48,8 @@ fn matvec_pipeline_small_bound_regime() {
     let classical = hbl::large_bound_lower_bound(&nest, m);
     assert!(classical < bound.words);
 
-    let measured = measure(
-        &nest,
-        &Schedule::untiled(&nest),
-        m,
-        CachePolicy::Lru,
-    );
-    assert!(measured.words_transferred() >= (l * l) as u64);
+    let measured = measure(&nest, &Schedule::untiled(&nest), m, CachePolicy::Lru);
+    assert!(measured.words_transferred() >= (l * l));
 
     assert!(check_tightness(&nest, m).tight);
 }
@@ -117,7 +111,11 @@ fn lower_bound_is_never_violated_by_any_simulated_schedule() {
 #[test]
 fn closed_forms_match_general_machinery_end_to_end() {
     let m = 1u64 << 8;
-    for (l1, l2, l3) in [(1u64 << 6, 1u64 << 6, 1u64 << 6), (1 << 6, 1 << 6, 2), (4, 4, 4)] {
+    for (l1, l2, l3) in [
+        (1u64 << 6, 1u64 << 6, 1u64 << 6),
+        (1 << 6, 1 << 6, 2),
+        (4, 4, 4),
+    ] {
         let nest = builders::matmul(l1, l2, l3);
         let bound = communication_lower_bound(&nest, m);
         assert_eq!(bound.exponent, closed_forms::matmul_exponent(l1, l2, l3, m));
