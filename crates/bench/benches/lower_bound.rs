@@ -9,7 +9,7 @@ use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use projtile_bench::perf;
-use projtile_core::{bounds, check_tightness};
+use projtile_core::{bounds, check_tightness, parametric};
 
 fn bench_bound_vs_enumeration(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_bound_vs_enumeration");
@@ -41,6 +41,19 @@ fn bench_tightness_random(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_parametric_sweeps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_parametric_sweeps");
+    for (name, nest, axis, m, hi) in perf::parametric_sweep_cases() {
+        group.bench_with_input(BenchmarkId::new("warm", &name), &nest, |b, nest| {
+            b.iter(|| parametric::exponent_vs_beta(black_box(nest), m, axis, 1, hi))
+        });
+        group.bench_with_input(BenchmarkId::new("cold", &name), &nest, |b, nest| {
+            b.iter(|| parametric::exponent_vs_beta_cold(black_box(nest), m, axis, 1, hi))
+        });
+    }
+    group.finish();
+}
+
 fn bench_tables(c: &mut Criterion) {
     c.bench_function("e6_table", |b| b.iter(projtile_bench::e6_random_programs));
     c.bench_function("e7_table", |b| b.iter(projtile_bench::e7_tightness));
@@ -53,6 +66,6 @@ criterion_group! {
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_bound_vs_enumeration, bench_tightness_random, bench_tables
+    targets = bench_bound_vs_enumeration, bench_tightness_random, bench_parametric_sweeps, bench_tables
 }
 criterion_main!(benches);

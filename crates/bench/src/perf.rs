@@ -9,7 +9,9 @@
 
 use std::time::{Duration, Instant};
 
-use projtile_core::{bounds, check_tightness, communication_lower_bound, hbl, optimal_tiling};
+use projtile_core::{
+    bounds, check_tightness, communication_lower_bound, hbl, optimal_tiling, parametric,
+};
 use projtile_loopnest::{builders, LoopNest};
 
 /// Cache size for the bound-LP / subset-enumeration workloads (E6).
@@ -31,10 +33,41 @@ pub const MATMUL_LOG_MS: [u32; 3] = [8, 12, 16];
 /// `BENCH_*.json` snapshot both call them, so the Criterion view and the
 /// perf trajectory can never time different workloads under the same name.
 pub fn bound_vs_enumeration_nests() -> Vec<(usize, LoopNest)> {
-    [3usize, 5, 7, 9]
+    [3usize, 5, 7, 9, 11]
         .into_iter()
         .map(|d| (d, builders::random_projective(42, d, 4, (1, 256))))
         .collect()
+}
+
+/// The parametric β-sweeps of the §7 analysis, as
+/// `(name, nest, axis, m, hi_bound)`: the exponent-vs-β value function of
+/// `nest` along loop `axis`, swept over bounds `1..=hi_bound`.
+///
+/// These exercise the warm-started right-hand-side sweeps of
+/// `lp::parametric`; the matching `_cold` workloads time the same sweeps with
+/// independent cold solves per probe, so a snapshot shows the warm-start
+/// speedup directly. The swept ranges extend well past every crossover, and
+/// the swept axes are ones whose value function actually has a breakpoint
+/// (most axes of the random nests are flat — a sweep with nothing to find
+/// ends after a handful of probes and times only fixed overhead).
+pub fn parametric_sweep_cases() -> Vec<(String, LoopNest, usize, u64, u64)> {
+    let mut cases = vec![(
+        "matmul".to_string(),
+        builders::matmul(1 << 9, 1 << 9, 1 << 9),
+        2usize,
+        1u64 << 10,
+        1u64 << 10,
+    )];
+    for (d, axis) in [(9usize, 6usize), (11, 3)] {
+        cases.push((
+            format!("d{d}"),
+            builders::random_projective(42, d, 4, (1, 256)),
+            axis,
+            BOUND_M,
+            1u64 << 16,
+        ));
+    }
+    cases
 }
 
 /// The seed-swept random nests of the tightness bench, as `(seed, nest)`.
@@ -84,11 +117,45 @@ pub fn default_workloads() -> Vec<Workload> {
                 std::hint::black_box(bounds::arbitrary_bound_exponent(&n, BOUND_M));
             }),
         });
-        let n = nest;
+        let n = nest.clone();
         workloads.push(Workload {
             name: format!("lower_bound/subset_enumeration/d{d}"),
             run: Box::new(move || {
                 std::hint::black_box(bounds::enumerated_exponent(&n, BOUND_M));
+            }),
+        });
+        // Cold differential twin at the largest depths: times the
+        // one-independent-solve-per-subset oracle on the same input, so the
+        // warm-start speedup is visible within a single snapshot.
+        if d >= 9 {
+            let n = nest;
+            workloads.push(Workload {
+                name: format!("lower_bound/subset_enumeration_cold/d{d}"),
+                run: Box::new(move || {
+                    std::hint::black_box(bounds::enumerated_exponent_cold(&n, BOUND_M));
+                }),
+            });
+        }
+    }
+
+    // Parametric β-sweeps (§7 / E9), warm-started and cold.
+    for (name, nest, axis, m, hi) in parametric_sweep_cases() {
+        let n = nest.clone();
+        workloads.push(Workload {
+            name: format!("parametric/exponent_vs_beta/{name}"),
+            run: Box::new(move || {
+                std::hint::black_box(
+                    parametric::exponent_vs_beta(&n, m, axis, 1, hi).expect("sweep solves"),
+                );
+            }),
+        });
+        let n = nest;
+        workloads.push(Workload {
+            name: format!("parametric/exponent_vs_beta_cold/{name}"),
+            run: Box::new(move || {
+                std::hint::black_box(
+                    parametric::exponent_vs_beta_cold(&n, m, axis, 1, hi).expect("sweep solves"),
+                );
             }),
         });
     }

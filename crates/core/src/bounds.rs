@@ -33,9 +33,9 @@
 use projtile_arith::{log, Rational};
 use projtile_loopnest::{IndexSet, LoopNest};
 use projtile_lp::{solve, Constraint, LinearProgram, Relation};
-use projtile_par::par_map;
+use projtile_par::{par_map, par_map_with};
 
-use crate::hbl::solve_hbl;
+use crate::hbl::{solve_hbl, HblFamily};
 
 /// The strongest Theorem-2 bound, with the certificate that witnesses it.
 #[derive(Debug, Clone, PartialEq)]
@@ -144,21 +144,67 @@ pub fn exponent_for_subset(nest: &LoopNest, cache_size: u64, q: IndexSet) -> Rat
 }
 
 /// The paper's explicit `2^d` enumeration: evaluates `k_Q` for every subset
-/// (in parallel — each evaluation solves an independent LP) and reports the
-/// minimum. Because each `k_Q` uses the *optimal* row-deleted HBL solution
-/// rather than the best feasible one, this can be marginally weaker than
-/// [`arbitrary_bound_exponent`]; it is provided because it is the form stated
-/// in the paper and is useful for reports.
+/// and reports the minimum. Because each `k_Q` uses the *optimal* row-deleted
+/// HBL solution rather than the best feasible one, this can be marginally
+/// weaker than [`arbitrary_bound_exponent`]; it is provided because it is the
+/// form stated in the paper and is useful for reports.
+///
+/// The sweep is batched: subsets are visited in **Gray-code order** (each
+/// differs from its neighbour in exactly one index, i.e. one right-hand-side
+/// entry of the shared relaxed HBL program) and partitioned into contiguous
+/// chunks across worker threads, each owning one warm-started [`HblFamily`]
+/// whose basis re-entries compound along the chunk. Results are
+/// bitwise-identical to the cold [`enumerated_exponent_cold`] (both paths
+/// report the canonical lex-min optimum of each subset's LP, a property of
+/// the program rather than of the pivot path), and the cold form is retained
+/// as the differential oracle.
+///
+/// # Panics
+/// Panics if the nest has more than 30 loops (like
+/// [`IndexSet::all_subsets`]: the sweep is exponential in `d`).
 pub fn enumerated_exponent(nest: &LoopNest, cache_size: u64) -> EnumeratedBound {
     assert!(cache_size >= 2, "cache size must be at least 2 words");
     let d = nest.num_loops();
-    let subsets: Vec<IndexSet> = IndexSet::all_subsets(d).collect();
+    assert!(
+        d <= 30,
+        "subset enumeration over more than 30 indices refused"
+    );
     // One betas computation shared by all 2^d subset evaluations.
+    let beta = betas(nest, cache_size);
+    let gray: Vec<u64> = (0..1u64 << d).map(|i| i ^ (i >> 1)).collect();
+    let evaluated: Vec<(IndexSet, Rational)> = par_map_with(
+        &gray,
+        || HblFamily::new(nest),
+        |family, _, &mask| {
+            let q = IndexSet::from_bits(mask);
+            let sol = family.solve(q);
+            (q, exponent_from_s_hat_with_betas(nest, &beta, q, &sol.s))
+        },
+    );
+    // Report per-subset results in mask order, like the cold enumeration.
+    let mut per_subset: Vec<(IndexSet, Rational)> = evaluated;
+    per_subset.sort_unstable_by_key(|(q, _)| q.bits());
+    select_best(per_subset)
+}
+
+/// The pre-batching form of [`enumerated_exponent`]: one independent cold LP
+/// solve per subset. Kept as the differential oracle for the warm-started
+/// sweep (the test suite asserts exact equality of the full result).
+pub fn enumerated_exponent_cold(nest: &LoopNest, cache_size: u64) -> EnumeratedBound {
+    assert!(cache_size >= 2, "cache size must be at least 2 words");
+    let d = nest.num_loops();
+    let subsets: Vec<IndexSet> = IndexSet::all_subsets(d).collect();
     let beta = betas(nest, cache_size);
     let per_subset: Vec<(IndexSet, Rational)> = par_map(&subsets, |&q| {
         let sol = solve_hbl(nest, q);
         (q, exponent_from_s_hat_with_betas(nest, &beta, q, &sol.s))
     });
+    select_best(per_subset)
+}
+
+/// Picks the minimum exponent (ties: smallest subset, then mask order) from a
+/// mask-ordered per-subset list.
+fn select_best(per_subset: Vec<(IndexSet, Rational)>) -> EnumeratedBound {
     let (best_subset, exponent) = per_subset
         .iter()
         .min_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.len().cmp(&b.0.len())))
@@ -330,6 +376,35 @@ mod tests {
             assert!(
                 en.per_subset.iter().all(|(_, k)| *k >= lb.exponent),
                 "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_enumeration_is_bitwise_identical_to_cold_oracle() {
+        // The batched Gray-code sweep with warm-started per-worker solvers
+        // must reproduce the one-cold-solve-per-subset oracle exactly —
+        // including every per-subset exponent and the tie-broken best subset.
+        for seed in 0..10u64 {
+            let nest = builders::random_projective(seed, 5, 4, (1, 256));
+            for m in [4u64, 1 << 6, 1 << 10] {
+                let warm = enumerated_exponent(&nest, m);
+                let cold = enumerated_exponent_cold(&nest, m);
+                assert_eq!(warm, cold, "seed {seed}, M={m}");
+            }
+        }
+        // Also on the worked examples used throughout the test suite.
+        let m = 1u64 << 10;
+        for nest in [
+            builders::matmul(1 << 8, 1 << 8, 1 << 8),
+            builders::matmul(1 << 8, 1 << 8, 1),
+            builders::matvec(1 << 7, 1 << 9),
+            builders::nbody(1 << 4, 1 << 6),
+        ] {
+            assert_eq!(
+                enumerated_exponent(&nest, m),
+                enumerated_exponent_cold(&nest, m),
+                "{nest}"
             );
         }
     }

@@ -12,8 +12,10 @@
 //! processor must receive to execute its block (the distributed analogue of
 //! the per-tile footprint in the sequential model).
 
+use std::cmp::Ordering;
+
 use projtile_loopnest::LoopNest;
-use projtile_par::par_map;
+use projtile_par::par_reduce;
 
 /// A processor grid and its communication summary.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,33 +68,49 @@ pub fn optimal_processor_grid(nest: &LoopNest, log_num_processors: u32) -> Proce
     let bounds = nest.bounds();
     let candidates = power_of_two_grids(d, log_num_processors);
 
-    let evaluated: Vec<ProcessorGrid> = par_map(&candidates, |exps| {
-        let dims: Vec<u64> = exps
-            .iter()
-            .zip(&bounds)
-            .map(|(&e, &l)| (1u64 << e).min(l))
-            .collect();
-        let block: Vec<u64> = bounds
-            .iter()
-            .zip(&dims)
-            .map(|(&l, &p)| l.div_ceil(p))
-            .collect();
-        let per_processor_footprint = nest.tile_footprint(&block);
-        ProcessorGrid {
-            dims,
-            block,
-            per_processor_footprint,
+    // A parallel min-reduction: every worker folds its own chunk of
+    // candidates into a single best grid, and only the per-chunk champions
+    // are compared on the calling thread, so the full candidate list is
+    // never materialized as evaluated grids. Keeping the earlier grid on
+    // exact ties reproduces the sequential (mask-order) tie-breaking.
+    let better = |a: ProcessorGrid, b: ProcessorGrid| -> ProcessorGrid {
+        let ord = a
+            .per_processor_footprint
+            .cmp(&b.per_processor_footprint)
+            .then_with(|| a.dims.cmp(&b.dims));
+        if ord == Ordering::Greater {
+            b
+        } else {
+            a
         }
-    });
-
-    evaluated
-        .into_iter()
-        .min_by(|a, b| {
-            a.per_processor_footprint
-                .cmp(&b.per_processor_footprint)
-                .then_with(|| a.dims.cmp(&b.dims))
-        })
-        .expect("at least one grid candidate exists")
+    };
+    par_reduce(
+        &candidates,
+        None,
+        |exps| {
+            let dims: Vec<u64> = exps
+                .iter()
+                .zip(&bounds)
+                .map(|(&e, &l)| (1u64 << e).min(l))
+                .collect();
+            let block: Vec<u64> = bounds
+                .iter()
+                .zip(&dims)
+                .map(|(&l, &p)| l.div_ceil(p))
+                .collect();
+            let per_processor_footprint = nest.tile_footprint(&block);
+            Some(ProcessorGrid {
+                dims,
+                block,
+                per_processor_footprint,
+            })
+        },
+        |a, b| match (a, b) {
+            (Some(a), Some(b)) => Some(better(a, b)),
+            (a, b) => a.or(b),
+        },
+    )
+    .expect("at least one grid candidate exists")
 }
 
 #[cfg(test)]

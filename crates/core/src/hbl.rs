@@ -18,10 +18,24 @@
 //! Theorem 2 needs the same LP with some rows (loop indices) deleted — the
 //! indices in the small-bound subset `Q` — so the construction takes the set
 //! of removed rows as a parameter.
+//!
+//! # Row deletion as right-hand-side relaxation
+//!
+//! Because every variable is non-negative and every constraint has 0/1
+//! coefficients, deleting the row of loop index `i` is equivalent to keeping
+//! the row and **relaxing its right-hand side to zero**: `Σ s_j ≥ 0` is
+//! implied by `s ≥ 0`, so the feasible region (and hence the optimal value)
+//! is identical. This rewrites the entire `2^d` family of row-deleted LPs as
+//! one constraint matrix with `2^d` right-hand sides in `{0,1}^d` — exactly
+//! the shape [`projtile_lp::SolverContext`] warm-starts across. [`HblFamily`]
+//! packages that: one retained basis per family, re-entered per subset via
+//! the dual simplex, with results **bitwise-identical** to the cold
+//! [`solve_hbl`] (both paths report the canonical lex-min optimal vertex, a
+//! property of the program rather than of the pivot path).
 
 use projtile_arith::Rational;
 use projtile_loopnest::{IndexSet, LoopNest};
-use projtile_lp::{solve, Constraint, LinearProgram, LpError, Relation};
+use projtile_lp::{solve_canonical, Constraint, LinearProgram, LpError, Relation, SolverContext};
 
 /// Solution of the (possibly row-deleted) HBL LP.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,14 +73,39 @@ pub fn hbl_lp(nest: &LoopNest, removed_rows: IndexSet) -> LinearProgram {
     lp
 }
 
-/// Solves the (row-deleted) HBL LP.
-///
-/// The LP is always feasible (setting every `s_j = 1` satisfies all rows
-/// because every retained loop index appears in at least one support) and
-/// bounded below by zero, so failure indicates an internal error.
-pub fn solve_hbl(nest: &LoopNest, removed_rows: IndexSet) -> HblSolution {
-    let lp = hbl_lp(nest, removed_rows);
-    match solve(&lp) {
+/// Builds the full-matrix HBL LP with the rows of `relaxed_rows` kept but
+/// relaxed to a zero right-hand side — the same feasible region and optimal
+/// value as [`hbl_lp`] with those rows deleted (see the module docs), but a
+/// constraint matrix shared by all `2^d` subsets.
+pub fn hbl_lp_relaxed(nest: &LoopNest, relaxed_rows: IndexSet) -> LinearProgram {
+    let n = nest.num_arrays();
+    let d = nest.num_loops();
+    let mut lp = LinearProgram::minimize(vec![Rational::one(); n]);
+    for i in 0..d {
+        let coeffs: Vec<Rational> = (0..n)
+            .map(|j| {
+                if nest.support(j).contains(i) {
+                    Rational::one()
+                } else {
+                    Rational::zero()
+                }
+            })
+            .collect();
+        let rhs = if relaxed_rows.contains(i) {
+            Rational::zero()
+        } else {
+            Rational::one()
+        };
+        lp.add_constraint(Constraint::new(coeffs, Relation::Ge, rhs));
+    }
+    lp
+}
+
+fn to_hbl_solution(
+    result: Result<projtile_lp::Solution, LpError>,
+    removed_rows: IndexSet,
+) -> HblSolution {
+    match result {
         Ok(sol) => HblSolution {
             s: sol.values,
             value: sol.objective_value,
@@ -75,6 +114,61 @@ pub fn solve_hbl(nest: &LoopNest, removed_rows: IndexSet) -> HblSolution {
         Err(LpError::Infeasible) | Err(LpError::Unbounded) | Err(LpError::Malformed(_)) => {
             unreachable!("the projective HBL LP is always feasible and bounded")
         }
+    }
+}
+
+/// Solves the (row-deleted) HBL LP with a cold solve of the relaxed-rhs
+/// formulation, reporting the canonical (lex-min) optimal weights; this is
+/// the differential oracle the warm-started [`HblFamily`] is tested against
+/// (bitwise-equal results).
+///
+/// The LP is always feasible (setting every `s_j = 1` satisfies all rows
+/// because every retained loop index appears in at least one support) and
+/// bounded below by zero, so failure indicates an internal error.
+pub fn solve_hbl(nest: &LoopNest, removed_rows: IndexSet) -> HblSolution {
+    let lp = hbl_lp_relaxed(nest, removed_rows);
+    to_hbl_solution(solve_canonical(&lp), removed_rows)
+}
+
+/// A warm-started solver for one nest's family of row-deleted HBL LPs.
+///
+/// All `2^d` subsets share one constraint matrix under the rhs-relaxation
+/// rewrite, so consecutive [`HblFamily::solve`] calls re-enter the dual
+/// simplex from the previous optimal basis. Solving subsets in an order where
+/// neighbours differ in few indices (Gray-code order) makes most re-entries a
+/// single pivot. Results are bitwise-identical to [`solve_hbl`].
+pub struct HblFamily {
+    lp: LinearProgram,
+    ctx: SolverContext,
+}
+
+impl HblFamily {
+    /// Creates a family for `nest`; no LP is solved yet.
+    pub fn new(nest: &LoopNest) -> HblFamily {
+        HblFamily {
+            lp: hbl_lp_relaxed(nest, IndexSet::empty()),
+            ctx: SolverContext::new(),
+        }
+    }
+
+    /// Solves the HBL LP with the rows of `removed_rows` relaxed, exactly as
+    /// [`solve_hbl`] would.
+    pub fn solve(&mut self, removed_rows: IndexSet) -> HblSolution {
+        for (i, c) in self.lp.constraints.iter_mut().enumerate() {
+            c.rhs = if removed_rows.contains(i) {
+                Rational::zero()
+            } else {
+                Rational::one()
+            };
+        }
+        // The family owns its program and only ever rewrites the rhs, so the
+        // structure-check-free re-entry applies.
+        to_hbl_solution(self.ctx.solve_rhs_update(&self.lp), removed_rows)
+    }
+
+    /// Warm-start counters (for tests and perf reports).
+    pub fn stats(&self) -> projtile_lp::ContextStats {
+        self.ctx.stats()
     }
 }
 
@@ -177,6 +271,48 @@ mod tests {
         let lb = large_bound_lower_bound(&nest, m);
         let expect = (1u128 << 18) as f64 / (m as f64).sqrt();
         assert!((lb - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn relaxed_formulation_matches_row_deleted_values() {
+        // Identical feasible regions: the relaxed LP's optimum equals the
+        // row-deleted LP's optimum for every subset, and its solution is
+        // feasible for the row-deleted program.
+        for seed in 0..8u64 {
+            let nest = builders::random_projective(seed, 4, 4, (2, 64));
+            for q in IndexSet::all_subsets(4) {
+                let relaxed = solve_hbl(&nest, q);
+                let row_deleted = hbl_lp(&nest, q);
+                assert!(row_deleted.is_feasible(&relaxed.s), "seed {seed}, Q={q:?}");
+                let deleted_opt = projtile_lp::solve(&row_deleted).expect("row-deleted LP solves");
+                assert_eq!(
+                    relaxed.value, deleted_opt.objective_value,
+                    "seed {seed}, Q={q:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_family_is_bitwise_identical_to_cold_solves() {
+        // The differential oracle of the warm-start layer at the HBL level:
+        // sweep all subsets in Gray-code order (the batched driver's order)
+        // and compare every field against a cold solve.
+        for seed in [0u64, 3, 11] {
+            let nest = builders::random_projective(seed, 6, 4, (1, 128));
+            let mut family = HblFamily::new(&nest);
+            for g in (0u64..1 << 6).map(|i| i ^ (i >> 1)) {
+                let q = IndexSet::from_bits(g);
+                let warm = family.solve(q);
+                let cold = solve_hbl(&nest, q);
+                assert_eq!(warm, cold, "seed {seed}, Q={q:?}");
+            }
+            let stats = family.stats();
+            assert!(
+                stats.warm_solves > 0,
+                "seed {seed}: warm path never taken: {stats:?}"
+            );
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use projtile_arith::{log, Rational};
 use projtile_loopnest::LoopNest;
-use projtile_lp::parametric::{parametric_rhs, ValueFunction};
+use projtile_lp::parametric::{parametric_rhs, parametric_rhs_cold, ValueFunction};
 use projtile_lp::LpError;
 
 use crate::tiling_lp::tiling_lp;
@@ -23,6 +23,10 @@ use crate::tiling_lp::tiling_lp;
 /// The returned [`ValueFunction`] maps `β_axis ∈ [log_M lo, log_M hi]` to the
 /// optimal tile exponent; its breakpoints are the regime changes the paper
 /// discusses (e.g. `β_3 = 1/2` for matrix multiplication).
+/// Every θ probe along the sweep re-enters the dual simplex from the previous
+/// probe's basis ([`projtile_lp::SolverContext`]); the resulting value
+/// function is exactly the one from independent cold probes, which
+/// [`exponent_vs_beta_cold`] computes and the tests compare against.
 pub fn exponent_vs_beta(
     nest: &LoopNest,
     cache_size: u64,
@@ -30,6 +34,37 @@ pub fn exponent_vs_beta(
     lo_bound: u64,
     hi_bound: u64,
 ) -> Result<ValueFunction, LpError> {
+    let (lp, direction, lo, hi) = beta_sweep_query(nest, cache_size, axis, lo_bound, hi_bound);
+    parametric_rhs(&lp, &direction, lo, hi)
+}
+
+/// [`exponent_vs_beta`] with one independent cold LP solve per probe — the
+/// differential oracle for the warm-started sweep.
+pub fn exponent_vs_beta_cold(
+    nest: &LoopNest,
+    cache_size: u64,
+    axis: usize,
+    lo_bound: u64,
+    hi_bound: u64,
+) -> Result<ValueFunction, LpError> {
+    let (lp, direction, lo, hi) = beta_sweep_query(nest, cache_size, axis, lo_bound, hi_bound);
+    parametric_rhs_cold(&lp, &direction, lo, hi)
+}
+
+type SweepQuery = (
+    projtile_lp::LinearProgram,
+    Vec<Rational>,
+    Rational,
+    Rational,
+);
+
+fn beta_sweep_query(
+    nest: &LoopNest,
+    cache_size: u64,
+    axis: usize,
+    lo_bound: u64,
+    hi_bound: u64,
+) -> SweepQuery {
     assert!(axis < nest.num_loops(), "axis out of range");
     assert!(lo_bound >= 1 && hi_bound >= lo_bound, "invalid bound range");
     assert!(cache_size >= 2, "cache size must be at least 2 words");
@@ -47,7 +82,7 @@ pub fn exponent_vs_beta(
 
     let lo = log::beta(lo_bound as u128, cache_size as u128);
     let hi = log::beta(hi_bound as u128, cache_size as u128);
-    parametric_rhs(&lp, &direction, lo, hi)
+    (lp, direction, lo, hi)
 }
 
 /// Convenience wrapper: the optimal exponent at a specific bound value along
@@ -80,6 +115,27 @@ mod tests {
         assert_eq!(vf.value_at(&ratio(1, 4)), ratio(5, 4));
         assert_eq!(vf.value_at(&ratio(1, 2)), ratio(3, 2));
         assert_eq!(vf.value_at(&Rational::one()), ratio(3, 2));
+    }
+
+    #[test]
+    fn warm_sweep_matches_cold_oracle_exactly() {
+        // Warm-started and cold parametric sweeps must produce identical
+        // value functions (breakpoints included) on every kernel family.
+        let cases: Vec<(projtile_loopnest::LoopNest, usize, u64)> = vec![
+            (builders::matmul(1 << 8, 1 << 8, 1 << 8), 2, 1 << 10),
+            (builders::nbody(1 << 4, 1 << 12), 0, 1 << 8),
+            (
+                builders::pointwise_conv(2, 1, 1 << 6, 1 << 5, 1 << 5),
+                1,
+                256,
+            ),
+            (builders::random_projective(7, 5, 4, (1, 128)), 0, 64),
+        ];
+        for (nest, axis, m) in cases {
+            let warm = exponent_vs_beta(&nest, m, axis, 1, m).unwrap();
+            let cold = exponent_vs_beta_cold(&nest, m, axis, 1, m).unwrap();
+            assert_eq!(warm, cold, "{nest}");
+        }
     }
 
     #[test]

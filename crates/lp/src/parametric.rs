@@ -18,7 +18,7 @@
 use projtile_arith::Rational;
 
 use crate::problem::{LinearProgram, Objective};
-use crate::{solve, LpError};
+use crate::LpError;
 
 /// A piecewise-linear function sampled at its breakpoints.
 ///
@@ -88,6 +88,29 @@ pub fn parametric_rhs(
     lo: Rational,
     hi: Rational,
 ) -> Result<ValueFunction, LpError> {
+    parametric_rhs_impl(lp, direction, lo, hi, true)
+}
+
+/// [`parametric_rhs`] with every probe answered by an independent cold solve
+/// instead of the warm-started context. Retained as the differential oracle
+/// for the warm path: both produce the same exact value function (optimal
+/// values are unique), which the test suite asserts.
+pub fn parametric_rhs_cold(
+    lp: &LinearProgram,
+    direction: &[Rational],
+    lo: Rational,
+    hi: Rational,
+) -> Result<ValueFunction, LpError> {
+    parametric_rhs_impl(lp, direction, lo, hi, false)
+}
+
+fn parametric_rhs_impl(
+    lp: &LinearProgram,
+    direction: &[Rational],
+    lo: Rational,
+    hi: Rational,
+    warm: bool,
+) -> Result<ValueFunction, LpError> {
     if direction.len() != lp.num_constraints() {
         return Err(LpError::Malformed(format!(
             "direction has {} entries but the program has {} constraints",
@@ -98,25 +121,37 @@ pub fn parametric_rhs(
     if lo > hi {
         return Err(LpError::Malformed("empty parameter interval".into()));
     }
-    // One scratch program reused across every probe of the value function:
-    // only the right-hand sides change with θ, so the coefficient matrix is
-    // cloned exactly once instead of once per evaluation.
+    // One scratch program and one warm-started solver context reused across
+    // every probe of the value function: only the right-hand sides change
+    // with θ — and only at the entries where `direction` is nonzero, so each
+    // probe rewrites exactly those — and every solve after the first (cold)
+    // one re-enters the dual simplex from the previous optimal basis. Only
+    // objective values are consumed here, and optimal values are unique, so
+    // the vertex-agnostic warm value probe is exact (its agreement with
+    // fresh cold solves at every breakpoint is pinned by tests).
     let base_rhs: Vec<Rational> = lp.constraints.iter().map(|c| c.rhs.clone()).collect();
-    let scratch = std::cell::RefCell::new(lp.clone());
+    let varying: Vec<usize> = direction
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| !d.is_zero())
+        .map(|(i, _)| i)
+        .collect();
+    let scratch = std::cell::RefCell::new((lp.clone(), crate::warm::SolverContext::new()));
     let value = |theta: &Rational| -> Result<Rational, LpError> {
-        let mut shifted = scratch.borrow_mut();
-        for ((c, b), d) in shifted
-            .constraints
-            .iter_mut()
-            .zip(&base_rhs)
-            .zip(direction.iter())
-        {
-            c.rhs = b.clone();
-            if !d.is_zero() {
-                c.rhs.add_mul_assign(d, theta);
-            }
+        let mut guard = scratch.borrow_mut();
+        let (shifted, ctx) = &mut *guard;
+        for &i in &varying {
+            let c = &mut shifted.constraints[i];
+            c.rhs = base_rhs[i].clone();
+            c.rhs.add_mul_assign(&direction[i], theta);
         }
-        Ok(solve(&shifted)?.objective_value)
+        if warm {
+            // The scratch program is owned by this sweep and only its rhs
+            // ever changes, so the structure-check-free re-entry applies.
+            ctx.optimal_value_rhs_update(shifted)
+        } else {
+            Ok(crate::solve(shifted)?.objective_value)
+        }
     };
 
     let v_lo = value(&lo)?;
@@ -372,6 +407,45 @@ mod tests {
         let vf = parametric_rhs(&lp, &[int(1)], int(0), int(1)).unwrap();
         let res = std::panic::catch_unwind(|| vf.value_at(&int(5)));
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn warm_and_cold_parametric_analyses_are_identical() {
+        // The warm-started probes may visit different optimal vertices than
+        // cold ones, but the value function is built from optimal values
+        // only, so the two analyses must agree exactly — breakpoints and all.
+        let lp = matmul_tiling_lp();
+        let direction = vec![int(0), int(1), int(0), int(1)];
+        let warm = parametric_rhs(&lp, &direction, int(0), int(2)).unwrap();
+        let cold = parametric_rhs_cold(&lp, &direction, int(0), int(2)).unwrap();
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn value_at_agrees_with_fresh_solve_exactly_at_breakpoints() {
+        // Regression: breakpoints are where two affine pieces meet, so an
+        // interpolation bug would show up exactly there (picking the wrong
+        // window or the wrong slope) while interior points still pass. Check
+        // both stored breakpoint values and value_at against a fresh cold
+        // solve at every breakpoint θ.
+        let lp = matmul_tiling_lp();
+        let direction = vec![int(0), int(0), int(0), int(1)];
+        let vf = parametric_rhs(&lp, &direction, int(0), int(1)).unwrap();
+        for (theta, stored) in &vf.breakpoints {
+            let mut shifted = lp.clone();
+            for (c, d) in shifted.constraints.iter_mut().zip(&direction) {
+                c.rhs = &c.rhs + &(d * theta);
+            }
+            let fresh = crate::solve(&shifted).unwrap().objective_value;
+            assert_eq!(stored, &fresh, "stored value wrong at θ = {theta}");
+            assert_eq!(
+                vf.value_at(theta),
+                fresh,
+                "interpolated value wrong at θ = {theta}"
+            );
+        }
+        // The genuine breakpoint 1/2 is among them.
+        assert!(vf.breakpoints.iter().any(|(t, _)| *t == ratio(1, 2)));
     }
 
     #[test]

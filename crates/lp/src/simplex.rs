@@ -18,54 +18,86 @@ use crate::LpError;
 /// optimal values of the structural variables. The returned point is always
 /// exactly feasible (this is asserted in debug builds and checked by the test
 /// suite via [`LinearProgram::is_feasible`]).
+/// When the optimum is not unique, the reported point is whichever optimal
+/// vertex Bland's pivot path reaches; see [`solve_canonical`] for a
+/// path-independent choice.
 pub fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
     lp.validate()?;
     let mut tableau = Tableau::build(lp);
     tableau.phase_one()?;
     tableau.phase_two()?;
-    let values = tableau.structural_values();
-    let raw = tableau.objective_value();
-    let objective_value = match lp.objective {
-        Objective::Maximize => raw,
-        Objective::Minimize => -raw,
-    };
-    debug_assert!(
-        lp.is_feasible(&values),
-        "simplex returned an infeasible point"
-    );
-    debug_assert_eq!(lp.objective_at(&values), objective_value);
-    Ok(Solution {
-        objective_value,
-        values,
-    })
+    Ok(tableau.extract_solution(lp))
+}
+
+/// Like [`solve`], but when the optimum is not unique the reported point is
+/// the **lexicographically smallest** optimal vertex (smallest `x_1`, then
+/// smallest `x_2` among those, and so on). That canonical choice is a
+/// property of the program alone — not of the pivot path — which is what
+/// makes warm-started re-solves ([`crate::warm`]) bitwise-identical to cold
+/// ones even on degenerate programs with whole optimal faces. The objective
+/// value is identical to [`solve`]'s (optimal values are unique).
+pub fn solve_canonical(lp: &LinearProgram) -> Result<Solution, LpError> {
+    lp.validate()?;
+    let mut tableau = Tableau::build(lp);
+    tableau.phase_one()?;
+    tableau.phase_two()?;
+    tableau.canonicalize_vertex();
+    Ok(tableau.extract_solution(lp))
 }
 
 /// Internal simplex tableau.
-struct Tableau {
+///
+/// Shared with the warm-start layer ([`crate::warm`]), which re-enters an
+/// optimal tableau through [`Tableau::reinstall_rhs`] + [`Tableau::dual_iterate`]
+/// instead of rebuilding it from scratch.
+pub(crate) struct Tableau {
     /// Constraint rows; each row has `num_cols + 1` entries (rhs last).
-    rows: Vec<Vec<Rational>>,
+    pub(crate) rows: Vec<Vec<Rational>>,
     /// Objective row in the `z - c·x = 0` convention (rhs entry = objective value).
-    obj: Vec<Rational>,
+    pub(crate) obj: Vec<Rational>,
     /// Basic variable (column index) for each row.
-    basis: Vec<usize>,
+    pub(crate) basis: Vec<usize>,
     /// Number of structural variables.
     num_structural: usize,
     /// Total number of variable columns (structural + slack + artificial).
-    num_cols: usize,
+    pub(crate) num_cols: usize,
     /// Column indices of artificial variables.
-    artificial_cols: Vec<usize>,
+    pub(crate) artificial_cols: Vec<usize>,
     /// Objective coefficients of the original problem, negated if minimizing
     /// (so the tableau always maximizes).
     max_costs: Vec<Rational>,
+    /// Per original constraint: `true` iff the row was negated at build time
+    /// to make its right-hand side non-negative. A replacement rhs must be
+    /// negated the same way before entering the stored system.
+    pub(crate) row_negated: Vec<bool>,
+    /// Per original constraint `k`: the column that held the identity vector
+    /// `e_k` when the tableau was built (the slack of a `<=` row, the
+    /// artificial of a `>=`/`==` row). Reading those columns of the current
+    /// tableau yields `B⁻¹` — the basis inverse — which is what lets a new
+    /// right-hand side be installed without refactorizing.
+    pub(crate) id_cols: Vec<usize>,
+    /// Set if [`Tableau::drive_out_artificials`] removed redundant rows; the
+    /// original-constraint-to-row mapping is then lost and the tableau cannot
+    /// be re-entered with a different right-hand side.
+    pub(crate) rows_removed: bool,
+    /// The right-hand side (in the original constraints' orientation) the
+    /// tableau currently represents; lets [`Tableau::reinstall_rhs`] apply
+    /// only the *delta* of a new rhs.
+    current_rhs: Vec<Rational>,
+    /// `is_artificial[j]` iff column `j` is an artificial variable
+    /// (precomputed from `artificial_cols` to keep the hot re-entry loops
+    /// allocation-free).
+    is_artificial: Vec<bool>,
 }
 
 impl Tableau {
-    fn build(lp: &LinearProgram) -> Tableau {
+    pub(crate) fn build(lp: &LinearProgram) -> Tableau {
         let n = lp.num_vars();
         let m = lp.num_constraints();
 
         // Normalize rows to have non-negative right-hand sides.
         let mut norm: Vec<(Vec<Rational>, Relation, Rational)> = Vec::with_capacity(m);
+        let mut row_negated = Vec::with_capacity(m);
         for c in &lp.constraints {
             if c.rhs.is_negative() {
                 let coeffs: Vec<Rational> = c.coeffs.iter().map(|v| -v).collect();
@@ -75,8 +107,10 @@ impl Tableau {
                     Relation::Eq => Relation::Eq,
                 };
                 norm.push((coeffs, relation, -&c.rhs));
+                row_negated.push(true);
             } else {
                 norm.push((c.coeffs.clone(), c.relation, c.rhs.clone()));
+                row_negated.push(false);
             }
         }
 
@@ -88,6 +122,7 @@ impl Tableau {
         let mut rows = Vec::with_capacity(m);
         let mut basis = Vec::with_capacity(m);
         let mut artificial_cols = Vec::with_capacity(num_artificial);
+        let mut id_cols = Vec::with_capacity(m);
         let mut next_slack = n;
         let mut next_artificial = n + num_slack;
 
@@ -99,6 +134,7 @@ impl Tableau {
                 Relation::Le => {
                     row[next_slack] = Rational::one();
                     basis.push(next_slack);
+                    id_cols.push(next_slack);
                     next_slack += 1;
                 }
                 Relation::Ge => {
@@ -106,12 +142,14 @@ impl Tableau {
                     next_slack += 1;
                     row[next_artificial] = Rational::one();
                     basis.push(next_artificial);
+                    id_cols.push(next_artificial);
                     artificial_cols.push(next_artificial);
                     next_artificial += 1;
                 }
                 Relation::Eq => {
                     row[next_artificial] = Rational::one();
                     basis.push(next_artificial);
+                    id_cols.push(next_artificial);
                     artificial_cols.push(next_artificial);
                     next_artificial += 1;
                 }
@@ -124,6 +162,11 @@ impl Tableau {
             Objective::Minimize => lp.costs.iter().map(|c| -c).collect(),
         };
 
+        let mut is_artificial = vec![false; num_cols];
+        for &a in &artificial_cols {
+            is_artificial[a] = true;
+        }
+
         Tableau {
             rows,
             obj: vec![Rational::zero(); num_cols + 1],
@@ -132,6 +175,11 @@ impl Tableau {
             num_cols,
             artificial_cols,
             max_costs,
+            row_negated,
+            id_cols,
+            rows_removed: false,
+            current_rhs: lp.constraints.iter().map(|c| c.rhs.clone()).collect(),
+            is_artificial,
         }
     }
 
@@ -259,7 +307,7 @@ impl Tableau {
         }
     }
 
-    fn phase_one(&mut self) -> Result<(), LpError> {
+    pub(crate) fn phase_one(&mut self) -> Result<(), LpError> {
         if self.artificial_cols.is_empty() {
             return Ok(());
         }
@@ -299,6 +347,7 @@ impl Tableau {
                         // Redundant row: every real coefficient is zero.
                         self.rows.remove(row_idx);
                         self.basis.remove(row_idx);
+                        self.rows_removed = true;
                     }
                 }
             } else {
@@ -307,7 +356,7 @@ impl Tableau {
         }
     }
 
-    fn phase_two(&mut self) -> Result<(), LpError> {
+    pub(crate) fn phase_two(&mut self) -> Result<(), LpError> {
         let mut costs = vec![Rational::zero(); self.num_cols];
         costs[..self.num_structural].clone_from_slice(&self.max_costs);
         self.set_objective(&costs);
@@ -330,6 +379,206 @@ impl Tableau {
 
     fn objective_value(&self) -> Rational {
         self.obj[self.num_cols].clone()
+    }
+
+    /// Reads the optimal objective value off an optimal tableau (in the
+    /// problem's own sense) without materializing the solution vector.
+    pub(crate) fn extract_value(&self, lp: &LinearProgram) -> Rational {
+        let raw = self.objective_value();
+        match lp.objective {
+            Objective::Maximize => raw,
+            Objective::Minimize => -raw,
+        }
+    }
+
+    /// Reads the optimal [`Solution`] off an optimal tableau, converting the
+    /// internal always-maximize objective back to the problem's own sense.
+    pub(crate) fn extract_solution(&self, lp: &LinearProgram) -> Solution {
+        let values = self.structural_values();
+        let raw = self.objective_value();
+        let objective_value = match lp.objective {
+            Objective::Maximize => raw,
+            Objective::Minimize => -raw,
+        };
+        debug_assert!(
+            lp.is_feasible(&values),
+            "simplex returned an infeasible point"
+        );
+        debug_assert_eq!(lp.objective_at(&values), objective_value);
+        Solution {
+            objective_value,
+            values,
+        }
+    }
+
+    /// Replaces the stored right-hand side with `rhs` (given in the original
+    /// constraints' orientation) without changing the basis: for each changed
+    /// entry `Δb_k`, the basic values gain `Δb'_k · B⁻¹e_k` and the objective
+    /// value gains `Δb'_k · y_k`, both read off the identity-origin column of
+    /// constraint `k` in the current tableau — `O(m)` per **changed** entry,
+    /// so single-row sweeps (Gray-code subsets, parametric rays) pay almost
+    /// nothing. The basis stays dual feasible (reduced costs do not depend on
+    /// the rhs), but basic values may turn negative;
+    /// [`Tableau::dual_iterate`] restores primal feasibility.
+    ///
+    /// Must not be called when [`Tableau::rows_removed`] is set.
+    pub(crate) fn reinstall_rhs(&mut self, lp: &LinearProgram) {
+        debug_assert!(!self.rows_removed, "row mapping lost; cannot re-enter");
+        debug_assert_eq!(lp.constraints.len(), self.id_cols.len());
+        for (k, new_b) in lp.constraints.iter().map(|c| &c.rhs).enumerate() {
+            if *new_b == self.current_rhs[k] {
+                continue;
+            }
+            // Δb in the stored (sign-normalized) orientation.
+            let mut delta = new_b - &self.current_rhs[k];
+            if self.row_negated[k] {
+                delta = -delta;
+            }
+            let col = self.id_cols[k];
+            for row in &mut self.rows {
+                // rhs_i += Δb'_k · B⁻¹[i][k]
+                let (vars, rhs_cell) = row.split_at_mut(self.num_cols);
+                if !vars[col].is_zero() {
+                    rhs_cell[0].add_mul_assign(&delta, &vars[col]);
+                }
+            }
+            let (vars, z_cell) = self.obj.split_at_mut(self.num_cols);
+            if !vars[col].is_zero() {
+                // z += Δb'_k · y_k, with y_k read off the identity-origin
+                // column (whose original cost is zero in phase 2).
+                z_cell[0].add_mul_assign(&delta, &vars[col]);
+            }
+            self.current_rhs[k] = new_b.clone();
+        }
+    }
+
+    /// Dual simplex with Bland-style anti-cycling: starting from a dual
+    /// feasible basis (all reduced costs non-negative), pivots until every
+    /// basic value is non-negative again.
+    ///
+    /// Leaving row: the infeasible row whose basic variable has the smallest
+    /// index. Entering column: among non-artificial columns with a negative
+    /// entry in that row, the one minimizing `obj[j] / -row[j]` (ties broken
+    /// by smallest column index), which preserves dual feasibility. A row
+    /// with a negative rhs and no admissible entering column certifies
+    /// infeasibility.
+    pub(crate) fn dual_iterate(&mut self) -> Result<(), LpError> {
+        loop {
+            let leaving = (0..self.rows.len())
+                .filter(|&i| self.rows[i][self.num_cols].is_negative())
+                .min_by_key(|&i| self.basis[i]);
+            let Some(row) = leaving else {
+                return Ok(());
+            };
+            let mut best: Option<(usize, Rational)> = None;
+            for j in 0..self.num_cols {
+                if self.is_artificial[j] || !self.rows[row][j].is_negative() {
+                    continue;
+                }
+                let denom = -&self.rows[row][j];
+                best = Some(match best {
+                    None => (j, denom),
+                    Some((b, bdenom)) => {
+                        // obj[j]/denom vs obj[b]/bdenom, both denominators > 0.
+                        let ord = Rational::cmp_div(&self.obj[j], &denom, &self.obj[b], &bdenom);
+                        if ord == std::cmp::Ordering::Less {
+                            (j, denom)
+                        } else {
+                            (b, bdenom)
+                        }
+                    }
+                });
+            }
+            let Some((col, _)) = best else {
+                return Err(LpError::Infeasible);
+            };
+            self.pivot(row, col);
+        }
+    }
+
+    /// Moves the (already optimal) tableau to the **lexicographically
+    /// smallest optimal vertex**: the optimum minimizing `x_1`, then `x_2`
+    /// among those, and so on over the structural variables.
+    ///
+    /// Why this is path-independent: expanding the objective around any
+    /// optimal basis gives `c·x = v* − Σ_j ρ_j x_j` for every feasible `x`,
+    /// so the optimal face is exactly `{x feasible : x_j = 0 for every
+    /// column with reduced cost ρ_j > 0}` — the same set no matter which
+    /// optimal basis produced the `ρ`. Freezing the positive-reduced-cost
+    /// columns out of the candidate set and minimizing `x_ℓ` level by level
+    /// (freezing each level's positive-reduced-cost columns in turn) is
+    /// therefore a sequence of *global* optimizations over faces determined
+    /// by the program alone; after the last level the face is the single
+    /// lex-min vertex. Entering columns always have a zero reduced cost in
+    /// every earlier objective, so those rows — including the primary
+    /// objective row, which is saved and restored — are untouched by the
+    /// pivots, and the objective value is exactly preserved.
+    ///
+    /// Cost: when the optimum is already certified unique this is a single
+    /// scan; otherwise one restricted mini-optimization per structural
+    /// variable, each typically a handful of pivots on the final tableau.
+    pub(crate) fn canonicalize_vertex(&mut self) {
+        // Columns that may never enter: artificials, plus every column with a
+        // strictly positive reduced cost in the primary (or any completed
+        // level's) objective row.
+        let mut forbidden = self.is_artificial.clone();
+        for (f, rc) in forbidden.iter_mut().zip(&self.obj) {
+            *f = *f || rc.is_positive();
+        }
+        let mut basic = vec![false; self.num_cols];
+        for &b in &self.basis {
+            basic[b] = true;
+        }
+        // Fast path: every non-basic, non-artificial column has a strictly
+        // positive reduced cost, so the optimum is unique and already lex-min.
+        if (0..self.num_cols).all(|j| basic[j] || forbidden[j]) {
+            return;
+        }
+        let primary_obj = std::mem::take(&mut self.obj);
+        for level in 0..self.num_structural {
+            if forbidden[level] {
+                // x_level is zero on the whole remaining face: its own
+                // reduced cost was positive at some earlier level.
+                continue;
+            }
+            if !basic[level] {
+                // x_level is non-basic, i.e. already at its minimum (zero);
+                // enforcing x_level = 0 on the remaining face is exactly
+                // "never let this column enter" — no optimization needed.
+                forbidden[level] = true;
+                continue;
+            }
+            // No admissible entering column at all: the vertex cannot move,
+            // so every remaining coordinate is already minimal.
+            if (0..self.num_cols).all(|j| basic[j] || forbidden[j]) {
+                break;
+            }
+            // Maximize -x_level over the remaining face. With x_level basic
+            // in row i, the canonicalized objective row for cost -e_level is
+            // simply the negated row i (zero in the basic column itself) —
+            // no general elimination pass needed.
+            let row = self
+                .basis
+                .iter()
+                .position(|&b| b == level)
+                .expect("basic variable has a row");
+            self.obj.clear();
+            self.obj.extend(self.rows[row].iter().map(|v| -v));
+            self.obj[level] = Rational::zero();
+            self.iterate(&forbidden)
+                .expect("minimizing a non-negative variable cannot be unbounded");
+            basic.fill(false);
+            for &b in &self.basis {
+                basic[b] = true;
+            }
+            for (f, rc) in forbidden.iter_mut().zip(&self.obj) {
+                *f = *f || rc.is_positive();
+            }
+        }
+        // The primary objective row is still canonical for the final basis:
+        // every pivot's entering column had a zero primary reduced cost, so
+        // no pivot would have changed it.
+        self.obj = primary_obj;
     }
 }
 

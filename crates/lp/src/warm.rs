@@ -1,0 +1,383 @@
+//! Warm-started LP solving for families of closely related programs.
+//!
+//! The paper's pipeline never solves one LP in isolation: the Theorem-2
+//! subset enumeration solves `2^d` HBL programs that share one constraint
+//! matrix and differ only in which right-hand sides are relaxed to zero, and
+//! the §7 parametric sweeps probe one tiling LP along a ray of right-hand
+//! sides. [`SolverContext`] exploits that structure: it retains the final
+//! simplex tableau of the previous solve and, when the next program differs
+//! **only in its right-hand side**, re-enters the dual simplex from the
+//! retained basis (which stays dual feasible — reduced costs do not depend on
+//! the rhs) instead of running two-phase simplex from scratch. A program
+//! whose matrix, objective, or relations differ triggers a transparent cold
+//! restart, so the context is always safe to use as a drop-in replacement
+//! for [`crate::solve`].
+//!
+//! # Exactness contract
+//!
+//! * [`SolverContext::solve`] returns **bitwise-identical** results to the
+//!   cold [`crate::solve_canonical`], including errors. Both paths finish by moving to
+//!   the lexicographically smallest optimal vertex — a canonical point that
+//!   depends only on the program, not on the pivot path (see
+//!   `simplex::Tableau::canonicalize_vertex`) — so degenerate programs with
+//!   whole optimal faces cannot make the two paths disagree. The
+//!   differential property tests in `tests/proptest_lp.rs` assert this
+//!   equality across randomized program families.
+//! * [`SolverContext::solve_value`] skips the canonicalization: its reported
+//!   *objective value* is still exactly the cold one (the optimal value of
+//!   an LP is unique, and all arithmetic is exact), but the reported point
+//!   may be any vertex of the optimal face. Use it for value sweeps (the
+//!   parametric analysis) where only the optimum matters.
+//!
+//! See the crate-level docs for the full warm-start protocol and the
+//! conditions under which a retained basis is reusable.
+
+use projtile_arith::Rational;
+
+use crate::problem::{LinearProgram, Solution};
+use crate::simplex::Tableau;
+use crate::LpError;
+
+/// Counters describing how a [`SolverContext`] resolved its queries; useful
+/// for asserting that warm starts actually happen and for perf reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ContextStats {
+    /// Solves that rebuilt the tableau from scratch (first use, structure
+    /// change, or a previous solve that left no reusable tableau).
+    pub cold_solves: u64,
+    /// Solves answered by re-entering the retained tableau.
+    pub warm_solves: u64,
+}
+
+/// A reusable solver that warm-starts across LPs sharing a constraint matrix.
+///
+/// Create one context per logical sweep (or per worker thread in a batched
+/// sweep) and call [`SolverContext::solve`] with each program in sequence.
+/// Programs may differ arbitrarily — the context detects when the retained
+/// basis is reusable — but the speedup materializes when consecutive programs
+/// share their matrix, objective, and relations and differ only in the
+/// right-hand side, ideally by a few entries.
+#[derive(Default)]
+pub struct SolverContext {
+    state: Option<WarmState>,
+    stats: ContextStats,
+}
+
+struct WarmState {
+    /// The optimal tableau of the most recent successful solve.
+    tableau: Tableau,
+    /// The program it solved, kept to detect structural compatibility. Its
+    /// right-hand sides may be stale (they are neither compared nor read:
+    /// the tableau tracks the currently-installed rhs itself).
+    lp: LinearProgram,
+}
+
+impl SolverContext {
+    /// Creates an empty context; the first solve is necessarily cold.
+    pub fn new() -> SolverContext {
+        SolverContext::default()
+    }
+
+    /// Solves `lp`, returning exactly what [`crate::solve_canonical`] would
+    /// return (bitwise-identical `Solution` or error), warm-starting when
+    /// possible.
+    pub fn solve(&mut self, lp: &LinearProgram) -> Result<Solution, LpError> {
+        self.solve_inner(lp, true)
+    }
+
+    /// Solves `lp` for its optimal **value**: the returned objective value is
+    /// exactly the cold solver's, but the reported point may be any vertex of
+    /// the optimal face (the lex-min canonicalization is skipped, so this is
+    /// strictly cheaper on degenerate programs).
+    pub fn solve_value(&mut self, lp: &LinearProgram) -> Result<Solution, LpError> {
+        self.solve_inner(lp, false)
+    }
+
+    /// The optimal objective value of `lp` — exactly [`crate::solve`]'s —
+    /// without materializing the solution vector. The cheapest probe for
+    /// value sweeps such as the parametric analysis.
+    pub fn optimal_value(&mut self, lp: &LinearProgram) -> Result<Rational, LpError> {
+        lp.validate()?;
+        if let Some(state) = self.state.as_mut() {
+            if structurally_compatible(&state.lp, lp) {
+                self.stats.warm_solves += 1;
+                state.tableau.reinstall_rhs(lp);
+                state.tableau.dual_iterate()?;
+                return Ok(state.tableau.extract_value(lp));
+            }
+        }
+        self.cold_solve(lp, false).map(|sol| sol.objective_value)
+    }
+
+    /// Like [`SolverContext::solve`], for sweep drivers that **own** the
+    /// program and guarantee that only constraint right-hand sides changed
+    /// since the previous call on this context (checked in debug builds).
+    /// Skips the per-call structural comparison, which dominates re-entry
+    /// cost on small programs.
+    pub fn solve_rhs_update(&mut self, lp: &LinearProgram) -> Result<Solution, LpError> {
+        let Some(state) = self.state.as_mut() else {
+            return self.cold_solve(lp, true);
+        };
+        debug_assert!(
+            structurally_compatible(&state.lp, lp),
+            "solve_rhs_update requires an unchanged program structure"
+        );
+        self.stats.warm_solves += 1;
+        state.tableau.reinstall_rhs(lp);
+        state.tableau.dual_iterate()?;
+        state.tableau.canonicalize_vertex();
+        Ok(state.tableau.extract_solution(lp))
+    }
+
+    /// Like [`SolverContext::optimal_value`], under the same caller guarantee
+    /// as [`SolverContext::solve_rhs_update`].
+    pub fn optimal_value_rhs_update(&mut self, lp: &LinearProgram) -> Result<Rational, LpError> {
+        let Some(state) = self.state.as_mut() else {
+            return self.cold_solve(lp, false).map(|sol| sol.objective_value);
+        };
+        debug_assert!(
+            structurally_compatible(&state.lp, lp),
+            "optimal_value_rhs_update requires an unchanged program structure"
+        );
+        self.stats.warm_solves += 1;
+        state.tableau.reinstall_rhs(lp);
+        state.tableau.dual_iterate()?;
+        Ok(state.tableau.extract_value(lp))
+    }
+
+    /// Drops the retained tableau; the next solve is cold. Call when moving
+    /// to an unrelated program family (a structure change is also detected
+    /// automatically, so this is an optimization, not a correctness
+    /// requirement).
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+
+    /// Counters for this context's lifetime.
+    pub fn stats(&self) -> ContextStats {
+        self.stats
+    }
+
+    fn solve_inner(&mut self, lp: &LinearProgram, canonical: bool) -> Result<Solution, LpError> {
+        lp.validate()?;
+        if let Some(state) = self.state.as_mut() {
+            if structurally_compatible(&state.lp, lp) {
+                self.stats.warm_solves += 1;
+                state.tableau.reinstall_rhs(lp);
+                // The re-entered basis stays dual feasible; the dual simplex
+                // either restores primal feasibility or produces an exact
+                // infeasibility certificate (on which the cold path would
+                // agree). The tableau stays structurally sound for further
+                // rhs re-entries in both cases.
+                state.tableau.dual_iterate()?;
+                if canonical {
+                    state.tableau.canonicalize_vertex();
+                }
+                return Ok(state.tableau.extract_solution(lp));
+            }
+        }
+        self.cold_solve(lp, canonical)
+    }
+
+    fn cold_solve(&mut self, lp: &LinearProgram, canonical: bool) -> Result<Solution, LpError> {
+        // Validate here (not only in solve_inner) so the *_rhs_update entry
+        // points also reject malformed programs with an error, like every
+        // other solve path, instead of panicking inside the tableau build.
+        lp.validate()?;
+        self.stats.cold_solves += 1;
+        self.state = None;
+        let mut tableau = Tableau::build(lp);
+        tableau.phase_one()?;
+        tableau.phase_two()?;
+        if canonical {
+            tableau.canonicalize_vertex();
+        }
+        let sol = tableau.extract_solution(lp);
+        if !tableau.rows_removed {
+            self.state = Some(WarmState {
+                tableau,
+                lp: lp.clone(),
+            });
+        }
+        Ok(sol)
+    }
+}
+
+/// `true` iff the two programs differ at most in constraint right-hand sides,
+/// so a basis of one is dual feasible for the other.
+fn structurally_compatible(a: &LinearProgram, b: &LinearProgram) -> bool {
+    a.objective == b.objective
+        && a.costs == b.costs
+        && a.constraints.len() == b.constraints.len()
+        && a.constraints
+            .iter()
+            .zip(&b.constraints)
+            .all(|(ca, cb)| ca.relation == cb.relation && ca.coeffs == cb.coeffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Constraint, Relation};
+    use crate::{solve, solve_canonical};
+    use projtile_arith::{int, ratio};
+
+    fn hbl_relaxed(rhs: [i64; 3]) -> LinearProgram {
+        // The matmul HBL LP with relaxable rows: min s1+s2+s3 subject to
+        // pairwise sums >= rhs_i.
+        let mut lp = LinearProgram::minimize(vec![int(1), int(1), int(1)]);
+        let rows = [[1, 1, 0], [0, 1, 1], [1, 0, 1]];
+        for (row, b) in rows.iter().zip(rhs) {
+            lp.add_constraint(Constraint::new(
+                row.iter().map(|&v| int(v)).collect(),
+                Relation::Ge,
+                int(b),
+            ));
+        }
+        lp
+    }
+
+    #[test]
+    fn warm_matches_cold_across_rhs_family() {
+        let mut ctx = SolverContext::new();
+        // All 2^3 relaxation patterns of the matmul HBL LP, in Gray order.
+        for mask in [0u32, 1, 3, 2, 6, 7, 5, 4] {
+            let rhs = [
+                i64::from(mask & 1 == 0),
+                i64::from(mask & 2 == 0),
+                i64::from(mask & 4 == 0),
+            ];
+            let lp = hbl_relaxed(rhs);
+            let warm = ctx.solve(&lp);
+            let cold = solve_canonical(&lp);
+            assert_eq!(warm, cold, "mask {mask}");
+            // The optimal value (unique) also matches the plain solver.
+            if let (Ok(w), Ok(c)) = (&warm, &solve(&lp)) {
+                assert_eq!(w.objective_value, c.objective_value);
+            }
+        }
+        let stats = ctx.stats();
+        // First solve is cold; every other one re-enters the same matrix.
+        assert_eq!(stats.cold_solves, 1);
+        assert_eq!(stats.warm_solves, 7);
+    }
+
+    #[test]
+    fn warm_start_tracks_moving_rhs() {
+        let mut ctx = SolverContext::new();
+        let mut lp = LinearProgram::maximize(vec![int(3), int(2)]);
+        lp.add_constraint(Constraint::new(vec![int(1), int(1)], Relation::Le, int(4)));
+        lp.add_constraint(Constraint::new(vec![int(1), int(0)], Relation::Le, int(2)));
+        for b in 1..=6 {
+            lp.constraints[0].rhs = int(b);
+            let warm = ctx.solve(&lp).unwrap();
+            let cold = solve_canonical(&lp).unwrap();
+            assert_eq!(warm, cold, "b = {b}");
+        }
+        assert_eq!(ctx.stats().cold_solves, 1);
+        assert_eq!(ctx.stats().warm_solves, 5);
+    }
+
+    #[test]
+    fn structure_change_triggers_cold_restart() {
+        let mut ctx = SolverContext::new();
+        let lp1 = hbl_relaxed([1, 1, 1]);
+        assert_eq!(ctx.solve(&lp1).unwrap().objective_value, ratio(3, 2));
+        // Different matrix: one extra constraint.
+        let mut lp2 = hbl_relaxed([1, 1, 1]);
+        lp2.add_constraint(Constraint::new(
+            vec![int(1), int(0), int(0)],
+            Relation::Ge,
+            int(1),
+        ));
+        let warm = ctx.solve(&lp2).unwrap();
+        assert_eq!(warm, solve_canonical(&lp2).unwrap());
+        assert_eq!(ctx.stats().cold_solves, 2);
+    }
+
+    #[test]
+    fn warm_detects_infeasibility() {
+        let mut ctx = SolverContext::new();
+        let mut lp = LinearProgram::maximize(vec![int(1)]);
+        lp.add_constraint(Constraint::new(vec![int(1)], Relation::Le, int(2)));
+        lp.add_constraint(Constraint::new(vec![int(-1)], Relation::Le, int(0)));
+        assert!(ctx.solve(&lp).is_ok());
+        // x <= 2 and -x <= -3 (x >= 3): infeasible, found by dual simplex.
+        lp.constraints[1].rhs = int(-3);
+        assert_eq!(ctx.solve(&lp), Err(LpError::Infeasible));
+        assert_eq!(solve(&lp), Err(LpError::Infeasible));
+        // And recovers when the rhs becomes feasible again.
+        lp.constraints[1].rhs = int(-1);
+        let sol = ctx.solve(&lp).unwrap();
+        assert_eq!(sol, solve_canonical(&lp).unwrap());
+    }
+
+    #[test]
+    fn degenerate_family_reports_canonical_vertex() {
+        // max x+y st x+y <= b has a whole optimal edge; both paths must
+        // report its lex-min vertex (x = 0, y = b) bitwise-identically.
+        let mut ctx = SolverContext::new();
+        let mut lp = LinearProgram::maximize(vec![int(1), int(1)]);
+        lp.add_constraint(Constraint::new(vec![int(1), int(1)], Relation::Le, int(1)));
+        for num in 0..8 {
+            lp.constraints[0].rhs = ratio(num, 3);
+            let warm = ctx.solve(&lp).unwrap();
+            let cold = solve_canonical(&lp).unwrap();
+            assert_eq!(warm, cold);
+            assert_eq!(warm.values, vec![int(0), ratio(num, 3)]);
+        }
+    }
+
+    #[test]
+    fn solve_value_matches_cold_objective_on_degenerate_family() {
+        let mut ctx = SolverContext::new();
+        let mut lp = LinearProgram::maximize(vec![int(1), int(1)]);
+        lp.add_constraint(Constraint::new(vec![int(1), int(1)], Relation::Le, int(1)));
+        for num in 0..8 {
+            lp.constraints[0].rhs = ratio(num, 3);
+            let warm = ctx.solve_value(&lp).unwrap();
+            let cold = solve(&lp).unwrap();
+            assert_eq!(warm.objective_value, cold.objective_value);
+            assert!(lp.is_feasible(&warm.values));
+            assert_eq!(lp.objective_at(&warm.values), warm.objective_value);
+        }
+    }
+
+    #[test]
+    fn malformed_programs_error_on_every_entry_point() {
+        // Regression: the rhs-update entry points must reject malformed
+        // programs with an error (like solve/solve_canonical), not panic
+        // inside the tableau build.
+        let mut ragged = LinearProgram::maximize(vec![int(1), int(1)]);
+        ragged.add_constraint(Constraint::new(vec![int(1)], Relation::Le, int(1)));
+        let mut ctx = SolverContext::new();
+        assert!(matches!(ctx.solve(&ragged), Err(LpError::Malformed(_))));
+        assert!(matches!(
+            ctx.solve_rhs_update(&ragged),
+            Err(LpError::Malformed(_))
+        ));
+        assert!(matches!(
+            ctx.optimal_value_rhs_update(&ragged),
+            Err(LpError::Malformed(_))
+        ));
+        // And through the parametric sweep built on them.
+        let res = crate::parametric::parametric_rhs(&ragged, &[int(1)], int(0), int(1));
+        assert!(matches!(res, Err(LpError::Malformed(_))));
+    }
+
+    #[test]
+    fn negative_rhs_normalization_round_trips() {
+        // The build path negates rows with negative rhs; a warm re-entry must
+        // apply the same sign convention.
+        let mut ctx = SolverContext::new();
+        let mut lp = LinearProgram::minimize(vec![int(1)]);
+        lp.add_constraint(Constraint::new(vec![int(-1)], Relation::Le, int(-3)));
+        assert_eq!(ctx.solve(&lp).unwrap().objective_value, int(3));
+        for b in [-5i64, -2, -7, 0] {
+            lp.constraints[0].rhs = int(b);
+            let warm = ctx.solve(&lp);
+            let cold = solve_canonical(&lp);
+            assert_eq!(warm, cold, "b = {b}");
+        }
+    }
+}

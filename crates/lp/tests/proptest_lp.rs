@@ -6,9 +6,17 @@
 //!   have finite optima, the optimal values agree exactly.
 //! * On bounded feasible regions (box constraints added), the solver never
 //!   reports infeasibility or unboundedness.
+//! * Differential warm-start checks: a [`SolverContext`] fed a family of
+//!   related programs (perturbed right-hand sides, added/dropped rows) must
+//!   return bitwise-identical optima to cold canonical solves, and the
+//!   parametric value function must agree with fresh cold solves exactly at
+//!   every breakpoint.
 
 use projtile_arith::{int, ratio, Rational};
-use projtile_lp::{dual_program, solve, Constraint, LinearProgram, LpError, Objective, Relation};
+use projtile_lp::{
+    dual_program, parametric::parametric_rhs, solve, solve_canonical, Constraint, LinearProgram,
+    LpError, Objective, Relation, SolverContext,
+};
 use proptest::prelude::*;
 
 /// Strategy: a random LP with `n` variables and `m` random `<=` constraints
@@ -105,6 +113,132 @@ proptest! {
         if let Ok(d) = solve(&dual) {
             prop_assert!(d.objective_value >= p.objective_value.clone());
             prop_assert!(d.objective_value <= p.objective_value);
+        }
+    }
+
+    #[test]
+    fn warm_context_matches_cold_canonical_on_perturbed_rhs(
+        lp in bounded_lp(4, 5),
+        perturbations in proptest::collection::vec(
+            proptest::collection::vec(-4i64..=6i64, 5), 1..8),
+    ) {
+        // One context fed a family of rhs perturbations of one program: every
+        // answer must be bitwise-identical to a cold canonical solve,
+        // including any infeasibility along the way.
+        let mut ctx = SolverContext::new();
+        let base_rhs: Vec<Rational> =
+            lp.constraints.iter().map(|c| c.rhs.clone()).collect();
+        for delta in &perturbations {
+            let mut variant = lp.clone();
+            for ((c, b), d) in variant.constraints.iter_mut().zip(&base_rhs).zip(delta) {
+                // Only the first 5 (random) rows are perturbed; the box rows
+                // keep the family bounded.
+                c.rhs = b + &int(*d);
+            }
+            let warm = ctx.solve(&variant);
+            let cold = solve_canonical(&variant);
+            prop_assert_eq!(&warm, &cold);
+            // The optimal value additionally matches the plain solver.
+            if let (Ok(w), Ok(c)) = (&warm, &solve(&variant)) {
+                prop_assert_eq!(&w.objective_value, &c.objective_value);
+            }
+        }
+        // Every query was either warm or cold (a failed cold solve leaves no
+        // reusable tableau, so a run may legitimately re-cold-start).
+        let stats = ctx.stats();
+        prop_assert_eq!(
+            stats.warm_solves + stats.cold_solves,
+            perturbations.len() as u64
+        );
+    }
+
+    #[test]
+    fn warm_context_matches_cold_canonical_on_covering_relaxations(
+        lp in covering_lp(5, 6),
+        masks in proptest::collection::vec(0u64..64, 1..10),
+    ) {
+        // The Theorem-2 shape: one covering matrix, right-hand sides relaxed
+        // to zero on arbitrary subsets (= row deletion), revisited in an
+        // arbitrary (not Gray) order.
+        let mut ctx = SolverContext::new();
+        for mask in &masks {
+            let mut variant = lp.clone();
+            for (i, c) in variant.constraints.iter_mut().enumerate() {
+                if mask & (1 << i) != 0 {
+                    c.rhs = Rational::zero();
+                }
+            }
+            let warm = ctx.solve(&variant);
+            let cold = solve_canonical(&variant);
+            prop_assert_eq!(warm, cold);
+        }
+    }
+
+    #[test]
+    fn warm_context_survives_added_and_dropped_rows(
+        lp in bounded_lp(3, 4),
+        extra_row in proptest::collection::vec(0i64..=3i64, 3),
+        extra_rhs in 0i64..=9i64,
+    ) {
+        // Structure changes (a row appended, then dropped again) must
+        // transparently cold-restart and still agree with the cold solver.
+        let mut ctx = SolverContext::new();
+        let first = ctx.solve(&lp);
+        prop_assert_eq!(&first, &solve_canonical(&lp));
+        let mut grown = lp.clone();
+        grown.add_constraint(Constraint::new(
+            extra_row.into_iter().map(int).collect(),
+            Relation::Le,
+            int(extra_rhs),
+        ));
+        prop_assert_eq!(ctx.solve(&grown), solve_canonical(&grown));
+        // Dropping the row again is another structure change.
+        prop_assert_eq!(ctx.solve(&lp), solve_canonical(&lp));
+        // A final rhs-only change warm-starts off the restored structure.
+        let mut shifted = lp.clone();
+        if let Some(c) = shifted.constraints.first_mut() {
+            c.rhs = &c.rhs + &int(1);
+        }
+        prop_assert_eq!(ctx.solve(&shifted), solve_canonical(&shifted));
+    }
+
+    #[test]
+    fn canonical_solve_agrees_with_plain_solve_on_value(lp in bounded_lp(4, 4)) {
+        // solve_canonical picks a canonical vertex but can never change the
+        // optimal value, feasibility, or solvability.
+        let plain = solve(&lp).expect("bounded feasible LP solves");
+        let canonical = solve_canonical(&lp).expect("canonical solve solves");
+        prop_assert_eq!(&plain.objective_value, &canonical.objective_value);
+        prop_assert!(lp.is_feasible(&canonical.values));
+        prop_assert_eq!(
+            lp.objective_at(&canonical.values),
+            canonical.objective_value.clone()
+        );
+    }
+
+    #[test]
+    fn value_function_exact_at_breakpoints(
+        lp in covering_lp(4, 4),
+        direction_bits in proptest::collection::vec(proptest::bool::ANY, 4),
+    ) {
+        // The parametric value function (computed through warm-started value
+        // solves) must agree with fresh cold solves exactly at every
+        // breakpoint θ — the corners are where an interpolation or warm-start
+        // bug would hide.
+        let direction: Vec<Rational> = direction_bits
+            .iter()
+            .map(|&b| if b { int(1) } else { int(0) })
+            .collect();
+        let vf = parametric_rhs(&lp, &direction, int(0), int(3))
+            .expect("covering LPs stay feasible and bounded along the ray");
+        for (theta, stored) in &vf.breakpoints {
+            let mut shifted = lp.clone();
+            for (c, d) in shifted.constraints.iter_mut().zip(&direction) {
+                c.rhs = &c.rhs + &(d * theta);
+            }
+            let fresh = solve(&shifted).expect("shifted LP solves").objective_value;
+            prop_assert_eq!(stored, &fresh);
+            prop_assert_eq!(vf.value_at(theta), fresh);
         }
     }
 

@@ -1,7 +1,7 @@
 //! Minimal data-parallel utilities built on `crossbeam` scoped threads.
 //!
 //! The workspace's allowed dependency set includes `crossbeam` but not a
-//! full work-stealing runtime, so this crate provides the three primitives the
+//! full work-stealing runtime, so this crate provides the four primitives the
 //! rest of `projtile` actually needs, in the data-parallel style the HPC
 //! guides recommend (independent work items, no shared mutable state,
 //! deterministic output order):
@@ -10,7 +10,12 @@
 //!   returning results in input order;
 //! * [`par_map_indexed`] — the same, with the element index passed through
 //!   (used for parameter sweeps where the index identifies the configuration);
-//! * [`par_reduce`] — parallel map followed by an associative fold.
+//! * [`par_map_with`] — the same, with a per-worker state created once per
+//!   chunk and threaded through that chunk's items in order (used for
+//!   warm-started LP sweeps, where the state is a solver context whose warm
+//!   starts compound along the chunk);
+//! * [`par_reduce`] — parallel map-fold: each worker folds its own chunk and
+//!   only the per-chunk partial results are combined on the calling thread.
 //!
 //! Work is split into contiguous chunks, one per worker thread, which is the
 //! right shape for this workspace: every parallel call site (the `2^d`
@@ -18,13 +23,17 @@
 //! simulations) has items of comparable cost. Inputs smaller than
 //! [`PARALLEL_THRESHOLD`] are processed sequentially to avoid paying thread
 //! start-up cost on tiny workloads.
+//!
+//! A panic inside a worker is re-raised on the calling thread with its
+//! **original payload** (via [`std::panic::resume_unwind`]), so assertion
+//! messages from inside parallel sweeps survive intact. If several workers
+//! panic, the payload of the lowest-indexed chunk wins deterministically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::num::NonZeroUsize;
-
-use parking_lot::Mutex;
+use std::sync::OnceLock;
 
 /// Inputs shorter than this are processed on the calling thread.
 pub const PARALLEL_THRESHOLD: usize = 16;
@@ -32,18 +41,95 @@ pub const PARALLEL_THRESHOLD: usize = 16;
 /// Number of worker threads used by the parallel primitives.
 ///
 /// Respects the `PROJTILE_THREADS` environment variable when set to a positive
-/// integer; otherwise uses the machine's available parallelism.
+/// integer; otherwise uses the machine's available parallelism. The setting is
+/// read and parsed **once** per process and cached: later changes to the
+/// environment variable have no effect, which keeps concurrently-running
+/// callers (and tests) from racing on `set_var`/`remove_var`. An invalid
+/// setting (zero, or not an integer) is reported loudly on stderr and ignored.
 pub fn num_threads() -> usize {
-    if let Ok(v) = std::env::var("PROJTILE_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n >= 1 {
-                return n;
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| num_threads_from(std::env::var("PROJTILE_THREADS").ok().as_deref()))
+}
+
+/// The uncached policy behind [`num_threads`]: resolves an optional
+/// `PROJTILE_THREADS` setting to a worker count, warning on invalid values.
+fn num_threads_from(setting: Option<&str>) -> usize {
+    if let Some(raw) = setting {
+        match parse_thread_setting(raw) {
+            Ok(n) => return n,
+            Err(why) => {
+                eprintln!(
+                    "projtile-par: ignoring invalid PROJTILE_THREADS={raw:?}: {why}; \
+                     using available parallelism"
+                );
             }
         }
     }
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Parses a `PROJTILE_THREADS` value: a positive integer, or an error
+/// explaining why the setting is unusable.
+fn parse_thread_setting(raw: &str) -> Result<usize, &'static str> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err("thread count must be at least 1"),
+        Ok(n) => Ok(n),
+        Err(_) => Err("not an unsigned integer"),
+    }
+}
+
+/// Runs `worker` over one contiguous chunk per thread and returns the
+/// per-chunk results in chunk order. `worker` receives the chunk's base index
+/// and the chunk itself. Panics in any worker are re-raised on the calling
+/// thread with the original payload (first chunk wins).
+///
+/// The caller guarantees `items` is non-empty and that a parallel run is
+/// worthwhile; the sequential small-input path lives in the public wrappers.
+fn run_chunked<T, R, W>(items: &[T], chunk_size: usize, worker: W) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    W: Fn(usize, &[T]) -> R + Sync,
+{
+    let num_chunks = items.len().div_ceil(chunk_size);
+    let outcome = crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(num_chunks);
+        for (w, chunk) in items.chunks(chunk_size).enumerate() {
+            let worker = &worker;
+            let base = w * chunk_size;
+            handles.push(scope.spawn(move |_| worker(base, chunk)));
+        }
+        // Join every handle explicitly so a panicking worker surfaces here
+        // (as an `Err` carrying its payload) instead of tearing down the
+        // scope with a generic "a scoped thread panicked" message.
+        let mut out: Vec<Option<R>> = Vec::with_capacity(num_chunks);
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(r) => out.push(Some(r)),
+                Err(payload) => {
+                    out.push(None);
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        (out, first_panic)
+    });
+    let (results, first_panic) = match outcome {
+        Ok(pair) => pair,
+        Err(payload) => std::panic::resume_unwind(payload),
+    };
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
+    results
+        .into_iter()
+        .map(|slot| slot.expect("non-panicking chunk produced a result"))
+        .collect()
 }
 
 /// Applies `f` to every element of `items` and collects the results in input
@@ -64,36 +150,54 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_with(items, || (), |(), i, item| f(i, item))
+}
+
+/// Like [`par_map_indexed`], but each worker owns a mutable state created by
+/// `init` once per contiguous chunk and passed to `f` for every item of that
+/// chunk, **in index order within the chunk**.
+///
+/// This is the batched-sweep primitive: when the state is a warm-started LP
+/// solver context, consecutive items of a chunk re-enter simplex from the
+/// previous item's optimal basis, so warm starts compound along the chunk
+/// while chunks stay independent. Results are returned in input order.
+///
+/// The state is an **accelerator, not an accumulator**: chunk boundaries
+/// (and therefore the number of `init` calls) depend on the input length and
+/// the thread count, so each item's result must not depend on which items
+/// the state has already seen — `f(&mut init(), i, item)` must equal
+/// `f(&mut s, i, item)` for a state `s` that already processed any prefix.
+/// Warm-started solver contexts guarantee exactly that (canonicalized
+/// results are path-independent); a running sum would not.
+pub fn par_map_with<T, R, S, I, F>(items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
     let n = items.len();
     let workers = num_threads().min(n.max(1));
     if n < PARALLEL_THRESHOLD || workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
     }
-
-    // One contiguous chunk per worker; results are stitched back in order.
     let chunk_size = n.div_ceil(workers);
-    let num_chunks = n.div_ceil(chunk_size);
-    let results: Mutex<Vec<Option<Vec<R>>>> = Mutex::new((0..num_chunks).map(|_| None).collect());
-    crossbeam::scope(|scope| {
-        for (w, chunk) in items.chunks(chunk_size).enumerate() {
-            let f = &f;
-            let results = &results;
-            let base = w * chunk_size;
-            scope.spawn(move |_| {
-                let out: Vec<R> = chunk
-                    .iter()
-                    .enumerate()
-                    .map(|(i, t)| f(base + i, t))
-                    .collect();
-                results.lock()[w] = Some(out);
-            });
-        }
-    })
-    .expect("worker thread panicked");
-
+    let per_chunk: Vec<Vec<R>> = run_chunked(items, chunk_size, |base, chunk| {
+        let mut state = init();
+        chunk
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, base + i, t))
+            .collect()
+    });
     let mut collected = Vec::with_capacity(n);
-    for slot in results.into_inner() {
-        collected.extend(slot.expect("every chunk produces results"));
+    for chunk in per_chunk {
+        collected.extend(chunk);
     }
     collected
 }
@@ -101,23 +205,45 @@ where
 /// Parallel map-reduce: applies `map` to every element and folds the results
 /// with the associative `combine`, starting from `identity`.
 ///
-/// `combine` must be associative and `identity` its neutral element; the fold
-/// order across chunks is unspecified (but deterministic for a fixed thread
-/// count because chunks are combined in index order).
+/// Each worker folds its **own chunk** on its own thread (seeding the fold
+/// with its chunk's first mapped value), and only the per-chunk partial
+/// results are combined on the calling thread, in chunk-index order. No
+/// intermediate `Vec` of mapped values is materialized. `combine` must be
+/// associative and `identity` its neutral element; given that, the result
+/// equals the sequential left fold, and is deterministic for a fixed thread
+/// count because both the intra-chunk folds and the final combine run in
+/// index order.
 pub fn par_reduce<T, R, M, C>(items: &[T], identity: R, map: M, combine: C) -> R
 where
     T: Sync,
-    R: Send + Clone,
+    R: Send,
     M: Fn(&T) -> R + Sync,
-    C: Fn(R, R) -> R,
+    C: Fn(R, R) -> R + Sync,
 {
-    let mapped = par_map(items, map);
-    mapped.into_iter().fold(identity, combine)
+    let n = items.len();
+    let workers = num_threads().min(n.max(1));
+    if n < PARALLEL_THRESHOLD || workers <= 1 {
+        return items.iter().fold(identity, |acc, t| combine(acc, map(t)));
+    }
+    let chunk_size = n.div_ceil(workers);
+    let partials: Vec<R> = run_chunked(items, chunk_size, |_base, chunk| {
+        // Chunks are non-empty by construction, so the fold can be seeded
+        // with the first mapped value; associativity makes this equal to a
+        // fold from the identity.
+        let (first, rest) = chunk.split_first().expect("chunks are non-empty");
+        rest.iter().fold(map(first), |acc, t| combine(acc, map(t)))
+    });
+    partials.into_iter().fold(identity, combine)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serializes tests that read or mutate process-global state (environment
+    /// variables): `cargo test` runs tests of one binary concurrently, so
+    /// unserialized `set_var`/`remove_var` calls race.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn par_map_preserves_order() {
@@ -146,6 +272,41 @@ mod tests {
     }
 
     #[test]
+    fn par_map_with_threads_state_in_chunk_order() {
+        // The state records every index it sees; within each chunk the
+        // indices must be consecutive and increasing, and the concatenated
+        // output must be in global order.
+        let items: Vec<u64> = (0..300).collect();
+        let out = par_map_with(&items, Vec::new, |seen: &mut Vec<usize>, i, &x| {
+            if let Some(&last) = seen.last() {
+                assert_eq!(i, last + 1, "chunk items visited out of order");
+            }
+            seen.push(i);
+            (i, x, seen.len())
+        });
+        for (i, (idx, val, nth)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*val, items[i]);
+            // nth-in-chunk restarts at 1 on every chunk boundary.
+            assert!(*nth >= 1);
+        }
+    }
+
+    #[test]
+    fn par_map_with_sequential_path_uses_one_state() {
+        let items = vec![10u64, 20, 30];
+        let out = par_map_with(
+            &items,
+            || 0u64,
+            |acc, _, &x| {
+                *acc += x;
+                *acc
+            },
+        );
+        assert_eq!(out, vec![10, 30, 60]);
+    }
+
+    #[test]
     fn par_reduce_sums() {
         let items: Vec<u64> = (1..=1000).collect();
         let total = par_reduce(&items, 0u64, |&x| x, |a, b| a + b);
@@ -165,8 +326,64 @@ mod tests {
     }
 
     #[test]
-    fn num_threads_is_positive() {
-        assert!(num_threads() >= 1);
+    fn par_reduce_matches_sequential_fold() {
+        for n in [0usize, 1, 15, 16, 17, 100, 257, 1000] {
+            let items: Vec<u64> = (0..n as u64).collect();
+            let par = par_reduce(&items, 1u64, |&x| x + 1, |a, b| a.wrapping_mul(b));
+            let seq = items.iter().fold(1u64, |acc, &x| acc.wrapping_mul(x + 1));
+            assert_eq!(par, seq, "mismatch at n = {n}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_payload_is_preserved() {
+        let items: Vec<u64> = (0..200).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map(&items, |&x| {
+                assert!(x != 137, "descriptive panic message for item {x}");
+                x
+            })
+        }))
+        .expect_err("the sweep must panic");
+        let msg = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| caught.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a message");
+        assert!(
+            msg.contains("descriptive panic message for item 137"),
+            "original payload lost: {msg:?}"
+        );
+    }
+
+    #[test]
+    fn num_threads_is_positive_and_stable() {
+        let _guard = ENV_LOCK.lock();
+        let first = num_threads();
+        assert!(first >= 1);
+        // Cached: a later (invalid) env setting cannot change the answer.
+        std::env::set_var("PROJTILE_THREADS", "0");
+        assert_eq!(num_threads(), first);
+        std::env::remove_var("PROJTILE_THREADS");
+    }
+
+    #[test]
+    fn thread_setting_parsing() {
+        assert_eq!(parse_thread_setting("1"), Ok(1));
+        assert_eq!(parse_thread_setting(" 8 "), Ok(8));
+        assert!(parse_thread_setting("0").is_err());
+        assert!(parse_thread_setting("-3").is_err());
+        assert!(parse_thread_setting("many").is_err());
+        assert!(parse_thread_setting("").is_err());
+    }
+
+    #[test]
+    fn invalid_settings_fall_back_to_machine_parallelism() {
+        let fallback = num_threads_from(None);
+        assert!(fallback >= 1);
+        assert_eq!(num_threads_from(Some("0")), fallback);
+        assert_eq!(num_threads_from(Some("garbage")), fallback);
+        assert_eq!(num_threads_from(Some("6")), 6);
     }
 
     #[test]

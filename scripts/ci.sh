@@ -1,19 +1,25 @@
 #!/usr/bin/env bash
 # CI gate for the projtile workspace: build, test, lint, format.
 #
-# Usage: scripts/ci.sh [--no-bench-build]
+# Usage: scripts/ci.sh [--no-bench-build] [--no-bench-smoke]
 #
 # Mirrors the tier-1 verify command (`cargo build --release && cargo test -q`)
 # and adds clippy (warnings are errors) and rustfmt checks over all targets,
-# including the Criterion benches the tier-1 command does not compile.
+# including the Criterion benches the tier-1 command does not compile, plus a
+# bench smoke run (`report --bench` on a tiny budget) that executes every
+# snapshot workload — including the warm-started batched LP sweeps and their
+# cold differential twins — so solver regressions that only manifest under
+# the batched path fail CI even when unit tests pass.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 build_benches=1
+bench_smoke=1
 for arg in "$@"; do
     case "$arg" in
         --no-bench-build) build_benches=0 ;;
+        --no-bench-smoke) bench_smoke=0 ;;
         *) echo "unknown option: $arg" >&2; exit 2 ;;
     esac
 done
@@ -27,6 +33,17 @@ cargo test -q
 if [ "$build_benches" = 1 ]; then
     echo "==> cargo build --benches (compile Criterion benches)"
     cargo build --benches --workspace
+fi
+
+if [ "$bench_smoke" = 1 ]; then
+    echo "==> bench smoke (report --bench, tiny budget)"
+    smoke_out="$(mktemp)"
+    cargo run --release -q -p projtile-bench --bin report -- \
+        --bench --budget-ms 25 --label ci-smoke --out "$smoke_out"
+    # A well-formed snapshot must mention the warm-started sweep workloads.
+    grep -q "subset_enumeration_cold" "$smoke_out"
+    grep -q "parametric/exponent_vs_beta" "$smoke_out"
+    rm -f "$smoke_out"
 fi
 
 echo "==> cargo clippy --all-targets (warnings are errors)"
