@@ -52,20 +52,9 @@
 //!
 //! # Benchmark protocol
 //!
-//! Perf snapshots live in `BENCH_*.json` at the repository root and are
-//! produced by the `report` binary of `projtile-bench`:
-//!
-//! ```text
-//! cargo run --release -p projtile-bench --bin report -- --bench \
-//!     --label <label> --out BENCH_N.json [--baseline BENCH_{N-1}.json]
-//! ```
-//!
-//! The snapshot wall-times the simplex-heavy inputs of the `lower_bound` and
-//! `matmul` Criterion benches (median of 5 batched samples per workload,
-//! ~0.5 s budget each) and records seconds/iteration per workload under
-//! `"current"`, embedding the previous snapshot's measurements under
-//! `"baseline"` when `--baseline` is given. The Criterion benches themselves
-//! (`cargo bench -p projtile-bench`) remain the fine-grained view.
+//! Perf snapshots live in `BENCH_*.json` at the repository root; the full
+//! protocol (how to produce a snapshot, what the baselines mean) is
+//! documented in `docs/benchmarking.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -54,6 +54,21 @@ fn bench_parametric_sweeps(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_exponent_surfaces(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_exponent_surfaces");
+    for (name, nest, axes, m, hi) in perf::surface_cases() {
+        let lo = vec![1u64; axes.len()];
+        let hi_bounds = vec![hi; axes.len()];
+        group.bench_with_input(BenchmarkId::new("warm", &name), &nest, |b, nest| {
+            b.iter(|| parametric::exponent_surface(black_box(nest), m, &axes, &lo, &hi_bounds))
+        });
+        group.bench_with_input(BenchmarkId::new("cold", &name), &nest, |b, nest| {
+            b.iter(|| parametric::exponent_surface_cold(black_box(nest), m, &axes, &lo, &hi_bounds))
+        });
+    }
+    group.finish();
+}
+
 fn bench_tables(c: &mut Criterion) {
     c.bench_function("e6_table", |b| b.iter(projtile_bench::e6_random_programs));
     c.bench_function("e7_table", |b| b.iter(projtile_bench::e7_tightness));
@@ -66,6 +81,6 @@ criterion_group! {
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_bound_vs_enumeration, bench_tightness_random, bench_parametric_sweeps, bench_tables
+    targets = bench_bound_vs_enumeration, bench_tightness_random, bench_parametric_sweeps, bench_exponent_surfaces, bench_tables
 }
 criterion_main!(benches);

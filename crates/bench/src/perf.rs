@@ -70,6 +70,33 @@ pub fn parametric_sweep_cases() -> Vec<(String, LoopNest, usize, u64, u64)> {
     cases
 }
 
+/// The multiparametric §7 surfaces of the `exponent_surface` analysis, as
+/// `(name, nest, axes, m, hi_bound)`: the full value surface of `nest` over
+/// the swept `axes`, each ranging over bounds `1..=hi_bound`.
+///
+/// These exercise the critical-region traversal of `lp::mplp`: every region
+/// hop re-enters the warm dual simplex, and the matching `_cold` workloads
+/// rebuild the tableau from scratch at every probe, so a snapshot shows the
+/// warm-start speedup of the multi-axis analysis directly.
+pub fn surface_cases() -> Vec<(String, LoopNest, Vec<usize>, u64, u64)> {
+    vec![
+        (
+            "matmul3".to_string(),
+            builders::matmul(1 << 9, 1 << 9, 1 << 9),
+            vec![0, 1, 2],
+            1u64 << 10,
+            1u64 << 10,
+        ),
+        (
+            "d7x2".to_string(),
+            builders::random_projective(42, 7, 4, (1, 256)),
+            vec![3, 6],
+            BOUND_M,
+            1u64 << 12,
+        ),
+    ]
+}
+
 /// The seed-swept random nests of the tightness bench, as `(seed, nest)`.
 pub fn tightness_nests() -> Vec<(u64, LoopNest)> {
     [0u64, 1, 2]
@@ -155,6 +182,32 @@ pub fn default_workloads() -> Vec<Workload> {
             run: Box::new(move || {
                 std::hint::black_box(
                     parametric::exponent_vs_beta_cold(&n, m, axis, 1, hi).expect("sweep solves"),
+                );
+            }),
+        });
+    }
+    // Multiparametric §7 surfaces, warm-started and cold.
+    for (name, nest, axes, m, hi) in surface_cases() {
+        let n = nest.clone();
+        let ax = axes.clone();
+        let lo = vec![1u64; axes.len()];
+        let hi_bounds = vec![hi; axes.len()];
+        let (lo2, hi2) = (lo.clone(), hi_bounds.clone());
+        workloads.push(Workload {
+            name: format!("parametric/exponent_surface/{name}"),
+            run: Box::new(move || {
+                std::hint::black_box(
+                    parametric::exponent_surface(&n, m, &ax, &lo2, &hi2).expect("surface solves"),
+                );
+            }),
+        });
+        let n = nest;
+        workloads.push(Workload {
+            name: format!("parametric/exponent_surface_cold/{name}"),
+            run: Box::new(move || {
+                std::hint::black_box(
+                    parametric::exponent_surface_cold(&n, m, &axes, &lo, &hi_bounds)
+                        .expect("surface solves"),
                 );
             }),
         });

@@ -77,9 +77,18 @@ pub fn betas(nest: &LoopNest, cache_size: u64) -> Vec<Rational> {
 
 /// Builds the bound LP (5.5)/(5.6): variables `ŝ_1..ŝ_n, ζ_1..ζ_d`.
 pub fn bound_lp(nest: &LoopNest, cache_size: u64) -> LinearProgram {
+    bound_lp_for_betas(nest, betas(nest, cache_size))
+}
+
+/// [`bound_lp`] for explicitly given log-bounds `β_1..β_d`, which need not
+/// come from integer loop bounds. The per-region Theorem-3 check of
+/// [`crate::tightness::check_tightness_surface`] uses this to validate
+/// strong duality at the (rational) witness point of every critical region
+/// of an exponent surface.
+pub fn bound_lp_for_betas(nest: &LoopNest, beta: Vec<Rational>) -> LinearProgram {
     let n = nest.num_arrays();
     let d = nest.num_loops();
-    let beta = betas(nest, cache_size);
+    assert_eq!(beta.len(), d, "one beta per loop required");
     let mut costs = vec![Rational::one(); n];
     costs.extend(beta);
     let mut lp = LinearProgram::minimize(costs);
@@ -219,6 +228,22 @@ fn select_best(per_subset: Vec<(IndexSet, Rational)>) -> EnumeratedBound {
 
 /// Computes the strongest Theorem-2 bound by solving the bound LP, and returns
 /// it together with its `(Q, ŝ, ζ)` certificate.
+///
+/// ```
+/// use projtile_arith::{int, ratio};
+/// use projtile_core::bounds::arbitrary_bound_exponent;
+/// use projtile_loopnest::builders;
+///
+/// let m = 1u64 << 10;
+/// // All bounds large: the classical exponent 3/2.
+/// let lb = arbitrary_bound_exponent(&builders::matmul(512, 512, 512), m);
+/// assert_eq!(lb.exponent, ratio(3, 2));
+/// // Matrix-vector (L3 = 1): Theorem 2 sharpens it to 1, i.e. the bound
+/// // becomes the full matrix size L1·L2 — stronger than §3's L1·L2/√M.
+/// let lb = arbitrary_bound_exponent(&builders::matvec(512, 512), m);
+/// assert_eq!(lb.exponent, int(1));
+/// assert_eq!(lb.words, (512.0 * 512.0));
+/// ```
 pub fn arbitrary_bound_exponent(nest: &LoopNest, cache_size: u64) -> LowerBound {
     assert!(cache_size >= 2, "cache size must be at least 2 words");
     let n = nest.num_arrays();

@@ -6,8 +6,15 @@
 //! column of the experiment harness, and the test suite checks them against
 //! the general LP machinery — which is precisely the validation the paper
 //! performs by hand in Section 6.
+//!
+//! The multiparametric §7 analysis closes the loop in the other direction:
+//! [`crate::parametric::exponent_surface`] *derives* these case analyses
+//! mechanically, as the affine pieces of the exact value surface. The
+//! symbolic piece lists below ([`matmul_exponent_pieces`],
+//! [`nbody_exponent_pieces`]) state the §6 formulas in that representation,
+//! and the test suite checks that the surface recovers every one of them.
 
-use projtile_arith::{log, Rational};
+use projtile_arith::{int, log, ratio, Rational};
 
 fn beta(l: u64, m: u64) -> Rational {
     log::beta(l as u128, m as u128)
@@ -51,6 +58,32 @@ pub fn matmul_lower_bound_words(l1: u64, l2: u64, l3: u64, m: u64) -> f64 {
 /// `max(L1·L2, M)` — the matrix must be read in its entirety.
 pub fn matvec_lower_bound_words(l1: u64, l2: u64, m: u64) -> f64 {
     matmul_lower_bound_words(l1, l2, 1, m)
+}
+
+/// The §6.1 matmul exponent as symbolic affine pieces of `(β1, β2, β3)`:
+/// the closed form `min(3/2, 1 + min(β1, β2, β3), β1 + β2 + β3)` written as
+/// the five affine functions `(gradient, constant)` whose pointwise minimum
+/// it is. [`crate::parametric::exponent_surface`] recovers exactly these
+/// pieces mechanically (checked by the test suite).
+pub fn matmul_exponent_pieces() -> Vec<(Vec<Rational>, Rational)> {
+    vec![
+        (vec![int(1), int(1), int(1)], int(0)),
+        (vec![int(1), int(0), int(0)], int(1)),
+        (vec![int(0), int(1), int(0)], int(1)),
+        (vec![int(0), int(0), int(1)], int(1)),
+        (vec![int(0), int(0), int(0)], ratio(3, 2)),
+    ]
+}
+
+/// The §6.3 n-body exponent as symbolic affine pieces of `(β1, β2)`:
+/// `min(1, β1) + min(1, β2) = min(β1 + β2, 1 + β1, 1 + β2, 2)`.
+pub fn nbody_exponent_pieces() -> Vec<(Vec<Rational>, Rational)> {
+    vec![
+        (vec![int(1), int(1)], int(0)),
+        (vec![int(1), int(0)], int(1)),
+        (vec![int(0), int(1)], int(1)),
+        (vec![int(0), int(0)], int(2)),
+    ]
 }
 
 /// Optimal tile-size exponent for n-body pairwise interactions (§6.3):
@@ -162,6 +195,67 @@ mod tests {
                     (general - closed).abs() / closed < 1e-9,
                     "({l1},{l2}): {general} vs {closed}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn surface_recovers_matmul_symbolic_pieces() {
+        // The multiparametric analysis re-derives the §6.1 case analysis:
+        // every symbolic piece of min(3/2, 1 + min βi, Σ βi) appears in the
+        // surface, and the surface evaluates to the closed form everywhere.
+        let m = 1u64 << 8;
+        let nest = builders::matmul(1 << 6, 1 << 6, 1 << 6);
+        let surf =
+            crate::parametric::exponent_surface(&nest, m, &[0, 1, 2], &[1, 1, 1], &[m, m, m])
+                .unwrap();
+        let pieces = surf.pieces();
+        for (gradient, constant) in matmul_exponent_pieces() {
+            assert!(
+                pieces
+                    .iter()
+                    .any(|p| p.gradient == gradient && p.constant == constant),
+                "missing piece {gradient:?} + {constant}"
+            );
+        }
+        for e1 in [0u32, 2, 5, 8] {
+            for e2 in [0u32, 3, 8] {
+                for e3 in [0u32, 1, 4, 8] {
+                    let beta = [
+                        ratio(e1 as i64, 8),
+                        ratio(e2 as i64, 8),
+                        ratio(e3 as i64, 8),
+                    ];
+                    let closed = matmul_exponent(1 << e1, 1 << e2, 1 << e3, m);
+                    assert_eq!(surf.value_at(&beta), closed, "β = {beta:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn surface_recovers_nbody_symbolic_pieces() {
+        let m = 1u64 << 8;
+        let nest = builders::nbody(1 << 6, 1 << 6);
+        // Sweep both bounds up to M² so the saturated min(1, βi) = 1 regimes
+        // have full-dimensional regions.
+        let hi = m * m;
+        let surf =
+            crate::parametric::exponent_surface(&nest, m, &[0, 1], &[1, 1], &[hi, hi]).unwrap();
+        let pieces = surf.pieces();
+        for (gradient, constant) in nbody_exponent_pieces() {
+            assert!(
+                pieces
+                    .iter()
+                    .any(|p| p.gradient == gradient && p.constant == constant),
+                "missing piece {gradient:?} + {constant}"
+            );
+        }
+        for e1 in [0u32, 4, 8, 12, 16] {
+            for e2 in [0u32, 6, 8, 14] {
+                let beta = [ratio(e1 as i64, 8), ratio(e2 as i64, 8)];
+                let closed = nbody_exponent(1 << e1, 1 << e2, m);
+                assert_eq!(surf.value_at(&beta), closed, "β = {beta:?}");
             }
         }
     }

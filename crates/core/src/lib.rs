@@ -23,11 +23,22 @@
 //!   tensor contractions / pointwise convolutions, n-body interactions) —
 //!   [`closed_forms`] and [`contraction`];
 //! * the piecewise-linear dependence of the optimal exponent on the
-//!   log-bounds `β_i = log_M L_i` (§7) — [`parametric`].
+//!   log-bounds `β_i = log_M L_i` (§7), as one-dimensional sweeps
+//!   ([`parametric::exponent_vs_beta`]) and as the full multiparametric
+//!   value surface with critical regions and symbolic closed-form pieces
+//!   ([`parametric::exponent_surface`]) — [`parametric`].
 //!
 //! All optimization is done with the exact rational simplex solver in
 //! [`projtile_lp`], so every "equals" in the theorems is checked as literal
 //! equality of rationals, not floating-point closeness.
+//!
+//! ```
+//! use projtile_core::ProblemInstance;
+//! use projtile_loopnest::builders;
+//!
+//! let inst = ProblemInstance::new(builders::matmul(512, 512, 8), 1 << 10);
+//! assert!(inst.check_tightness().tight); // Theorem 3, checked exactly
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,7 +56,10 @@ pub mod tiling_lp;
 
 pub use bounds::{arbitrary_bound_exponent, communication_lower_bound, LowerBound};
 pub use hbl::{hbl_exponent, hbl_lp, solve_hbl, HblSolution};
-pub use tightness::{check_tightness, TightnessReport};
+pub use parametric::{exponent_surface, exponent_vs_beta, ExponentSurface};
+pub use tightness::{
+    check_tightness, check_tightness_surface, SurfaceTightnessReport, TightnessReport,
+};
 pub use tiling::{CommunicationModel, Tiling};
 pub use tiling_lp::{optimal_tiling, solve_tiling_lp, tiling_lp, TilingSolution};
 

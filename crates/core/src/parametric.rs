@@ -5,13 +5,22 @@
 //! optimal value of the tiling LP (5.1) and the `β_i` only enter that LP
 //! through its right-hand side, `f` is a concave piecewise-linear function of
 //! the `β_i`. The paper points out that a multiparametric LP solver can
-//! recover a closed form for `f`; here we compute exact one-dimensional
-//! restrictions of it (vary one loop bound, hold the others fixed), which is
-//! what the §6.1 discussion of matrix multiplication does by hand and what the
-//! experiment harness plots.
+//! recover a closed form for `f`. This module computes both:
+//!
+//! * exact one-dimensional restrictions (vary one loop bound, hold the others
+//!   fixed) — [`exponent_vs_beta`] — which is what the §6.1 discussion of
+//!   matrix multiplication does by hand and what the experiment harness
+//!   plots; and
+//! * the full multi-axis value function over a box of log-bounds —
+//!   [`exponent_surface`] — decomposed into critical regions with symbolic
+//!   affine pieces (e.g. `1 + β3` below the matmul crossover `β3 = 1/2` and
+//!   `3/2` above it), via the multiparametric solver in
+//!   [`projtile_lp::mplp`]. Every 1-D slice of the surface is
+//!   bitwise-identical to the corresponding [`exponent_vs_beta`] sweep.
 
 use projtile_arith::{log, Rational};
 use projtile_loopnest::LoopNest;
+use projtile_lp::mplp::{self, AffinePiece, ParamBox, ValueSurface};
 use projtile_lp::parametric::{parametric_rhs, parametric_rhs_cold, ValueFunction};
 use projtile_lp::LpError;
 
@@ -27,6 +36,19 @@ use crate::tiling_lp::tiling_lp;
 /// probe's basis ([`projtile_lp::SolverContext`]); the resulting value
 /// function is exactly the one from independent cold probes, which
 /// [`exponent_vs_beta_cold`] computes and the tests compare against.
+///
+/// ```
+/// use projtile_arith::ratio;
+/// use projtile_core::parametric::exponent_vs_beta;
+/// use projtile_loopnest::builders;
+///
+/// // §6.1: sweeping the inner matmul bound L3 over [1, M] with M = 1024,
+/// // the exponent is 1 + β3 up to the crossover β3 = 1/2, then 3/2.
+/// let nest = builders::matmul(512, 512, 512);
+/// let vf = exponent_vs_beta(&nest, 1 << 10, 2, 1, 1 << 10).unwrap();
+/// assert_eq!(vf.value_at(&ratio(1, 4)), ratio(5, 4));
+/// assert!(vf.breakpoints.iter().any(|(beta3, _)| *beta3 == ratio(1, 2)));
+/// ```
 pub fn exponent_vs_beta(
     nest: &LoopNest,
     cache_size: u64,
@@ -83,6 +105,196 @@ fn beta_sweep_query(
     let lo = log::beta(lo_bound as u128, cache_size as u128);
     let hi = log::beta(hi_bound as u128, cache_size as u128);
     (lp, direction, lo, hi)
+}
+
+/// The full §7 value function: the optimal tile exponent as an exact concave
+/// piecewise-linear function of several log loop bounds simultaneously,
+/// decomposed into critical regions. Produced by [`exponent_surface`].
+#[derive(Debug, Clone)]
+pub struct ExponentSurface {
+    /// The swept loop-index positions, in the order the surface's parameter
+    /// axes are numbered.
+    axes: Vec<usize>,
+    /// `β{name}` labels for the swept axes, used by the closed-form renderer.
+    axis_names: Vec<String>,
+    /// The β values of the *unswept* loop bounds baked into the surface
+    /// (taken from the nest the surface was built from), plus, at swept
+    /// positions, the β of the nest's own bound — a convenient in-box slice
+    /// point when the nest's bounds lie inside the analyzed box.
+    nominal: Vec<Rational>,
+    surface: ValueSurface,
+}
+
+impl ExponentSurface {
+    /// The swept loop-index positions.
+    pub fn axes(&self) -> &[usize] {
+        &self.axes
+    }
+
+    /// The underlying critical-region decomposition.
+    pub fn surface(&self) -> &ValueSurface {
+        &self.surface
+    }
+
+    /// Number of critical regions.
+    pub fn num_regions(&self) -> usize {
+        self.surface.num_regions()
+    }
+
+    /// The distinct affine pieces `f(β) = c·β + k` of the exponent, exact
+    /// rationals throughout — the machine-checked form of the paper's §6
+    /// closed-form case analyses.
+    pub fn pieces(&self) -> Vec<&AffinePiece> {
+        self.surface.pieces()
+    }
+
+    /// The pieces rendered as human-readable closed forms over `β{name}`
+    /// labels, e.g. `["1 + βk", "3/2"]` for matrix multiplication swept along
+    /// `k`.
+    pub fn render_pieces(&self) -> Vec<String> {
+        let names: Vec<&str> = self.axis_names.iter().map(String::as_str).collect();
+        self.pieces().iter().map(|p| p.render(&names)).collect()
+    }
+
+    /// The exponent at the given β values of the swept axes (one per axis, in
+    /// [`ExponentSurface::axes`] order).
+    ///
+    /// # Panics
+    /// Panics if `betas` lies outside the analyzed box.
+    pub fn value_at(&self, betas: &[Rational]) -> Rational {
+        self.surface.value_at(betas)
+    }
+
+    /// The exact 1-D restriction along swept axis number `axis_pos` (an index
+    /// into [`ExponentSurface::axes`]), holding the other swept axes at `at`:
+    /// bitwise-identical to the [`exponent_vs_beta`] sweep of the same line.
+    pub fn slice(&self, axis_pos: usize, at: &[Rational]) -> ValueFunction {
+        self.surface.slice_axis(axis_pos, at)
+    }
+
+    /// [`ExponentSurface::slice`] with the other swept axes held at the β
+    /// values of the nest the surface was built from. Panics if those lie
+    /// outside the analyzed box.
+    pub fn slice_at_nominal(&self, axis_pos: usize) -> ValueFunction {
+        self.surface.slice_axis(axis_pos, &self.nominal)
+    }
+}
+
+/// The full multiparametric §7 analysis: the optimal tile exponent as an
+/// exact function of the log-bounds `β_axis = log_M L_axis` of every loop in
+/// `axes` *simultaneously*, over the box `β_axis ∈ [log_M lo, log_M hi]` per
+/// axis, with every unswept loop bound held at its value in `nest`.
+///
+/// The surface subsumes [`exponent_vs_beta`]: any 1-D slice equals the
+/// corresponding single-axis sweep bitwise (pinned by the differential
+/// tests). Probes hop between critical regions through one warm
+/// [`projtile_lp::SolverContext`]; [`exponent_surface_cold`] is the
+/// independent-cold-solves oracle.
+///
+/// ```
+/// use projtile_arith::{int, ratio};
+/// use projtile_core::parametric::exponent_surface;
+/// use projtile_loopnest::builders;
+///
+/// // The matmul exponent over (β1, β2, β3) ∈ [0, 1]³ with M = 1024 is
+/// // min(β1 + β2 + β3, 1 + β1, 1 + β2, 1 + β3, 3/2)   (§6.1).
+/// let m = 1u64 << 10;
+/// let nest = builders::matmul(512, 512, 512);
+/// let surface = exponent_surface(&nest, m, &[0, 1, 2], &[1, 1, 1], &[m, m, m]).unwrap();
+/// assert_eq!(surface.value_at(&[int(1), int(1), ratio(1, 4)]), ratio(5, 4));
+/// assert_eq!(surface.value_at(&[int(1), int(1), int(1)]), ratio(3, 2));
+/// ```
+pub fn exponent_surface(
+    nest: &LoopNest,
+    cache_size: u64,
+    axes: &[usize],
+    lo_bounds: &[u64],
+    hi_bounds: &[u64],
+) -> Result<ExponentSurface, LpError> {
+    exponent_surface_impl(nest, cache_size, axes, lo_bounds, hi_bounds, true)
+}
+
+/// [`exponent_surface`] with every probe answered by an independent cold
+/// solve — the differential oracle for the warm-started surface (both
+/// evaluate identically everywhere on the box; the test suite pins values and
+/// slices).
+pub fn exponent_surface_cold(
+    nest: &LoopNest,
+    cache_size: u64,
+    axes: &[usize],
+    lo_bounds: &[u64],
+    hi_bounds: &[u64],
+) -> Result<ExponentSurface, LpError> {
+    exponent_surface_impl(nest, cache_size, axes, lo_bounds, hi_bounds, false)
+}
+
+fn exponent_surface_impl(
+    nest: &LoopNest,
+    cache_size: u64,
+    axes: &[usize],
+    lo_bounds: &[u64],
+    hi_bounds: &[u64],
+    warm: bool,
+) -> Result<ExponentSurface, LpError> {
+    assert!(cache_size >= 2, "cache size must be at least 2 words");
+    assert!(!axes.is_empty(), "at least one swept axis required");
+    assert_eq!(axes.len(), lo_bounds.len(), "one lower bound per axis");
+    assert_eq!(axes.len(), hi_bounds.len(), "one upper bound per axis");
+    for (i, &a) in axes.iter().enumerate() {
+        assert!(a < nest.num_loops(), "axis out of range");
+        assert!(
+            !axes[..i].contains(&a),
+            "axis {a} swept twice in the same surface"
+        );
+        assert!(
+            lo_bounds[i] >= 1 && hi_bounds[i] >= lo_bounds[i],
+            "invalid bound range on axis {a}"
+        );
+    }
+
+    // Base program: every swept axis' β row starts at 0 (bound 1); each
+    // parameter θ_k shifts the rhs of its axis row only.
+    let mut base_bounds = nest.bounds();
+    for &a in axes {
+        base_bounds[a] = 1;
+    }
+    let base_nest = nest.with_bounds(&base_bounds);
+    let lp = tiling_lp(&base_nest, cache_size);
+    let directions: Vec<Vec<Rational>> = axes
+        .iter()
+        .map(|&a| {
+            let mut d = vec![Rational::zero(); lp.num_constraints()];
+            d[nest.num_arrays() + a] = Rational::one();
+            d
+        })
+        .collect();
+    let lo: Vec<Rational> = lo_bounds
+        .iter()
+        .map(|&b| log::beta(b as u128, cache_size as u128))
+        .collect();
+    let hi: Vec<Rational> = hi_bounds
+        .iter()
+        .map(|&b| log::beta(b as u128, cache_size as u128))
+        .collect();
+    let domain = ParamBox::new(lo, hi)?;
+    let surface = if warm {
+        mplp::parametric_rhs_box(&lp, &directions, &domain)?
+    } else {
+        mplp::parametric_rhs_box_cold(&lp, &directions, &domain)?
+    };
+    let bounds = nest.bounds();
+    Ok(ExponentSurface {
+        axis_names: axes
+            .iter()
+            .map(|&a| format!("β{}", nest.indices()[a].name))
+            .collect(),
+        nominal: axes
+            .iter()
+            .map(|&a| log::beta(bounds[a] as u128, cache_size as u128))
+            .collect(),
+        axes: axes.to_vec(),
+        surface,
+    })
 }
 
 /// Convenience wrapper: the optimal exponent at a specific bound value along
@@ -196,5 +408,114 @@ mod tests {
         let nest = builders::nbody(8, 8);
         assert!(std::panic::catch_unwind(|| exponent_vs_beta(&nest, 64, 7, 1, 8)).is_err());
         assert!(std::panic::catch_unwind(|| exponent_vs_beta(&nest, 64, 0, 8, 4)).is_err());
+        let nest = builders::nbody(8, 8);
+        assert!(std::panic::catch_unwind(|| exponent_surface(
+            &nest,
+            64,
+            &[0, 0],
+            &[1, 1],
+            &[8, 8]
+        ))
+        .is_err());
+        assert!(
+            std::panic::catch_unwind(|| exponent_surface(&nest, 64, &[0], &[8], &[4])).is_err()
+        );
+    }
+
+    #[test]
+    fn matmul_surface_regime_split_at_beta3_one_half() {
+        // The §6.1 regime split, recovered by the multiparametric analysis:
+        // along β3 (with β1 = β2 = 1) the exponent is 1 + β3 (gradient 1)
+        // below the crossover β3 = 1/2 and 3/2 (gradient 0) above it.
+        let m = 1u64 << 10;
+        let nest = builders::matmul(1 << 10, 1 << 10, 1 << 10);
+        let k_axis = nest.index_position("k").unwrap();
+        let surf = exponent_surface(&nest, m, &[k_axis], &[1], &[m]).unwrap();
+        let slice = surf.slice_at_nominal(0);
+        assert_eq!(slice.num_pieces(), 2);
+        assert_eq!(slice.slopes(), vec![int(1), int(0)]);
+        assert!(slice.breakpoints.iter().any(|(t, _)| *t == ratio(1, 2)));
+        // The two regimes appear as affine pieces with the paper's gradients.
+        let pieces = surf.pieces();
+        assert!(pieces
+            .iter()
+            .any(|p| p.gradient == vec![int(1)] && p.constant == int(1)));
+        assert!(pieces
+            .iter()
+            .any(|p| p.gradient == vec![int(0)] && p.constant == ratio(3, 2)));
+        let rendered = surf.render_pieces();
+        assert!(rendered.iter().any(|s| s == "1 + βk"), "{rendered:?}");
+        assert!(rendered.iter().any(|s| s == "3/2"), "{rendered:?}");
+    }
+
+    #[test]
+    fn single_axis_surface_subsumes_value_function() {
+        // The 1-D ValueFunction is a slice of the surface, bitwise.
+        let cases: Vec<(projtile_loopnest::LoopNest, usize, u64)> = vec![
+            (builders::matmul(1 << 8, 1 << 8, 1 << 8), 2, 1 << 10),
+            (builders::nbody(1 << 4, 1 << 12), 0, 1 << 8),
+            (builders::random_projective(3, 5, 4, (1, 128)), 2, 64),
+        ];
+        for (nest, axis, m) in cases {
+            let surf = exponent_surface(&nest, m, &[axis], &[1], &[m]).unwrap();
+            let vf = exponent_vs_beta(&nest, m, axis, 1, m).unwrap();
+            let cold = exponent_vs_beta_cold(&nest, m, axis, 1, m).unwrap();
+            assert_eq!(surf.slice_at_nominal(0), vf, "{nest}");
+            assert_eq!(surf.slice_at_nominal(0), cold, "{nest}");
+        }
+    }
+
+    #[test]
+    fn two_axis_surface_slices_match_one_dimensional_sweeps() {
+        // Fix one swept axis at a concrete bound, slice along the other, and
+        // compare against the 1-D sweep of the correspondingly-rebound nest.
+        let m = 1u64 << 8;
+        let nest = builders::matmul(1 << 6, 1 << 6, 1 << 6);
+        let surf = exponent_surface(&nest, m, &[0, 2], &[1, 1], &[m, m]).unwrap();
+        for fixed_log in [0u32, 2, 4, 6, 8] {
+            let fixed = 1u64 << fixed_log;
+            let mut bounds = nest.bounds();
+            bounds[0] = fixed;
+            let rebound = nest.with_bounds(&bounds);
+            let oracle = exponent_vs_beta_cold(&rebound, m, 2, 1, m).unwrap();
+            let at = vec![ratio(fixed_log as i64, 8), Rational::zero()];
+            assert_eq!(surf.slice(1, &at), oracle, "L1 = {fixed}");
+        }
+    }
+
+    #[test]
+    fn warm_and_cold_surfaces_evaluate_identically() {
+        let m = 1u64 << 8;
+        let nest = builders::matmul(1 << 6, 1 << 6, 1 << 6);
+        let warm = exponent_surface(&nest, m, &[0, 2], &[1, 1], &[m, m]).unwrap();
+        let cold = exponent_surface_cold(&nest, m, &[0, 2], &[1, 1], &[m, m]).unwrap();
+        for i in 0..=4i64 {
+            for k in 0..=4i64 {
+                let beta = [ratio(i, 4), ratio(k, 4)];
+                assert_eq!(warm.value_at(&beta), cold.value_at(&beta), "{beta:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn surface_value_agrees_with_direct_lp_solves() {
+        // At β values realized by integer bounds, the surface must equal a
+        // fresh tiling-LP solve of the rebound nest.
+        let m = 1u64 << 8;
+        let nest = builders::pointwise_conv(2, 1, 1 << 6, 1 << 5, 1 << 5);
+        let c_axis = nest.index_position("c").unwrap();
+        let k_axis = nest.index_position("k").unwrap();
+        let axes = [c_axis, k_axis];
+        let surf = exponent_surface(&nest, m, &axes, &[1, 1], &[m, m]).unwrap();
+        for lc in [0u32, 2, 5, 8] {
+            for lk in [0u32, 3, 6] {
+                let mut bounds = nest.bounds();
+                bounds[axes[0]] = 1 << lc;
+                bounds[axes[1]] = 1 << lk;
+                let expect = crate::tiling_lp::solve_tiling_lp(&nest.with_bounds(&bounds), m).value;
+                let beta = [ratio(lc as i64, 8), ratio(lk as i64, 8)];
+                assert_eq!(surf.value_at(&beta), expect, "({lc},{lk})");
+            }
+        }
     }
 }

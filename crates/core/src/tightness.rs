@@ -21,9 +21,13 @@
 
 use projtile_arith::Rational;
 use projtile_loopnest::{IndexSet, LoopNest};
+use projtile_lp::LpError;
 
-use crate::bounds::{arbitrary_bound_exponent, enumerated_exponent, exponent_from_s_hat};
+use crate::bounds::{
+    arbitrary_bound_exponent, betas, bound_lp_for_betas, enumerated_exponent, exponent_from_s_hat,
+};
 use crate::hbl::hbl_lp;
+use crate::parametric::{exponent_surface, ExponentSurface};
 use crate::tiling_lp::solve_tiling_lp;
 
 /// Result of checking Theorem 3 on one problem instance.
@@ -49,6 +53,17 @@ pub struct TightnessReport {
 /// [`crate::bounds::enumerated_exponent`]; its results are bitwise-identical
 /// to the cold per-subset solves (see the differential tests there), so the
 /// exactness of this check is unaffected.
+///
+/// ```
+/// use projtile_core::tightness::check_tightness;
+/// use projtile_loopnest::builders;
+///
+/// // Theorem 3 on the §6.1 small-inner-dimension example: the optimal tile
+/// // of LP (5.1) attains the Theorem-2 lower bound, exactly.
+/// let report = check_tightness(&builders::matmul(512, 512, 8), 1 << 10);
+/// assert!(report.tight);
+/// assert_eq!(report.tiling_exponent, report.bound_exponent);
+/// ```
 pub fn check_tightness(nest: &LoopNest, cache_size: u64) -> TightnessReport {
     let tiling = solve_tiling_lp(nest, cache_size);
     let bound = arbitrary_bound_exponent(nest, cache_size);
@@ -67,6 +82,91 @@ pub fn check_tightness(nest: &LoopNest, cache_size: u64) -> TightnessReport {
         witness_subset: bound.witness_subset,
         tight,
     }
+}
+
+/// Theorem 3 checked on one critical region of an exponent surface: the
+/// tiling-LP value function (the region's affine piece, evaluated at its
+/// witness) against the bound LP (5.5) solved directly at the witness β.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionTightness {
+    /// The region's affine piece: gradient over the swept axes.
+    pub gradient: Vec<Rational>,
+    /// The region's affine piece: constant term.
+    pub constant: Rational,
+    /// The witness β point (one value per swept axis).
+    pub witness: Vec<Rational>,
+    /// The tiling exponent at the witness, read off the surface.
+    pub tiling_exponent: Rational,
+    /// The Theorem-2 bound exponent at the witness, from a direct solve of
+    /// the bound LP with the witness β plugged in.
+    pub bound_exponent: Rational,
+    /// `true` iff the two agree exactly (strong duality / Theorem 3).
+    pub tight: bool,
+}
+
+/// Per-region Theorem-3 report for a whole exponent surface. Produced by
+/// [`check_tightness_surface`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurfaceTightnessReport {
+    /// The swept loop-index positions.
+    pub axes: Vec<usize>,
+    /// One entry per critical region of the surface.
+    pub regions: Vec<RegionTightness>,
+    /// `true` iff every region is tight.
+    pub all_tight: bool,
+}
+
+/// Runs the Theorem-3 check **per critical region** of the multiparametric
+/// §7 surface: sweeps the loop bounds of `axes` over `[lo_bounds, hi_bounds]`
+/// (in log space), decomposes the exponent into critical regions with
+/// [`exponent_surface`], and at each region's witness point validates strong
+/// duality against an independent solve of the bound LP (5.5) with the
+/// witness β substituted — i.e. Theorem 3 at *rational* β, not only at β
+/// realized by integer loop bounds.
+pub fn check_tightness_surface(
+    nest: &LoopNest,
+    cache_size: u64,
+    axes: &[usize],
+    lo_bounds: &[u64],
+    hi_bounds: &[u64],
+) -> Result<SurfaceTightnessReport, LpError> {
+    let surface = exponent_surface(nest, cache_size, axes, lo_bounds, hi_bounds)?;
+    surface_tightness(nest, cache_size, &surface)
+}
+
+/// The report-building half of [`check_tightness_surface`], for callers that
+/// already hold the surface.
+pub fn surface_tightness(
+    nest: &LoopNest,
+    cache_size: u64,
+    surface: &ExponentSurface,
+) -> Result<SurfaceTightnessReport, LpError> {
+    let base_betas = betas(nest, cache_size);
+    let mut regions = Vec::with_capacity(surface.num_regions());
+    for region in surface.surface().regions() {
+        let witness = &region.witness;
+        let mut full = base_betas.clone();
+        for (&axis, b) in surface.axes().iter().zip(witness) {
+            full[axis] = b.clone();
+        }
+        let bound = projtile_lp::solve(&bound_lp_for_betas(nest, full))?;
+        let tiling_exponent = surface.value_at(witness);
+        let tight = tiling_exponent == bound.objective_value;
+        regions.push(RegionTightness {
+            gradient: region.piece.gradient.clone(),
+            constant: region.piece.constant.clone(),
+            witness: witness.clone(),
+            tiling_exponent,
+            bound_exponent: bound.objective_value,
+            tight,
+        });
+    }
+    let all_tight = regions.iter().all(|r| r.tight);
+    Ok(SurfaceTightnessReport {
+        axes: surface.axes().to_vec(),
+        regions,
+        all_tight,
+    })
 }
 
 #[cfg(test)]
@@ -149,6 +249,31 @@ mod tests {
             let report = check_tightness(&nest, m);
             let cold = crate::bounds::enumerated_exponent_cold(&nest, m);
             assert_eq!(report.enumerated_exponent, cold.exponent, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matmul_surface_is_tight_in_every_region() {
+        // Theorem 3, per critical region of the full (β1, β2, β3) surface:
+        // the tiling value function and the bound LP agree at every region's
+        // witness, including witnesses at rational β no integer bound hits.
+        let m = 1u64 << 8;
+        let nest = builders::matmul(1 << 6, 1 << 6, 1 << 6);
+        let report = check_tightness_surface(&nest, m, &[0, 1, 2], &[1, 1, 1], &[m, m, m]).unwrap();
+        assert!(report.regions.len() >= 5, "{report:?}");
+        assert!(report.all_tight, "{report:?}");
+        for r in &report.regions {
+            assert_eq!(r.tiling_exponent, r.bound_exponent);
+        }
+    }
+
+    #[test]
+    fn random_surfaces_are_tight_in_every_region() {
+        for seed in 0..4u64 {
+            let nest = builders::random_projective(seed, 4, 4, (1, 256));
+            let m = 1u64 << 6;
+            let report = check_tightness_surface(&nest, m, &[0, 2], &[1, 1], &[m, m]).unwrap();
+            assert!(report.all_tight, "seed {seed}: {report:?}");
         }
     }
 

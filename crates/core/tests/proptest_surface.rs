@@ -1,0 +1,117 @@
+//! Differential property tests for the multiparametric §7 surface.
+//!
+//! The load-bearing exactness claim of `exponent_surface` is that it subsumes
+//! the one-dimensional analysis: restricting the d-dimensional value surface
+//! to any axis-parallel line must reproduce — **bitwise**, breakpoints and
+//! all — the value function that the independent cold 1-D sweep
+//! (`exponent_vs_beta_cold`, one fresh LP solve per probe) computes along the
+//! same line. These tests pin that over random projective nests, random swept
+//! axes, and random slice points, plus the paper's fixed matmul structure.
+
+use projtile_arith::{ratio, Rational};
+use projtile_core::parametric::{exponent_surface, exponent_surface_cold, exponent_vs_beta_cold};
+use projtile_loopnest::builders;
+use proptest::prelude::*;
+
+/// Strategy: a random projective nest with `d` loops, a cache size, and two
+/// distinct swept axes with their sweep ranges.
+fn surface_case() -> impl Strategy<Value = (u64, usize, usize, u32, u32)> {
+    (0u64..200, 0usize..4, 0usize..4, 3u32..8, 4u32..10)
+        .prop_filter("distinct axes", |(_, a, b, _, _)| a != b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_single_axis_surfaces_equal_cold_one_dimensional_sweeps(
+        (seed, axis, _, log_m, log_hi) in surface_case()
+    ) {
+        let nest = builders::random_projective(seed, 4, 4, (1, 256));
+        let m = 1u64 << log_m;
+        let hi = 1u64 << log_hi;
+        let surf = exponent_surface(&nest, m, &[axis], &[1], &[hi]).unwrap();
+        let oracle = exponent_vs_beta_cold(&nest, m, axis, 1, hi).unwrap();
+        prop_assert_eq!(surf.slice_at_nominal(0), oracle);
+    }
+
+    #[test]
+    fn random_two_axis_surface_slices_equal_cold_sweeps_bitwise(
+        (seed, axis_a, axis_b, log_m, log_hi) in surface_case()
+    ) {
+        let nest = builders::random_projective(seed, 4, 4, (1, 256));
+        let m = 1u64 << log_m;
+        let hi = 1u64 << log_hi;
+        let surf = exponent_surface(&nest, m, &[axis_a, axis_b], &[1, 1], &[hi, hi]).unwrap();
+        // Slice along each axis at several fixed integer-bound β values of
+        // the other axis, and compare against the cold 1-D sweep of the
+        // correspondingly-rebound nest.
+        for fixed_log in [0u32, 1, log_hi / 2, log_hi] {
+            for (slice_pos, slice_axis, fixed_axis) in [(1, axis_b, axis_a), (0, axis_a, axis_b)] {
+                let mut bounds = nest.bounds();
+                bounds[fixed_axis] = 1u64 << fixed_log;
+                let rebound = nest.with_bounds(&bounds);
+                let oracle = exponent_vs_beta_cold(&rebound, m, slice_axis, 1, hi).unwrap();
+                let fixed_beta = ratio(i64::from(fixed_log), i64::from(log_m));
+                let at = if slice_pos == 1 {
+                    vec![fixed_beta, Rational::zero()]
+                } else {
+                    vec![Rational::zero(), fixed_beta]
+                };
+                prop_assert_eq!(surf.slice(slice_pos, &at), oracle);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_and_cold_surfaces_slice_identically(
+        (seed, axis_a, axis_b, log_m, log_hi) in surface_case()
+    ) {
+        let nest = builders::random_projective(seed, 4, 4, (1, 256));
+        let m = 1u64 << log_m;
+        let hi = 1u64 << log_hi;
+        let warm = exponent_surface(&nest, m, &[axis_a, axis_b], &[1, 1], &[hi, hi]).unwrap();
+        let cold = exponent_surface_cold(&nest, m, &[axis_a, axis_b], &[1, 1], &[hi, hi]).unwrap();
+        let at = vec![ratio(1, 3), ratio(2, 7)];
+        for pos in 0..2 {
+            prop_assert_eq!(warm.slice(pos, &at), cold.slice(pos, &at));
+        }
+        for i in 0..=3i64 {
+            for j in 0..=3i64 {
+                let hi_beta = ratio(i64::from(log_hi), i64::from(log_m));
+                let beta = vec![
+                    &ratio(i, 3) * &hi_beta,
+                    &ratio(j, 3) * &hi_beta,
+                ];
+                prop_assert_eq!(warm.value_at(&beta), cold.value_at(&beta));
+            }
+        }
+    }
+}
+
+#[test]
+fn matmul_region_structure_is_the_papers() {
+    // The fixed §6.1 assertion: over β3 with β1 = β2 large, the surface has
+    // the breakpoint at β3 = 1/2 with gradient 1 below and 0 above.
+    let m = 1u64 << 10;
+    let nest = builders::matmul(1 << 10, 1 << 10, 1 << 10);
+    let k_axis = nest.index_position("k").unwrap();
+    let surf = exponent_surface(&nest, m, &[k_axis], &[1], &[m]).unwrap();
+    let slice = surf.slice_at_nominal(0);
+    assert_eq!(slice.num_pieces(), 2);
+    assert_eq!(
+        slice.slopes(),
+        vec![Rational::one(), Rational::zero()],
+        "gradients on the two sides of the regime split"
+    );
+    assert!(
+        slice.breakpoints.iter().any(|(t, _)| *t == ratio(1, 2)),
+        "breakpoint at β3 = 1/2"
+    );
+    assert_eq!(slice.value_at(&ratio(1, 2)), ratio(3, 2));
+    // And the same split shows up as critical regions of the surface proper:
+    // a region with gradient [1] and one with gradient [0].
+    let pieces = surf.pieces();
+    assert!(pieces.iter().any(|p| p.gradient == vec![Rational::one()]));
+    assert!(pieces.iter().any(|p| p.gradient == vec![Rational::zero()]));
+}

@@ -13,9 +13,28 @@
 //!
 //! This crate provides a dense, two-phase simplex solver over exact rationals
 //! ([`projtile_arith::Rational`]), explicit dual-program construction (so that
-//! strong duality can be *checked*, not assumed), and a one-dimensional
-//! parametric right-hand-side analysis used for the piecewise-linear
-//! closed-form exponents of Section 7 of the paper.
+//! strong duality can be *checked*, not assumed), a one-dimensional
+//! parametric right-hand-side analysis ([`parametric`]), and a full
+//! multiparametric analysis over a box of right-hand-side parameters
+//! ([`mplp`]) — both used for the piecewise-linear closed-form exponents of
+//! Section 7 of the paper.
+//!
+//! ```
+//! use projtile_arith::{int, ratio};
+//! use projtile_lp::{solve, Constraint, LinearProgram, Relation};
+//!
+//! // The matmul HBL LP (3.2): min s1+s2+s3 st pairwise sums ≥ 1 → 3/2.
+//! let mut lp = LinearProgram::minimize(vec![int(1), int(1), int(1)]);
+//! for row in [[1, 1, 0], [0, 1, 1], [1, 0, 1]] {
+//!     lp.add_constraint(Constraint::new(
+//!         row.iter().map(|&v| int(v)).collect(),
+//!         Relation::Ge,
+//!         int(1),
+//!     ));
+//! }
+//! let sol = solve(&lp).unwrap();
+//! assert_eq!(sol.objective_value, ratio(3, 2));
+//! ```
 //!
 //! The solver uses Bland's rule, so it terminates on every input, including
 //! the degenerate LPs that appear when several loop bounds are exactly at a
@@ -64,6 +83,7 @@
 
 mod dual;
 mod error;
+pub mod mplp;
 pub mod parametric;
 mod problem;
 mod simplex;
@@ -71,6 +91,7 @@ pub mod warm;
 
 pub use dual::dual_program;
 pub use error::LpError;
+pub use mplp::{AffinePiece, CriticalRegion, HalfSpace, ParamBox, ValueSurface};
 pub use problem::{Constraint, LinearProgram, Objective, Relation, Solution};
 pub use simplex::{solve, solve_canonical, verify_optimal};
 pub use warm::{ContextStats, SolverContext};

@@ -46,6 +46,11 @@ impl ValueFunction {
             theta >= first && theta <= last,
             "theta outside analyzed interval"
         );
+        // A degenerate (single-point) interval has one breakpoint and no
+        // windows; theta can only be that point.
+        if self.breakpoints.len() == 1 {
+            return self.breakpoints[0].1.clone();
+        }
         for window in self.breakpoints.windows(2) {
             let (t0, v0) = &window[0];
             let (t1, v1) = &window[1];
@@ -297,7 +302,11 @@ fn refine(
     refine(value, objective, &mid, &vmid, b, vb, out, depth + 1)
 }
 
-fn merge_collinear(points: Vec<(Rational, Rational)>) -> Vec<(Rational, Rational)> {
+/// Removes interior points lying exactly on the segment between their
+/// neighbours, so every remaining breakpoint is a genuine slope change.
+/// Shared with the multiparametric slicer ([`crate::mplp`]), which must
+/// produce bitwise-identical [`ValueFunction`]s to this module's sweeps.
+pub(crate) fn merge_collinear(points: Vec<(Rational, Rational)>) -> Vec<(Rational, Rational)> {
     if points.len() <= 2 {
         return points;
     }
@@ -385,6 +394,10 @@ mod tests {
         let vf = parametric_rhs(&lp, &direction, ratio(1, 3), ratio(1, 3)).unwrap();
         assert_eq!(vf.breakpoints.len(), 1);
         assert_eq!(vf.breakpoints[0].1, ratio(4, 3));
+        // Regression: value_at must work on a single-breakpoint function
+        // (there is no window to interpolate in) and still reject other θ.
+        assert_eq!(vf.value_at(&ratio(1, 3)), ratio(4, 3));
+        assert!(std::panic::catch_unwind(|| vf.value_at(&ratio(1, 2))).is_err());
     }
 
     #[test]

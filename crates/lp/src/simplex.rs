@@ -21,6 +21,30 @@ use crate::LpError;
 /// When the optimum is not unique, the reported point is whichever optimal
 /// vertex Bland's pivot path reaches; see [`solve_canonical`] for a
 /// path-independent choice.
+///
+/// ```
+/// use projtile_arith::{int, ratio};
+/// use projtile_lp::{solve, Constraint, LinearProgram, Relation};
+///
+/// // The paper's tiling LP (6.3) with β3 = 1/4:
+/// // max λ1+λ2+λ3 st λ1+λ3 ≤ 1, λ1+λ2 ≤ 1, λ2+λ3 ≤ 1, λ3 ≤ 1/4.
+/// let mut lp = LinearProgram::maximize(vec![int(1), int(1), int(1)]);
+/// for (row, rhs) in [
+///     ([1, 0, 1], int(1)),
+///     ([1, 1, 0], int(1)),
+///     ([0, 1, 1], int(1)),
+///     ([0, 0, 1], ratio(1, 4)),
+/// ] {
+///     lp.add_constraint(Constraint::new(
+///         row.iter().map(|&v| int(v)).collect(),
+///         Relation::Le,
+///         rhs,
+///     ));
+/// }
+/// let sol = solve(&lp).unwrap();
+/// assert_eq!(sol.objective_value, ratio(5, 4)); // 1 + β3, exactly
+/// assert!(lp.is_feasible(&sol.values));
+/// ```
 pub fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
     lp.validate()?;
     let mut tableau = Tableau::build(lp);
@@ -36,6 +60,18 @@ pub fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
 /// makes warm-started re-solves ([`crate::warm`]) bitwise-identical to cold
 /// ones even on degenerate programs with whole optimal faces. The objective
 /// value is identical to [`solve`]'s (optimal values are unique).
+///
+/// ```
+/// use projtile_arith::int;
+/// use projtile_lp::{solve_canonical, Constraint, LinearProgram, Relation};
+///
+/// // max x + y st x + y ≤ 1 has a whole optimal edge; the canonical answer
+/// // is its lex-min vertex (0, 1), no matter how the solver pivoted.
+/// let mut lp = LinearProgram::maximize(vec![int(1), int(1)]);
+/// lp.add_constraint(Constraint::new(vec![int(1), int(1)], Relation::Le, int(1)));
+/// let sol = solve_canonical(&lp).unwrap();
+/// assert_eq!(sol.values, vec![int(0), int(1)]);
+/// ```
 pub fn solve_canonical(lp: &LinearProgram) -> Result<Solution, LpError> {
     lp.validate()?;
     let mut tableau = Tableau::build(lp);
@@ -494,6 +530,62 @@ impl Tableau {
             };
             self.pivot(row, col);
         }
+    }
+
+    /// Reads the exact right-hand-side sensitivity of the current (optimal)
+    /// basis off the tableau, in the *original* constraints' orientation and
+    /// the problem's own objective sense:
+    ///
+    /// * `dual_prices[k]` is `∂v/∂b_k` for this basis — the rate at which the
+    ///   optimal value changes per unit of right-hand side `k` (for a
+    ///   minimization problem the tableau's internal always-maximize value is
+    ///   negated, like in [`Tableau::extract_value`]);
+    /// * `basis_rows[i]` holds the current basic value of tableau row `i`
+    ///   (non-negative at an optimal tableau) together with the row of
+    ///   `B⁻¹` mapping original-orientation rhs deltas to that basic value:
+    ///   `x_i(b) = value_i + Σ_k binv_i[k]·(b_k − b_k^current)`.
+    ///
+    /// Both are read off the identity-origin columns ([`Tableau::id_cols`]),
+    /// exactly like [`Tableau::reinstall_rhs`] applies rhs deltas — this is
+    /// the data the multiparametric analysis ([`crate::mplp`]) turns into
+    /// critical regions and gradients.
+    ///
+    /// Must not be called when [`Tableau::rows_removed`] is set (the
+    /// constraint-to-row mapping is lost).
+    pub(crate) fn rhs_sensitivity(
+        &self,
+        lp: &LinearProgram,
+    ) -> (Vec<Rational>, Vec<crate::warm::BasisRow>) {
+        debug_assert!(!self.rows_removed, "row mapping lost; no sensitivity");
+        let m = lp.num_constraints();
+        debug_assert_eq!(m, self.id_cols.len());
+        let obj_sign_negated = lp.objective == Objective::Minimize;
+        let mut dual_prices = Vec::with_capacity(m);
+        for k in 0..m {
+            let mut y = self.obj[self.id_cols[k]].clone();
+            if self.row_negated[k] != obj_sign_negated {
+                y = -y;
+            }
+            dual_prices.push(y);
+        }
+        let basis_rows = self
+            .rows
+            .iter()
+            .map(|row| crate::warm::BasisRow {
+                value: row[self.num_cols].clone(),
+                binv: (0..m)
+                    .map(|k| {
+                        let v = &row[self.id_cols[k]];
+                        if self.row_negated[k] {
+                            -v
+                        } else {
+                            v.clone()
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        (dual_prices, basis_rows)
     }
 
     /// Moves the (already optimal) tableau to the **lexicographically

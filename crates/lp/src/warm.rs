@@ -49,6 +49,44 @@ pub struct ContextStats {
     pub warm_solves: u64,
 }
 
+/// One tableau row of an optimal basis, as exposed by
+/// [`SolverContext::solve_with_sensitivity`]: the current basic value and the
+/// `B⁻¹` row that maps right-hand-side deltas (in the original constraints'
+/// orientation) to it, `x(b) = value + Σ_k binv[k]·(b_k − b_k^current)`.
+///
+/// At an optimal tableau every `value` is non-negative; the basis stays
+/// optimal exactly as long as all these affine functions of the rhs remain
+/// non-negative, which is what turns a basis into a *critical region* of the
+/// multiparametric analysis ([`crate::mplp`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasisRow {
+    /// Current basic value of this row (`≥ 0` at an optimal basis).
+    pub value: Rational,
+    /// Per original constraint `k`: `∂(basic value)/∂b_k` for this basis.
+    pub binv: Vec<Rational>,
+}
+
+/// An optimal solution together with the exact right-hand-side sensitivity of
+/// the basis that produced it. Returned by
+/// [`SolverContext::solve_with_sensitivity`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SensitivitySolution {
+    /// The canonical (lex-min vertex) optimal solution, exactly as
+    /// [`crate::solve_canonical`] reports it.
+    pub solution: Solution,
+    /// Per constraint `k`: the dual price `∂v/∂b_k` of the final basis, in
+    /// the problem's own objective sense. The optimal value as a function of
+    /// the rhs is `v(b) = v + Σ_k dual_prices[k]·(b_k − b_k^current)` for as
+    /// long as the basis stays primal feasible (see [`BasisRow`]); because
+    /// the basis stays *dual* feasible for every rhs, this affine function
+    /// bounds the true optimal value everywhere (weak duality) — from above
+    /// for maximization problems, from below for minimization.
+    pub dual_prices: Vec<Rational>,
+    /// The rows of the final basis; all of them non-negative, and affine in
+    /// the rhs.
+    pub basis_rows: Vec<BasisRow>,
+}
+
 /// A reusable solver that warm-starts across LPs sharing a constraint matrix.
 ///
 /// Create one context per logical sweep (or per worker thread in a batched
@@ -57,6 +95,24 @@ pub struct ContextStats {
 /// basis is reusable — but the speedup materializes when consecutive programs
 /// share their matrix, objective, and relations and differ only in the
 /// right-hand side, ideally by a few entries.
+///
+/// ```
+/// use projtile_arith::int;
+/// use projtile_lp::{solve_canonical, Constraint, LinearProgram, Relation, SolverContext};
+///
+/// let mut lp = LinearProgram::maximize(vec![int(3), int(2)]);
+/// lp.add_constraint(Constraint::new(vec![int(1), int(1)], Relation::Le, int(4)));
+/// lp.add_constraint(Constraint::new(vec![int(1), int(0)], Relation::Le, int(2)));
+///
+/// let mut ctx = SolverContext::new();
+/// for b in 1..=6 {
+///     lp.constraints[0].rhs = int(b); // rhs-only change: warm re-entry
+///     let warm = ctx.solve(&lp).unwrap();
+///     assert_eq!(warm, solve_canonical(&lp).unwrap()); // bitwise-identical
+/// }
+/// assert_eq!(ctx.stats().cold_solves, 1);
+/// assert_eq!(ctx.stats().warm_solves, 5);
+/// ```
 #[derive(Default)]
 pub struct SolverContext {
     state: Option<WarmState>,
@@ -143,6 +199,52 @@ impl SolverContext {
         state.tableau.reinstall_rhs(lp);
         state.tableau.dual_iterate()?;
         Ok(state.tableau.extract_value(lp))
+    }
+
+    /// Solves `lp` like [`SolverContext::solve`] (canonical lex-min vertex,
+    /// warm-started when possible) and additionally returns the exact
+    /// right-hand-side sensitivity of the final basis: dual prices and the
+    /// basic-value rows as affine functions of the rhs. This is the probe the
+    /// multiparametric analysis ([`crate::mplp`]) hops between critical
+    /// regions with — each probe yields one affine piece of the value
+    /// function plus the polyhedron of right-hand sides on which it is exact.
+    ///
+    /// Returns [`LpError::Malformed`] if phase 1 had to drop redundant
+    /// constraint rows (the constraint-to-row mapping, and with it the
+    /// sensitivity data, is then lost). The programs of this workspace's
+    /// sweeps (tiling LPs, relaxed HBL LPs) never trigger that.
+    pub fn solve_with_sensitivity(
+        &mut self,
+        lp: &LinearProgram,
+    ) -> Result<SensitivitySolution, LpError> {
+        lp.validate()?;
+        if let Some(state) = self.state.as_mut() {
+            if structurally_compatible(&state.lp, lp) {
+                self.stats.warm_solves += 1;
+                state.tableau.reinstall_rhs(lp);
+                state.tableau.dual_iterate()?;
+                state.tableau.canonicalize_vertex();
+                let solution = state.tableau.extract_solution(lp);
+                let (dual_prices, basis_rows) = state.tableau.rhs_sensitivity(lp);
+                return Ok(SensitivitySolution {
+                    solution,
+                    dual_prices,
+                    basis_rows,
+                });
+            }
+        }
+        let solution = self.cold_solve(lp, true)?;
+        let Some(state) = self.state.as_ref() else {
+            return Err(LpError::Malformed(
+                "program has redundant rows; rhs sensitivity is unavailable".into(),
+            ));
+        };
+        let (dual_prices, basis_rows) = state.tableau.rhs_sensitivity(lp);
+        Ok(SensitivitySolution {
+            solution,
+            dual_prices,
+            basis_rows,
+        })
     }
 
     /// Drops the retained tableau; the next solve is cold. Call when moving

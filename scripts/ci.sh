@@ -30,6 +30,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test --doc (runnable documentation examples)"
+cargo test -q --doc
+
+echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
 if [ "$build_benches" = 1 ]; then
     echo "==> cargo build --benches (compile Criterion benches)"
     cargo build --benches --workspace
@@ -43,6 +49,7 @@ if [ "$bench_smoke" = 1 ]; then
     # A well-formed snapshot must mention the warm-started sweep workloads.
     grep -q "subset_enumeration_cold" "$smoke_out"
     grep -q "parametric/exponent_vs_beta" "$smoke_out"
+    grep -q "parametric/exponent_surface" "$smoke_out"
     rm -f "$smoke_out"
 fi
 
