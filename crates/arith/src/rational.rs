@@ -571,6 +571,29 @@ impl fmt::Display for ParseRationalError {
 
 impl std::error::Error for ParseRationalError {}
 
+/// Serialized as the exact string `"p"` or `"p/q"` (the [`fmt::Display`]
+/// form), so JSON documents carry rationals without precision loss.
+impl serde::Serialize for Rational {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::String(self.to_string())
+    }
+}
+
+impl serde::Deserialize for Rational {
+    fn deserialize(v: &serde::Value) -> Result<Rational, serde::Error> {
+        match v {
+            serde::Value::String(s) => s
+                .parse()
+                .map_err(|e: ParseRationalError| serde::Error::custom(e.to_string())),
+            serde::Value::Int(i) => Ok(Rational::from_integer(BigInt::from(*i))),
+            other => Err(serde::Error::custom(format!(
+                "expected a rational literal string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
 impl FromStr for Rational {
     type Err = ParseRationalError;
 

@@ -7,8 +7,10 @@
 //! against. See the module docs of `projtile_arith` for the full benchmark
 //! protocol.
 
+use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
+use projtile_core::engine::{Engine, Query};
 use projtile_core::{
     bounds, check_tightness, communication_lower_bound, hbl, optimal_tiling, parametric,
 };
@@ -220,6 +222,68 @@ pub fn default_workloads() -> Vec<Workload> {
             }),
         });
     }
+
+    // Engine session workloads (PR 4). The cold workload pays full session
+    // start-up per query (fresh engine each iteration); the cache_hit
+    // workload answers the identical query from a warmed engine's memo. Both
+    // use the same input as `lower_bound/check_tightness/seed0`, so one
+    // snapshot shows the free-function cost, the engine's cold overhead, and
+    // the amortized repeated-query cost side by side.
+    let (_, tightness_nest) = tightness_nests().remove(0);
+    let tightness_query = Query::Tightness {
+        cache_size: TIGHTNESS_M,
+    };
+    let n = tightness_nest.clone();
+    let q = tightness_query.clone();
+    workloads.push(Workload {
+        name: "engine/cold/tightness_seed0".to_string(),
+        run: Box::new(move || {
+            let mut engine = Engine::new();
+            std::hint::black_box(engine.analyze(&n, &q).expect("valid query"));
+        }),
+    });
+    let n = tightness_nest.clone();
+    let q = tightness_query.clone();
+    let warmed = RefCell::new(Engine::new());
+    warmed
+        .borrow_mut()
+        .analyze(&tightness_nest, &tightness_query)
+        .expect("valid query");
+    workloads.push(Workload {
+        name: "engine/cache_hit/tightness_seed0".to_string(),
+        run: Box::new(move || {
+            std::hint::black_box(warmed.borrow_mut().analyze(&n, &q).expect("valid query"));
+        }),
+    });
+
+    // The memoized exponent_at_bound path (JIT probe): cold oracle (one LP
+    // solve per probe) vs engine (slice lookup after the first sweep).
+    let probe_nest = matmul_nest();
+    let probe_m = 1u64 << MATMUL_LOG_MS[0];
+    let n = probe_nest.clone();
+    workloads.push(Workload {
+        name: "engine/cold/exponent_at_bound/matmul".to_string(),
+        run: Box::new(move || {
+            std::hint::black_box(parametric::exponent_at_bound_cold(&n, probe_m, 2, 37));
+        }),
+    });
+    let n = probe_nest.clone();
+    let warmed = RefCell::new(Engine::new());
+    warmed
+        .borrow_mut()
+        .exponent_at_bound(&probe_nest, probe_m, 2, 37)
+        .expect("valid probe");
+    workloads.push(Workload {
+        name: "engine/cache_hit/exponent_at_bound/matmul".to_string(),
+        run: Box::new(move || {
+            std::hint::black_box(
+                warmed
+                    .borrow_mut()
+                    .exponent_at_bound(&n, probe_m, 2, 37)
+                    .expect("valid probe"),
+            );
+        }),
+    });
 
     // matmul bench inputs (E1).
     let nest = matmul_nest();

@@ -34,11 +34,12 @@ use projtile_arith::{log, Rational};
 use projtile_loopnest::{IndexSet, LoopNest};
 use projtile_lp::{solve, Constraint, LinearProgram, Relation};
 use projtile_par::{par_map, par_map_with};
+use serde::{Deserialize, Serialize};
 
 use crate::hbl::{solve_hbl, HblFamily};
 
 /// The strongest Theorem-2 bound, with the certificate that witnesses it.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LowerBound {
     /// The tile-size exponent `k̂` (tile size is at most `M^{k̂}`).
     pub exponent: Rational,
@@ -56,7 +57,7 @@ pub struct LowerBound {
 }
 
 /// The result of the paper's explicit subset enumeration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EnumeratedBound {
     /// The best exponent found by the enumeration.
     pub exponent: Rational,
@@ -213,7 +214,7 @@ pub fn enumerated_exponent_cold(nest: &LoopNest, cache_size: u64) -> EnumeratedB
 
 /// Picks the minimum exponent (ties: smallest subset, then mask order) from a
 /// mask-ordered per-subset list.
-fn select_best(per_subset: Vec<(IndexSet, Rational)>) -> EnumeratedBound {
+pub(crate) fn select_best(per_subset: Vec<(IndexSet, Rational)>) -> EnumeratedBound {
     let (best_subset, exponent) = per_subset
         .iter()
         .min_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.len().cmp(&b.0.len())))

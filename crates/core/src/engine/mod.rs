@@ -1,0 +1,582 @@
+//! The unified analysis session: one long-lived [`Engine`] answering typed
+//! [`Query`]s over interned loop nests with cross-query artifact reuse.
+//!
+//! # Why a session API
+//!
+//! The paper's analyses share expensive intermediates: the Theorem-2 bound,
+//! the `2^d` enumeration, the tiling LP, the Theorem-3 check and the §7
+//! value functions all revolve around the same `β` vectors, the same HBL
+//! constraint matrix, and the same warm simplex bases. The stateless free
+//! functions (`communication_lower_bound`, `check_tightness`,
+//! `exponent_surface`, …) rebuild all of it per call — fine for one-shot use,
+//! wasteful for the repeated-query traffic of a compiler pass or an analysis
+//! service that probes many variants of the same nest. The `Engine` makes
+//! that workload pay amortized cost:
+//!
+//! * **Interning.** Nests are interned by their permutation-invariant
+//!   [`projtile_loopnest::NestSignature`], so a caller that re-declares the
+//!   same program with loops or arrays in a different order hits the same
+//!   cache entry.
+//! * **Artifact reuse.** Per interned nest the engine keeps the `β` vectors
+//!   per cache size, a warm [`crate::hbl::HblFamily`] (its matrix is
+//!   cache-size-independent), memoized §7 slices (shared across permuted
+//!   variants — a value function carries no positional data), memoized
+//!   surfaces keyed by `(axes, box)`, and every typed result it has computed.
+//!   A `Tightness` query warms `LowerBound`, `EnumeratedBound` and
+//!   `OptimalTiling` for free, and vice versa.
+//! * **Exactness.** Engine answers are **bitwise-identical** to the retained
+//!   free functions, which double as the cold differential oracles in the
+//!   test suite. Everything the engine shares across queries is either
+//!   path-independent by construction (canonical lex-min LP optima, unique
+//!   optimal values, unique value functions) or cached per declaration order
+//!   (vertex certificates, `λ` vectors).
+//!
+//! ```
+//! use projtile_core::engine::{AnalysisResult, Engine, Query};
+//! use projtile_loopnest::builders;
+//!
+//! let mut engine = Engine::new();
+//! let nest = builders::matmul(512, 512, 8);
+//! // First query computes; the repeat is a pure cache lookup.
+//! let q = Query::Tightness { cache_size: 1 << 10 };
+//! let first = engine.analyze(&nest, &q).unwrap();
+//! let again = engine.analyze(&nest, &q).unwrap();
+//! assert_eq!(first, again);
+//! assert_eq!(engine.stats().hits, 1);
+//! match first {
+//!     AnalysisResult::Tightness(report) => assert!(report.tight),
+//!     other => panic!("unexpected result {other:?}"),
+//! }
+//! ```
+
+mod cache;
+mod query;
+
+pub use query::{AnalysisResult, EngineError, Query, SurfaceSummary, TilingSummary};
+
+use std::collections::HashMap;
+use std::fmt;
+
+use projtile_arith::Rational;
+use projtile_loopnest::{canonicalize, LoopNest, NestSignature};
+use projtile_lp::ContextPool;
+use projtile_par::par_map_with;
+
+use crate::bounds::{EnumeratedBound, LowerBound};
+use crate::parametric::ExponentSurface;
+use cache::{summarize_surface, NestEntry};
+
+/// Counters describing how an [`Engine`] resolved its queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Total queries answered (including batch members).
+    pub queries: u64,
+    /// Queries answered from a memoized result (pure lookups).
+    pub hits: u64,
+    /// Queries that had to compute (and then memoized) their result.
+    pub misses: u64,
+    /// Distinct canonical signatures interned.
+    pub interned: u64,
+}
+
+/// A long-lived analysis session. See the [module docs](self) for the reuse
+/// model; see [`Query`] for the request vocabulary.
+#[derive(Default)]
+pub struct Engine {
+    entries: Vec<NestEntry>,
+    index: HashMap<NestSignature, usize>,
+    pool: ContextPool,
+    stats: EngineStats,
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("interned_nests", &self.entries.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Creates an empty session.
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// Interns `nest` (no analysis yet) and returns its canonical signature.
+    /// Permuted re-declarations of the same program return the same
+    /// signature and share one cache entry.
+    pub fn intern(&mut self, nest: &LoopNest) -> NestSignature {
+        let canon = canonicalize(nest);
+        let sig = canon.signature();
+        let _ = self.intern_with(nest, canon);
+        sig
+    }
+
+    /// Number of distinct canonical signatures interned so far.
+    pub fn num_interned(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Counters for this session's lifetime.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Answers one typed query about `nest`, reusing every applicable cached
+    /// artifact and memoizing what it computes. Results are bitwise-identical
+    /// to the corresponding free function (see the module docs).
+    pub fn analyze(
+        &mut self,
+        nest: &LoopNest,
+        query: &Query,
+    ) -> Result<AnalysisResult, EngineError> {
+        self.stats.queries += 1;
+        validate_query(nest, query)?;
+        let (e, o) = self.intern_indices(nest);
+        if self.entries[e].is_cached(o, query) {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        self.entries[e].answer(o, query, &self.pool)
+    }
+
+    /// Answers a batch of queries about `nest`, in input order.
+    ///
+    /// Already-memoized queries are answered by lookup; the remaining
+    /// distinct queries are fanned out through `projtile_par` with one pooled
+    /// warm solver context per worker chunk, then installed into the cache.
+    /// Results are identical to issuing the queries one-by-one through
+    /// [`Engine::analyze`] (pinned by tests): every parallel compute path is
+    /// path-independent, so the fan-out cannot change any answer.
+    pub fn analyze_batch(
+        &mut self,
+        nest: &LoopNest,
+        queries: &[Query],
+    ) -> Vec<Result<AnalysisResult, EngineError>> {
+        self.stats.queries += queries.len() as u64;
+        let validity: Vec<Option<EngineError>> = queries
+            .iter()
+            .map(|q| validate_query(nest, q).err())
+            .collect();
+        if validity.iter().all(|v| v.is_some()) {
+            // Nothing valid to intern or compute.
+            return validity
+                .into_iter()
+                .map(|v| Err(v.expect("all invalid")))
+                .collect();
+        }
+        let (e, o) = self.intern_indices(nest);
+
+        // The distinct valid queries that are not yet memoized.
+        let mut pending: Vec<Query> = Vec::new();
+        for (q, v) in queries.iter().zip(&validity) {
+            if v.is_none() && !self.entries[e].is_cached(o, q) && !pending.contains(q) {
+                pending.push(q.clone());
+            }
+        }
+        self.stats.hits += queries
+            .iter()
+            .zip(&validity)
+            .filter(|(q, v)| v.is_none() && !pending.contains(q))
+            .count() as u64;
+        self.stats.misses += pending.len() as u64;
+
+        // Fan the pending queries out; per-worker pooled contexts warm-start
+        // along each chunk. Only shared borrows of the engine are used here.
+        let computed: Vec<(Query, Result<Detached, EngineError>)> = {
+            let entry = &self.entries[e];
+            let orientation_nest = &entry.orientations[o].nest;
+            let canonical = &entry.canonical;
+            let loop_perm = &entry.orientations[o].loop_perm;
+            let pool = &self.pool;
+            par_map_with(
+                &pending,
+                || pool.checkout(),
+                |ctx, _, q| {
+                    (
+                        q.clone(),
+                        compute_detached(orientation_nest, canonical, loop_perm, q, ctx),
+                    )
+                },
+            )
+        };
+
+        // Install the computed results, then assemble answers by lookup.
+        let mut errors: HashMap<Query, EngineError> = HashMap::new();
+        for (q, res) in computed {
+            match res {
+                Ok(detached) => self.entries[e].install(o, &q, detached),
+                Err(err) => {
+                    errors.insert(q, err);
+                }
+            }
+        }
+        queries
+            .iter()
+            .zip(validity)
+            .map(|(q, v)| {
+                if let Some(err) = v {
+                    return Err(err);
+                }
+                if let Some(err) = errors.get(q) {
+                    return Err(err.clone());
+                }
+                self.entries[e].answer(o, q, &self.pool)
+            })
+            .collect()
+    }
+
+    /// The optimal exponent at one specific bound value along `axis` — the
+    /// memoized form of [`crate::parametric::exponent_at_bound`]. The first
+    /// query per `(cache size, axis)` sweeps a 1-D slice of the §7 value
+    /// function once; every later bound on that axis (a JIT probing candidate
+    /// specializations, say) is read off the slice without touching the
+    /// solver. Answers are bitwise-identical to the cold oracle
+    /// [`crate::parametric::exponent_at_bound_cold`].
+    pub fn exponent_at_bound(
+        &mut self,
+        nest: &LoopNest,
+        cache_size: u64,
+        axis: usize,
+        bound: u64,
+    ) -> Result<Rational, EngineError> {
+        self.stats.queries += 1;
+        if cache_size < 2 {
+            return Err(EngineError::InvalidQuery(
+                "cache size must be at least 2 words".into(),
+            ));
+        }
+        if axis >= nest.num_loops() {
+            return Err(EngineError::InvalidQuery(format!(
+                "axis {axis} out of range for a {}-loop nest",
+                nest.num_loops()
+            )));
+        }
+        if bound == 0 {
+            return Err(EngineError::InvalidQuery("bound must be positive".into()));
+        }
+        let (e, o) = self.intern_indices(nest);
+        let (value, was_hit) =
+            self.entries[e].exponent_at_bound(o, cache_size, axis, bound, &self.pool)?;
+        if was_hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        Ok(value)
+    }
+
+    /// The full memoized [`ExponentSurface`] for a [`Query::Surface`]-shaped
+    /// request, for callers that need region geometry or slices beyond the
+    /// wire-ready [`SurfaceSummary`].
+    pub fn exponent_surface(
+        &mut self,
+        nest: &LoopNest,
+        cache_size: u64,
+        axes: &[usize],
+        lo_bounds: &[u64],
+        hi_bounds: &[u64],
+    ) -> Result<ExponentSurface, EngineError> {
+        let query = Query::Surface {
+            cache_size,
+            axes: axes.to_vec(),
+            lo_bounds: lo_bounds.to_vec(),
+            hi_bounds: hi_bounds.to_vec(),
+        };
+        self.stats.queries += 1;
+        validate_query(nest, &query)?;
+        let (e, o) = self.intern_indices(nest);
+        if self.entries[e].is_cached(o, &query) {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        self.entries[e]
+            .surface(o, cache_size, axes, lo_bounds, hi_bounds)
+            .map(|(surface, _)| surface)
+    }
+
+    fn intern_indices(&mut self, nest: &LoopNest) -> (usize, usize) {
+        let canon = canonicalize(nest);
+        self.intern_with(nest, canon)
+    }
+
+    fn intern_with(
+        &mut self,
+        nest: &LoopNest,
+        canon: projtile_loopnest::CanonicalNest,
+    ) -> (usize, usize) {
+        let sig = canon.signature();
+        let e = match self.index.get(&sig) {
+            Some(&e) => e,
+            None => {
+                self.entries.push(NestEntry::new(canon.nest().clone()));
+                self.stats.interned += 1;
+                let e = self.entries.len() - 1;
+                self.index.insert(sig, e);
+                e
+            }
+        };
+        let o = self.entries[e].orientation_index(nest, &canon);
+        (e, o)
+    }
+}
+
+/// A result computed off-engine during a batch fan-out, plus the extra
+/// artifacts the memoizing path would have cached as side effects: the full
+/// surface object for a surface query, and the component artifacts of a
+/// tightness check (so a batched `Tightness` warms `LowerBound`,
+/// `EnumeratedBound` and `OptimalTiling` exactly like the sequential path).
+struct Detached {
+    result: AnalysisResult,
+    surface: Option<ExponentSurface>,
+    tightness_parts: Option<(LowerBound, EnumeratedBound, TilingSummary)>,
+}
+
+impl NestEntry {
+    /// Installs a detached batch result into the memo maps.
+    fn install(&mut self, o: usize, query: &Query, detached: Detached) {
+        match (query, detached.result) {
+            (Query::LowerBound { cache_size }, AnalysisResult::LowerBound(lb)) => {
+                self.orientations[o]
+                    .per_m
+                    .entry(*cache_size)
+                    .or_default()
+                    .lower_bound = Some(lb);
+            }
+            (Query::EnumeratedBound { cache_size }, AnalysisResult::EnumeratedBound(en)) => {
+                self.orientations[o]
+                    .per_m
+                    .entry(*cache_size)
+                    .or_default()
+                    .enumerated = Some(en);
+            }
+            (Query::OptimalTiling { cache_size }, AnalysisResult::OptimalTiling(t)) => {
+                self.orientations[o]
+                    .per_m
+                    .entry(*cache_size)
+                    .or_default()
+                    .tiling = Some(t);
+            }
+            (Query::Tightness { cache_size }, AnalysisResult::Tightness(t)) => {
+                let memo = self.orientations[o].per_m.entry(*cache_size).or_default();
+                memo.tightness = Some(t);
+                if let Some((bound, enumerated, tiling)) = detached.tightness_parts {
+                    memo.lower_bound.get_or_insert(bound);
+                    memo.enumerated.get_or_insert(enumerated);
+                    memo.tiling.get_or_insert(tiling);
+                }
+            }
+            (
+                Query::Surface {
+                    cache_size,
+                    axes,
+                    lo_bounds,
+                    hi_bounds,
+                },
+                AnalysisResult::Surface(summary),
+            ) => {
+                let key = cache::SurfaceKey {
+                    cache_size: *cache_size,
+                    axes: axes.clone(),
+                    lo_bounds: lo_bounds.clone(),
+                    hi_bounds: hi_bounds.clone(),
+                };
+                let surface = detached.surface.expect("surface results carry the surface");
+                if !self.orientations[o]
+                    .surfaces
+                    .iter()
+                    .any(|(k, _, _)| *k == key)
+                {
+                    self.orientations[o].surfaces.push((key, surface, summary));
+                }
+            }
+            (
+                Query::Slice {
+                    cache_size,
+                    axis,
+                    lo_bound,
+                    hi_bound,
+                },
+                AnalysisResult::Slice(vf),
+            ) => {
+                let key = cache::SliceKey {
+                    cache_size: *cache_size,
+                    axis: self.orientations[o].loop_perm[*axis],
+                    lo_bound: *lo_bound,
+                    hi_bound: *hi_bound,
+                };
+                self.slices.entry(key).or_insert(vf);
+            }
+            _ => unreachable!("detached result variant matches its query"),
+        }
+    }
+}
+
+/// Computes one query with no access to the engine's caches — the batch
+/// fan-out worker. Every path here is bitwise-identical to the corresponding
+/// memoizing path in [`cache::NestEntry::answer`] (both bottom out in
+/// path-independent solves), so batch answers equal sequential answers.
+fn compute_detached(
+    orientation_nest: &LoopNest,
+    canonical: &LoopNest,
+    loop_perm: &[usize],
+    query: &Query,
+    ctx: &mut projtile_lp::SolverContext,
+) -> Result<Detached, EngineError> {
+    let result = match query {
+        Query::LowerBound { cache_size } => AnalysisResult::LowerBound(
+            crate::bounds::arbitrary_bound_exponent(orientation_nest, *cache_size),
+        ),
+        Query::EnumeratedBound { cache_size } => AnalysisResult::EnumeratedBound(
+            crate::bounds::enumerated_exponent(orientation_nest, *cache_size),
+        ),
+        Query::OptimalTiling { cache_size } => {
+            let sol = crate::tiling_lp::solve_tiling_lp(orientation_nest, *cache_size);
+            let tile_dims =
+                crate::tiling_lp::tile_dims_from_lambda(orientation_nest, *cache_size, &sol.lambda);
+            AnalysisResult::OptimalTiling(TilingSummary {
+                lambda: sol.lambda,
+                value: sol.value,
+                tile_dims,
+            })
+        }
+        Query::Tightness { cache_size } => {
+            // Computed from its explicit components (exactly the fields
+            // `check_tightness` derives) so the fan-out can hand them back
+            // for installation — a batched Tightness warms LowerBound,
+            // EnumeratedBound and OptimalTiling just like the sequential
+            // path does.
+            let m = *cache_size;
+            let bound = crate::bounds::arbitrary_bound_exponent(orientation_nest, m);
+            let enumerated = crate::bounds::enumerated_exponent(orientation_nest, m);
+            let sol = crate::tiling_lp::solve_tiling_lp(orientation_nest, m);
+            let tile_dims =
+                crate::tiling_lp::tile_dims_from_lambda(orientation_nest, m, &sol.lambda);
+            let tiling = TilingSummary {
+                lambda: sol.lambda,
+                value: sol.value,
+                tile_dims,
+            };
+            let beta = crate::bounds::betas(orientation_nest, m);
+            let report =
+                cache::compose_tightness(orientation_nest, &beta, &tiling, &bound, &enumerated);
+            return Ok(Detached {
+                result: AnalysisResult::Tightness(report),
+                surface: None,
+                tightness_parts: Some((bound, enumerated, tiling)),
+            });
+        }
+        Query::Surface {
+            cache_size,
+            axes,
+            lo_bounds,
+            hi_bounds,
+        } => {
+            let s = crate::parametric::exponent_surface(
+                orientation_nest,
+                *cache_size,
+                axes,
+                lo_bounds,
+                hi_bounds,
+            )?;
+            let summary = summarize_surface(&s, axes);
+            return Ok(Detached {
+                result: AnalysisResult::Surface(summary),
+                surface: Some(s),
+                tightness_parts: None,
+            });
+        }
+        Query::Slice {
+            cache_size,
+            axis,
+            lo_bound,
+            hi_bound,
+        } => AnalysisResult::Slice(crate::parametric::exponent_vs_beta_with(
+            canonical,
+            *cache_size,
+            loop_perm[*axis],
+            *lo_bound,
+            *hi_bound,
+            ctx,
+        )?),
+    };
+    Ok(Detached {
+        result,
+        surface: None,
+        tightness_parts: None,
+    })
+}
+
+/// Mirrors the assertions of the free functions as recoverable errors.
+fn validate_query(nest: &LoopNest, query: &Query) -> Result<(), EngineError> {
+    let d = nest.num_loops();
+    if query.cache_size() < 2 {
+        return Err(EngineError::InvalidQuery(
+            "cache size must be at least 2 words".into(),
+        ));
+    }
+    match query {
+        Query::EnumeratedBound { .. } | Query::Tightness { .. } => {
+            if d > 30 {
+                return Err(EngineError::InvalidQuery(format!(
+                    "subset enumeration over {d} > 30 indices refused"
+                )));
+            }
+        }
+        Query::Surface {
+            axes,
+            lo_bounds,
+            hi_bounds,
+            ..
+        } => {
+            if axes.is_empty() {
+                return Err(EngineError::InvalidQuery(
+                    "at least one swept axis required".into(),
+                ));
+            }
+            if axes.len() != lo_bounds.len() || axes.len() != hi_bounds.len() {
+                return Err(EngineError::InvalidQuery(
+                    "one bound range per swept axis required".into(),
+                ));
+            }
+            for (i, &a) in axes.iter().enumerate() {
+                if a >= d {
+                    return Err(EngineError::InvalidQuery(format!(
+                        "axis {a} out of range for a {d}-loop nest"
+                    )));
+                }
+                if axes[..i].contains(&a) {
+                    return Err(EngineError::InvalidQuery(format!(
+                        "axis {a} swept twice in the same surface"
+                    )));
+                }
+                if lo_bounds[i] < 1 || hi_bounds[i] < lo_bounds[i] {
+                    return Err(EngineError::InvalidQuery(format!(
+                        "invalid bound range on axis {a}"
+                    )));
+                }
+            }
+        }
+        Query::Slice {
+            axis,
+            lo_bound,
+            hi_bound,
+            ..
+        } => {
+            if *axis >= d {
+                return Err(EngineError::InvalidQuery(format!(
+                    "axis {axis} out of range for a {d}-loop nest"
+                )));
+            }
+            if *lo_bound < 1 || hi_bound < lo_bound {
+                return Err(EngineError::InvalidQuery("invalid bound range".into()));
+            }
+        }
+        Query::LowerBound { .. } | Query::OptimalTiling { .. } => {}
+    }
+    Ok(())
+}

@@ -48,6 +48,7 @@ pub mod bounds;
 pub mod closed_forms;
 pub mod contraction;
 pub mod distributed;
+pub mod engine;
 pub mod hbl;
 pub mod parametric;
 pub mod tightness;
@@ -55,6 +56,7 @@ pub mod tiling;
 pub mod tiling_lp;
 
 pub use bounds::{arbitrary_bound_exponent, communication_lower_bound, LowerBound};
+pub use engine::{AnalysisResult, Engine, EngineError, Query, SurfaceSummary, TilingSummary};
 pub use hbl::{hbl_exponent, hbl_lp, solve_hbl, HblSolution};
 pub use parametric::{exponent_surface, exponent_vs_beta, ExponentSurface};
 pub use tightness::{
@@ -63,15 +65,36 @@ pub use tightness::{
 pub use tiling::{CommunicationModel, Tiling};
 pub use tiling_lp::{optimal_tiling, solve_tiling_lp, tiling_lp, TilingSolution};
 
+use std::cell::RefCell;
+
 /// A loop nest paired with the fast-memory (cache) size it is analyzed
-/// against. All top-level APIs hang off this type; the free functions in the
-/// submodules are the same operations for callers who prefer them.
-#[derive(Debug, Clone)]
+/// against.
+///
+/// Since PR 4 the instance routes every method through an internal
+/// [`engine::Engine`] session, so repeated calls on the same instance reuse
+/// shared artifacts and memoized results instead of recomputing (a second
+/// `check_tightness()` is a pure lookup). Answers are bitwise-identical to
+/// the stateless free functions in the submodules, which remain available
+/// for one-shot use and as the engine's differential oracles.
+#[derive(Debug)]
 pub struct ProblemInstance {
     /// The projective loop nest under analysis.
     pub nest: projtile_loopnest::LoopNest,
     /// Fast-memory capacity `M`, in words.
     pub cache_size: u64,
+    session: RefCell<engine::Engine>,
+}
+
+impl Clone for ProblemInstance {
+    /// Clones the problem description; the clone starts with a fresh (empty)
+    /// session cache.
+    fn clone(&self) -> ProblemInstance {
+        ProblemInstance {
+            nest: self.nest.clone(),
+            cache_size: self.cache_size,
+            session: RefCell::new(engine::Engine::new()),
+        }
+    }
 }
 
 impl ProblemInstance {
@@ -81,7 +104,18 @@ impl ProblemInstance {
     /// Panics if `cache_size < 2` (the log-space analysis needs `M >= 2`).
     pub fn new(nest: projtile_loopnest::LoopNest, cache_size: u64) -> ProblemInstance {
         assert!(cache_size >= 2, "cache size must be at least 2 words");
-        ProblemInstance { nest, cache_size }
+        ProblemInstance {
+            nest,
+            cache_size,
+            session: RefCell::new(engine::Engine::new()),
+        }
+    }
+
+    fn query(&self, query: engine::Query) -> engine::AnalysisResult {
+        self.session
+            .borrow_mut()
+            .analyze(&self.nest, &query)
+            .expect("instance queries are validated at construction")
     }
 
     /// The large-bound HBL exponent `k_HBL` (§3).
@@ -92,22 +126,48 @@ impl ProblemInstance {
     /// The Theorem-2 arbitrary-bound exponent `k̂` and the subset `Q` that
     /// attains it (§4).
     pub fn tile_size_exponent(&self) -> bounds::LowerBound {
-        bounds::arbitrary_bound_exponent(&self.nest, self.cache_size)
+        match self.query(engine::Query::LowerBound {
+            cache_size: self.cache_size,
+        }) {
+            engine::AnalysisResult::LowerBound(lb) => lb,
+            other => unreachable!("engine answered {other:?} to a LowerBound query"),
+        }
     }
 
     /// The communication lower bound `∏L_i · M^{1 − k̂}` in words (§4).
     pub fn communication_lower_bound(&self) -> f64 {
-        bounds::communication_lower_bound(&self.nest, self.cache_size).words
+        self.tile_size_exponent().words
     }
 
     /// The optimal rectangular tiling from LP (5.1) (§5).
     pub fn optimal_tiling(&self) -> tiling::Tiling {
-        tiling_lp::optimal_tiling(&self.nest, self.cache_size)
+        match self.query(engine::Query::OptimalTiling {
+            cache_size: self.cache_size,
+        }) {
+            engine::AnalysisResult::OptimalTiling(summary) => tiling::Tiling::new(
+                self.nest.clone(),
+                self.cache_size,
+                summary.tile_dims,
+                Some(summary.lambda),
+            ),
+            other => unreachable!("engine answered {other:?} to an OptimalTiling query"),
+        }
     }
 
     /// Checks Theorem 3: the tiling LP optimum equals the Theorem-2 exponent.
     pub fn check_tightness(&self) -> tightness::TightnessReport {
-        tightness::check_tightness(&self.nest, self.cache_size)
+        match self.query(engine::Query::Tightness {
+            cache_size: self.cache_size,
+        }) {
+            engine::AnalysisResult::Tightness(report) => report,
+            other => unreachable!("engine answered {other:?} to a Tightness query"),
+        }
+    }
+
+    /// Session counters of the instance's internal engine (hits witness the
+    /// cross-call reuse).
+    pub fn session_stats(&self) -> engine::EngineStats {
+        self.session.borrow().stats()
     }
 }
 

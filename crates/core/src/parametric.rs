@@ -73,6 +73,24 @@ pub fn exponent_vs_beta_cold(
     parametric_rhs_cold(&lp, &direction, lo, hi)
 }
 
+/// [`exponent_vs_beta`] probing through a caller-supplied warm
+/// [`projtile_lp::SolverContext`] (e.g. one checked out of a
+/// [`projtile_lp::ContextPool`]), so a long-lived session carries its
+/// retained simplex basis across sweeps. The result is exactly that of
+/// [`exponent_vs_beta`] — the value function is a property of the nest, not
+/// of the solver path.
+pub fn exponent_vs_beta_with(
+    nest: &LoopNest,
+    cache_size: u64,
+    axis: usize,
+    lo_bound: u64,
+    hi_bound: u64,
+    ctx: &mut projtile_lp::SolverContext,
+) -> Result<ValueFunction, LpError> {
+    let (lp, direction, lo, hi) = beta_sweep_query(nest, cache_size, axis, lo_bound, hi_bound);
+    projtile_lp::parametric::parametric_rhs_with(&lp, &direction, lo, hi, ctx)
+}
+
 type SweepQuery = (
     projtile_lp::LinearProgram,
     Vec<Rational>,
@@ -110,7 +128,7 @@ fn beta_sweep_query(
 /// The full §7 value function: the optimal tile exponent as an exact concave
 /// piecewise-linear function of several log loop bounds simultaneously,
 /// decomposed into critical regions. Produced by [`exponent_surface`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExponentSurface {
     /// The swept loop-index positions, in the order the surface's parameter
     /// axes are numbered.
@@ -298,9 +316,25 @@ fn exponent_surface_impl(
 }
 
 /// Convenience wrapper: the optimal exponent at a specific bound value along
-/// `axis`, read off the piecewise-linear function (equivalently, a fresh LP
-/// solve on the modified nest — the test suite checks both paths agree).
+/// `axis`. This is the **cold, one-shot** form — a fresh LP solve on the
+/// modified nest per call. Repeated-query workloads (a JIT probing many
+/// candidate bounds of the same nest) should go through
+/// [`crate::engine::Engine::exponent_at_bound`], which answers from a
+/// memoized slice of the §7 value function; this function is retained as its
+/// differential oracle (the engine's answers are pinned bitwise-equal to it).
 pub fn exponent_at_bound(nest: &LoopNest, cache_size: u64, axis: usize, bound: u64) -> Rational {
+    exponent_at_bound_cold(nest, cache_size, axis, bound)
+}
+
+/// The pre-engine body of [`exponent_at_bound`]: one independent tiling-LP
+/// solve on the rebound nest. Kept as the cold differential oracle for the
+/// engine's memoized surface/slice path.
+pub fn exponent_at_bound_cold(
+    nest: &LoopNest,
+    cache_size: u64,
+    axis: usize,
+    bound: u64,
+) -> Rational {
     let mut bounds = nest.bounds();
     bounds[axis] = bound;
     crate::tiling_lp::solve_tiling_lp(&nest.with_bounds(&bounds), cache_size).value

@@ -22,6 +22,7 @@
 use projtile_arith::Rational;
 use projtile_loopnest::{IndexSet, LoopNest};
 use projtile_lp::LpError;
+use serde::{Deserialize, Serialize};
 
 use crate::bounds::{
     arbitrary_bound_exponent, betas, bound_lp_for_betas, enumerated_exponent, exponent_from_s_hat,
@@ -31,7 +32,7 @@ use crate::parametric::{exponent_surface, ExponentSurface};
 use crate::tiling_lp::solve_tiling_lp;
 
 /// Result of checking Theorem 3 on one problem instance.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TightnessReport {
     /// Optimal value of the tiling LP (5.1): the achievable tile exponent.
     pub tiling_exponent: Rational,
@@ -87,7 +88,7 @@ pub fn check_tightness(nest: &LoopNest, cache_size: u64) -> TightnessReport {
 /// Theorem 3 checked on one critical region of an exponent surface: the
 /// tiling-LP value function (the region's affine piece, evaluated at its
 /// witness) against the bound LP (5.5) solved directly at the witness β.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RegionTightness {
     /// The region's affine piece: gradient over the swept axes.
     pub gradient: Vec<Rational>,
@@ -106,7 +107,7 @@ pub struct RegionTightness {
 
 /// Per-region Theorem-3 report for a whole exponent surface. Produced by
 /// [`check_tightness_surface`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SurfaceTightnessReport {
     /// The swept loop-index positions.
     pub axes: Vec<usize>,

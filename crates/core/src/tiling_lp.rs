@@ -10,12 +10,13 @@
 use projtile_arith::{log, Rational};
 use projtile_loopnest::LoopNest;
 use projtile_lp::{solve, Constraint, LinearProgram, Relation};
+use serde::{Deserialize, Serialize};
 
 use crate::bounds::betas;
 use crate::tiling::Tiling;
 
 /// Solution of the tiling LP in log-space.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TilingSolution {
     /// Optimal block exponents `λ_1, ..., λ_d` (`b_i = M^{λ_i}`).
     pub lambda: Vec<Rational>,

@@ -57,6 +57,20 @@ pub fn compare_schedules(
     policy: CachePolicy,
 ) -> ScheduleComparison {
     let lb = communication_lower_bound(nest, cache_size).words;
+    compare_schedules_with_bound(nest, cache_size, policy, lb)
+}
+
+/// [`compare_schedules`] with the Theorem-2 lower bound supplied by the
+/// caller — for engine-session workflows
+/// (`projtile_core::engine::Engine`) that already hold the bound from a
+/// `LowerBound` query and should not pay for a recomputation.
+pub fn compare_schedules_with_bound(
+    nest: &LoopNest,
+    cache_size: u64,
+    policy: CachePolicy,
+    lower_bound_words: f64,
+) -> ScheduleComparison {
+    let lb = lower_bound_words;
 
     let untiled = untiled_schedule(nest);
     let mut classical = classical_square_tiling(nest, cache_size);
@@ -101,6 +115,15 @@ mod tests {
         assert_eq!(cmp.classical().label, "classical-square");
         assert_eq!(cmp.optimal().label, "optimal-arbitrary-bound");
         assert!(cmp.lower_bound_words > 0.0);
+    }
+
+    #[test]
+    fn supplied_bound_comparison_matches_recomputed_bound() {
+        let nest = builders::matmul(16, 16, 16);
+        let full = compare_schedules(&nest, 128, CachePolicy::Lru);
+        let with_bound =
+            compare_schedules_with_bound(&nest, 128, CachePolicy::Lru, full.lower_bound_words);
+        assert_eq!(full, with_bound);
     }
 
     #[test]

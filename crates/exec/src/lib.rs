@@ -27,6 +27,8 @@ pub mod schedule;
 pub mod simulate;
 
 pub use baseline::{classical_square_tiling, optimal_tiling_schedule, untiled_schedule};
-pub use comparison::{compare_schedules, ScheduleComparison, ScheduleResult};
+pub use comparison::{
+    compare_schedules, compare_schedules_with_bound, ScheduleComparison, ScheduleResult,
+};
 pub use schedule::Schedule;
 pub use simulate::{measure, CachePolicy, Measurement};

@@ -14,6 +14,9 @@
 //!   plus validation (§2 assumes every index appears in at least one support);
 //! * [`support::IndexSet`] — a small bitset over loop indices used for
 //!   supports and for the subset enumeration of Theorem 2;
+//! * [`canon`] — permutation-invariant canonical forms and signatures, so a
+//!   long-lived analysis session (`projtile_core::engine`) can intern
+//!   permuted-but-equivalent nests into one cache entry;
 //! * [`builders`] — the kernels used throughout the paper (matrix
 //!   multiplication, matrix-vector multiplication, general tensor
 //!   contractions, pointwise convolutions, fully-connected layers, n-body
@@ -31,10 +34,12 @@
 #![warn(missing_docs)]
 
 pub mod builders;
+pub mod canon;
 pub mod iteration;
 pub mod layout;
 mod nest;
 pub mod support;
 
+pub use canon::{canonicalize, CanonicalNest, NestSignature};
 pub use nest::{ArrayAccess, LoopIndex, LoopNest, ValidationError};
 pub use support::IndexSet;

@@ -1,0 +1,125 @@
+//! Property tests for canonicalization: permuting a nest's loop order and
+//! array order never changes its signature, and distinct programs on the
+//! tested corpus never collide.
+
+use projtile_loopnest::canon::{canonicalize, permute_nest};
+use projtile_loopnest::{builders, LoopNest};
+use proptest::prelude::*;
+
+/// A deterministic permutation of `0..n` derived from `seed` (Fisher–Yates
+/// over a SplitMix64 stream).
+fn permutation(seed: u64, n: usize) -> Vec<usize> {
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+fn corpus() -> Vec<LoopNest> {
+    let mut nests = vec![
+        builders::matmul(8, 16, 32),
+        builders::matmul(16, 8, 32),
+        builders::matmul(8, 16, 64),
+        builders::matvec(8, 16),
+        builders::nbody(8, 16),
+        builders::nbody(16, 8),
+        builders::pointwise_conv(2, 3, 4, 5, 6),
+        builders::fully_connected(4, 5, 6),
+        builders::tensor_contraction(2, 4, &[2, 3, 4, 5, 6]),
+    ];
+    for seed in 0..12u64 {
+        nests.push(builders::random_projective(seed, 4, 4, (1, 64)));
+        nests.push(builders::random_projective(seed, 6, 3, (1, 64)));
+    }
+    nests
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn permutations_preserve_the_signature(
+        seed in any::<u64>(),
+        loop_seed in any::<u64>(),
+        array_seed in any::<u64>(),
+        d in 2usize..7,
+        n in 2usize..6,
+    ) {
+        let nest = builders::random_projective(seed, d, n, (1, 256));
+        let loop_perm = permutation(loop_seed, d);
+        let array_perm = permutation(array_seed, n);
+        let permuted = permute_nest(&nest, &loop_perm, &array_perm);
+        let canon_a = canonicalize(&nest);
+        let canon_b = canonicalize(&permuted);
+        prop_assert_eq!(canon_a.signature(), canon_b.signature());
+        // The canonical representative itself is identical, not just equal
+        // as a key.
+        prop_assert_eq!(canon_a.nest(), canon_b.nest());
+        // And canonicalization is idempotent.
+        let fixed = canonicalize(canon_a.nest());
+        prop_assert!(fixed.is_identity());
+    }
+
+    #[test]
+    fn translation_maps_positions_by_name(
+        seed in any::<u64>(),
+        loop_seed in any::<u64>(),
+        d in 2usize..7,
+        n in 2usize..6,
+    ) {
+        let nest = builders::random_projective(seed, d, n, (1, 256));
+        let permuted = permute_nest(&nest, &permutation(loop_seed, d), &permutation(loop_seed ^ 1, n));
+        let canon = canonicalize(&permuted);
+        for (i, idx) in permuted.indices().iter().enumerate() {
+            let c = canon.loop_to_canon(i);
+            prop_assert_eq!(&canon.nest().indices()[c], idx);
+            prop_assert_eq!(canon.canon_to_loop(c), i);
+        }
+        for (j, a) in permuted.arrays().iter().enumerate() {
+            let c = canon.array_to_canon(j);
+            prop_assert_eq!(&canon.nest().arrays()[c].name, &a.name);
+            // The canonical support selects the same loop names.
+            let orig_names: Vec<&str> = a
+                .support
+                .iter()
+                .map(|p| permuted.indices()[p].name.as_str())
+                .collect();
+            let canon_names: Vec<&str> = canon.nest().arrays()[c]
+                .support
+                .iter()
+                .map(|p| canon.nest().indices()[p].name.as_str())
+                .collect();
+            let mut sorted = orig_names.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(canon_names, sorted); // canonical order is by name
+        }
+    }
+}
+
+#[test]
+fn distinct_corpus_nests_never_collide() {
+    let nests = corpus();
+    let signatures: Vec<_> = nests.iter().map(|n| canonicalize(n).signature()).collect();
+    for i in 0..nests.len() {
+        for j in (i + 1)..nests.len() {
+            if nests[i] == nests[j] {
+                continue; // random corpus could repeat a nest verbatim
+            }
+            assert_ne!(
+                signatures[i], signatures[j],
+                "collision between {} and {}",
+                nests[i], nests[j]
+            );
+        }
+    }
+}

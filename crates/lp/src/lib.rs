@@ -94,7 +94,7 @@ pub use error::LpError;
 pub use mplp::{AffinePiece, CriticalRegion, HalfSpace, ParamBox, ValueSurface};
 pub use problem::{Constraint, LinearProgram, Objective, Relation, Solution};
 pub use simplex::{solve, solve_canonical, verify_optimal};
-pub use warm::{ContextStats, SolverContext};
+pub use warm::{ContextPool, ContextStats, PooledContext, SolverContext};
 
 #[cfg(test)]
 mod tests {

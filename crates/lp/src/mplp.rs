@@ -55,6 +55,7 @@
 use std::collections::VecDeque;
 
 use projtile_arith::Rational;
+use serde::{Deserialize, Serialize};
 
 use crate::parametric::{merge_collinear, ValueFunction};
 use crate::problem::{Constraint, LinearProgram, Objective, Relation};
@@ -149,7 +150,7 @@ impl ParamBox {
 }
 
 /// One affine piece `f(θ) = constant + gradient · θ` of a value surface.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct AffinePiece {
     /// `∂f/∂θ_k` on the piece — for a parametric tiling LP these are the
     /// paper's per-axis exponent sensitivities (e.g. `1` in the `1 + β_3`

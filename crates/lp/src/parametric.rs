@@ -16,6 +16,7 @@
 //! arithmetic is exact, so no breakpoint can be missed due to rounding.
 
 use projtile_arith::Rational;
+use serde::{Deserialize, Serialize};
 
 use crate::problem::{LinearProgram, Objective};
 use crate::LpError;
@@ -24,7 +25,7 @@ use crate::LpError;
 ///
 /// Between consecutive breakpoints the function is affine; the breakpoint list
 /// always includes both interval endpoints and is sorted by parameter value.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ValueFunction {
     /// `(θ, value)` pairs, sorted by `θ`, containing every breakpoint.
     pub breakpoints: Vec<(Rational, Rational)>,
@@ -109,12 +110,41 @@ pub fn parametric_rhs_cold(
     parametric_rhs_impl(lp, direction, lo, hi, false)
 }
 
+/// [`parametric_rhs`] probing through a **caller-supplied** warm context
+/// instead of a fresh one, so a long-lived session (e.g. a pooled context of
+/// [`crate::ContextPool`]) carries its retained basis across sweeps. The
+/// first probe goes through the structure-checked entry point (the context
+/// may retain an unrelated program; an incompatible basis cold-restarts
+/// transparently) and later probes use the unchecked rhs-update fast path.
+/// The returned value function is exactly that of [`parametric_rhs`] —
+/// optimal values are unique, so the context's history cannot change it.
+pub fn parametric_rhs_with(
+    lp: &LinearProgram,
+    direction: &[Rational],
+    lo: Rational,
+    hi: Rational,
+    ctx: &mut crate::warm::SolverContext,
+) -> Result<ValueFunction, LpError> {
+    parametric_rhs_driver(lp, direction, lo, hi, true, Some(ctx))
+}
+
 fn parametric_rhs_impl(
     lp: &LinearProgram,
     direction: &[Rational],
     lo: Rational,
     hi: Rational,
     warm: bool,
+) -> Result<ValueFunction, LpError> {
+    parametric_rhs_driver(lp, direction, lo, hi, warm, None)
+}
+
+fn parametric_rhs_driver(
+    lp: &LinearProgram,
+    direction: &[Rational],
+    lo: Rational,
+    hi: Rational,
+    warm: bool,
+    external: Option<&mut crate::warm::SolverContext>,
 ) -> Result<ValueFunction, LpError> {
     if direction.len() != lp.num_constraints() {
         return Err(LpError::Malformed(format!(
@@ -141,19 +171,33 @@ fn parametric_rhs_impl(
         .filter(|(_, d)| !d.is_zero())
         .map(|(i, _)| i)
         .collect();
-    let scratch = std::cell::RefCell::new((lp.clone(), crate::warm::SolverContext::new()));
+    // An external context may retain a basis for a *different* program, so
+    // its first probe must go through the structure-checked entry point;
+    // after that the scratch program is the retained one and only its rhs
+    // changes between probes.
+    let mut checked_first_probe = external.is_some();
+    let mut own_ctx = crate::warm::SolverContext::new();
+    let ctx_slot: &mut crate::warm::SolverContext = match external {
+        Some(ctx) => ctx,
+        None => &mut own_ctx,
+    };
+    let scratch = std::cell::RefCell::new((lp.clone(), ctx_slot, &mut checked_first_probe));
     let value = |theta: &Rational| -> Result<Rational, LpError> {
         let mut guard = scratch.borrow_mut();
-        let (shifted, ctx) = &mut *guard;
+        let (shifted, ctx, first) = &mut *guard;
         for &i in &varying {
             let c = &mut shifted.constraints[i];
             c.rhs = base_rhs[i].clone();
             c.rhs.add_mul_assign(&direction[i], theta);
         }
         if warm {
-            // The scratch program is owned by this sweep and only its rhs
-            // ever changes, so the structure-check-free re-entry applies.
-            ctx.optimal_value_rhs_update(shifted)
+            if std::mem::take(&mut **first) {
+                ctx.optimal_value(shifted)
+            } else {
+                // The scratch program is owned by this sweep and only its rhs
+                // ever changes, so the structure-check-free re-entry applies.
+                ctx.optimal_value_rhs_update(shifted)
+            }
         } else {
             Ok(crate::solve(shifted)?.objective_value)
         }
@@ -432,6 +476,32 @@ mod tests {
         let warm = parametric_rhs(&lp, &direction, int(0), int(2)).unwrap();
         let cold = parametric_rhs_cold(&lp, &direction, int(0), int(2)).unwrap();
         assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn external_context_sweep_matches_and_survives_unrelated_history() {
+        // A pooled context that previously solved an unrelated program must
+        // produce the identical value function (the first probe detects the
+        // structure change and cold-restarts), and a second sweep through the
+        // same context warm-starts from the first sweep's basis.
+        let lp = matmul_tiling_lp();
+        let direction: Vec<Rational> = (0..lp.num_constraints())
+            .map(|i| if i == 5 { int(1) } else { int(0) })
+            .collect();
+        let expect = parametric_rhs(&lp, &direction, int(0), int(1)).unwrap();
+
+        let mut ctx = crate::warm::SolverContext::new();
+        let mut unrelated = LinearProgram::maximize(vec![int(1)]);
+        unrelated.add_constraint(Constraint::new(vec![int(1)], Relation::Le, int(5)));
+        ctx.solve(&unrelated).unwrap();
+
+        let first = parametric_rhs_with(&lp, &direction, int(0), int(1), &mut ctx).unwrap();
+        assert_eq!(first, expect);
+        let colds_after_first = ctx.stats().cold_solves;
+        let second = parametric_rhs_with(&lp, &direction, int(0), int(1), &mut ctx).unwrap();
+        assert_eq!(second, expect);
+        // The second sweep never cold-restarts: the retained basis matches.
+        assert_eq!(ctx.stats().cold_solves, colds_after_first);
     }
 
     #[test]

@@ -305,6 +305,79 @@ impl SolverContext {
     }
 }
 
+/// A checkout/return pool of [`SolverContext`]s for batched drivers.
+///
+/// A long-lived analysis session (the `projtile-core` engine) answers many
+/// queries whose sweeps each want a warm context, including from worker
+/// threads of a batched fan-out. Creating a context is cheap, but a *warm*
+/// context — one whose retained tableau matches the family about to be swept
+/// — saves the cold first solve. The pool keeps contexts alive across
+/// queries: [`ContextPool::checkout`] hands out the most recently returned
+/// context (most likely to still be warm for the same program family), and
+/// the [`PooledContext`] guard returns it automatically on drop.
+///
+/// The pool is internally synchronized, so per-worker states of a
+/// `projtile_par::par_map_with` fan-out can check out contexts concurrently.
+/// Reuse is purely a performance property: a structurally incompatible
+/// retained basis cold-restarts transparently (see [`SolverContext::solve`]),
+/// so any context can serve any program.
+#[derive(Default)]
+pub struct ContextPool {
+    free: parking_lot::Mutex<Vec<SolverContext>>,
+}
+
+impl ContextPool {
+    /// Creates an empty pool.
+    pub fn new() -> ContextPool {
+        ContextPool::default()
+    }
+
+    /// Checks out a context (LIFO: the most recently returned, i.e. the most
+    /// likely to be warm). Creates a fresh one when the pool is empty. The
+    /// guard returns the context on drop.
+    pub fn checkout(&self) -> PooledContext<'_> {
+        let ctx = self.free.lock().pop().unwrap_or_default();
+        PooledContext {
+            pool: self,
+            ctx: Some(ctx),
+        }
+    }
+
+    /// Number of contexts currently parked in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.lock().len()
+    }
+}
+
+/// RAII guard for a checked-out [`SolverContext`]; dereferences to the
+/// context and returns it to its [`ContextPool`] on drop.
+pub struct PooledContext<'a> {
+    pool: &'a ContextPool,
+    ctx: Option<SolverContext>,
+}
+
+impl std::ops::Deref for PooledContext<'_> {
+    type Target = SolverContext;
+
+    fn deref(&self) -> &SolverContext {
+        self.ctx.as_ref().expect("context present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledContext<'_> {
+    fn deref_mut(&mut self) -> &mut SolverContext {
+        self.ctx.as_mut().expect("context present until drop")
+    }
+}
+
+impl Drop for PooledContext<'_> {
+    fn drop(&mut self) {
+        if let Some(ctx) = self.ctx.take() {
+            self.pool.free.lock().push(ctx);
+        }
+    }
+}
+
 /// `true` iff the two programs differ at most in constraint right-hand sides,
 /// so a basis of one is dual feasible for the other.
 fn structurally_compatible(a: &LinearProgram, b: &LinearProgram) -> bool {
@@ -465,6 +538,36 @@ mod tests {
         // And through the parametric sweep built on them.
         let res = crate::parametric::parametric_rhs(&ragged, &[int(1)], int(0), int(1));
         assert!(matches!(res, Err(LpError::Malformed(_))));
+    }
+
+    #[test]
+    fn context_pool_reuses_warm_contexts() {
+        let pool = ContextPool::new();
+        let mut lp = LinearProgram::maximize(vec![int(3), int(2)]);
+        lp.add_constraint(Constraint::new(vec![int(1), int(1)], Relation::Le, int(4)));
+        lp.add_constraint(Constraint::new(vec![int(1), int(0)], Relation::Le, int(2)));
+        {
+            let mut ctx = pool.checkout();
+            assert_eq!(ctx.solve(&lp).unwrap(), solve_canonical(&lp).unwrap());
+            assert_eq!(ctx.stats().cold_solves, 1);
+        } // returned on drop
+        assert_eq!(pool.idle(), 1);
+        {
+            // The returned context is still warm for the same family.
+            let mut ctx = pool.checkout();
+            lp.constraints[0].rhs = int(6);
+            assert_eq!(ctx.solve(&lp).unwrap(), solve_canonical(&lp).unwrap());
+            let stats = ctx.stats();
+            assert_eq!(stats.cold_solves, 1);
+            assert_eq!(stats.warm_solves, 1);
+        }
+        // Concurrent checkouts get distinct contexts.
+        let a = pool.checkout();
+        let b = pool.checkout();
+        assert_eq!(pool.idle(), 0);
+        drop(a);
+        drop(b);
+        assert_eq!(pool.idle(), 2);
     }
 
     #[test]

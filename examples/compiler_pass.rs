@@ -5,12 +5,16 @@
 //! The paper's intended application is automatic blocking of projective loop
 //! nests inside a compiler: given any nest the front-end hands us — including
 //! shapes nobody has hand-optimized — emit tile sizes that are provably
-//! communication-optimal for the target cache, plus the piecewise-linear
-//! description of how the optimum moves as a problem dimension changes
-//! (useful for JIT-style specialization decisions).
+//! communication-optimal for the target cache. A compiler pass is exactly the
+//! repeated-query workload the [`Engine`] session exists for: one long-lived
+//! engine serves every nest of the compilation unit, repeated shapes hit the
+//! cache (even when a later IR pass re-declares a nest with loops or arrays
+//! permuted — interning is by canonical signature), and a JIT probing many
+//! candidate specializations of one dimension reads each answer off a
+//! memoized slice of the §7 value function instead of re-solving LPs.
 
 use projtile::arith::Rational;
-use projtile::core::{check_tightness, optimal_tiling, parametric};
+use projtile::core::engine::{AnalysisResult, Engine, Query};
 use projtile::loopnest::LoopNest;
 
 /// What the "compiler" emits for one loop nest.
@@ -20,13 +24,26 @@ struct BlockingDecision {
     tight: bool,
 }
 
-/// The pass: analyze a nest for a given cache and emit a blocking decision.
-fn block_loop_nest(nest: &LoopNest, cache_words: u64) -> BlockingDecision {
-    let tiling = optimal_tiling(nest, cache_words);
-    let report = check_tightness(nest, cache_words);
+/// The pass: analyze a nest for a given cache through the session engine.
+fn block_loop_nest(engine: &mut Engine, nest: &LoopNest, cache_words: u64) -> BlockingDecision {
+    let queries = vec![
+        Query::OptimalTiling {
+            cache_size: cache_words,
+        },
+        Query::Tightness {
+            cache_size: cache_words,
+        },
+    ];
+    let mut answers = engine.analyze_batch(nest, &queries).into_iter();
+    let Some(Ok(AnalysisResult::OptimalTiling(tiling))) = answers.next() else {
+        unreachable!("tiling query answers with a tiling")
+    };
+    let Some(Ok(AnalysisResult::Tightness(report))) = answers.next() else {
+        unreachable!("tightness query answers with a report")
+    };
     BlockingDecision {
-        tile: tiling.tile_dims().to_vec(),
-        exponent: report.tiling_exponent.clone(),
+        tile: tiling.tile_dims,
+        exponent: report.tiling_exponent,
         tight: report.tight,
     }
 }
@@ -81,10 +98,13 @@ fn main() {
         ),
     ];
 
+    // One engine for the whole compilation unit.
+    let mut engine = Engine::new();
+
     println!("automatic blocking decisions for a {cache_words}-word cache");
     println!();
     for (name, nest) in &programs {
-        let decision = block_loop_nest(nest, cache_words);
+        let decision = block_loop_nest(&mut engine, nest, cache_words);
         println!("{name}");
         println!("  nest        : {nest}");
         println!("  tile sizes  : {:?}", decision.tile);
@@ -95,8 +115,15 @@ fn main() {
 
         // How does the optimum move if the first loop's bound changes? A JIT
         // can use the breakpoints to decide when re-blocking is worthwhile.
-        let vf = parametric::exponent_vs_beta(nest, cache_words, 0, 1, 1 << 12)
-            .expect("parametric analysis");
+        let slice = Query::Slice {
+            cache_size: cache_words,
+            axis: 0,
+            lo_bound: 1,
+            hi_bound: 1 << 12,
+        };
+        let Ok(AnalysisResult::Slice(vf)) = engine.analyze(nest, &slice) else {
+            unreachable!("slice query answers with a value function")
+        };
         let breakpoints: Vec<String> = vf
             .breakpoints
             .iter()
@@ -110,4 +137,50 @@ fn main() {
         );
         println!();
     }
+
+    // A JIT specializer probing candidate batch sizes for the first program:
+    // the first probe sweeps the memoized slice once, every further probe is
+    // a table lookup.
+    let (name, gemm) = &programs[0];
+    println!("JIT specialization probe ({name}, batch axis):");
+    for batch in [1u64, 2, 4, 8, 16, 64, 256, 1024] {
+        let k = engine
+            .exponent_at_bound(gemm, cache_words, 0, batch)
+            .expect("valid probe");
+        println!("  batch {batch:>5} -> optimal tile volume M^{k}");
+    }
+    println!();
+
+    // Re-declaring a nest with permuted loops and arrays (as a later IR pass
+    // might) hits the same interned entry.
+    let shuffled = LoopNest::builder()
+        .index("k", 256)
+        .index("b", 4)
+        .index("j", 256)
+        .index("i", 256)
+        .array("B", ["b", "j", "k"])
+        .array("C", ["b", "i", "k"])
+        .array("A", ["b", "i", "j"])
+        .build()
+        .unwrap();
+    let _ = engine.analyze(
+        &shuffled,
+        &Query::OptimalTiling {
+            cache_size: cache_words,
+        },
+    );
+    let stats = engine.stats();
+    println!(
+        "session totals: {} nests analyzed, {} distinct signatures interned, \
+         {} queries ({} cache hits)",
+        programs.len() + 1,
+        stats.interned,
+        stats.queries,
+        stats.hits
+    );
+    assert_eq!(
+        stats.interned as usize,
+        programs.len(),
+        "the shuffled re-declaration shares its original entry"
+    );
 }

@@ -8,9 +8,11 @@
 //! LP solver re-derives it mechanically: it decomposes the value surface of
 //! the tiling LP (5.1) over the box `β ∈ [0, 1]³` into critical regions, one
 //! affine piece per optimal basis, each valid on an exactly-described
-//! rational polyhedron, and checks Theorem 3 in every region.
+//! rational polyhedron, and checks Theorem 3 in every region. The surface is
+//! requested through an [`Engine`] session, which memoizes it keyed by
+//! `(axes, box)` — the second request at the end is a pure cache hit.
 
-use projtile::core::parametric::exponent_surface;
+use projtile::core::engine::Engine;
 use projtile::core::tightness::surface_tightness;
 use projtile::loopnest::builders;
 
@@ -22,8 +24,10 @@ fn main() {
     println!();
 
     // --- The full (β1, β2, β3) value surface --------------------------------
-    let surface =
-        exponent_surface(&nest, m, &[0, 1, 2], &[1, 1, 1], &[m, m, m]).expect("surface solves");
+    let mut engine = Engine::new();
+    let surface = engine
+        .exponent_surface(&nest, m, &[0, 1, 2], &[1, 1, 1], &[m, m, m])
+        .expect("surface solves");
     println!(
         "critical regions over β ∈ [0,1]³ : {}",
         surface.num_regions()
@@ -73,5 +77,19 @@ fn main() {
         "all {} regions tight: {}",
         report.regions.len(),
         report.all_tight
+    );
+    println!();
+
+    // --- The session memo ---------------------------------------------------
+    // Asking for the same surface again costs nothing: the engine answers
+    // from its (axes, box)-keyed memo.
+    let again = engine
+        .exponent_surface(&nest, m, &[0, 1, 2], &[1, 1, 1], &[m, m, m])
+        .expect("memoized surface");
+    assert_eq!(again.num_regions(), surface.num_regions());
+    let stats = engine.stats();
+    println!(
+        "engine session: {} surface queries, {} answered from cache",
+        stats.queries, stats.hits
     );
 }

@@ -5,10 +5,14 @@
 //! Sweeps the inner dimension `L3` of a matrix multiplication from 1
 //! (matrix-vector) up past `√M`, printing for each point the classical lower
 //! bound, the arbitrary-bound lower bound, the optimal tile shape, and the
-//! α-family of alternative optimal tiles where one exists.
+//! α-family of alternative optimal tiles where one exists. The sweep runs
+//! through one [`Engine`] session: each `L3` is a distinct nest (its own
+//! interned signature), and per nest the `LowerBound` + `OptimalTiling`
+//! queries are answered as one batch over shared artifacts.
 
 use projtile::arith::ratio;
-use projtile::core::{alpha, communication_lower_bound, hbl, optimal_tiling};
+use projtile::core::engine::{AnalysisResult, Engine, Query};
+use projtile::core::{alpha, hbl};
 use projtile::loopnest::builders;
 
 fn main() {
@@ -23,12 +27,24 @@ fn main() {
     );
     println!("{}", "-".repeat(95));
 
+    let mut engine = Engine::new();
+    let queries = vec![
+        Query::LowerBound { cache_size: m },
+        Query::OptimalTiling { cache_size: m },
+    ];
+
     for log_l3 in 0..=7u32 {
         let l3 = 1u64 << log_l3;
         let nest = builders::matmul(l1, l2, l3);
         let classical = hbl::large_bound_lower_bound(&nest, m);
-        let bound = communication_lower_bound(&nest, m);
-        let tiling = optimal_tiling(&nest, m);
+
+        let mut answers = engine.analyze_batch(&nest, &queries).into_iter();
+        let Some(Ok(AnalysisResult::LowerBound(bound))) = answers.next() else {
+            unreachable!("lower-bound query answers with a lower bound")
+        };
+        let Some(Ok(AnalysisResult::OptimalTiling(tiling))) = answers.next() else {
+            unreachable!("tiling query answers with a tiling")
+        };
 
         // The α-family along the first axis: another optimal tile shape, if
         // the optimum is degenerate (it is whenever L3 < sqrt(M)).
@@ -45,12 +61,17 @@ fn main() {
             l3,
             classical,
             bound.words,
-            format!("{:?}", tiling.tile_dims()),
+            format!("{:?}", tiling.tile_dims),
             alt
         );
     }
 
+    let stats = engine.stats();
     println!();
+    println!(
+        "engine session: {} signatures interned, {} queries answered",
+        stats.interned, stats.queries
+    );
     println!(
         "Below L3 = 32 the classical bound (ops / sqrt(M)) keeps shrinking with L3,\n\
          but the true requirement is reading the {l1}x{l2} matrix: the arbitrary-bound\n\

@@ -6,11 +6,13 @@
 //! the first list from "fits in cache" to "much larger than cache", printing
 //! the §6.3 closed-form tile size and lower bound, the LP-derived tile, and
 //! the traffic actually measured for the untiled and optimal schedules on a
-//! simulated LRU cache.
+//! simulated LRU cache. Analysis runs through one [`Engine`] session; the
+//! measured comparison reuses each nest's lower bound from the session
+//! instead of recomputing it.
 
 use projtile::core::closed_forms;
-use projtile::core::communication_lower_bound;
-use projtile::exec::{compare_schedules, CachePolicy};
+use projtile::core::engine::{AnalysisResult, Engine, Query};
+use projtile::exec::{compare_schedules_with_bound, CachePolicy};
 use projtile::loopnest::builders;
 
 fn main() {
@@ -26,6 +28,12 @@ fn main() {
     );
     println!("{}", "-".repeat(90));
 
+    let mut engine = Engine::new();
+    let queries = vec![
+        Query::LowerBound { cache_size: m },
+        Query::OptimalTiling { cache_size: m },
+    ];
+
     for log_l1 in [2u32, 4, 6, 8, 10] {
         let l1 = 1u64 << log_l1;
         let nest = builders::nbody(l1, l2);
@@ -35,21 +43,24 @@ fn main() {
         let closed_lb = closed_forms::nbody_lower_bound_words(l1, l2, m);
 
         // General machinery agrees (checked, not assumed).
-        let general = communication_lower_bound(&nest, m);
+        let mut answers = engine.analyze_batch(&nest, &queries).into_iter();
+        let Some(Ok(AnalysisResult::LowerBound(general))) = answers.next() else {
+            unreachable!("lower-bound query answers with a lower bound")
+        };
+        let Some(Ok(AnalysisResult::OptimalTiling(tiling))) = answers.next() else {
+            unreachable!("tiling query answers with a tiling")
+        };
         assert!((general.words - closed_lb).abs() / closed_lb < 1e-9);
 
-        // Measured traffic on the LRU simulator.
-        let cmp = compare_schedules(&nest, m, CachePolicy::Lru);
+        // Measured traffic on the LRU simulator, against the session's bound.
+        let cmp = compare_schedules_with_bound(&nest, m, CachePolicy::Lru, general.words);
 
-        let optimal_dims = projtile::core::optimal_tiling(&nest, m)
-            .tile_dims()
-            .to_vec();
         println!(
             "{:>8} | {:>12} | {:>12.0} | {:>14} | {:>12} | {:>12}",
             l1,
             tile_size,
             closed_lb,
-            format!("{optimal_dims:?}"),
+            format!("{:?}", tiling.tile_dims),
             cmp.optimal().words,
             cmp.untiled().words
         );

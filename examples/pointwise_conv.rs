@@ -4,14 +4,14 @@
 //!
 //! Convolutional networks routinely use pointwise convolutions whose channel
 //! counts are tiny compared to `√M` — exactly the small-bound regime the paper
-//! targets. This example analyses a few MobileNet-style layer shapes: it
-//! prints the lower bound, the optimal tile over (batch, channels-in,
-//! channels-out, width, height), and verifies the §6.2 closed form against the
-//! general LP machinery.
+//! targets. This example analyses a few MobileNet-style layer shapes through
+//! one [`Engine`] session (a batch of typed queries per layer, like an
+//! inference compiler would issue them): it prints the lower bound, the
+//! optimal tile over (batch, channels-in, channels-out, width, height), and
+//! verifies the §6.2 closed form against the engine's answers.
 
-use projtile::core::{
-    check_tightness, communication_lower_bound, contraction, optimal_tiling, solve_tiling_lp,
-};
+use projtile::core::contraction;
+use projtile::core::engine::{AnalysisResult, Engine, Query};
 use projtile::loopnest::builders;
 
 fn main() {
@@ -35,23 +35,36 @@ fn main() {
         (1, 1024, 1024, 1, 1),
     ];
 
+    let mut engine = Engine::new();
+    let queries = vec![
+        Query::LowerBound { cache_size: m },
+        Query::OptimalTiling { cache_size: m },
+        Query::Tightness { cache_size: m },
+    ];
+
     for &(b, c, k, w, h) in shapes {
         let nest = builders::pointwise_conv(b, c, k, w, h);
-        let bound = communication_lower_bound(&nest, m);
-        let tiling = optimal_tiling(&nest, m);
-        let report = check_tightness(&nest, m);
+        let mut answers = engine.analyze_batch(&nest, &queries).into_iter();
+        let Some(Ok(AnalysisResult::LowerBound(bound))) = answers.next() else {
+            unreachable!("lower-bound query answers with a lower bound")
+        };
+        let Some(Ok(AnalysisResult::OptimalTiling(tiling))) = answers.next() else {
+            unreachable!("tiling query answers with a tiling")
+        };
+        let Some(Ok(AnalysisResult::Tightness(report))) = answers.next() else {
+            unreachable!("tightness query answers with a report")
+        };
 
-        // §6.2 closed form must agree with the LP.
+        // §6.2 closed form must agree with the engine's tiling-LP value.
         let closed = contraction::pointwise_conv_exponent(b, c, k, w, h, m);
-        let lp_value = solve_tiling_lp(&nest, m).value;
-        assert_eq!(closed, lp_value, "closed form disagrees with the LP");
+        assert_eq!(closed, tiling.value, "closed form disagrees with the LP");
 
         println!(
             "{:>26} | {:>14.0} | {:>10} | {:>26} | {:>6}",
             format!("({b}, {c}, {k}, {w}, {h})"),
             bound.words,
             bound.exponent.to_string(),
-            format!("{:?}", tiling.tile_dims()),
+            format!("{:?}", tiling.tile_dims),
             report.tight
         );
     }

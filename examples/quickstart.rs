@@ -2,13 +2,16 @@
 //!
 //! Run with `cargo run --example quickstart`.
 //!
-//! This walks the full pipeline of the paper on the §6.1 example:
-//! build the loop nest, compute the classical and arbitrary-bound lower
-//! bounds, derive the optimal rectangular tile, check tightness (Theorem 3),
-//! and finally measure the tiling on a simulated LRU cache.
+//! This walks the full pipeline of the paper on the §6.1 example through the
+//! session API: open an [`Engine`], batch the typed queries (lower bound,
+//! optimal tile, Theorem-3 tightness) against the nest, and finally measure
+//! the tiling on a simulated LRU cache. The engine memoizes everything it
+//! computes — the batch shares one set of artifacts, and any repeated query
+//! is a pure cache lookup.
 
-use projtile::core::{check_tightness, communication_lower_bound, hbl, optimal_tiling};
-use projtile::exec::{compare_schedules, CachePolicy};
+use projtile::core::engine::{AnalysisResult, Engine, Query};
+use projtile::core::hbl;
+use projtile::exec::{compare_schedules_with_bound, CachePolicy};
 use projtile::loopnest::builders;
 
 fn main() {
@@ -22,9 +25,32 @@ fn main() {
     println!("cache size M : {cache_words} words");
     println!();
 
+    // --- One session, one batch of typed queries ---------------------------
+    let mut engine = Engine::new();
+    let queries = vec![
+        Query::LowerBound {
+            cache_size: cache_words,
+        },
+        Query::OptimalTiling {
+            cache_size: cache_words,
+        },
+        Query::Tightness {
+            cache_size: cache_words,
+        },
+    ];
+    let mut answers = engine.analyze_batch(&nest, &queries).into_iter();
+    let Some(Ok(AnalysisResult::LowerBound(bound))) = answers.next() else {
+        unreachable!("lower-bound query answers with a lower bound")
+    };
+    let Some(Ok(AnalysisResult::OptimalTiling(tiling))) = answers.next() else {
+        unreachable!("tiling query answers with a tiling")
+    };
+    let Some(Ok(AnalysisResult::Tightness(report))) = answers.next() else {
+        unreachable!("tightness query answers with a report")
+    };
+
     // --- Lower bounds -------------------------------------------------------
     let classical = hbl::large_bound_lower_bound(&nest, cache_words);
-    let bound = communication_lower_bound(&nest, cache_words);
     println!("classical lower bound (sec. 3)  : {classical:.0} words");
     println!(
         "arbitrary-bound lower bound (thm 2): {:.0} words  (exponent k = {})",
@@ -37,16 +63,14 @@ fn main() {
     println!();
 
     // --- Optimal tiling -----------------------------------------------------
-    let tiling = optimal_tiling(&nest, cache_words);
-    println!("optimal tile (lp 5.1)           : {:?}", tiling.tile_dims());
-    let model = tiling.communication_model();
+    println!("optimal tile (lp 5.1)           : {:?}", tiling.tile_dims);
     println!(
-        "  tiles = {}, words moved (analytic) = {}, ratio to lower bound = {:.2}",
-        model.num_tiles, model.total_words, model.ratio_to_lower_bound
+        "  tile volume M^{} = {} iterations",
+        tiling.value,
+        tiling.tile_dims.iter().product::<u64>()
     );
 
     // --- Theorem 3: tightness ----------------------------------------------
-    let report = check_tightness(&nest, cache_words);
     println!(
         "tightness (thm 3)               : tiling exponent {} == bound exponent {} -> {}",
         report.tiling_exponent,
@@ -59,9 +83,19 @@ fn main() {
     );
     println!();
 
+    // The batch warmed the whole cache entry: a repeat of any query is now a
+    // pure lookup.
+    let stats = engine.stats();
+    println!(
+        "engine session: {} queries, {} cache hits, {} interned nest(s)",
+        stats.queries, stats.hits, stats.interned
+    );
+    println!();
+
     // --- Measured on the cache simulator ------------------------------------
+    // The engine already holds the lower bound; the simulator reuses it.
     println!("simulated LRU cache ({cache_words} words):");
-    let cmp = compare_schedules(&nest, cache_words, CachePolicy::Lru);
+    let cmp = compare_schedules_with_bound(&nest, cache_words, CachePolicy::Lru, bound.words);
     println!(
         "  lower bound          : {:>12.0} words",
         cmp.lower_bound_words

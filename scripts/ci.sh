@@ -30,6 +30,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo build --examples (engine-session example programs)"
+cargo build --examples
+
 echo "==> cargo test --doc (runnable documentation examples)"
 cargo test -q --doc
 
@@ -50,6 +53,8 @@ if [ "$bench_smoke" = 1 ]; then
     grep -q "subset_enumeration_cold" "$smoke_out"
     grep -q "parametric/exponent_vs_beta" "$smoke_out"
     grep -q "parametric/exponent_surface" "$smoke_out"
+    grep -q "engine/cold" "$smoke_out"
+    grep -q "engine/cache_hit" "$smoke_out"
     rm -f "$smoke_out"
 fi
 

@@ -1,21 +1,725 @@
-//! Minimal `serde` shim: no-op `Serialize` / `Deserialize` derive macros.
+//! In-workspace `serde` shim: a small, real serialization framework.
 //!
-//! The build environment has no access to crates.io. The workspace only uses
-//! serde as `#[derive(Serialize, Deserialize)]` markers on plain data types —
-//! nothing consumes the generated impls (there is no serde_json or similar in
-//! the dependency set) — so the derives expand to nothing. Swapping this shim
-//! for the real `serde` crate requires no source changes.
+//! The build environment has no access to crates.io, so this crate stands in
+//! for `serde` (+ `serde_json`). Until PR 4 the shim's derives expanded to
+//! nothing; the engine's wire-ready results need actual serialization, so the
+//! shim now provides:
+//!
+//! * a JSON-shaped tree model ([`Value`]) with an exact printer and parser
+//!   ([`json`]);
+//! * [`Serialize`] / [`Deserialize`] traits over that model, implemented for
+//!   the primitive and container types the workspace uses;
+//! * working derive macros (re-exported from the `serde_derive` shim crate)
+//!   for structs and externally-tagged enums.
+//!
+//! # Relation to real serde
+//!
+//! The derive attribute surface (`#[derive(Serialize, Deserialize)]`) and the
+//! JSON wire format (field names as keys, externally tagged enums, newtype
+//! transparency) match real serde's defaults, so documents produced here are
+//! what `serde_json` would produce for the same types. The *trait shape* is
+//! simplified: instead of serde's visitor architecture, `Serialize` produces
+//! a [`Value`] tree and `Deserialize` consumes one. Swapping in the real
+//! crates would keep every `#[derive(...)]` line unchanged; only direct
+//! callers of [`json`] / manual trait impls (the `Rational` and engine wire
+//! code) would need the mechanical rewrite to `serde_json` idioms.
+//!
+//! # Exactness
+//!
+//! `f64` values are printed with Rust's shortest-round-trip formatting and
+//! re-parsed bit-exactly (non-finite values are encoded as tagged strings,
+//! which plain JSON cannot represent); integers are carried as `i128`; exact
+//! rationals serialize as `"p/q"` strings on the `projtile-arith` side. A
+//! serialize → print → parse → deserialize round trip is therefore lossless
+//! for every type in the workspace, which the engine's wire tests pin.
 
-use proc_macro::TokenStream;
+use std::fmt;
 
-/// No-op stand-in for `serde::Serialize`'s derive macro.
-#[proc_macro_derive(Serialize)]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// A JSON number without fractional or exponent part, within `i128`.
+    Int(i128),
+    /// Any other JSON number.
+    Float(f64),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object; insertion order is preserved when printing.
+    Object(Vec<(String, Value)>),
 }
 
-/// No-op stand-in for `serde::Deserialize`'s derive macro.
-#[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+impl Value {
+    /// Looks up a field of an object value.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::custom(format!("missing field `{name}`"))),
+            other => Err(Error::custom(format!(
+                "expected an object with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Interprets the value as an array of exactly `len` elements (used by
+    /// derived impls for tuple structs and tuple enum variants).
+    pub fn array_of(&self, len: usize, what: &str) -> Result<&[Value], Error> {
+        match self {
+            Value::Array(items) if items.len() == len => Ok(items),
+            Value::Array(items) => Err(Error::custom(format!(
+                "expected {len} elements for {what}, found {}",
+                items.len()
+            ))),
+            other => Err(Error::custom(format!(
+                "expected an array for {what}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// A short human-readable name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Int(_) | Value::Float(_) => "a number",
+            Value::String(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        }
+    }
+}
+
+/// A (de)serialization error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the document tree.
+pub trait Serialize {
+    /// Serializes `self` as a [`Value`].
+    fn serialize(&self) -> Value;
+}
+
+/// Conversion from the document tree.
+pub trait Deserialize: Sized {
+    /// Deserializes a value of `Self` from `v`.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Implementations for primitives and containers
+// ---------------------------------------------------------------------------
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i).map_err(|_| {
+                        Error::custom(format!(
+                            "{i} out of range for {}", stringify!($t)
+                        ))
+                    }),
+                    other => Err(Error::custom(format!(
+                        "expected an integer, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected a boolean, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            // Non-finite floats are encoded as tagged strings (see `json`).
+            Value::String(s) => match s.as_str() {
+                "NaN" => Ok(f64::NAN),
+                "inf" => Ok(f64::INFINITY),
+                "-inf" => Ok(f64::NEG_INFINITY),
+                other => Err(Error::custom(format!("expected a number, found {other:?}"))),
+            },
+            other => Err(Error::custom(format!(
+                "expected a number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected a string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::custom(format!(
+                "expected an array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(t) => t.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items = v.array_of(2, "a pair")?;
+        Ok((A::deserialize(&items[0])?, B::deserialize(&items[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items = v.array_of(3, "a triple")?;
+        Ok((
+            A::deserialize(&items[0])?,
+            B::deserialize(&items[1])?,
+            C::deserialize(&items[2])?,
+        ))
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// JSON printing and parsing for [`Value`] trees (the `serde_json` corner of
+/// the shim).
+pub mod json {
+    use super::{Deserialize, Error, Serialize, Value};
+
+    /// Serializes `t` and prints it as compact JSON.
+    pub fn to_string<T: Serialize + ?Sized>(t: &T) -> String {
+        let mut out = String::new();
+        write_value(&t.serialize(), &mut out);
+        out
+    }
+
+    /// Serializes `t` into a [`Value`] tree.
+    pub fn to_value<T: Serialize + ?Sized>(t: &T) -> Value {
+        t.serialize()
+    }
+
+    /// Deserializes a `T` from a [`Value`] tree.
+    pub fn from_value<T: Deserialize>(v: &Value) -> Result<T, Error> {
+        T::deserialize(v)
+    }
+
+    /// Parses JSON text and deserializes a `T` from it.
+    pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+        T::deserialize(&parse(s)?)
+    }
+
+    /// Parses JSON text into a [`Value`] tree.
+    pub fn parse(s: &str) -> Result<Value, Error> {
+        let bytes = s.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(Error::custom(format!(
+                "trailing characters after JSON value at byte {pos}"
+            )));
+        }
+        Ok(value)
+    }
+
+    fn write_value(v: &Value, out: &mut String) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Float(f) => {
+                if f.is_finite() {
+                    // Rust's shortest-round-trip formatting: parsing the
+                    // printed decimal recovers the exact bit pattern.
+                    out.push_str(&format!("{f}"));
+                    if f.fract() == 0.0 && !format!("{f}").contains(['e', 'E', '.']) {
+                        out.push_str(".0");
+                    }
+                } else if f.is_nan() {
+                    out.push_str("\"NaN\"");
+                } else if *f > 0.0 {
+                    out.push_str("\"inf\"");
+                } else {
+                    out.push_str("\"-inf\"");
+                }
+            }
+            Value::String(s) => write_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_value(item, out);
+                }
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    write_value(v, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_string(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                '\u{08}' => out.push_str("\\b"),
+                '\u{0C}' => out.push_str("\\f"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+        if bytes[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(())
+        } else {
+            Err(Error::custom(format!("expected `{lit}` at byte {}", *pos)))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            None => Err(Error::custom("unexpected end of JSON input")),
+            Some(b'n') => expect(bytes, pos, "null").map(|()| Value::Null),
+            Some(b't') => expect(bytes, pos, "true").map(|()| Value::Bool(true)),
+            Some(b'f') => expect(bytes, pos, "false").map(|()| Value::Bool(false)),
+            Some(b'"') => parse_string(bytes, pos).map(Value::String),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(parse_value(bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => {
+                            return Err(Error::custom(format!(
+                                "expected `,` or `]` at byte {pos}",
+                                pos = *pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut entries = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let key = parse_string(bytes, pos)?;
+                    skip_ws(bytes, pos);
+                    expect(bytes, pos, ":")?;
+                    let value = parse_value(bytes, pos)?;
+                    entries.push((key, value));
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Object(entries));
+                        }
+                        _ => {
+                            return Err(Error::custom(format!(
+                                "expected `,` or `}}` at byte {pos}",
+                                pos = *pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(_) => parse_number(bytes, pos),
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(Error::custom(format!("expected a string at byte {}", *pos)));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err(Error::custom("unterminated string")),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'u') => {
+                            let hi = parse_hex4(bytes, *pos + 1)?;
+                            *pos += 4;
+                            // Combine surrogate pairs; lone surrogates error.
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                if bytes.get(*pos + 1) == Some(&b'\\')
+                                    && bytes.get(*pos + 2) == Some(&b'u')
+                                {
+                                    let lo = parse_hex4(bytes, *pos + 3)?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(Error::custom(
+                                            "high surrogate not followed by a low surrogate",
+                                        ));
+                                    }
+                                    *pos += 6;
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(Error::custom("lone surrogate in string"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("invalid \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(Error::custom("invalid escape sequence")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let rest = std::str::from_utf8(&bytes[*pos..])
+                        .map_err(|_| Error::custom("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty remainder");
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(bytes: &[u8], pos: usize) -> Result<u32, Error> {
+        if pos + 4 > bytes.len() {
+            return Err(Error::custom("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&bytes[pos..pos + 4])
+            .map_err(|_| Error::custom("invalid \\u escape"))?;
+        u32::from_str_radix(s, 16).map_err(|_| Error::custom("invalid \\u escape"))
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        let start = *pos;
+        if bytes.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(&b) = bytes.get(*pos) {
+            match b {
+                b'0'..=b'9' => *pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    *pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&bytes[start..*pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(Error::custom(format!("expected a number at byte {start}")));
+        }
+        if !fractional {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::custom(format!("invalid number literal `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(json::to_string(&42u64), "42");
+        assert_eq!(json::from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(json::to_string(&true), "true");
+        assert!(!json::from_str::<bool>("false").unwrap());
+        assert_eq!(json::to_string(&"a\"b\\c\n".to_string()), r#""a\"b\\c\n""#);
+        assert_eq!(
+            json::from_str::<String>(r#""a\"b\\c\n""#).unwrap(),
+            "a\"b\\c\n"
+        );
+        assert_eq!(json::to_string(&vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(json::from_str::<Vec<u32>>("[1, 2, 3]").unwrap(), [1, 2, 3]);
+        assert_eq!(json::to_string(&Option::<u8>::None), "null");
+        assert_eq!(json::from_str::<Option<u8>>("7").unwrap(), Some(7));
+        assert_eq!(json::to_string(&(1u8, "x".to_string())), r#"[1,"x"]"#);
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for f in [
+            0.0f64,
+            -0.0,
+            1.5,
+            1.0 / 3.0,
+            6.02214076e23,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            262144.0,
+        ] {
+            let text = json::to_string(&f);
+            let back: f64 = json::from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{f} via {text}");
+        }
+        // Non-finite values use the tagged-string encoding.
+        assert_eq!(json::to_string(&f64::INFINITY), "\"inf\"");
+        assert!(json::from_str::<f64>("\"NaN\"").unwrap().is_nan());
+        assert_eq!(
+            json::from_str::<f64>("\"-inf\"").unwrap(),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn nested_values_parse() {
+        let v = json::parse(r#"{"a": [1, 2.5, null], "b": {"c": "d"}}"#).unwrap();
+        assert_eq!(v.field("a").unwrap().array_of(3, "a").unwrap().len(), 3);
+        assert_eq!(
+            v.field("b").unwrap().field("c").unwrap(),
+            &Value::String("d".into())
+        );
+        assert!(v.field("missing").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(
+            json::from_str::<String>(r#""\u00e9\ud83d\ude00""#).unwrap(),
+            "é😀"
+        );
+        let printed = json::to_string(&"control\u{01}".to_string());
+        assert_eq!(printed, r#""control\u0001""#);
+        assert_eq!(json::from_str::<String>(&printed).unwrap(), "control\u{01}");
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        assert!(json::parse("").is_err());
+        assert!(json::parse("[1, 2").is_err());
+        assert!(json::parse("{\"a\" 1}").is_err());
+        assert!(json::parse("12 34").is_err());
+        assert!(json::parse("\"lone \\ud800\"").is_err());
+        // A high surrogate followed by a non-low-surrogate escape must be a
+        // parse error, not a panic (regression: u32 underflow).
+        assert!(json::parse("\"\\ud800\\u0041\"").is_err());
+        assert!(json::parse("\"\\ud800\\ud800\"").is_err());
+        assert!(json::from_str::<u8>("300").is_err());
+        assert!(json::from_str::<bool>("\"yes\"").is_err());
+    }
+
+    #[test]
+    fn big_integers_fall_back_to_float() {
+        // A 301-digit integer (Rust prints huge floats without an exponent)
+        // exceeds i128 and is carried as f64, exactly as printed.
+        let text = json::to_string(&1e300f64);
+        let v: f64 = json::from_str(&text).unwrap();
+        assert_eq!(v, 1e300);
+    }
 }

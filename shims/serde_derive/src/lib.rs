@@ -1,0 +1,396 @@
+//! Derive macros for the in-workspace `serde` shim.
+//!
+//! Unlike the pre-PR-4 shim (whose derives expanded to nothing), these macros
+//! generate **working** `serde::Serialize` / `serde::Deserialize` impls over
+//! the shim's [`Value`] tree model, so derived types round-trip through
+//! `serde::json`. The build container has no crates.io access, hence no
+//! `syn`/`quote`; the input item is parsed directly from its token stream and
+//! the impl is emitted as source text. Supported shapes — everything this
+//! workspace derives on:
+//!
+//! * structs with named fields (serialized as a JSON object keyed by field
+//!   name);
+//! * tuple structs (one field: the inner value, i.e. newtype transparency;
+//!   several: a JSON array);
+//! * unit structs (JSON `null`);
+//! * enums, externally tagged like real serde: unit variants serialize as
+//!   `"Variant"`, newtype/tuple variants as `{"Variant": payload}`, struct
+//!   variants as `{"Variant": {..fields..}}`.
+//!
+//! Generic items are rejected with a compile error (nothing in the workspace
+//! derives serde on a generic type). Field and variant attributes are skipped
+//! verbatim, so doc comments are fine; `#[serde(...)]` customization is not
+//! implemented.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the shim's tree-model flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives `serde::Deserialize` (the shim's tree-model flavor).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let src = if serialize {
+        gen_serialize(&item)
+    } else {
+        gen_deserialize(&item)
+    };
+    src.parse().expect("generated impl parses")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg)
+        .parse()
+        .expect("error literal parses")
+}
+
+// ---------------------------------------------------------------------------
+// Input model & parser
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips leading attributes (`#[...]`) and a visibility modifier (`pub`,
+/// optionally followed by a restriction group) starting at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => match tokens.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => i += 2,
+                _ => return i,
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits a token sequence on top-level commas, tracking `<...>` nesting so
+/// commas inside generic argument lists (e.g. `Vec<(A, B)>`, `HashMap<K, V>`)
+/// do not split. Delimited groups are atomic tokens, so their contents never
+/// interfere.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for seg in split_top_level_commas(group_tokens) {
+        let i = skip_attrs_and_vis(&seg, 0);
+        match seg.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            Some(other) => return Err(format!("unexpected token in field list: `{other}`")),
+            None => return Err("empty field in field list".into()),
+        }
+    }
+    Ok(names)
+}
+
+fn parse_fields_group(g: &proc_macro::Group) -> Result<Fields, String> {
+    let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+    match g.delimiter() {
+        Delimiter::Brace => Ok(Fields::Named(parse_named_fields(&tokens)?)),
+        Delimiter::Parenthesis => Ok(Fields::Tuple(split_top_level_commas(&tokens).len())),
+        _ => Err("unexpected delimiter in item body".into()),
+    }
+}
+
+fn parse_variants(group_tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for seg in split_top_level_commas(group_tokens) {
+        let i = skip_attrs_and_vis(&seg, 0);
+        let name = match seg.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("unexpected token in enum body: `{other}`")),
+            None => return Err("empty variant in enum body".into()),
+        };
+        let fields = match seg.get(i + 1) {
+            Some(TokenTree::Group(g)) => parse_fields_group(g)?,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "variant `{name}`: explicit discriminants are not supported"
+                ))
+            }
+            Some(other) => return Err(format!("variant `{name}`: unexpected token `{other}`")),
+            None => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        _ => return Err("serde derives support only structs and enums".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err(format!("expected a name after `{kind}`")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "`{name}`: the serde shim derives do not support generic types"
+            ));
+        }
+    }
+    if kind == "enum" {
+        let Some(TokenTree::Group(g)) = tokens.get(i) else {
+            return Err(format!("enum `{name}`: expected a brace-delimited body"));
+        };
+        let body: Vec<TokenTree> = g.stream().into_iter().collect();
+        return Ok(Item::Enum {
+            name,
+            variants: parse_variants(&body)?,
+        });
+    }
+    // Struct: brace group (named), paren group (tuple, then `;`), or `;`.
+    let fields = match tokens.get(i) {
+        Some(TokenTree::Group(g)) => parse_fields_group(g)?,
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        // `struct S where ...` is not used in this workspace.
+        _ => return Err(format!("struct `{name}`: unsupported body shape")),
+    };
+    Ok(Item::Struct { name, fields })
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text, parsed back into a TokenStream)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let mut s = String::from(
+                        "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                    );
+                    for f in names {
+                        s.push_str(&format!(
+                            "__fields.push(({f:?}.to_string(), ::serde::Serialize::serialize(&self.{f})));\n"
+                        ));
+                    }
+                    s.push_str("::serde::Value::Object(__fields)");
+                    s
+                }
+                Fields::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::serialize(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "#[automatically_derived]\n#[allow(clippy::all)]\nimpl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String({vname:?}.to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Serialize::serialize(__f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fnames) => {
+                        let binds = fnames.join(", ");
+                        let mut inner = String::from(
+                            "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fnames {
+                            inner.push_str(&format!(
+                                "__fields.push(({f:?}.to_string(), ::serde::Serialize::serialize({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![({vname:?}.to_string(), {{ {inner} ::serde::Value::Object(__fields) }})]),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\n#[allow(clippy::all)]\nimpl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: ::serde::Deserialize::deserialize(__v.field({f:?})?)?")
+                        })
+                        .collect();
+                    format!(
+                        "::std::result::Result::Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::deserialize(&__items[{k}])?"))
+                        .collect();
+                    format!(
+                        "let __items = __v.array_of({n}, {name:?})?;\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Unit => format!(
+                    "match __v {{\n\
+                     ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(format!(\"expected null for unit struct {name}\"))),\n\
+                     }}"
+                ),
+            };
+            format!(
+                "#[automatically_derived]\n#[allow(clippy::all)]\nimpl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Fields::Tuple(1) => payload_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::deserialize(__payload)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::deserialize(&__items[{k}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "{vname:?} => {{\nlet __items = __payload.array_of({n}, {vname:?})?;\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n}},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    Fields::Named(fnames) => {
+                        let inits: Vec<String> = fnames
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::deserialize(__payload.field({f:?})?)?"
+                                )
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\n#[allow(clippy::all)]\nimpl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown unit variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__entries[0];\n\
+                 match __tag.as_str() {{\n{payload_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(format!(\"expected a {name} enum value\"))),\n\
+                 }}\n}}\n}}\n"
+            )
+        }
+    }
+}

@@ -11,7 +11,9 @@
 //! * [`loopnest`] — the projective loop-nest IR and the paper's kernels;
 //! * [`cachesim`] — LRU / ideal / set-associative word-granularity caches;
 //! * [`core`] — lower bounds (Theorem 2), optimal tilings (LP 5.1), tightness
-//!   (Theorem 3), closed forms (§6), and parametric analysis (§7);
+//!   (Theorem 3), closed forms (§6), parametric analysis (§7), and the
+//!   [`core::engine`] session API (canonical nest interning, cross-query
+//!   artifact reuse, batched typed queries) for repeated-query traffic;
 //! * [`exec`] — schedules, trace generation, and measured communication;
 //! * [`par`] — small crossbeam-based data-parallel helpers.
 //!
@@ -33,8 +35,32 @@
 //! let tiling = instance.optimal_tiling();
 //! assert_eq!(tiling.tile_dims().len(), 3);
 //!
-//! // Theorem 3: tightness, checked exactly.
+//! // Theorem 3: tightness, checked exactly. The instance is backed by an
+//! // engine session, so this reuses the artifacts of the calls above.
 //! assert!(instance.check_tightness().tight);
+//! ```
+//!
+//! For repeated-query traffic (a compiler pass, a JIT, a service), hold a
+//! [`core::engine::Engine`] directly and feed it typed
+//! [`core::engine::Query`] values — one at a time or as a batch:
+//!
+//! ```
+//! use projtile::core::engine::{AnalysisResult, Engine, Query};
+//! use projtile::loopnest::builders;
+//!
+//! let mut engine = Engine::new();
+//! let nest = builders::matmul(512, 512, 4);
+//! let answers = engine.analyze_batch(
+//!     &nest,
+//!     &[
+//!         Query::LowerBound { cache_size: 1024 },
+//!         Query::Tightness { cache_size: 1024 },
+//!     ],
+//! );
+//! assert!(matches!(
+//!     answers[0],
+//!     Ok(AnalysisResult::LowerBound(_))
+//! ));
 //! ```
 
 #![forbid(unsafe_code)]
