@@ -256,6 +256,95 @@ pub fn default_workloads() -> Vec<Workload> {
         }),
     });
 
+    // Service-layer workloads (PR 5).
+    //
+    // engine/concurrent: four real threads per iteration hammering one
+    // warmed SharedEngine with the same tightness query — every answer is a
+    // shard read-lock hit served through the lock-free peek path. The
+    // measured time includes the per-iteration thread fan-out cost, which
+    // is the realistic unit of a concurrent serving workload.
+    let shared = projtile_core::engine::SharedEngine::new();
+    shared
+        .analyze(&tightness_nest, &tightness_query)
+        .expect("valid query");
+    let n = tightness_nest.clone();
+    let q = tightness_query.clone();
+    workloads.push(Workload {
+        name: "engine/concurrent/tightness_hits_x4/seed0".to_string(),
+        run: Box::new(move || {
+            let results =
+                projtile_par::fan_out(4, |_| shared.analyze(&n, &q).expect("valid query"));
+            std::hint::black_box(results);
+        }),
+    });
+
+    // engine/evicted_rewarm: the results budget holds the tightness
+    // report's components plus ONE of {report, filler}, so each iteration
+    // (1) re-answers the tightness query by recomposing the previously
+    // evicted report from its surviving components (no LP solve — the
+    // engine's derived-last recency policy keeps the inputs warmer than
+    // the report), and (2) issues filler traffic that evicts the report
+    // again. The measured cycle therefore includes the eviction-causing
+    // traffic, and must still beat the cold free function by >= 10x (the
+    // acceptance criterion).
+    let filler_nest = projtile_loopnest::LoopNest::builder()
+        .index("i", 2)
+        .array("A", ["i"])
+        .build()
+        .expect("trivial filler nest is valid");
+    let filler_query = Query::OptimalTiling { cache_size: 4 };
+    let set_cost = {
+        let mut sizing = Engine::new();
+        sizing
+            .analyze(&tightness_nest, &tightness_query)
+            .expect("valid query");
+        sizing.cache_metrics().results.cost
+    };
+    let filler_cost = {
+        let mut sizing = Engine::new();
+        sizing
+            .analyze(&filler_nest, &filler_query)
+            .expect("valid query");
+        sizing.cache_metrics().results.cost
+    };
+    let evict_engine = RefCell::new(Engine::with_config(projtile_core::engine::EngineConfig {
+        results_capacity: set_cost + filler_cost - 1,
+        ..Default::default()
+    }));
+    let n = tightness_nest.clone();
+    let q = tightness_query.clone();
+    let fnest = filler_nest.clone();
+    let fquery = filler_query.clone();
+    let run_cycle = move || {
+        let mut engine = evict_engine.borrow_mut();
+        std::hint::black_box(engine.analyze(&n, &q).expect("valid query"));
+        engine.analyze(&fnest, &fquery).expect("valid query");
+    };
+    run_cycle(); // prime: reach the steady evicted-report state
+    workloads.push(Workload {
+        name: "engine/evicted_rewarm/tightness_seed0".to_string(),
+        run: Box::new(run_cycle),
+    });
+
+    // engine/snapshot_restore: parse + warm-restore a persisted session and
+    // answer the tightness query from the restored cache, per iteration.
+    let snapshot_text = {
+        let mut warmed = Engine::new();
+        warmed
+            .analyze(&tightness_nest, &tightness_query)
+            .expect("valid query");
+        warmed.snapshot_json()
+    };
+    let n = tightness_nest.clone();
+    let q = tightness_query.clone();
+    workloads.push(Workload {
+        name: "engine/snapshot_restore/tightness_seed0".to_string(),
+        run: Box::new(move || {
+            let mut restored = Engine::restore_json(&snapshot_text).expect("snapshot restores");
+            std::hint::black_box(restored.analyze(&n, &q).expect("valid query"));
+        }),
+    });
+
     // The memoized exponent_at_bound path (JIT probe): cold oracle (one LP
     // solve per probe) vs engine (slice lookup after the first sweep).
     let probe_nest = matmul_nest();

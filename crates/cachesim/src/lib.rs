@@ -22,16 +22,24 @@
 //!
 //! All caches operate on word addresses (`u64`) with a line size of one word,
 //! matching the paper's word-granularity accounting.
+//!
+//! The crate additionally exposes [`BoundedLru`], a generic cost-aware
+//! memoization map built on the same O(1) intrusive recency-list machinery
+//! as [`LruCache`]; the `projtile-core` analysis engine uses it to bound its
+//! memo caches for long-lived service deployments.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bounded;
 pub mod ideal;
+mod list;
 mod lru;
 mod set_assoc;
 mod sim;
 mod stats;
 
+pub use bounded::{BoundedLru, BoundedLruStats};
 pub use lru::LruCache;
 pub use set_assoc::SetAssociativeCache;
 pub use sim::{simulate, Cache};

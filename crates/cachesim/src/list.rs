@@ -1,0 +1,183 @@
+//! The O(1) intrusive recency-list machinery shared by the cache simulator
+//! ([`crate::LruCache`]) and the bounded memoization map
+//! ([`crate::BoundedLru`]).
+//!
+//! A [`RecencyList`] is a doubly-linked list threaded through a slab of
+//! slots, with `head` the most recently used slot and `tail` the least
+//! recently used. The list owns only the links; callers keep the per-slot
+//! payloads in parallel storage indexed by the slot ids the list hands out.
+//! Every operation — allocation, promotion, release — is O(1).
+
+/// Sentinel slot index for list ends.
+pub(crate) const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Link {
+    /// Towards more recently used.
+    prev: usize,
+    /// Towards less recently used.
+    next: usize,
+}
+
+/// An intrusive most-recently-used list over slab slot ids.
+#[derive(Debug, Clone)]
+pub(crate) struct RecencyList {
+    links: Vec<Link>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl RecencyList {
+    /// Creates an empty list.
+    pub(crate) fn new() -> RecencyList {
+        RecencyList {
+            links: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Creates an empty list with room for `capacity` slots.
+    pub(crate) fn with_capacity(capacity: usize) -> RecencyList {
+        RecencyList {
+            links: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of slots ever allocated (live plus free); parallel payload
+    /// storage must be kept at least this long.
+    #[cfg(test)]
+    pub(crate) fn slot_bound(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The most recently used slot, if any.
+    pub(crate) fn head(&self) -> Option<usize> {
+        (self.head != NIL).then_some(self.head)
+    }
+
+    /// The least recently used slot, if any.
+    pub(crate) fn tail(&self) -> Option<usize> {
+        (self.tail != NIL).then_some(self.tail)
+    }
+
+    /// Allocates a slot (reusing a freed one when possible) and links it at
+    /// the most recently used position.
+    pub(crate) fn alloc_front(&mut self) -> usize {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.links.push(Link {
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.links.len() - 1
+            }
+        };
+        self.link_front(slot);
+        slot
+    }
+
+    /// Moves a live slot to the most recently used position.
+    pub(crate) fn move_front(&mut self, slot: usize) {
+        if self.head != slot {
+            self.unlink(slot);
+            self.link_front(slot);
+        }
+    }
+
+    /// Unlinks a live slot and returns it to the free pool.
+    pub(crate) fn release(&mut self, slot: usize) {
+        self.unlink(slot);
+        self.free.push(slot);
+    }
+
+    /// Removes every slot.
+    pub(crate) fn clear(&mut self) {
+        self.links.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Slots from least to most recently used.
+    pub(crate) fn iter_lru_to_mru(&self) -> impl Iterator<Item = usize> + '_ {
+        let mut cursor = self.tail;
+        std::iter::from_fn(move || {
+            if cursor == NIL {
+                None
+            } else {
+                let slot = cursor;
+                cursor = self.links[slot].prev;
+                Some(slot)
+            }
+        })
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let Link { prev, next } = self.links[slot];
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.links[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.links[next].prev = prev;
+        }
+    }
+
+    fn link_front(&mut self, slot: usize) {
+        self.links[slot].prev = NIL;
+        self.links[slot].next = self.head;
+        if self.head != NIL {
+            self.links[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_move_release_round_trip() {
+        let mut list = RecencyList::new();
+        let a = list.alloc_front();
+        let b = list.alloc_front();
+        let c = list.alloc_front();
+        assert_eq!(list.head(), Some(c));
+        assert_eq!(list.tail(), Some(a));
+        assert_eq!(list.iter_lru_to_mru().collect::<Vec<_>>(), vec![a, b, c]);
+        list.move_front(a);
+        assert_eq!(list.head(), Some(a));
+        assert_eq!(list.tail(), Some(b));
+        list.release(b);
+        assert_eq!(list.tail(), Some(c));
+        // Freed slots are reused before the slab grows.
+        let d = list.alloc_front();
+        assert_eq!(d, b);
+        assert_eq!(list.slot_bound(), 3);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut list = RecencyList::new();
+        list.alloc_front();
+        list.alloc_front();
+        list.clear();
+        assert_eq!(list.head(), None);
+        assert_eq!(list.tail(), None);
+        assert_eq!(list.iter_lru_to_mru().count(), 0);
+    }
+}

@@ -2,43 +2,29 @@
 
 use std::collections::HashMap;
 
+use crate::list::RecencyList;
 use crate::sim::Cache;
 use crate::stats::CacheStats;
-
-/// Sentinel slot index for list ends.
-const NIL: usize = usize::MAX;
-
-/// A node of the intrusive recency list, stored in a slab.
-#[derive(Debug, Clone, Copy)]
-struct Node {
-    addr: u64,
-    /// Towards more recently used.
-    prev: usize,
-    /// Towards less recently used.
-    next: usize,
-}
 
 /// A fully associative LRU cache over word addresses with a line size of one
 /// word.
 ///
-/// Recency is an intrusive doubly-linked list threaded through a slab of
-/// nodes (`head` = most recently used, `tail` = least recently used), with a
-/// `HashMap` from address to slab slot. Every operation — residency check,
-/// touch, eviction — is O(1) (amortized for the hash map), replacing the
-/// seed's `BTreeMap`-by-recency design whose eviction was O(log M).
-/// Eviction order is identical to true LRU.
+/// Recency is the shared intrusive slab list of `list::RecencyList`
+/// (`head` = most recently used, `tail` = least recently used), with a
+/// `HashMap` from address to slab slot and the per-slot addresses kept in
+/// parallel storage. Every operation — residency check, touch, eviction — is
+/// O(1) (amortized for the hash map), replacing the seed's
+/// `BTreeMap`-by-recency design whose eviction was O(log M). Eviction order
+/// is identical to true LRU. The same list machinery backs the bounded
+/// memoization map [`crate::BoundedLru`] used by the analysis service.
 #[derive(Debug, Clone)]
 pub struct LruCache {
     capacity: usize,
-    /// addr -> slot in `nodes`.
+    /// addr -> slot in the recency list.
     resident: HashMap<u64, usize>,
-    /// Slab of list nodes; free slots are tracked in `free`.
-    nodes: Vec<Node>,
-    free: Vec<usize>,
-    /// Most recently used slot (NIL when empty).
-    head: usize,
-    /// Least recently used slot (NIL when empty).
-    tail: usize,
+    /// Per-slot addresses, parallel to the list's slots.
+    addrs: Vec<u64>,
+    list: RecencyList,
     stats: CacheStats,
 }
 
@@ -52,10 +38,8 @@ impl LruCache {
         LruCache {
             capacity,
             resident: HashMap::with_capacity(capacity),
-            nodes: Vec::with_capacity(capacity),
-            free: Vec::new(),
-            head: NIL,
-            tail: NIL,
+            addrs: Vec::with_capacity(capacity),
+            list: RecencyList::with_capacity(capacity),
             stats: CacheStats::new(),
         }
     }
@@ -70,66 +54,23 @@ impl LruCache {
         self.resident.contains_key(&addr)
     }
 
-    /// Unlinks `slot` from the recency list.
-    fn unlink(&mut self, slot: usize) {
-        let Node { prev, next, .. } = self.nodes[slot];
-        if prev == NIL {
-            self.head = next;
-        } else {
-            self.nodes[prev].next = next;
-        }
-        if next == NIL {
-            self.tail = prev;
-        } else {
-            self.nodes[next].prev = prev;
-        }
-    }
-
-    /// Links `slot` at the head (most recently used position).
-    fn link_front(&mut self, slot: usize) {
-        self.nodes[slot].prev = NIL;
-        self.nodes[slot].next = self.head;
-        if self.head != NIL {
-            self.nodes[self.head].prev = slot;
-        }
-        self.head = slot;
-        if self.tail == NIL {
-            self.tail = slot;
-        }
-    }
-
     /// Inserts a new address at the most recently used position.
     fn insert_front(&mut self, addr: u64) {
-        let slot = match self.free.pop() {
-            Some(s) => {
-                self.nodes[s] = Node {
-                    addr,
-                    prev: NIL,
-                    next: NIL,
-                };
-                s
-            }
-            None => {
-                self.nodes.push(Node {
-                    addr,
-                    prev: NIL,
-                    next: NIL,
-                });
-                self.nodes.len() - 1
-            }
-        };
+        let slot = self.list.alloc_front();
+        if slot == self.addrs.len() {
+            self.addrs.push(addr);
+        } else {
+            self.addrs[slot] = addr;
+        }
         self.resident.insert(addr, slot);
-        self.link_front(slot);
     }
 
     /// Removes and returns the least recently used address.
     fn evict_lru(&mut self) -> u64 {
-        let slot = self.tail;
-        debug_assert_ne!(slot, NIL, "evicting from an empty cache");
-        let victim = self.nodes[slot].addr;
-        self.unlink(slot);
+        let slot = self.list.tail().expect("evicting from an empty cache");
+        let victim = self.addrs[slot];
+        self.list.release(slot);
         self.resident.remove(&victim);
-        self.free.push(slot);
         victim
     }
 }
@@ -138,10 +79,7 @@ impl Cache for LruCache {
     fn access(&mut self, addr: u64) -> bool {
         if let Some(&slot) = self.resident.get(&addr) {
             self.stats.record_hit();
-            if self.head != slot {
-                self.unlink(slot);
-                self.link_front(slot);
-            }
+            self.list.move_front(slot);
             true
         } else {
             self.stats.record_miss();
@@ -164,10 +102,8 @@ impl Cache for LruCache {
 
     fn reset(&mut self) {
         self.resident.clear();
-        self.nodes.clear();
-        self.free.clear();
-        self.head = NIL;
-        self.tail = NIL;
+        self.addrs.clear();
+        self.list.clear();
         self.stats = CacheStats::new();
     }
 }

@@ -1,75 +1,152 @@
-//! Per-nest artifact caches behind the [`crate::engine::Engine`].
+//! Bounded per-session artifact caches behind the [`crate::engine::Engine`].
 //!
-//! One [`NestEntry`] exists per interned canonical signature. It owns:
+//! Since PR 5 every memo map of the engine is a cost-aware
+//! [`projtile_cachesim::BoundedLru`] (approximate heap bytes as the cost
+//! unit, caps set by [`crate::engine::EngineConfig`]), keyed at the engine
+//! level so one budget governs each artifact class across *all* interned
+//! nests:
 //!
-//! * **orientation-independent artifacts**, stored once in canonical
-//!   coordinates and shared by every permuted variant of the nest: the
-//!   `β_i = log_M L_i` vectors per cache size, the memoized 1-D slices of the
-//!   §7 value function (a slice is a property of the *program*, not of the
-//!   declaration order, so permuted variants read the same entry), and the
-//!   growing per-axis slices behind
-//!   [`crate::engine::Engine::exponent_at_bound`];
-//! * **per-orientation caches** ([`Orientation`]): the memoized typed results
-//!   for one concrete declaration order (vertex-carrying payloads such as the
-//!   `ŝ`/`ζ` certificate or the `λ` vector are positional, so they are cached
-//!   per orientation to stay bitwise-identical to the free-function oracles),
-//!   plus the warm [`HblFamily`] reused by every enumeration/tightness query
-//!   of that orientation across cache sizes.
+//! * **β vectors** ([`BetaKey`]) — per `(nest, cache size)`, canonical loop
+//!   order, shared by every orientation;
+//! * **typed results** ([`ResultKey`]) — per `(nest, orientation, cache
+//!   size, kind)`: the `LowerBound`, `EnumeratedBound`, tiling summary and
+//!   tightness report, plus the internal Theorem-3 certificate-validity bit
+//!   ([`ResultKind::Certificate`]) that lets an evicted tightness report be
+//!   recomposed from its surviving components without re-solving the
+//!   row-deleted HBL LP;
+//! * **§7 slices** ([`SliceKey`]) — per `(nest, cache size, canonical
+//!   axis)`, both explicit `[lo, hi]` sweeps ([`SliceKind::Span`]) and the
+//!   growing probe slices behind `exponent_at_bound`
+//!   ([`SliceKind::Probe`]); a slice carries no positional data, so permuted
+//!   variants share entries;
+//! * **surfaces** ([`SurfaceKey`]) — per `(nest, orientation, cache size,
+//!   sorted axes, box)`. Keys are canonicalized by sorting the swept axes
+//!   (the box permuted alongside), so the same surface requested with
+//!   permuted axes is a cache *hit* answered by an exact coordinate remap
+//!   ([`crate::parametric::ExponentSurface::with_axis_order`]) — which is
+//!   also precisely what the free function returns for that axis order.
+//!
+//! Eviction changes only *what is retained*, never *what is answered*: every
+//! artifact is recomputed by the same deterministic, path-independent
+//! routine that produced it, so answers stay bitwise-identical to the cold
+//! free-function oracles under any cache pressure (pinned by the eviction
+//! differential proptests).
 
-use std::collections::HashMap;
-
-use projtile_arith::{log, Rational};
-use projtile_loopnest::{CanonicalNest, LoopNest};
+use projtile_arith::Rational;
 use projtile_lp::parametric::ValueFunction;
-use projtile_lp::ContextPool;
 
-use crate::bounds::{
-    arbitrary_bound_exponent, exponent_from_s_hat_with_betas, select_best, EnumeratedBound,
-    LowerBound,
-};
-use crate::engine::query::{AnalysisResult, EngineError, Query, SurfaceSummary, TilingSummary};
-use crate::hbl::{hbl_lp, HblFamily};
-use crate::parametric::{exponent_surface, exponent_vs_beta_with, ExponentSurface};
+use crate::bounds::{EnumeratedBound, LowerBound};
+use crate::engine::query::{SurfaceSummary, TilingSummary};
+use crate::hbl::HblFamily;
+use crate::parametric::ExponentSurface;
 use crate::tightness::TightnessReport;
-use crate::tiling_lp::{solve_tiling_lp, tile_dims_from_lambda};
+use projtile_loopnest::LoopNest;
 
-/// Key of a memoized 1-D slice, in canonical coordinates.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// Key of a memoized β vector: per `(interned nest, cache size)`, stored in
+/// canonical loop order and permuted per orientation on read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct BetaKey {
+    pub entry: usize,
+    pub m: u64,
+}
+
+/// Which typed artifact a [`ResultKey`] names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum ResultKind {
+    /// The Theorem-2 [`LowerBound`].
+    Bound,
+    /// The explicit `2^d` [`EnumeratedBound`].
+    Enumerated,
+    /// The optimal-tiling [`TilingSummary`].
+    Tiling,
+    /// The Theorem-3 [`TightnessReport`].
+    Tightness,
+    /// Validity of the cached lower bound's `(ŝ, ζ)` certificate — an
+    /// internal component of the tightness report (never answered
+    /// directly). Caching it separately lets an evicted report be
+    /// recomposed from surviving components in O(1) solver work.
+    Certificate,
+}
+
+/// Key of one typed result: vertex-carrying payloads are positional, so the
+/// orientation (declaration order) is part of the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct ResultKey {
+    pub entry: usize,
+    pub orientation: usize,
+    pub m: u64,
+    pub kind: ResultKind,
+}
+
+/// One memoized typed artifact.
+#[derive(Debug, Clone)]
+pub(crate) enum CachedResult {
+    Bound(LowerBound),
+    Enumerated(EnumeratedBound),
+    Tiling(TilingSummary),
+    Tightness(TightnessReport),
+    Certificate(bool),
+}
+
+/// The two flavors of memoized 1-D value-function slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum SliceKind {
+    /// An explicit `Query::Slice` sweep over `[lo_bound, hi_bound]`.
+    Span { lo_bound: u64, hi_bound: u64 },
+    /// The growing per-axis slice behind `exponent_at_bound`, covering
+    /// `1..=hi` for a stored `hi` that widens on demand.
+    Probe,
+}
+
+/// Key of a memoized slice, in canonical coordinates (slices carry no
+/// positional data, so permuted variants of a nest share entries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct SliceKey {
-    pub cache_size: u64,
+    pub entry: usize,
+    pub m: u64,
     /// Canonical loop position of the swept axis.
-    pub axis: usize,
-    pub lo_bound: u64,
-    pub hi_bound: u64,
+    pub canon_axis: usize,
+    pub kind: SliceKind,
 }
 
-/// Key of a memoized surface, in the orientation's own coordinates.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct SurfaceKey {
-    pub cache_size: u64,
-    pub axes: Vec<usize>,
-    pub lo_bounds: Vec<u64>,
-    pub hi_bounds: Vec<u64>,
-}
-
-/// A growing slice along one canonical axis, backing the memoized
-/// `exponent_at_bound` path: covers bounds `1..=hi_bound` and is re-swept
-/// (wider) only when a query exceeds the covered range.
+/// A growing probe slice: covers bounds `1..=hi_bound` and is re-swept
+/// (wider) only when a queried bound exceeds the covered range.
+#[derive(Debug, Clone)]
 pub(crate) struct PointSlice {
     pub hi_bound: u64,
     pub vf: ValueFunction,
 }
 
-/// Memoized typed results for one orientation at one cache size.
-#[derive(Default)]
-pub(crate) struct MemoAtM {
-    pub lower_bound: Option<LowerBound>,
-    pub enumerated: Option<EnumeratedBound>,
-    pub tiling: Option<TilingSummary>,
-    pub tightness: Option<TightnessReport>,
+/// A memoized slice entry; the variant matches its key's [`SliceKind`].
+#[derive(Debug, Clone)]
+pub(crate) enum SliceEntry {
+    Span(ValueFunction),
+    Probe(PointSlice),
 }
 
-/// One declaration order of an interned nest.
+/// Key of a memoized surface. `axes` is **sorted ascending** (the box
+/// permuted to match): permuted-axes requests canonicalize to the same key
+/// and are answered by remapping the stored sorted-order surface.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct SurfaceKey {
+    pub entry: usize,
+    pub orientation: usize,
+    pub m: u64,
+    pub axes: Vec<usize>,
+    pub lo_bounds: Vec<u64>,
+    pub hi_bounds: Vec<u64>,
+}
+
+/// A memoized surface in sorted-axes order, with its wire-ready summary.
+#[derive(Debug, Clone)]
+pub(crate) struct StoredSurface {
+    pub surface: ExponentSurface,
+    pub summary: SurfaceSummary,
+}
+
+/// One declaration order of an interned nest. Holds only identity (the
+/// permutations and the oriented nest) plus the warm HBL solver; all
+/// memoized artifacts live in the engine-level bounded caches.
 pub(crate) struct Orientation {
     /// `original loop position → canonical position`.
     pub loop_perm: Vec<usize>,
@@ -79,379 +156,82 @@ pub(crate) struct Orientation {
     pub nest: LoopNest,
     /// Warm row-relaxed HBL solver, shared by every enumeration/tightness
     /// query of this orientation (its constraint matrix does not depend on
-    /// the cache size).
+    /// the cache size). Never evicted (it is solver state, not a result)
+    /// and never serialized (rebuilt lazily after a restore).
     pub hbl_family: Option<HblFamily>,
-    pub per_m: HashMap<u64, MemoAtM>,
-    pub surfaces: Vec<(SurfaceKey, ExponentSurface, SurfaceSummary)>,
 }
 
-/// All cached state for one interned canonical signature.
+/// Identity of one interned canonical signature.
 pub(crate) struct NestEntry {
     pub canonical: LoopNest,
-    /// `β` vectors per cache size, canonical loop order.
-    pub betas: HashMap<u64, Vec<Rational>>,
-    /// Memoized 1-D slices (canonical axis), shared across orientations.
-    pub slices: HashMap<SliceKey, ValueFunction>,
-    /// Growing per-axis slices behind `exponent_at_bound`, keyed by
-    /// `(cache_size, canonical axis)`.
-    pub point_slices: HashMap<(u64, usize), PointSlice>,
     pub orientations: Vec<Orientation>,
 }
 
-impl NestEntry {
-    pub fn new(canonical: LoopNest) -> NestEntry {
-        NestEntry {
-            canonical,
-            betas: HashMap::new(),
-            slices: HashMap::new(),
-            point_slices: HashMap::new(),
-            orientations: Vec::new(),
+// ---------------------------------------------------------------------------
+// Cost model
+// ---------------------------------------------------------------------------
+
+/// Approximate retention costs (heap bytes) of the cached artifacts, used as
+/// the cost unit of the bounded caches. The estimates are deliberately
+/// simple — flat per-rational cost plus container overheads — because the
+/// caps they are compared against are order-of-magnitude budgets, not exact
+/// allocator accounting.
+pub(crate) mod cost {
+    use super::*;
+
+    /// Flat estimate for one `Rational` (two small big-ints plus enum tags;
+    /// large values under-count, which only makes eviction later).
+    const RATIONAL: u64 = 48;
+    /// Base overhead per cached entry (key, hash-map slot, list links).
+    const ENTRY: u64 = 96;
+
+    fn rationals(n: usize) -> u64 {
+        24 + RATIONAL * n as u64
+    }
+
+    pub(crate) fn betas(v: &[Rational]) -> u64 {
+        ENTRY + rationals(v.len())
+    }
+
+    pub(crate) fn value_function(vf: &ValueFunction) -> u64 {
+        ENTRY + rationals(2 * vf.breakpoints.len())
+    }
+
+    pub(crate) fn slice_entry(s: &SliceEntry) -> u64 {
+        match s {
+            SliceEntry::Span(vf) => value_function(vf),
+            SliceEntry::Probe(ps) => 8 + value_function(&ps.vf),
         }
     }
 
-    /// Finds or creates the orientation matching `canon`'s permutations.
-    pub fn orientation_index(&mut self, nest: &LoopNest, canon: &CanonicalNest) -> usize {
-        let loop_perm = canon.loop_permutation();
-        let array_perm = canon.array_permutation();
-        if let Some(i) = self
-            .orientations
-            .iter()
-            .position(|o| o.loop_perm == loop_perm && o.array_perm == array_perm)
-        {
-            return i;
-        }
-        self.orientations.push(Orientation {
-            loop_perm: loop_perm.to_vec(),
-            array_perm: array_perm.to_vec(),
-            nest: nest.clone(),
-            hbl_family: None,
-            per_m: HashMap::new(),
-            surfaces: Vec::new(),
-        });
-        self.orientations.len() - 1
-    }
-
-    /// The `β` vector for cache size `m` in canonical loop order, computed
-    /// once per `(nest, m)`.
-    fn betas_canonical(&mut self, m: u64) -> Vec<Rational> {
-        self.betas
-            .entry(m)
-            .or_insert_with(|| crate::bounds::betas(&self.canonical, m))
-            .clone()
-    }
-
-    /// The `β` vector in orientation `o`'s loop order, permuted from the
-    /// shared canonical vector (`log_M L` is a pure function of the bound, so
-    /// the permuted vector is exactly `bounds::betas` of the oriented nest).
-    fn betas_oriented(&mut self, o: usize, m: u64) -> Vec<Rational> {
-        let canon = self.betas_canonical(m);
-        let perm = &self.orientations[o].loop_perm;
-        perm.iter().map(|&c| canon[c].clone()).collect()
-    }
-
-    /// `true` iff `query` is already memoized (a repeat query is a pure
-    /// lookup).
-    pub fn is_cached(&self, o: usize, query: &Query) -> bool {
-        let orientation = &self.orientations[o];
-        match query {
-            Query::LowerBound { cache_size } => orientation
-                .per_m
-                .get(cache_size)
-                .is_some_and(|m| m.lower_bound.is_some()),
-            Query::EnumeratedBound { cache_size } => orientation
-                .per_m
-                .get(cache_size)
-                .is_some_and(|m| m.enumerated.is_some()),
-            Query::OptimalTiling { cache_size } => orientation
-                .per_m
-                .get(cache_size)
-                .is_some_and(|m| m.tiling.is_some()),
-            Query::Tightness { cache_size } => orientation
-                .per_m
-                .get(cache_size)
-                .is_some_and(|m| m.tightness.is_some()),
-            Query::Surface {
-                cache_size,
-                axes,
-                lo_bounds,
-                hi_bounds,
-            } => {
-                let key = SurfaceKey {
-                    cache_size: *cache_size,
-                    axes: axes.clone(),
-                    lo_bounds: lo_bounds.clone(),
-                    hi_bounds: hi_bounds.clone(),
-                };
-                orientation.surfaces.iter().any(|(k, _, _)| *k == key)
+    pub(crate) fn surface(s: &StoredSurface) -> u64 {
+        let regions = s.surface.surface().regions();
+        let mut total = ENTRY + rationals(s.surface.axes().len());
+        for r in regions {
+            total += rationals(r.piece.gradient.len() + 1);
+            total += rationals(r.witness.len());
+            for h in &r.halfspaces {
+                total += rationals(h.normal.len() + 1);
             }
-            Query::Slice {
-                cache_size,
-                axis,
-                lo_bound,
-                hi_bound,
-            } => self.slices.contains_key(&SliceKey {
-                cache_size: *cache_size,
-                axis: orientation.loop_perm[*axis],
-                lo_bound: *lo_bound,
-                hi_bound: *hi_bound,
-            }),
         }
-    }
-
-    /// Answers `query` for orientation `o`, computing and memoizing on miss.
-    pub fn answer(
-        &mut self,
-        o: usize,
-        query: &Query,
-        pool: &ContextPool,
-    ) -> Result<AnalysisResult, EngineError> {
-        match query {
-            Query::LowerBound { cache_size } => self
-                .lower_bound(o, *cache_size)
-                .map(AnalysisResult::LowerBound),
-            Query::EnumeratedBound { cache_size } => self
-                .enumerated(o, *cache_size)
-                .map(AnalysisResult::EnumeratedBound),
-            Query::OptimalTiling { cache_size } => self
-                .tiling(o, *cache_size)
-                .map(AnalysisResult::OptimalTiling),
-            Query::Tightness { cache_size } => self
-                .tightness(o, *cache_size)
-                .map(AnalysisResult::Tightness),
-            Query::Surface {
-                cache_size,
-                axes,
-                lo_bounds,
-                hi_bounds,
-            } => self
-                .surface(o, *cache_size, axes, lo_bounds, hi_bounds)
-                .map(|(_, summary)| AnalysisResult::Surface(summary)),
-            Query::Slice {
-                cache_size,
-                axis,
-                lo_bound,
-                hi_bound,
-            } => self
-                .slice(o, *cache_size, *axis, *lo_bound, *hi_bound, pool)
-                .map(AnalysisResult::Slice),
+        for (pieces, rendered) in s.summary.pieces.iter().zip(&s.summary.rendered) {
+            total += rationals(pieces.gradient.len() + 1) + rendered.len() as u64;
         }
+        total
     }
 
-    pub fn lower_bound(&mut self, o: usize, m: u64) -> Result<LowerBound, EngineError> {
-        if let Some(lb) = &self.orientations[o].per_m.entry(m).or_default().lower_bound {
-            return Ok(lb.clone());
-        }
-        // Cold oracle path: the engine's answer *is* the free function's.
-        let lb = arbitrary_bound_exponent(&self.orientations[o].nest, m);
-        self.orientations[o]
-            .per_m
-            .get_mut(&m)
-            .expect("slot created above")
-            .lower_bound = Some(lb.clone());
-        Ok(lb)
-    }
-
-    pub fn enumerated(&mut self, o: usize, m: u64) -> Result<EnumeratedBound, EngineError> {
-        if let Some(en) = &self.orientations[o].per_m.entry(m).or_default().enumerated {
-            return Ok(en.clone());
-        }
-        // Warm path through the orientation's persistent HblFamily: the
-        // family's matrix is cache-size-independent, so re-enumerations at
-        // other cache sizes (and tightness checks) re-enter the retained
-        // basis instead of rebuilding it. Results are bitwise-identical to
-        // `bounds::enumerated_exponent` (and its cold oracle): each subset's
-        // solution is the canonical lex-min optimum — a property of the
-        // program, not of the pivot path — and the selection rule is shared.
-        let beta = self.betas_oriented(o, m);
-        let orientation = &mut self.orientations[o];
-        let d = orientation.nest.num_loops();
-        let nest = orientation.nest.clone();
-        let family = orientation
-            .hbl_family
-            .get_or_insert_with(|| HblFamily::new(&nest));
-        let gray = (0..1u64 << d).map(|i| i ^ (i >> 1));
-        let mut per_subset: Vec<(projtile_loopnest::IndexSet, Rational)> = gray
-            .map(|mask| {
-                let q = projtile_loopnest::IndexSet::from_bits(mask);
-                let sol = family.solve(q);
-                (q, exponent_from_s_hat_with_betas(&nest, &beta, q, &sol.s))
-            })
-            .collect();
-        per_subset.sort_unstable_by_key(|(q, _)| q.bits());
-        let en = select_best(per_subset);
-        orientation
-            .per_m
-            .get_mut(&m)
-            .expect("slot created above")
-            .enumerated = Some(en.clone());
-        Ok(en)
-    }
-
-    pub fn tiling(&mut self, o: usize, m: u64) -> Result<TilingSummary, EngineError> {
-        if let Some(t) = &self.orientations[o].per_m.entry(m).or_default().tiling {
-            return Ok(t.clone());
-        }
-        let nest = &self.orientations[o].nest;
-        let sol = solve_tiling_lp(nest, m);
-        let tile_dims = tile_dims_from_lambda(nest, m, &sol.lambda);
-        let summary = TilingSummary {
-            lambda: sol.lambda,
-            value: sol.value,
-            tile_dims,
-        };
-        self.orientations[o]
-            .per_m
-            .get_mut(&m)
-            .expect("slot created above")
-            .tiling = Some(summary.clone());
-        Ok(summary)
-    }
-
-    pub fn tightness(&mut self, o: usize, m: u64) -> Result<TightnessReport, EngineError> {
-        if let Some(t) = &self.orientations[o].per_m.entry(m).or_default().tightness {
-            return Ok(t.clone());
-        }
-        // Composed from the shared artifacts — each the exact value the
-        // corresponding free function computes — so the report is
-        // field-for-field what `tightness::check_tightness` returns, while a
-        // preceding LowerBound/EnumeratedBound/OptimalTiling query (or this
-        // one) warms the others.
-        let tiling = self.tiling(o, m)?;
-        let bound = self.lower_bound(o, m)?;
-        let enumerated = self.enumerated(o, m)?;
-        let beta = self.betas_oriented(o, m);
-        let nest = &self.orientations[o].nest;
-        let report = compose_tightness(nest, &beta, &tiling, &bound, &enumerated);
-        self.orientations[o]
-            .per_m
-            .get_mut(&m)
-            .expect("slot created above")
-            .tightness = Some(report.clone());
-        Ok(report)
-    }
-
-    /// Returns the memoized surface and summary for the key, computing on
-    /// miss.
-    pub fn surface(
-        &mut self,
-        o: usize,
-        m: u64,
-        axes: &[usize],
-        lo_bounds: &[u64],
-        hi_bounds: &[u64],
-    ) -> Result<(ExponentSurface, SurfaceSummary), EngineError> {
-        let key = SurfaceKey {
-            cache_size: m,
-            axes: axes.to_vec(),
-            lo_bounds: lo_bounds.to_vec(),
-            hi_bounds: hi_bounds.to_vec(),
-        };
-        let orientation = &mut self.orientations[o];
-        if let Some((_, s, summary)) = orientation.surfaces.iter().find(|(k, _, _)| *k == key) {
-            return Ok((s.clone(), summary.clone()));
-        }
-        let s = exponent_surface(&orientation.nest, m, axes, lo_bounds, hi_bounds)?;
-        let summary = summarize_surface(&s, axes);
-        orientation.surfaces.push((key, s.clone(), summary.clone()));
-        Ok((s, summary))
-    }
-
-    pub fn slice(
-        &mut self,
-        o: usize,
-        m: u64,
-        axis: usize,
-        lo_bound: u64,
-        hi_bound: u64,
-        pool: &ContextPool,
-    ) -> Result<ValueFunction, EngineError> {
-        let key = SliceKey {
-            cache_size: m,
-            axis: self.orientations[o].loop_perm[axis],
-            lo_bound,
-            hi_bound,
-        };
-        if let Some(vf) = self.slices.get(&key) {
-            return Ok(vf.clone());
-        }
-        // Computed on the canonical nest (same program, same unique value
-        // function — a 1-D value function carries no positional data), so
-        // every permuted variant of the nest shares this entry. The sweep
-        // probes through a pooled context, warm across queries.
-        let mut ctx = pool.checkout();
-        let vf = exponent_vs_beta_with(&self.canonical, m, key.axis, lo_bound, hi_bound, &mut ctx)?;
-        self.slices.insert(key, vf.clone());
-        Ok(vf)
-    }
-
-    /// The memoized `exponent_at_bound` path: reads the exponent off a
-    /// per-axis slice of the §7 value function, sweeping (and widening) that
-    /// slice only when a queried bound exceeds the covered range.
-    pub fn exponent_at_bound(
-        &mut self,
-        o: usize,
-        m: u64,
-        axis: usize,
-        bound: u64,
-        pool: &ContextPool,
-    ) -> Result<(Rational, bool), EngineError> {
-        let canon_axis = self.orientations[o].loop_perm[axis];
-        let key = (m, canon_axis);
-        let covered = self
-            .point_slices
-            .get(&key)
-            .is_some_and(|ps| ps.hi_bound >= bound);
-        if !covered {
-            // Widen past the request (and past the nest's own bound) so a
-            // scan of nearby candidate bounds is answered by one sweep. Near
-            // the top of the u64 range the power-of-two rounding would
-            // overflow; sweep to the exact bound instead.
-            let nest_bound = self.canonical.bounds()[canon_axis];
-            let prev = self.point_slices.get(&key).map_or(1, |ps| ps.hi_bound);
-            let hi = bound.max(nest_bound).max(prev).max(m);
-            let hi = hi.checked_next_power_of_two().unwrap_or(hi);
-            let mut ctx = pool.checkout();
-            let vf = exponent_vs_beta_with(&self.canonical, m, canon_axis, 1, hi, &mut ctx)?;
-            self.point_slices
-                .insert(key, PointSlice { hi_bound: hi, vf });
-        }
-        let ps = self.point_slices.get(&key).expect("slice ensured above");
-        let beta = log::beta(bound as u128, m as u128);
-        Ok((ps.vf.value_at(&beta), covered))
-    }
-}
-
-/// Builds the Theorem-3 report from its three component artifacts —
-/// field-for-field what [`crate::tightness::check_tightness`] computes on the
-/// same nest (shared by the memoizing path and the batch fan-out, so both
-/// install identical state).
-pub(crate) fn compose_tightness(
-    nest: &LoopNest,
-    beta: &[Rational],
-    tiling: &TilingSummary,
-    bound: &LowerBound,
-    enumerated: &EnumeratedBound,
-) -> TightnessReport {
-    let formula_value =
-        exponent_from_s_hat_with_betas(nest, beta, bound.witness_subset, &bound.s_hat);
-    let row_deleted = hbl_lp(nest, bound.witness_subset);
-    let certificate_ok = formula_value == bound.exponent && row_deleted.is_feasible(&bound.s_hat);
-    let tight = tiling.value == bound.exponent && certificate_ok;
-    TightnessReport {
-        tiling_exponent: tiling.value.clone(),
-        bound_exponent: bound.exponent.clone(),
-        enumerated_exponent: enumerated.exponent.clone(),
-        witness_subset: bound.witness_subset,
-        tight,
-    }
-}
-
-/// Builds the wire-ready digest of a surface.
-pub(crate) fn summarize_surface(s: &ExponentSurface, axes: &[usize]) -> SurfaceSummary {
-    SurfaceSummary {
-        axes: axes.to_vec(),
-        num_regions: s.num_regions(),
-        pieces: s.pieces().into_iter().cloned().collect(),
-        rendered: s.render_pieces(),
+    pub(crate) fn result(r: &CachedResult) -> u64 {
+        ENTRY
+            + match r {
+                CachedResult::Bound(lb) => rationals(1 + lb.s_hat.len() + lb.zeta.len()) + 24,
+                CachedResult::Enumerated(en) => {
+                    rationals(1) + rationals(en.per_subset.len()) + 16 * en.per_subset.len() as u64
+                }
+                CachedResult::Tiling(t) => {
+                    rationals(1 + t.lambda.len()) + 8 * t.tile_dims.len() as u64
+                }
+                CachedResult::Tightness(_) => rationals(3) + 16,
+                CachedResult::Certificate(_) => 1,
+            }
     }
 }

@@ -147,6 +147,9 @@ pub enum EngineError {
     /// The underlying LP solver failed (does not happen for well-formed
     /// projective programs; surfaced rather than unwrapped).
     Lp(LpError),
+    /// A session snapshot could not be restored (version mismatch, corrupt
+    /// or truncated document, out-of-range indices).
+    Snapshot(String),
 }
 
 impl fmt::Display for EngineError {
@@ -154,6 +157,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             EngineError::Lp(e) => write!(f, "lp error: {e}"),
+            EngineError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
         }
     }
 }

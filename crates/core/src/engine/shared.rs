@@ -1,0 +1,410 @@
+//! The thread-safe service front: a [`SharedEngine`] sharding session state
+//! by canonical nest signature.
+//!
+//! # Concurrency model
+//!
+//! * **Sharding.** Each interned nest lives in exactly one shard (chosen by
+//!   hashing its permutation-invariant [`NestSignature`]), and each shard is
+//!   an independent [`Engine`] behind a `parking_lot` reader-writer lock.
+//!   Traffic on distinct nests contends only when the nests hash to the same
+//!   shard.
+//! * **Lock-free read path for hits.** A cache hit takes only the shard's
+//!   *shared* read lock: the memoized answer is read through
+//!   [`projtile_cachesim::BoundedLru::peek`], which records recency in
+//!   per-entry atomic stamps rather than re-threading the LRU list, so
+//!   concurrent hits on one shard proceed in parallel and never queue behind
+//!   a writer (the stamps are folded into the eviction order by the next
+//!   exclusive operation).
+//! * **Compute outside the locks.** A miss computes with the stateless
+//!   free-function paths (identical bitwise to the memoizing paths) using a
+//!   solver context checked out of the front's shared
+//!   [`projtile_lp::ContextPool`] — one context per worker, so concurrent
+//!   `analyze_batch` calls from many threads never serialize on one warm
+//!   tableau — and only then takes the shard's write lock, briefly, to
+//!   intern and install. Two threads racing on the same query compute the
+//!   same bitwise value; the loser's install is an idempotent overwrite.
+//!
+//! Answers are bitwise-identical to a single-threaded [`Engine`] and to the
+//! cold free functions, under any interleaving and any eviction pressure —
+//! pinned by the multi-threaded differential proptests.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+use projtile_loopnest::{canonicalize, LoopNest, NestSignature};
+use projtile_lp::ContextPool;
+use projtile_par::par_map_with;
+use serde::{json, Value};
+
+use super::snapshot::SNAPSHOT_VERSION;
+use super::{
+    compute_detached, validate_query, AnalysisResult, CacheMetrics, Engine, EngineConfig,
+    EngineError, EngineStats, Query,
+};
+
+/// A thread-safe, sharded analysis service front. Create once, share by
+/// reference (`&SharedEngine` is `Send + Sync`) across worker threads.
+///
+/// ```
+/// use projtile_core::engine::{AnalysisResult, Query, SharedEngine};
+/// use projtile_loopnest::builders;
+///
+/// let shared = SharedEngine::new();
+/// let nest = builders::matmul(512, 512, 8);
+/// let query = Query::Tightness { cache_size: 1 << 10 };
+/// // Concurrent callers share one session; repeats are read-lock hits.
+/// std::thread::scope(|scope| {
+///     for _ in 0..4 {
+///         scope.spawn(|| shared.analyze(&nest, &query).unwrap());
+///     }
+/// });
+/// assert_eq!(shared.stats().interned, 1);
+/// match shared.analyze(&nest, &query).unwrap() {
+///     AnalysisResult::Tightness(report) => assert!(report.tight),
+///     other => panic!("unexpected result {other:?}"),
+/// }
+/// ```
+pub struct SharedEngine {
+    shards: Vec<RwLock<Engine>>,
+    pool: ContextPool,
+    queries: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for SharedEngine {
+    fn default() -> SharedEngine {
+        SharedEngine::new()
+    }
+}
+
+impl std::fmt::Debug for SharedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedEngine")
+            .field("shards", &self.shards.len())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Default shard count: enough to keep `PROJTILE_THREADS` workers off each
+/// other's locks, capped so idle shards stay cheap.
+fn default_shards() -> usize {
+    projtile_par::num_threads().clamp(1, 16).next_power_of_two()
+}
+
+impl SharedEngine {
+    /// Creates a front with default cache budgets and shard count.
+    pub fn new() -> SharedEngine {
+        SharedEngine::with_config(EngineConfig::default(), default_shards())
+    }
+
+    /// Creates a front with explicit cache budgets and shard count. The
+    /// budgets are **divided evenly across shards** (rounding up, so a
+    /// small budget is never silently zeroed; the front may retain up to
+    /// `shards - 1` cost units more than requested per cache). `config`
+    /// therefore describes the whole front's retention, not one shard's.
+    pub fn with_config(config: EngineConfig, num_shards: usize) -> SharedEngine {
+        let n = num_shards.max(1) as u64;
+        let per_shard = EngineConfig {
+            results_capacity: config.results_capacity.div_ceil(n),
+            betas_capacity: config.betas_capacity.div_ceil(n),
+            slices_capacity: config.slices_capacity.div_ceil(n),
+            surfaces_capacity: config.surfaces_capacity.div_ceil(n),
+        };
+        let n = n as usize;
+        SharedEngine {
+            shards: (0..n)
+                .map(|_| RwLock::new(Engine::with_config(per_shard)))
+                .collect(),
+            pool: ContextPool::new(),
+            queries: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Counters for this front's lifetime, aggregated across shards.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            interned: self
+                .shards
+                .iter()
+                .map(|s| s.read().num_interned() as u64)
+                .sum(),
+        }
+    }
+
+    /// Cache occupancy and eviction counters, summed across shards.
+    pub fn cache_metrics(&self) -> CacheMetrics {
+        let mut total = CacheMetrics::default();
+        for shard in &self.shards {
+            let m = shard.read().cache_metrics();
+            for (acc, part) in [
+                (&mut total.betas, m.betas),
+                (&mut total.results, m.results),
+                (&mut total.slices, m.slices),
+                (&mut total.surfaces, m.surfaces),
+            ] {
+                acc.entries += part.entries;
+                acc.cost += part.cost;
+                acc.capacity += part.capacity;
+                acc.evictions += part.evictions;
+            }
+        }
+        total
+    }
+
+    fn shard_of(&self, sig: &NestSignature) -> usize {
+        let mut hasher = DefaultHasher::new();
+        sig.hash(&mut hasher);
+        (hasher.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Answers one typed query about `nest`. Hits are served under the
+    /// shard's read lock; misses compute outside any lock and install under
+    /// a brief write lock. Answers are bitwise-identical to
+    /// [`Engine::analyze`] on a private session.
+    pub fn analyze(&self, nest: &LoopNest, query: &Query) -> Result<AnalysisResult, EngineError> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        validate_query(nest, query)?;
+        let canon = canonicalize(nest);
+        let shard = &self.shards[self.shard_of(&canon.signature())];
+        {
+            let engine = shard.read();
+            if let Some((e, o)) = engine.find_indices(&canon) {
+                if let Some(result) = engine.peek_cached(e, o, query) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(result);
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Compute with no lock held: the detached path is bitwise-identical
+        // to the memoizing path (both bottom out in path-independent
+        // solves), so racing threads install interchangeable values.
+        let detached = {
+            let mut ctx = self.pool.checkout();
+            compute_detached(
+                nest,
+                canon.nest(),
+                canon.loop_permutation(),
+                query,
+                &mut ctx,
+            )?
+        };
+        let mut engine = shard.write();
+        let (e, o) = engine.intern_with(nest, canon);
+        // `install` hands back the caller-facing result directly, so the
+        // write lock is held only for the cache insertions — no re-lookup,
+        // no surface re-remap under the lock.
+        Ok(engine.install(e, o, query, detached))
+    }
+
+    /// Answers a batch of queries about `nest`, in input order — the
+    /// concurrent counterpart of [`Engine::analyze_batch`]. Hits are read
+    /// under the shard's read lock; the remaining distinct queries fan out
+    /// through `projtile_par` with per-worker pooled solver contexts before
+    /// one write-lock installation pass.
+    pub fn analyze_batch(
+        &self,
+        nest: &LoopNest,
+        queries: &[Query],
+    ) -> Vec<Result<AnalysisResult, EngineError>> {
+        self.queries
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        let validity: Vec<Option<EngineError>> = queries
+            .iter()
+            .map(|q| validate_query(nest, q).err())
+            .collect();
+        if validity.iter().all(|v| v.is_some()) {
+            return validity
+                .into_iter()
+                .map(|v| Err(v.expect("all invalid")))
+                .collect();
+        }
+        let canon = canonicalize(nest);
+        let shard = &self.shards[self.shard_of(&canon.signature())];
+
+        // Serve what is already memoized from the read path.
+        let mut cached: HashMap<Query, AnalysisResult> = HashMap::new();
+        {
+            let engine = shard.read();
+            if let Some((e, o)) = engine.find_indices(&canon) {
+                for (q, v) in queries.iter().zip(&validity) {
+                    if v.is_none() && !cached.contains_key(q) {
+                        if let Some(result) = engine.peek_cached(e, o, q) {
+                            cached.insert(q.clone(), result);
+                        }
+                    }
+                }
+            }
+        }
+        // Distinct uncached queries, deduplicated by cache-canonical form
+        // (permuted-axes twins compute once); duplicate occurrences count
+        // as hits, exactly like [`Engine::analyze_batch`]'s accounting.
+        let mut pending: Vec<Query> = Vec::new();
+        let mut pending_forms: HashMap<Query, ()> = HashMap::new();
+        for (q, v) in queries.iter().zip(&validity) {
+            if v.is_none()
+                && !cached.contains_key(q)
+                && pending_forms
+                    .insert(super::canonical_query_form(q), ())
+                    .is_none()
+            {
+                pending.push(q.clone());
+            }
+        }
+        self.hits.fetch_add(
+            queries
+                .iter()
+                .zip(&validity)
+                .filter(|(q, v)| v.is_none() && !pending.contains(q))
+                .count() as u64,
+            Ordering::Relaxed,
+        );
+        self.misses
+            .fetch_add(pending.len() as u64, Ordering::Relaxed);
+
+        // Fan out with no lock held; one pooled context per worker chunk.
+        let computed: Vec<(Query, Result<super::Detached, EngineError>)> = {
+            let orientation_nest = nest;
+            let canonical = canon.nest();
+            let loop_perm = canon.loop_permutation();
+            let pool = &self.pool;
+            par_map_with(
+                &pending,
+                || pool.checkout(),
+                |ctx, _, q| {
+                    (
+                        q.clone(),
+                        compute_detached(orientation_nest, canonical, loop_perm, q, ctx),
+                    )
+                },
+            )
+        };
+
+        let mut errors: HashMap<Query, EngineError> = HashMap::new();
+        let mut installed: HashMap<Query, AnalysisResult> = HashMap::new();
+        let mut engine = shard.write();
+        let (e, o) = engine.intern_with(nest, canon);
+        for (q, res) in computed {
+            match res {
+                Ok(detached) => {
+                    let result = engine.install(e, o, &q, detached);
+                    installed.insert(q, result);
+                }
+                Err(err) => {
+                    errors.insert(q, err);
+                }
+            }
+        }
+        queries
+            .iter()
+            .zip(validity)
+            .map(|(q, v)| {
+                if let Some(err) = v {
+                    return Err(err);
+                }
+                if let Some(err) = errors.get(q) {
+                    return Err(err.clone());
+                }
+                if let Some(result) = cached.get(q) {
+                    return Ok(result.clone());
+                }
+                if let Some(result) = installed.get(q) {
+                    return Ok(result.clone());
+                }
+                // A canonical twin of this query was computed and installed
+                // under the shared key; answer by the exact remap.
+                engine.answer(e, o, q)
+            })
+            .collect()
+    }
+
+    /// Serializes the whole front — every shard's result caches — as one
+    /// snapshot document in the same format as [`Engine::snapshot`], so
+    /// snapshots move freely between sharded and single-threaded sessions
+    /// (and between fronts with different shard counts). Takes each shard's
+    /// write lock briefly, one at a time.
+    pub fn snapshot(&self) -> Value {
+        let mut entries = Vec::new();
+        let mut betas = Vec::new();
+        let mut results = Vec::new();
+        let mut slices = Vec::new();
+        let mut surfaces = Vec::new();
+        for shard in &self.shards {
+            let mut engine = shard.write();
+            let (e, b, r, sl, su) = engine.snapshot_parts(entries.len());
+            entries.extend(e);
+            betas.extend(b);
+            results.extend(r);
+            slices.extend(sl);
+            surfaces.extend(su);
+        }
+        Value::Object(vec![
+            ("version".to_string(), Value::Int(SNAPSHOT_VERSION as i128)),
+            ("entries".to_string(), Value::Array(entries)),
+            ("betas".to_string(), Value::Array(betas)),
+            ("results".to_string(), Value::Array(results)),
+            ("slices".to_string(), Value::Array(slices)),
+            ("surfaces".to_string(), Value::Array(surfaces)),
+        ])
+    }
+
+    /// [`SharedEngine::snapshot`] printed as compact JSON.
+    pub fn snapshot_json(&self) -> String {
+        json::to_string(&self.snapshot())
+    }
+
+    /// Restores a front from a snapshot (produced by either
+    /// [`Engine::snapshot`] or [`SharedEngine::snapshot`]) with default
+    /// budgets and shard count. Entries are routed to their home shards by
+    /// signature, so the shard count need not match the snapshotting front.
+    pub fn restore(value: &Value) -> Result<SharedEngine, EngineError> {
+        SharedEngine::restore_with_config(value, EngineConfig::default(), default_shards())
+    }
+
+    /// [`SharedEngine::restore`] with explicit budgets and shard count.
+    pub fn restore_with_config(
+        value: &Value,
+        config: EngineConfig,
+        num_shards: usize,
+    ) -> Result<SharedEngine, EngineError> {
+        let front = SharedEngine::with_config(config, num_shards);
+        // One routing pass assigns every entry to its home shard; each
+        // per-shard restore then deserializes only its own entries and
+        // artifacts (foreign records are skipped by index before their
+        // payloads are parsed).
+        let routing: Vec<usize> = super::snapshot::entry_signatures(value)?
+            .iter()
+            .map(|sig| front.shard_of(sig))
+            .collect();
+        for (i, shard) in front.shards.iter().enumerate() {
+            let per_shard_config = shard.read().config();
+            let restored = Engine::restore_filtered(value, per_shard_config, &|idx| {
+                routing.get(idx) == Some(&i)
+            })?;
+            *shard.write() = restored;
+        }
+        Ok(front)
+    }
+
+    /// Restores a front from snapshot JSON text with default budgets.
+    pub fn restore_json(text: &str) -> Result<SharedEngine, EngineError> {
+        let value =
+            json::parse(text).map_err(|e| EngineError::Snapshot(format!("snapshot JSON: {e}")))?;
+        SharedEngine::restore(&value)
+    }
+}

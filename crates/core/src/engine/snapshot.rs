@@ -1,0 +1,527 @@
+//! Session persistence: serializing an [`Engine`]'s result caches through
+//! the workspace serde layer so a service warm-starts from disk.
+//!
+//! # Format
+//!
+//! A snapshot is a single JSON object:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "entries":  [ {"canonical": <LoopNest>, "orientations": [{"loops": [..], "arrays": [..]}]} ],
+//!   "betas":    [ {"entry": 0, "m": 256, "value": ["1/2", ..]} ],
+//!   "results":  [ {"entry": 0, "orientation": 0, "m": 256, "kind": "tightness", "value": {..}} ],
+//!   "slices":   [ {"entry": 0, "m": 256, "axis": 2, "kind": "span", "lo": 1, "hi": 256, "value": {..}} ],
+//!   "surfaces": [ {"entry": 0, "orientation": 0, "m": 256, "surface": {..}} ]
+//! }
+//! ```
+//!
+//! Artifact lists are ordered least- to most-recently-used, and restore
+//! re-inserts in that order, so the restored session's eviction behaviour
+//! matches the snapshotted one. Only *results* are persisted — warm solver
+//! state (the per-orientation `HblFamily`, the pooled simplex contexts) is
+//! rebuilt lazily, and surface summaries are recomputed from their surfaces.
+//!
+//! # Versioning caveats
+//!
+//! `version` is checked on restore and unknown versions are rejected
+//! ([`EngineError::Snapshot`]) rather than guessed at. The payload encodings
+//! ride on the workspace serde derives, so a type-shape change in a result
+//! type is a *format* change: bump [`SNAPSHOT_VERSION`] when one happens.
+//! Corrupt or hostile documents are rejected with errors — the JSON parser
+//! depth cap bounds recursion, every index is bounds-checked, and
+//! permutations are validated before use.
+
+use serde::{json, Deserialize, Serialize, Value};
+
+use projtile_arith::Rational;
+use projtile_loopnest::canon::permute_nest;
+use projtile_loopnest::{canonicalize, LoopNest};
+use projtile_lp::parametric::ValueFunction;
+
+use super::cache::{
+    cost, BetaKey, CachedResult, NestEntry, Orientation, PointSlice, ResultKey, ResultKind,
+    SliceEntry, SliceKey, SliceKind, StoredSurface, SurfaceKey,
+};
+use super::{summarize_surface, Engine, EngineConfig, EngineError};
+use crate::parametric::ExponentSurface;
+
+/// Current snapshot format version; restore rejects any other value.
+pub const SNAPSHOT_VERSION: i64 = 1;
+
+/// Parses just the canonical signatures of a snapshot's entries, in entry
+/// order — the single routing pass [`super::SharedEngine`] uses to assign
+/// entries to shards before restoring each shard's subset.
+pub(crate) fn entry_signatures(
+    value: &Value,
+) -> Result<Vec<projtile_loopnest::NestSignature>, EngineError> {
+    as_array(field(value, "entries")?, "entries")?
+        .iter()
+        .map(|ev| {
+            let canonical: LoopNest = de("snapshot entry nest", field(ev, "canonical")?)?;
+            Ok(canonicalize(&canonical).signature())
+        })
+        .collect()
+}
+
+/// The five body lists of a snapshot document, in document order:
+/// `(entries, betas, results, slices, surfaces)`.
+pub(crate) type SnapshotParts = (Vec<Value>, Vec<Value>, Vec<Value>, Vec<Value>, Vec<Value>);
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn snap_err(context: &str, e: serde::Error) -> EngineError {
+    EngineError::Snapshot(format!("{context}: {e}"))
+}
+
+fn field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, EngineError> {
+    v.field(name).map_err(|e| snap_err("snapshot", e))
+}
+
+fn de<T: Deserialize>(context: &str, v: &Value) -> Result<T, EngineError> {
+    T::deserialize(v).map_err(|e| snap_err(context, e))
+}
+
+fn as_array<'a>(v: &'a Value, what: &str) -> Result<&'a [Value], EngineError> {
+    match v {
+        Value::Array(items) => Ok(items),
+        other => Err(EngineError::Snapshot(format!(
+            "expected an array for {what}, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn is_permutation(perm: &[usize], len: usize) -> bool {
+    if perm.len() != len {
+        return false;
+    }
+    let mut seen = vec![false; len];
+    for &p in perm {
+        if p >= len || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+fn kind_tag(kind: ResultKind) -> &'static str {
+    match kind {
+        ResultKind::Bound => "bound",
+        ResultKind::Enumerated => "enumerated",
+        ResultKind::Tiling => "tiling",
+        ResultKind::Tightness => "tightness",
+        ResultKind::Certificate => "certificate",
+    }
+}
+
+impl Engine {
+    /// Serializes the session's result caches as a [`Value`] tree — one
+    /// versioned JSON object holding the interned nests, β vectors, typed
+    /// results, slices, and surfaces, each list in least- to
+    /// most-recently-used order (see `engine/snapshot.rs` for the full
+    /// format and its versioning caveats, mirrored in ARCHITECTURE.md).
+    /// Takes `&mut self` only to fold pending shared-path recency stamps
+    /// into the persisted order; no cached artifact is modified.
+    pub fn snapshot(&mut self) -> Value {
+        let (entries, betas, results, slices, surfaces) = self.snapshot_parts(0);
+        obj(vec![
+            ("version", Value::Int(SNAPSHOT_VERSION as i128)),
+            ("entries", Value::Array(entries)),
+            ("betas", Value::Array(betas)),
+            ("results", Value::Array(results)),
+            ("slices", Value::Array(slices)),
+            ("surfaces", Value::Array(surfaces)),
+        ])
+    }
+
+    /// [`Engine::snapshot`] printed as compact JSON.
+    pub fn snapshot_json(&mut self) -> String {
+        json::to_string(&self.snapshot())
+    }
+
+    /// Restores a session from a snapshot [`Value`], with default cache
+    /// budgets. The restored session answers every persisted query from
+    /// cache, bitwise-identically to the session that produced the snapshot.
+    pub fn restore(value: &Value) -> Result<Engine, EngineError> {
+        Engine::restore_with_config(value, EngineConfig::default())
+    }
+
+    /// [`Engine::restore`] with explicit cache budgets (restoring into
+    /// smaller budgets evicts least recently used artifacts immediately).
+    pub fn restore_with_config(value: &Value, config: EngineConfig) -> Result<Engine, EngineError> {
+        Engine::restore_filtered(value, config, &|_| true)
+    }
+
+    /// Restores a session from snapshot JSON text.
+    pub fn restore_json(text: &str) -> Result<Engine, EngineError> {
+        Engine::restore_json_with_config(text, EngineConfig::default())
+    }
+
+    /// [`Engine::restore_json`] with explicit cache budgets.
+    pub fn restore_json_with_config(
+        text: &str,
+        config: EngineConfig,
+    ) -> Result<Engine, EngineError> {
+        let value = json::parse(text).map_err(|e| snap_err("snapshot JSON", e))?;
+        Engine::restore_with_config(&value, config)
+    }
+
+    /// The snapshot body lists, with every entry index shifted by
+    /// `entry_offset` — the building block [`super::SharedEngine`] uses to
+    /// merge its shards into one document.
+    pub(crate) fn snapshot_parts(&mut self, entry_offset: usize) -> SnapshotParts {
+        let entries: Vec<Value> = self
+            .entries
+            .iter()
+            .map(|entry| {
+                obj(vec![
+                    ("canonical", entry.canonical.serialize()),
+                    (
+                        "orientations",
+                        Value::Array(
+                            entry
+                                .orientations
+                                .iter()
+                                .map(|o| {
+                                    obj(vec![
+                                        ("loops", o.loop_perm.serialize()),
+                                        ("arrays", o.array_perm.serialize()),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let betas: Vec<Value> = self
+            .betas
+            .iter_lru_to_mru()
+            .map(|(k, v)| {
+                obj(vec![
+                    ("entry", (k.entry + entry_offset).serialize()),
+                    ("m", k.m.serialize()),
+                    ("value", v.serialize()),
+                ])
+            })
+            .collect();
+        let results: Vec<Value> = self
+            .results
+            .iter_lru_to_mru()
+            .map(|(k, r)| {
+                let payload = match r {
+                    CachedResult::Bound(lb) => lb.serialize(),
+                    CachedResult::Enumerated(en) => en.serialize(),
+                    CachedResult::Tiling(t) => t.serialize(),
+                    CachedResult::Tightness(t) => t.serialize(),
+                    CachedResult::Certificate(ok) => ok.serialize(),
+                };
+                obj(vec![
+                    ("entry", (k.entry + entry_offset).serialize()),
+                    ("orientation", k.orientation.serialize()),
+                    ("m", k.m.serialize()),
+                    ("kind", Value::String(kind_tag(k.kind).to_string())),
+                    ("value", payload),
+                ])
+            })
+            .collect();
+        let slices: Vec<Value> = self
+            .slices
+            .iter_lru_to_mru()
+            .map(|(k, s)| {
+                let mut fields = vec![
+                    ("entry", (k.entry + entry_offset).serialize()),
+                    ("m", k.m.serialize()),
+                    ("axis", k.canon_axis.serialize()),
+                ];
+                match (k.kind, s) {
+                    (SliceKind::Span { lo_bound, hi_bound }, SliceEntry::Span(vf)) => {
+                        fields.push(("kind", Value::String("span".into())));
+                        fields.push(("lo", lo_bound.serialize()));
+                        fields.push(("hi", hi_bound.serialize()));
+                        fields.push(("value", vf.serialize()));
+                    }
+                    (SliceKind::Probe, SliceEntry::Probe(ps)) => {
+                        fields.push(("kind", Value::String("probe".into())));
+                        fields.push(("hi", ps.hi_bound.serialize()));
+                        fields.push(("value", ps.vf.serialize()));
+                    }
+                    _ => unreachable!("slice entry variant matches its key"),
+                }
+                obj(fields)
+            })
+            .collect();
+        let surfaces: Vec<Value> = self
+            .surfaces
+            .iter_lru_to_mru()
+            .map(|(k, s)| {
+                obj(vec![
+                    ("entry", (k.entry + entry_offset).serialize()),
+                    ("orientation", k.orientation.serialize()),
+                    ("m", k.m.serialize()),
+                    ("lo", k.lo_bounds.serialize()),
+                    ("hi", k.hi_bounds.serialize()),
+                    ("surface", s.surface.serialize()),
+                ])
+            })
+            .collect();
+        (entries, betas, results, slices, surfaces)
+    }
+
+    /// Restores the subset of a snapshot whose entry indices pass `keep`
+    /// (the sharded front routes entries to shards by signature first, then
+    /// restores one shard per call). Entry indices are remapped to the kept
+    /// subset; artifacts referencing dropped entries are skipped cheaply —
+    /// their payloads are never deserialized.
+    pub(crate) fn restore_filtered(
+        value: &Value,
+        config: EngineConfig,
+        keep: &dyn Fn(usize) -> bool,
+    ) -> Result<Engine, EngineError> {
+        let version: i64 = de("snapshot version", field(value, "version")?)?;
+        if version != SNAPSHOT_VERSION {
+            return Err(EngineError::Snapshot(format!(
+                "unsupported snapshot version {version} (this build reads version {SNAPSHOT_VERSION})"
+            )));
+        }
+        let mut engine = Engine::with_config(config);
+
+        // Interned nests and their orientations.
+        let mut remap: Vec<Option<usize>> = Vec::new();
+        for (idx, ev) in as_array(field(value, "entries")?, "entries")?
+            .iter()
+            .enumerate()
+        {
+            if !keep(idx) {
+                remap.push(None);
+                continue;
+            }
+            let canonical: LoopNest = de("snapshot entry nest", field(ev, "canonical")?)?;
+            let canon = canonicalize(&canonical);
+            if !canon.is_identity() {
+                return Err(EngineError::Snapshot(
+                    "snapshot entry nest is not in canonical form".into(),
+                ));
+            }
+            let sig = canon.signature();
+            let d = canonical.num_loops();
+            let n = canonical.num_arrays();
+            let mut orientations = Vec::new();
+            for ov in as_array(field(ev, "orientations")?, "orientations")? {
+                let loop_perm: Vec<usize> = de("orientation loops", field(ov, "loops")?)?;
+                let array_perm: Vec<usize> = de("orientation arrays", field(ov, "arrays")?)?;
+                if !is_permutation(&loop_perm, d) || !is_permutation(&array_perm, n) {
+                    return Err(EngineError::Snapshot(
+                        "snapshot orientation permutations are invalid".into(),
+                    ));
+                }
+                let nest = permute_nest(&canonical, &loop_perm, &array_perm);
+                orientations.push(Orientation {
+                    loop_perm,
+                    array_perm,
+                    nest,
+                    hbl_family: None,
+                });
+            }
+            let e = engine.entries.len();
+            engine.entries.push(NestEntry {
+                canonical,
+                orientations,
+            });
+            if engine.index.insert(sig, e).is_some() {
+                return Err(EngineError::Snapshot(
+                    "snapshot contains duplicate canonical entries".into(),
+                ));
+            }
+            engine.stats.interned += 1;
+            remap.push(Some(e));
+        }
+
+        // Resolves a snapshot entry index to a kept local index.
+        let resolve = |v: &Value| -> Result<Option<usize>, EngineError> {
+            let raw: usize = de("artifact entry index", v)?;
+            match remap.get(raw) {
+                Some(mapped) => Ok(*mapped),
+                None => Err(EngineError::Snapshot(format!(
+                    "artifact references entry {raw}, but the snapshot has {} entries",
+                    remap.len()
+                ))),
+            }
+        };
+
+        for bv in as_array(field(value, "betas")?, "betas")? {
+            let Some(e) = resolve(field(bv, "entry")?)? else {
+                continue;
+            };
+            let m: u64 = de("beta cache size", field(bv, "m")?)?;
+            let v: Vec<Rational> = de("beta vector", field(bv, "value")?)?;
+            if v.len() != engine.entries[e].canonical.num_loops() {
+                return Err(EngineError::Snapshot(
+                    "beta vector length does not match its nest".into(),
+                ));
+            }
+            let c = cost::betas(&v);
+            engine.betas.insert(BetaKey { entry: e, m }, v, c);
+        }
+
+        for rv in as_array(field(value, "results")?, "results")? {
+            let Some(e) = resolve(field(rv, "entry")?)? else {
+                continue;
+            };
+            let o: usize = de("result orientation", field(rv, "orientation")?)?;
+            if o >= engine.entries[e].orientations.len() {
+                return Err(EngineError::Snapshot(
+                    "result references an orientation the snapshot does not declare".into(),
+                ));
+            }
+            let m: u64 = de("result cache size", field(rv, "m")?)?;
+            let kind: String = de("result kind", field(rv, "kind")?)?;
+            let payload = field(rv, "value")?;
+            let (kind, cached) = match kind.as_str() {
+                "bound" => (
+                    ResultKind::Bound,
+                    CachedResult::Bound(de("lower bound", payload)?),
+                ),
+                "enumerated" => (
+                    ResultKind::Enumerated,
+                    CachedResult::Enumerated(de("enumerated bound", payload)?),
+                ),
+                "tiling" => (
+                    ResultKind::Tiling,
+                    CachedResult::Tiling(de("tiling summary", payload)?),
+                ),
+                "tightness" => (
+                    ResultKind::Tightness,
+                    CachedResult::Tightness(de("tightness report", payload)?),
+                ),
+                "certificate" => (
+                    ResultKind::Certificate,
+                    CachedResult::Certificate(de("certificate bit", payload)?),
+                ),
+                other => {
+                    return Err(EngineError::Snapshot(format!(
+                        "unknown result kind `{other}`"
+                    )))
+                }
+            };
+            let key = ResultKey {
+                entry: e,
+                orientation: o,
+                m,
+                kind,
+            };
+            let c = cost::result(&cached);
+            engine.results.insert(key, cached, c);
+        }
+
+        for sv in as_array(field(value, "slices")?, "slices")? {
+            let Some(e) = resolve(field(sv, "entry")?)? else {
+                continue;
+            };
+            let m: u64 = de("slice cache size", field(sv, "m")?)?;
+            let axis: usize = de("slice axis", field(sv, "axis")?)?;
+            if axis >= engine.entries[e].canonical.num_loops() {
+                return Err(EngineError::Snapshot(
+                    "slice axis out of range for its nest".into(),
+                ));
+            }
+            let kind: String = de("slice kind", field(sv, "kind")?)?;
+            let vf: ValueFunction = de("slice value function", field(sv, "value")?)?;
+            if vf.breakpoints.is_empty() {
+                return Err(EngineError::Snapshot("empty slice value function".into()));
+            }
+            let (kind, entry) = match kind.as_str() {
+                "span" => (
+                    SliceKind::Span {
+                        lo_bound: de("slice lo", field(sv, "lo")?)?,
+                        hi_bound: de("slice hi", field(sv, "hi")?)?,
+                    },
+                    SliceEntry::Span(vf),
+                ),
+                "probe" => {
+                    let hi_bound: u64 = de("probe hi", field(sv, "hi")?)?;
+                    (
+                        SliceKind::Probe,
+                        SliceEntry::Probe(PointSlice { hi_bound, vf }),
+                    )
+                }
+                other => {
+                    return Err(EngineError::Snapshot(format!(
+                        "unknown slice kind `{other}`"
+                    )))
+                }
+            };
+            let key = SliceKey {
+                entry: e,
+                m,
+                canon_axis: axis,
+                kind,
+            };
+            let c = cost::slice_entry(&entry);
+            engine.slices.insert(key, entry, c);
+        }
+
+        for sv in as_array(field(value, "surfaces")?, "surfaces")? {
+            let Some(e) = resolve(field(sv, "entry")?)? else {
+                continue;
+            };
+            let o: usize = de("surface orientation", field(sv, "orientation")?)?;
+            if o >= engine.entries[e].orientations.len() {
+                return Err(EngineError::Snapshot(
+                    "surface references an orientation the snapshot does not declare".into(),
+                ));
+            }
+            let m: u64 = de("surface cache size", field(sv, "m")?)?;
+            let surface: ExponentSurface = de("exponent surface", field(sv, "surface")?)?;
+            let axes = surface.axes().to_vec();
+            let d = engine.entries[e].canonical.num_loops();
+            let sorted = axes.windows(2).all(|w| w[0] < w[1]);
+            if axes.is_empty() || !sorted || axes.iter().any(|&a| a >= d) {
+                return Err(EngineError::Snapshot(
+                    "surface axes are not sorted in-range positions".into(),
+                ));
+            }
+            if surface.surface().domain().dim() != axes.len() {
+                return Err(EngineError::Snapshot(
+                    "surface domain dimension does not match its axes".into(),
+                ));
+            }
+            let lo_bounds: Vec<u64> = de("surface lo bounds", field(sv, "lo")?)?;
+            let hi_bounds: Vec<u64> = de("surface hi bounds", field(sv, "hi")?)?;
+            if lo_bounds.len() != axes.len()
+                || hi_bounds.len() != axes.len()
+                || lo_bounds
+                    .iter()
+                    .zip(&hi_bounds)
+                    .any(|(lo, hi)| *lo < 1 || hi < lo)
+            {
+                return Err(EngineError::Snapshot(
+                    "surface bound ranges are invalid".into(),
+                ));
+            }
+            let summary = summarize_surface(&surface, &axes);
+            let key = SurfaceKey {
+                entry: e,
+                orientation: o,
+                m,
+                axes,
+                lo_bounds,
+                hi_bounds,
+            };
+            let stored = StoredSurface { surface, summary };
+            let c = cost::surface(&stored);
+            engine.surfaces.insert(key, stored, c);
+        }
+
+        Ok(engine)
+    }
+}

@@ -23,6 +23,7 @@ use projtile_loopnest::LoopNest;
 use projtile_lp::mplp::{self, AffinePiece, ParamBox, ValueSurface};
 use projtile_lp::parametric::{parametric_rhs, parametric_rhs_cold, ValueFunction};
 use projtile_lp::LpError;
+use serde::{Deserialize, Serialize};
 
 use crate::tiling_lp::tiling_lp;
 
@@ -127,8 +128,10 @@ fn beta_sweep_query(
 
 /// The full §7 value function: the optimal tile exponent as an exact concave
 /// piecewise-linear function of several log loop bounds simultaneously,
-/// decomposed into critical regions. Produced by [`exponent_surface`].
-#[derive(Debug, Clone, PartialEq)]
+/// decomposed into critical regions. Produced by [`exponent_surface`];
+/// serde-serializable so an engine session can persist memoized surfaces in
+/// its snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExponentSurface {
     /// The swept loop-index positions, in the order the surface's parameter
     /// axes are numbered.
@@ -196,6 +199,23 @@ impl ExponentSurface {
     pub fn slice_at_nominal(&self, axis_pos: usize) -> ValueFunction {
         self.surface.slice_axis(axis_pos, &self.nominal)
     }
+
+    /// The same surface presented with its swept axes reordered: new swept
+    /// position `k` is old swept position `order[k]`. This is an exact
+    /// coordinate permutation of one decomposition — it is what
+    /// [`exponent_surface`] itself returns for a permuted-axes request, and
+    /// what the engine's surface memo answers permuted requests with.
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of `0..self.axes().len()`.
+    pub fn with_axis_order(&self, order: &[usize]) -> ExponentSurface {
+        ExponentSurface {
+            axes: order.iter().map(|&i| self.axes[i]).collect(),
+            axis_names: order.iter().map(|&i| self.axis_names[i].clone()).collect(),
+            nominal: order.iter().map(|&i| self.nominal[i].clone()).collect(),
+            surface: self.surface.permute_parameters(order),
+        }
+    }
 }
 
 /// The full multiparametric §7 analysis: the optimal tile exponent as an
@@ -246,6 +266,36 @@ pub fn exponent_surface_cold(
     exponent_surface_impl(nest, cache_size, axes, lo_bounds, hi_bounds, false)
 }
 
+/// Canonicalizes a surface request's axis order: returns the axes sorted
+/// ascending with their bound ranges permuted alongside, plus the remap
+/// presenting the sorted-order surface in the caller's order (`order[k]` =
+/// position of the caller's `k`-th axis in the sorted request; `None` when
+/// the request is already sorted). Shared by [`exponent_surface`] and the
+/// engine's surface memo so the two can never disagree on what "canonical
+/// order" means.
+#[allow(clippy::type_complexity)]
+pub(crate) fn sort_surface_request(
+    axes: &[usize],
+    lo_bounds: &[u64],
+    hi_bounds: &[u64],
+) -> (Vec<usize>, Vec<u64>, Vec<u64>, Option<Vec<usize>>) {
+    let mut by_axis: Vec<usize> = (0..axes.len()).collect();
+    by_axis.sort_by_key(|&i| axes[i]);
+    let sorted_axes: Vec<usize> = by_axis.iter().map(|&i| axes[i]).collect();
+    let sorted_lo: Vec<u64> = by_axis.iter().map(|&i| lo_bounds[i]).collect();
+    let sorted_hi: Vec<u64> = by_axis.iter().map(|&i| hi_bounds[i]).collect();
+    let order = if by_axis.iter().enumerate().all(|(k, &i)| k == i) {
+        None
+    } else {
+        let mut order = vec![0usize; axes.len()];
+        for (p, &caller) in by_axis.iter().enumerate() {
+            order[caller] = p;
+        }
+        Some(order)
+    };
+    (sorted_axes, sorted_lo, sorted_hi, order)
+}
+
 fn exponent_surface_impl(
     nest: &LoopNest,
     cache_size: u64,
@@ -268,6 +318,21 @@ fn exponent_surface_impl(
             lo_bounds[i] >= 1 && hi_bounds[i] >= lo_bounds[i],
             "invalid bound range on axis {a}"
         );
+    }
+
+    // Canonical axis order: the multiparametric traversal always runs with
+    // the swept axes sorted ascending; a request in any other order is
+    // answered by the exact coordinate permutation of the sorted-order
+    // surface ([`ExponentSurface::with_axis_order`]). Axis order therefore
+    // never changes *which* decomposition is computed — which is what lets
+    // the engine's surface memo share one cached surface across permuted
+    // requests while staying bitwise-identical to this free function.
+    let (sorted_axes, sorted_lo, sorted_hi, order) =
+        sort_surface_request(axes, lo_bounds, hi_bounds);
+    if let Some(order) = order {
+        let sorted =
+            exponent_surface_impl(nest, cache_size, &sorted_axes, &sorted_lo, &sorted_hi, warm)?;
+        return Ok(sorted.with_axis_order(&order));
     }
 
     // Base program: every swept axis' β row starts at 0 (bound 1); each
@@ -454,6 +519,44 @@ mod tests {
         assert!(
             std::panic::catch_unwind(|| exponent_surface(&nest, 64, &[0], &[8], &[4])).is_err()
         );
+    }
+
+    #[test]
+    fn permuted_axes_yield_the_exact_permuted_surface() {
+        // A surface requested with its axes in a different order is the
+        // exact coordinate permutation of the sorted-order surface:
+        // values, slices, and the region decomposition itself all agree.
+        let m = 1u64 << 8;
+        let nest = builders::matmul(1 << 6, 1 << 6, 1 << 6);
+        let sorted = exponent_surface(&nest, m, &[0, 2], &[1, 2], &[m, m / 2]).unwrap();
+        let swapped = exponent_surface(&nest, m, &[2, 0], &[2, 1], &[m / 2, m]).unwrap();
+        assert_eq!(swapped.axes(), &[2, 0]);
+        assert_eq!(&swapped, &sorted.with_axis_order(&[1, 0]));
+        assert_eq!(&sorted, &swapped.with_axis_order(&[1, 0]));
+        for i in 0..=4i64 {
+            for k in 1..=4i64 {
+                let beta = [ratio(i, 4), ratio(k, 8)];
+                let flipped = [beta[1].clone(), beta[0].clone()];
+                assert_eq!(sorted.value_at(&beta), swapped.value_at(&flipped));
+            }
+        }
+        // Slices along the same physical axis agree bitwise.
+        let at_sorted = vec![Rational::one(), ratio(1, 4)];
+        let at_swapped = vec![ratio(1, 4), Rational::one()];
+        assert_eq!(sorted.slice(1, &at_sorted), swapped.slice(0, &at_swapped));
+        // The piece sets are permutations of each other.
+        let sorted_pieces: Vec<_> = sorted.pieces().into_iter().cloned().collect();
+        let swapped_back: Vec<_> = swapped
+            .with_axis_order(&[1, 0])
+            .pieces()
+            .into_iter()
+            .cloned()
+            .collect();
+        assert_eq!(sorted_pieces, swapped_back);
+        // And the cold oracle canonicalizes identically.
+        let cold = exponent_surface_cold(&nest, m, &[2, 0], &[2, 1], &[m / 2, m]).unwrap();
+        assert_eq!(cold.axes(), &[2, 0]);
+        assert_eq!(cold.num_regions(), swapped.num_regions());
     }
 
     #[test]

@@ -69,7 +69,7 @@ use crate::LpError;
 const REGION_BUDGET: usize = 4096;
 
 /// An axis-aligned box of parameter vectors, `lo_k ≤ θ_k ≤ hi_k`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ParamBox {
     /// Lower corner.
     pub lo: Vec<Rational>,
@@ -208,7 +208,7 @@ impl AffinePiece {
 
 /// A closed halfspace `normal · θ ≤ offset`, normalized so the first nonzero
 /// normal entry has magnitude one.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct HalfSpace {
     /// Outward normal (nonzero).
     pub normal: Vec<Rational>,
@@ -257,7 +257,7 @@ impl HalfSpace {
 /// One critical region: an affine piece of the value function together with
 /// the polyhedron (inside the analyzed box) on which its basis — and hence
 /// the piece — is exact.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CriticalRegion {
     /// The affine piece, exact on this region and a one-sided bound on the
     /// value function everywhere (see the module docs).
@@ -281,7 +281,7 @@ impl CriticalRegion {
 
 /// The exact value function of a parametric LP over a box, decomposed into
 /// critical regions. Produced by [`parametric_rhs_box`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ValueSurface {
     objective: Objective,
     domain: ParamBox,
@@ -302,6 +302,56 @@ impl ValueSurface {
     /// Number of critical regions.
     pub fn num_regions(&self) -> usize {
         self.regions.len()
+    }
+
+    /// The same surface with its parameters renumbered: new parameter `k` is
+    /// old parameter `order[k]` (an index permutation). Every coordinate
+    /// vector — box corners, piece gradients, halfspace normals, witnesses —
+    /// is permuted accordingly and the regions are re-sorted into their
+    /// canonical order, so the result is the exact surface a caller that
+    /// numbered the parameters in the permuted order would work with.
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of `0..self.domain().dim()`.
+    pub fn permute_parameters(&self, order: &[usize]) -> ValueSurface {
+        let p = self.domain.dim();
+        assert_eq!(order.len(), p, "parameter permutation length mismatch");
+        let mut seen = vec![false; p];
+        for &i in order {
+            assert!(i < p && !seen[i], "not a parameter permutation");
+            seen[i] = true;
+        }
+        let permute =
+            |v: &[Rational]| -> Vec<Rational> { order.iter().map(|&i| v[i].clone()).collect() };
+        let domain = ParamBox {
+            lo: permute(&self.domain.lo),
+            hi: permute(&self.domain.hi),
+        };
+        let mut regions: Vec<CriticalRegion> = self
+            .regions
+            .iter()
+            .map(|r| CriticalRegion {
+                piece: AffinePiece {
+                    gradient: permute(&r.piece.gradient),
+                    constant: r.piece.constant.clone(),
+                },
+                halfspaces: r
+                    .halfspaces
+                    .iter()
+                    .map(|h| HalfSpace {
+                        normal: permute(&h.normal),
+                        offset: h.offset.clone(),
+                    })
+                    .collect(),
+                witness: permute(&r.witness),
+            })
+            .collect();
+        regions.sort();
+        ValueSurface {
+            objective: self.objective,
+            domain,
+            regions,
+        }
     }
 
     /// The distinct affine pieces of the surface, deduplicated and sorted.

@@ -5,11 +5,12 @@
 //! exponents or dual multipliers and are non-negative by definition).
 
 use projtile_arith::Rational;
+use serde::{Deserialize, Serialize};
 
 use crate::LpError;
 
 /// Whether the objective is maximized or minimized.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Objective {
     /// Maximize the objective function.
     Maximize,

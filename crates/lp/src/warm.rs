@@ -117,6 +117,11 @@ pub struct SensitivitySolution {
 pub struct SolverContext {
     state: Option<WarmState>,
     stats: ContextStats,
+    /// Set when the most recent solve returned an error. A tainted context
+    /// may hold a tableau that a failed dual re-entry left mid-pivot, so
+    /// pooled reuse ([`ContextPool`]) resets tainted contexts instead of
+    /// handing their retained state to the next checkout.
+    tainted: bool,
 }
 
 struct WarmState {
@@ -138,7 +143,8 @@ impl SolverContext {
     /// return (bitwise-identical `Solution` or error), warm-starting when
     /// possible.
     pub fn solve(&mut self, lp: &LinearProgram) -> Result<Solution, LpError> {
-        self.solve_inner(lp, true)
+        let result = self.solve_inner(lp, true);
+        self.note(result)
     }
 
     /// Solves `lp` for its optimal **value**: the returned objective value is
@@ -146,13 +152,19 @@ impl SolverContext {
     /// the optimal face (the lex-min canonicalization is skipped, so this is
     /// strictly cheaper on degenerate programs).
     pub fn solve_value(&mut self, lp: &LinearProgram) -> Result<Solution, LpError> {
-        self.solve_inner(lp, false)
+        let result = self.solve_inner(lp, false);
+        self.note(result)
     }
 
     /// The optimal objective value of `lp` — exactly [`crate::solve`]'s —
     /// without materializing the solution vector. The cheapest probe for
     /// value sweeps such as the parametric analysis.
     pub fn optimal_value(&mut self, lp: &LinearProgram) -> Result<Rational, LpError> {
+        let result = self.optimal_value_inner(lp);
+        self.note(result)
+    }
+
+    fn optimal_value_inner(&mut self, lp: &LinearProgram) -> Result<Rational, LpError> {
         lp.validate()?;
         if let Some(state) = self.state.as_mut() {
             if structurally_compatible(&state.lp, lp) {
@@ -171,6 +183,11 @@ impl SolverContext {
     /// Skips the per-call structural comparison, which dominates re-entry
     /// cost on small programs.
     pub fn solve_rhs_update(&mut self, lp: &LinearProgram) -> Result<Solution, LpError> {
+        let result = self.solve_rhs_update_inner(lp);
+        self.note(result)
+    }
+
+    fn solve_rhs_update_inner(&mut self, lp: &LinearProgram) -> Result<Solution, LpError> {
         let Some(state) = self.state.as_mut() else {
             return self.cold_solve(lp, true);
         };
@@ -188,6 +205,11 @@ impl SolverContext {
     /// Like [`SolverContext::optimal_value`], under the same caller guarantee
     /// as [`SolverContext::solve_rhs_update`].
     pub fn optimal_value_rhs_update(&mut self, lp: &LinearProgram) -> Result<Rational, LpError> {
+        let result = self.optimal_value_rhs_update_inner(lp);
+        self.note(result)
+    }
+
+    fn optimal_value_rhs_update_inner(&mut self, lp: &LinearProgram) -> Result<Rational, LpError> {
         let Some(state) = self.state.as_mut() else {
             return self.cold_solve(lp, false).map(|sol| sol.objective_value);
         };
@@ -214,6 +236,14 @@ impl SolverContext {
     /// sensitivity data, is then lost). The programs of this workspace's
     /// sweeps (tiling LPs, relaxed HBL LPs) never trigger that.
     pub fn solve_with_sensitivity(
+        &mut self,
+        lp: &LinearProgram,
+    ) -> Result<SensitivitySolution, LpError> {
+        let result = self.solve_with_sensitivity_inner(lp);
+        self.note(result)
+    }
+
+    fn solve_with_sensitivity_inner(
         &mut self,
         lp: &LinearProgram,
     ) -> Result<SensitivitySolution, LpError> {
@@ -253,6 +283,21 @@ impl SolverContext {
     /// requirement).
     pub fn reset(&mut self) {
         self.state = None;
+        self.tainted = false;
+    }
+
+    /// `true` iff the most recent solve on this context returned an error
+    /// (infeasible, unbounded, malformed). [`ContextPool`] uses this to
+    /// reset contexts on their way back into the pool so a failed solve's
+    /// retained tableau never warm-starts an unrelated checkout.
+    pub fn is_tainted(&self) -> bool {
+        self.tainted
+    }
+
+    /// Records the outcome of a public solve entry point in the taint flag.
+    fn note<T>(&mut self, result: Result<T, LpError>) -> Result<T, LpError> {
+        self.tainted = result.is_err();
+        result
     }
 
     /// Counters for this context's lifetime.
@@ -372,7 +417,14 @@ impl std::ops::DerefMut for PooledContext<'_> {
 
 impl Drop for PooledContext<'_> {
     fn drop(&mut self) {
-        if let Some(ctx) = self.ctx.take() {
+        if let Some(mut ctx) = self.ctx.take() {
+            // A context whose last solve failed may hold a tableau the
+            // failed re-entry left in a non-optimal state; returning it
+            // as-is would carry that stale warm-start state into the next
+            // checkout. Reset it so the next user starts cold.
+            if ctx.is_tainted() {
+                ctx.reset();
+            }
             self.pool.free.lock().push(ctx);
         }
     }
@@ -568,6 +620,58 @@ mod tests {
         drop(a);
         drop(b);
         assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn pool_resets_contexts_after_failed_solves() {
+        // Regression: a context returned to the pool after a failed solve
+        // must not carry its (possibly mid-pivot) warm tableau into the next
+        // checkout. Interleave failing and succeeding solves through one
+        // pool and check every answer against the cold oracle.
+        let pool = ContextPool::new();
+        let mut lp = LinearProgram::maximize(vec![int(1)]);
+        lp.add_constraint(Constraint::new(vec![int(1)], Relation::Le, int(2)));
+        lp.add_constraint(Constraint::new(vec![int(-1)], Relation::Le, int(0)));
+        let mut failures = 0u64;
+        for rhs in [0i64, -3, -1, -5, 0, -4, -2, 0] {
+            lp.constraints[1].rhs = int(rhs);
+            let cold = solve_canonical(&lp);
+            let mut ctx = pool.checkout();
+            let warm = ctx.solve(&lp);
+            assert_eq!(warm, cold, "rhs = {rhs}");
+            assert_eq!(ctx.is_tainted(), warm.is_err());
+            if warm.is_err() {
+                failures += 1;
+            } else {
+                // Every solve after a failure starts cold: the pool reset
+                // the tainted context on its way back in, so no retained
+                // tableau survived the error.
+                let stats = ctx.stats();
+                assert_eq!(
+                    stats.cold_solves,
+                    failures + 1,
+                    "rhs = {rhs}: expected a cold restart after each failure"
+                );
+            }
+        }
+        assert!(failures >= 3, "the interleaving must actually fail");
+        // The single pooled context was reused throughout.
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn tainted_context_recovers_via_reset() {
+        let mut ctx = SolverContext::new();
+        let mut lp = LinearProgram::maximize(vec![int(1)]);
+        lp.add_constraint(Constraint::new(vec![int(1)], Relation::Le, int(2)));
+        lp.add_constraint(Constraint::new(vec![int(-1)], Relation::Le, int(-3)));
+        assert_eq!(ctx.solve(&lp), Err(LpError::Infeasible));
+        assert!(ctx.is_tainted());
+        ctx.reset();
+        assert!(!ctx.is_tainted());
+        lp.constraints[1].rhs = int(0);
+        assert_eq!(ctx.solve(&lp), solve_canonical(&lp));
+        assert!(!ctx.is_tainted());
     }
 
     #[test]

@@ -202,6 +202,61 @@ where
     collected
 }
 
+/// Spawns `workers` scoped threads, each running `f(worker_index)`, and
+/// returns the results in worker-index order once all have finished.
+///
+/// This is the **concurrent-callers** primitive, complementing the
+/// data-parallel `par_map` family: where `par_map` splits one workload
+/// across threads, `fan_out` models several independent clients hammering a
+/// shared resource at once (a `SharedEngine` front, a pool) — exactly the
+/// shape of the multi-threaded stress tests and the `engine/concurrent`
+/// bench workloads. Always spawns real threads, regardless of
+/// [`PARALLEL_THRESHOLD`] and `PROJTILE_THREADS` (a stress test asking for 4
+/// workers means 4 threads). A panic in any worker is re-raised on the
+/// calling thread with its original payload (lowest worker index wins).
+pub fn fan_out<R, F>(workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if workers == 0 {
+        return Vec::new();
+    }
+    let outcome = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                scope.spawn(move |_| f(w))
+            })
+            .collect();
+        let mut out: Vec<Option<R>> = Vec::with_capacity(workers);
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(r) => out.push(Some(r)),
+                Err(payload) => {
+                    out.push(None);
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        (out, first_panic)
+    });
+    let (results, first_panic) = match outcome {
+        Ok(pair) => pair,
+        Err(payload) => std::panic::resume_unwind(payload),
+    };
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
+    results
+        .into_iter()
+        .map(|slot| slot.expect("non-panicking worker produced a result"))
+        .collect()
+}
+
 /// Parallel map-reduce: applies `map` to every element and folds the results
 /// with the associative `combine`, starting from `identity`.
 ///
@@ -354,6 +409,40 @@ mod tests {
             msg.contains("descriptive panic message for item 137"),
             "original payload lost: {msg:?}"
         );
+    }
+
+    #[test]
+    fn fan_out_runs_every_worker_concurrently() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let peak = AtomicUsize::new(0);
+        let live = AtomicUsize::new(0);
+        let results = fan_out(4, |w| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            live.fetch_sub(1, Ordering::SeqCst);
+            w * 10
+        });
+        assert_eq!(results, vec![0, 10, 20, 30]);
+        // All four workers were alive at once (real threads, no threshold).
+        assert_eq!(peak.load(Ordering::SeqCst), 4);
+        assert_eq!(fan_out(0, |w| w), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn fan_out_preserves_panic_payloads() {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fan_out(3, |w| {
+                assert!(w != 1, "worker {w} panics descriptively");
+                w
+            })
+        }))
+        .expect_err("the fan-out must panic");
+        let msg = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload is a message");
+        assert!(msg.contains("worker 1 panics descriptively"), "{msg:?}");
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Running the analyses as a long-lived, concurrent service.
+//!
+//! Run with `cargo run --example analysis_service`.
+//!
+//! A compiler *service* (the "millions of users" deployment of the ROADMAP)
+//! differs from a single compiler pass in three ways, and this example
+//! demonstrates the machinery for each:
+//!
+//! 1. **Concurrency** — many clients query at once. The [`SharedEngine`]
+//!    shards session state by canonical nest signature behind per-shard
+//!    reader-writer locks; cache hits are served under the shared read lock,
+//!    so the hot path never queues behind a writer.
+//! 2. **Bounded memory** — a service cannot let its memo maps grow forever.
+//!    Every cache is a cost-aware bounded LRU ([`EngineConfig`] sets the
+//!    budgets); eviction never changes an answer, only who pays for it.
+//! 3. **Restarts** — a service wants yesterday's warm caches back.
+//!    [`SharedEngine::snapshot_json`] persists the result caches through the
+//!    serde layer and `restore_json` warm-starts a new front from them.
+
+use projtile::core::engine::{AnalysisResult, Query, SharedEngine};
+use projtile::loopnest::builders;
+use projtile::par::fan_out;
+
+fn main() {
+    let cache_words = 1u64 << 10;
+
+    // The service front: sharded, thread-safe, bounded. Shareable by
+    // reference across client threads.
+    let service = SharedEngine::new();
+
+    // A mixed client population: four "clients" each issue a batch about
+    // their own kernel, then probe everyone else's kernels too — so later
+    // requests are read-path cache hits no matter which thread asks.
+    let kernels = [
+        ("matmul", builders::matmul(1 << 9, 1 << 9, 1 << 5)),
+        ("nbody", builders::nbody(1 << 6, 1 << 9)),
+        (
+            "conv1x1",
+            builders::pointwise_conv(2, 1, 1 << 6, 1 << 5, 1 << 5),
+        ),
+        ("random", builders::random_projective(7, 4, 4, (1, 256))),
+    ];
+    let results = fan_out(kernels.len(), |client| {
+        let mut lines = Vec::new();
+        for step in 0..kernels.len() {
+            let (name, nest) = &kernels[(client + step) % kernels.len()];
+            let answers = service.analyze_batch(
+                nest,
+                &[
+                    Query::OptimalTiling {
+                        cache_size: cache_words,
+                    },
+                    Query::Tightness {
+                        cache_size: cache_words,
+                    },
+                ],
+            );
+            let (Ok(AnalysisResult::OptimalTiling(tiling)), Ok(AnalysisResult::Tightness(t))) =
+                (answers[0].clone(), answers[1].clone())
+            else {
+                unreachable!("valid queries answer with their own variants")
+            };
+            if step == 0 {
+                lines.push(format!(
+                    "client {client}: {name:8} tile {:?}  exponent {}  tight: {}",
+                    tiling.tile_dims, t.tiling_exponent, t.tight
+                ));
+            }
+        }
+        lines
+    });
+    println!("== concurrent clients ==");
+    for line in results.into_iter().flatten() {
+        println!("  {line}");
+    }
+    let stats = service.stats();
+    println!(
+        "  {} queries, {} hits, {} misses, {} nests over {} shards",
+        stats.queries,
+        stats.hits,
+        stats.misses,
+        stats.interned,
+        service.num_shards()
+    );
+
+    // Bounded memoization: the budgets are visible (and respected) at runtime.
+    let metrics = service.cache_metrics();
+    println!("\n== cache occupancy ==");
+    println!(
+        "  results: {} entries, ~{} bytes of {} budgeted ({} evictions)",
+        metrics.results.entries,
+        metrics.results.cost,
+        metrics.results.capacity,
+        metrics.results.evictions
+    );
+
+    // Persistence: snapshot to disk, restart, restore — the restored front
+    // answers the whole corpus from cache (zero misses).
+    let path = std::env::temp_dir().join("projtile_service_snapshot.json");
+    std::fs::write(&path, service.snapshot_json()).expect("snapshot writes");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let text = std::fs::read_to_string(&path).expect("snapshot reads back");
+    let restarted = SharedEngine::restore_json(&text).expect("snapshot restores");
+    for (_, nest) in &kernels {
+        let again = restarted.analyze(
+            nest,
+            &Query::Tightness {
+                cache_size: cache_words,
+            },
+        );
+        assert!(again.is_ok(), "restored front answers from cache");
+    }
+    let stats = restarted.stats();
+    println!("\n== snapshot/restore ==");
+    println!("  snapshot: {bytes} bytes at {}", path.display());
+    println!(
+        "  restored front: {} queries, {} hits, {} misses (warm restart)",
+        stats.queries, stats.hits, stats.misses
+    );
+    assert_eq!(stats.misses, 0, "restored front must be warm");
+    let _ = std::fs::remove_file(&path);
+}

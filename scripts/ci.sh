@@ -30,6 +30,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q (PROJTILE_THREADS=4: multi-threaded sweeps + SharedEngine stress)"
+PROJTILE_THREADS=4 cargo test -q
+
 echo "==> cargo build --examples (engine-session example programs)"
 cargo build --examples
 
@@ -55,6 +58,9 @@ if [ "$bench_smoke" = 1 ]; then
     grep -q "parametric/exponent_surface" "$smoke_out"
     grep -q "engine/cold" "$smoke_out"
     grep -q "engine/cache_hit" "$smoke_out"
+    grep -q "engine/concurrent" "$smoke_out"
+    grep -q "engine/evicted_rewarm" "$smoke_out"
+    grep -q "engine/snapshot_restore" "$smoke_out"
     rm -f "$smoke_out"
 fi
 

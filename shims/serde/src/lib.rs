@@ -335,6 +335,14 @@ impl Deserialize for Value {
 pub mod json {
     use super::{Deserialize, Error, Serialize, Value};
 
+    /// Maximum container nesting depth the parser accepts. The parser
+    /// recurses once per nesting level, so an unbounded depth would let a
+    /// hostile or corrupt document (e.g. a tampered engine snapshot of
+    /// `[[[[…`) overflow the stack; beyond this cap it returns a parse
+    /// error instead. 128 levels is far deeper than any document this
+    /// workspace produces.
+    pub const MAX_DEPTH: usize = 128;
+
     /// Serializes `t` and prints it as compact JSON.
     pub fn to_string<T: Serialize + ?Sized>(t: &T) -> String {
         let mut out = String::new();
@@ -361,7 +369,7 @@ pub mod json {
     pub fn parse(s: &str) -> Result<Value, Error> {
         let bytes = s.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(Error::custom(format!(
@@ -452,7 +460,13 @@ pub mod json {
         }
     }
 
-    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(Error::custom(format!(
+                "JSON nesting deeper than {MAX_DEPTH} levels at byte {}",
+                *pos
+            )));
+        }
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             None => Err(Error::custom("unexpected end of JSON input")),
@@ -469,7 +483,7 @@ pub mod json {
                     return Ok(Value::Array(items));
                 }
                 loop {
-                    items.push(parse_value(bytes, pos)?);
+                    items.push(parse_value(bytes, pos, depth + 1)?);
                     skip_ws(bytes, pos);
                     match bytes.get(*pos) {
                         Some(b',') => *pos += 1,
@@ -499,7 +513,7 @@ pub mod json {
                     let key = parse_string(bytes, pos)?;
                     skip_ws(bytes, pos);
                     expect(bytes, pos, ":")?;
-                    let value = parse_value(bytes, pos)?;
+                    let value = parse_value(bytes, pos, depth + 1)?;
                     entries.push((key, value));
                     skip_ws(bytes, pos);
                     match bytes.get(*pos) {
@@ -712,6 +726,41 @@ mod tests {
         assert!(json::parse("\"\\ud800\\ud800\"").is_err());
         assert!(json::from_str::<u8>("300").is_err());
         assert!(json::from_str::<bool>("\"yes\"").is_err());
+    }
+
+    #[test]
+    fn nesting_depth_is_capped() {
+        // Regression: a hostile/corrupt document with pathological nesting
+        // must produce a parse error, not a stack overflow. The recursion
+        // budget is consumed per container level for arrays and objects
+        // alike, including mixed nesting.
+        let deep_array = format!("{}1{}", "[".repeat(4096), "]".repeat(4096));
+        assert!(json::parse(&deep_array).is_err());
+        let deep_object = format!("{}1{}", "{\"k\":".repeat(4096), "}".repeat(4096));
+        assert!(json::parse(&deep_object).is_err());
+        let mixed = format!("{}1{}", "[{\"k\":".repeat(2048), "}]".repeat(2048));
+        assert!(json::parse(&mixed).is_err());
+        // Exactly at the cap still parses; one past it does not.
+        let at_cap = format!(
+            "{}1{}",
+            "[".repeat(json::MAX_DEPTH),
+            "]".repeat(json::MAX_DEPTH)
+        );
+        let parsed = json::parse(&at_cap).expect("nesting at the cap parses");
+        assert_ne!(parsed, Value::Null);
+        let past_cap = format!(
+            "{}1{}",
+            "[".repeat(json::MAX_DEPTH + 1),
+            "]".repeat(json::MAX_DEPTH + 1)
+        );
+        assert!(json::parse(&past_cap).is_err());
+        // Deep but in-bounds real documents still round trip.
+        let mut v = Value::Int(7);
+        for _ in 0..100 {
+            v = Value::Array(vec![v]);
+        }
+        let text = json::to_string(&v);
+        assert_eq!(json::parse(&text).unwrap(), v);
     }
 
     #[test]
