@@ -15,7 +15,7 @@
 
 use std::time::Duration;
 
-use projtile_bench::{all_experiments, perf};
+use projtile_bench::{all_experiments, perf, service_perf};
 
 fn run_bench_mode(args: &[String]) {
     let mut label = "snapshot".to_string();
@@ -64,11 +64,15 @@ fn run_bench_mode(args: &[String]) {
         "timing {} workloads ({budget_ms} ms budget each)...",
         perf::default_workloads().len()
     );
-    let measurements = perf::measure_all(
+    let mut measurements = perf::measure_all(
         &perf::default_workloads(),
         Duration::from_millis(budget_ms),
         5,
     );
+    eprintln!("timing the service group (in-process server over loopback)...");
+    measurements.extend(service_perf::service_measurements(Duration::from_millis(
+        budget_ms,
+    )));
     let doc = perf::snapshot_json(&label, &measurements, baseline.as_deref());
     match out {
         Some(path) => {

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod perf;
+pub mod service_perf;
 
 use projtile_core::{
     alpha, bounds, check_tightness, closed_forms, communication_lower_bound, contraction, hbl,

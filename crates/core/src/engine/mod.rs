@@ -71,16 +71,19 @@ mod cache;
 mod query;
 mod shared;
 mod snapshot;
+mod store;
 
 pub use query::{AnalysisResult, EngineError, Query, SurfaceSummary, TilingSummary};
 pub use shared::SharedEngine;
 pub use snapshot::SNAPSHOT_VERSION;
+pub use store::{SnapshotStore, SNAPSHOT_TMP};
 
 use std::collections::HashMap;
 use std::fmt;
 
 use projtile_arith::{log, Rational};
-use projtile_cachesim::{BoundedLru, BoundedLruStats};
+use projtile_cachesim::BoundedLru;
+pub use projtile_cachesim::BoundedLruStats;
 use projtile_loopnest::{canonicalize, CanonicalNest, LoopNest, NestSignature};
 use projtile_lp::parametric::ValueFunction;
 use projtile_lp::ContextPool;

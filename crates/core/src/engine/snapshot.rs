@@ -29,8 +29,12 @@
 //! ride on the workspace serde derives, so a type-shape change in a result
 //! type is a *format* change: bump [`SNAPSHOT_VERSION`] when one happens.
 //! Corrupt or hostile documents are rejected with errors — the JSON parser
-//! depth cap bounds recursion, every index is bounds-checked, and
-//! permutations are validated before use.
+//! depth cap bounds recursion, every index is bounds-checked, permutations
+//! are validated before use, and artifact payloads are shape-checked
+//! against their nest (certificate vector lengths, witness-subset ranges,
+//! slice sortedness and probe coverage, surface coordinate dimensions, and
+//! cache sizes no valid session can produce) so a restored cache can never
+//! panic a worker that consumes it (pinned by `tests/snapshot_hostile.rs`).
 
 use serde::{json, Deserialize, Serialize, Value};
 
@@ -87,6 +91,19 @@ fn field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, EngineError> {
 
 fn de<T: Deserialize>(context: &str, v: &Value) -> Result<T, EngineError> {
     T::deserialize(v).map_err(|e| snap_err(context, e))
+}
+
+/// Deserializes an artifact's cache size and rejects values below 2 words —
+/// no session can produce them ([`super::Engine::validate_query`] refuses
+/// such queries), and downstream consumers (`log::beta`) assert `m >= 2`.
+fn artifact_m(v: &Value, context: &str) -> Result<u64, EngineError> {
+    let m: u64 = de(context, v)?;
+    if m < 2 {
+        return Err(EngineError::Snapshot(format!(
+            "{context} must be at least 2 words, got {m}"
+        )));
+    }
+    Ok(m)
 }
 
 fn as_array<'a>(v: &'a Value, what: &str) -> Result<&'a [Value], EngineError> {
@@ -362,7 +379,7 @@ impl Engine {
             let Some(e) = resolve(field(bv, "entry")?)? else {
                 continue;
             };
-            let m: u64 = de("beta cache size", field(bv, "m")?)?;
+            let m = artifact_m(field(bv, "m")?, "beta cache size")?;
             let v: Vec<Rational> = de("beta vector", field(bv, "value")?)?;
             if v.len() != engine.entries[e].canonical.num_loops() {
                 return Err(EngineError::Snapshot(
@@ -383,7 +400,7 @@ impl Engine {
                     "result references an orientation the snapshot does not declare".into(),
                 ));
             }
-            let m: u64 = de("result cache size", field(rv, "m")?)?;
+            let m = artifact_m(field(rv, "m")?, "result cache size")?;
             let kind: String = de("result kind", field(rv, "kind")?)?;
             let payload = field(rv, "value")?;
             let (kind, cached) = match kind.as_str() {
@@ -413,6 +430,54 @@ impl Engine {
                     )))
                 }
             };
+            // Payload shape checks: a hostile document can encode vectors
+            // and subsets that do not fit the nest, which would panic deep
+            // in the certificate re-check (`exponent_from_s_hat_with_betas`
+            // indexes β by witness member, `is_feasible` by array) the first
+            // time the cached artifact is consumed.
+            let d = engine.entries[e].canonical.num_loops();
+            let n = engine.entries[e].canonical.num_arrays();
+            let in_range = |s: projtile_loopnest::IndexSet| s.iter().all(|j| j < d);
+            match &cached {
+                CachedResult::Bound(lb) => {
+                    if lb.s_hat.len() != n || lb.zeta.len() != d {
+                        return Err(EngineError::Snapshot(
+                            "lower-bound certificate vectors do not match the nest".into(),
+                        ));
+                    }
+                    if !in_range(lb.witness_subset) {
+                        return Err(EngineError::Snapshot(
+                            "lower-bound witness subset references loops the nest does not have"
+                                .into(),
+                        ));
+                    }
+                }
+                CachedResult::Enumerated(en) => {
+                    if !in_range(en.best_subset) || en.per_subset.iter().any(|(q, _)| !in_range(*q))
+                    {
+                        return Err(EngineError::Snapshot(
+                            "enumerated-bound subsets reference loops the nest does not have"
+                                .into(),
+                        ));
+                    }
+                }
+                CachedResult::Tiling(t) => {
+                    if t.lambda.len() != d || t.tile_dims.len() != d {
+                        return Err(EngineError::Snapshot(
+                            "tiling summary dimensions do not match the nest".into(),
+                        ));
+                    }
+                }
+                CachedResult::Tightness(t) => {
+                    if !in_range(t.witness_subset) {
+                        return Err(EngineError::Snapshot(
+                            "tightness witness subset references loops the nest does not have"
+                                .into(),
+                        ));
+                    }
+                }
+                CachedResult::Certificate(_) => {}
+            }
             let key = ResultKey {
                 entry: e,
                 orientation: o,
@@ -427,7 +492,7 @@ impl Engine {
             let Some(e) = resolve(field(sv, "entry")?)? else {
                 continue;
             };
-            let m: u64 = de("slice cache size", field(sv, "m")?)?;
+            let m = artifact_m(field(sv, "m")?, "slice cache size")?;
             let axis: usize = de("slice axis", field(sv, "axis")?)?;
             if axis >= engine.entries[e].canonical.num_loops() {
                 return Err(EngineError::Snapshot(
@@ -439,16 +504,42 @@ impl Engine {
             if vf.breakpoints.is_empty() {
                 return Err(EngineError::Snapshot("empty slice value function".into()));
             }
+            // `value_at` brackets by scanning windows, which relies on the
+            // breakpoints being sorted by θ; an unsorted hostile list would
+            // trip its `unreachable!` the first time the slice is evaluated.
+            if vf.breakpoints.windows(2).any(|w| w[0].0 > w[1].0) {
+                return Err(EngineError::Snapshot(
+                    "slice value function breakpoints are not sorted".into(),
+                ));
+            }
             let (kind, entry) = match kind.as_str() {
-                "span" => (
-                    SliceKind::Span {
-                        lo_bound: de("slice lo", field(sv, "lo")?)?,
-                        hi_bound: de("slice hi", field(sv, "hi")?)?,
-                    },
-                    SliceEntry::Span(vf),
-                ),
+                "span" => {
+                    let lo_bound: u64 = de("slice lo", field(sv, "lo")?)?;
+                    let hi_bound: u64 = de("slice hi", field(sv, "hi")?)?;
+                    if lo_bound < 1 || hi_bound < lo_bound {
+                        return Err(EngineError::Snapshot("slice bound range is invalid".into()));
+                    }
+                    (SliceKind::Span { lo_bound, hi_bound }, SliceEntry::Span(vf))
+                }
                 "probe" => {
                     let hi_bound: u64 = de("probe hi", field(sv, "hi")?)?;
+                    if hi_bound < 1 {
+                        return Err(EngineError::Snapshot(
+                            "probe bound must be at least 1".into(),
+                        ));
+                    }
+                    // A probe slice answers every bound in `1..=hi_bound` by
+                    // evaluating at `θ = log_M bound` — its value function
+                    // must actually span that interval, or `value_at` panics
+                    // on a covered-looking request.
+                    let hi_theta = projtile_arith::log::beta(hi_bound as u128, m as u128);
+                    let lo_covered = vf.breakpoints[0].0 <= Rational::zero();
+                    let hi_covered = vf.breakpoints[vf.breakpoints.len() - 1].0 >= hi_theta;
+                    if !lo_covered || !hi_covered {
+                        return Err(EngineError::Snapshot(
+                            "probe slice does not cover its declared bound range".into(),
+                        ));
+                    }
                     (
                         SliceKind::Probe,
                         SliceEntry::Probe(PointSlice { hi_bound, vf }),
@@ -480,8 +571,15 @@ impl Engine {
                     "surface references an orientation the snapshot does not declare".into(),
                 ));
             }
-            let m: u64 = de("surface cache size", field(sv, "m")?)?;
+            let m = artifact_m(field(sv, "m")?, "surface cache size")?;
             let surface: ExponentSurface = de("exponent surface", field(sv, "surface")?)?;
+            // Cross-field shape checks the derives cannot express: the
+            // summary render below and the axis-permutation remap on cache
+            // hits both assert that every coordinate vector matches the
+            // axis count.
+            if let Err(msg) = surface.validate_shape() {
+                return Err(EngineError::Snapshot(format!("exponent surface: {msg}")));
+            }
             let axes = surface.axes().to_vec();
             let d = engine.entries[e].canonical.num_loops();
             let sorted = axes.windows(2).all(|w| w[0] < w[1]);

@@ -1,0 +1,146 @@
+//! Crash-safe on-disk snapshot generations.
+//!
+//! A [`SnapshotStore`] owns a directory of numbered snapshot files
+//! (`snap-00000042.json`). Publication is atomic with respect to crashes at
+//! any instruction boundary:
+//!
+//! 1. the document is written to `snap.tmp` in the same directory;
+//! 2. the file is fsynced, so the bytes are durable before they are named;
+//! 3. `snap.tmp` is renamed to the next generation's name (POSIX rename is
+//!    atomic within a filesystem);
+//! 4. the directory is fsynced, so the rename itself is durable.
+//!
+//! A crash before step 3 leaves at most a stray `snap.tmp` — never a
+//! half-written *numbered* generation — so previously published generations
+//! are never clobbered. A crash between 3 and 4 can lose the newest name on
+//! power failure but still never corrupts an older one. Readers therefore
+//! walk generations newest-first and settle on the first that parses and
+//! validates ([`SnapshotStore::restore_latest`]), which makes torn writes,
+//! truncations, and garbage files a *freshness* problem, not a correctness
+//! problem: the answers served after recovery are the answers of some
+//! recently persisted good state.
+//!
+//! Old generations are garbage-collected after each successful publication,
+//! keeping the newest `keep` files — enough history to survive a corrupt
+//! newest generation (or several) without losing warm state entirely.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Name of the staging file a publication writes before its atomic rename.
+pub const SNAPSHOT_TMP: &str = "snap.tmp";
+
+/// A directory of numbered snapshot generations with atomic publication,
+/// bounded retention, and newest-valid-first recovery. See the module docs
+/// for the crash-safety argument.
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+    keep: usize,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) the store rooted at `dir`, retaining the
+    /// newest `keep` generations after each publication. `keep` is clamped
+    /// to at least 1 — a store that retained nothing could never recover.
+    pub fn open(dir: impl Into<PathBuf>, keep: usize) -> io::Result<SnapshotStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(SnapshotStore {
+            dir,
+            keep: keep.max(1),
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The path a generation number maps to.
+    pub fn generation_path(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("snap-{generation:08}.json"))
+    }
+
+    /// All published generations, newest first. Files that do not match the
+    /// `snap-N.json` naming scheme (including a stray `snap.tmp` from an
+    /// interrupted publication) are ignored.
+    pub fn generations(&self) -> io::Result<Vec<(u64, PathBuf)>> {
+        let mut found = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(digits) = name
+                .strip_prefix("snap-")
+                .and_then(|rest| rest.strip_suffix(".json"))
+            else {
+                continue;
+            };
+            if let Ok(generation) = digits.parse::<u64>() {
+                found.push((generation, path));
+            }
+        }
+        found.sort_by_key(|entry| std::cmp::Reverse(entry.0));
+        Ok(found)
+    }
+
+    /// Atomically publishes `text` as the next generation and prunes
+    /// generations beyond the retention limit. Returns the new generation
+    /// number.
+    pub fn publish(&self, text: &str) -> io::Result<u64> {
+        let next = self.generations()?.first().map_or(1, |(g, _)| g + 1);
+        let tmp = self.dir.join(SNAPSHOT_TMP);
+        {
+            use io::Write;
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.generation_path(next))?;
+        // Durability of the rename itself: fsync the directory entry.
+        fs::File::open(&self.dir)?.sync_all()?;
+        self.collect_garbage()?;
+        Ok(next)
+    }
+
+    /// Simulates a crash mid-publication for fault-injection tests and the
+    /// service's `FaultPlan`: writes only the first `keep_bytes` bytes of
+    /// `text` to the staging file and returns *without renaming* — exactly
+    /// the on-disk state a process killed between write and rename leaves
+    /// behind. Published generations are untouched.
+    pub fn torn_publish(&self, text: &str, keep_bytes: usize) -> io::Result<()> {
+        let cut = keep_bytes.min(text.len());
+        fs::write(self.dir.join(SNAPSHOT_TMP), &text.as_bytes()[..cut])
+    }
+
+    /// Walks generations newest-first and returns the first whose contents
+    /// `restore` accepts, with its generation number — or `None` if no
+    /// generation exists or none validates. Unreadable files and rejected
+    /// documents are skipped, not deleted: recovery never destroys evidence.
+    pub fn restore_latest<T, E>(
+        &self,
+        restore: impl Fn(&str) -> Result<T, E>,
+    ) -> io::Result<Option<(u64, T)>> {
+        for (generation, path) in self.generations()? {
+            let Ok(text) = fs::read_to_string(&path) else {
+                continue;
+            };
+            if let Ok(value) = restore(&text) {
+                return Ok(Some((generation, value)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Deletes all but the newest `keep` generations. Best-effort per file:
+    /// a file that cannot be removed is left for the next pass.
+    fn collect_garbage(&self) -> io::Result<()> {
+        for (_, path) in self.generations()?.into_iter().skip(self.keep) {
+            let _ = fs::remove_file(path);
+        }
+        Ok(())
+    }
+}

@@ -200,6 +200,24 @@ impl ExponentSurface {
         self.surface.slice_axis(axis_pos, &self.nominal)
     }
 
+    /// Checks the cross-field shape invariants a deserialized surface may
+    /// violate (the derives bypass [`exponent_surface`], which guarantees
+    /// them): one axis name and one nominal coordinate per swept axis, and
+    /// every coordinate vector of the underlying [`ValueSurface`] matching
+    /// the axis count. Snapshot restore runs this on untrusted documents
+    /// before any assert-bearing consumer (`render_pieces`, `value_at`,
+    /// `with_axis_order`).
+    pub(crate) fn validate_shape(&self) -> Result<(), String> {
+        let p = self.axes.len();
+        if self.axis_names.len() != p {
+            return Err("surface axis names do not match its axes".into());
+        }
+        if self.nominal.len() != p {
+            return Err("surface nominal point does not match its axes".into());
+        }
+        self.surface.check_dims(p)
+    }
+
     /// The same surface presented with its swept axes reordered: new swept
     /// position `k` is old swept position `order[k]`. This is an exact
     /// coordinate permutation of one decomposition — it is what

@@ -105,10 +105,26 @@ impl fmt::Display for ValidationError {
 impl std::error::Error for ValidationError {}
 
 /// A validated projective nested-loop program.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
 pub struct LoopNest {
     indices: Vec<LoopIndex>,
     arrays: Vec<ArrayAccess>,
+}
+
+/// Deserialization routes through [`LoopNest::new`], so the type's
+/// invariants hold for *every* value a program can observe — a hostile or
+/// corrupt document (a tampered snapshot, a malformed service request) that
+/// encodes a zero bound, an out-of-range array support, a duplicate name, or
+/// more than 64 indices is rejected with the corresponding
+/// [`ValidationError`] message instead of producing an invalid nest that
+/// panics deep inside the analyses.
+impl serde::Deserialize for LoopNest {
+    fn deserialize(v: &serde::Value) -> Result<LoopNest, serde::Error> {
+        let indices = Vec::<LoopIndex>::deserialize(v.field("indices")?)?;
+        let arrays = Vec::<ArrayAccess>::deserialize(v.field("arrays")?)?;
+        LoopNest::new(indices, arrays)
+            .map_err(|e| serde::Error::custom(format!("invalid loop nest: {e}")))
+    }
 }
 
 impl LoopNest {
@@ -491,6 +507,79 @@ mod tests {
         assert!(s.contains("for i in [8]"));
         assert!(s.contains("C(i,k)"));
         assert!(s.contains("B(j,k)"));
+    }
+
+    #[test]
+    fn deserialize_roundtrips_valid_nest() {
+        let nest = matmul();
+        let json = serde::json::to_string(&nest.serialize());
+        let value = serde::json::parse(&json).unwrap();
+        let back = LoopNest::deserialize(&value).unwrap();
+        assert_eq!(back, nest);
+    }
+
+    #[test]
+    fn deserialize_rejects_invalid_nests() {
+        // Each document is structurally well-formed JSON in the derived wire
+        // shape, but violates a `LoopNest::new` invariant; deserialization
+        // must surface the validation error rather than admit the value.
+        let hostile = [
+            // zero loop bound
+            (
+                r#"{"indices":[{"name":"i","bound":0}],
+                    "arrays":[{"name":"A","support":1}]}"#,
+                "bound",
+            ),
+            // support bit beyond the number of indices
+            (
+                r#"{"indices":[{"name":"i","bound":4}],
+                    "arrays":[{"name":"A","support":3}]}"#,
+                "position",
+            ),
+            // index unused by every array
+            (
+                r#"{"indices":[{"name":"i","bound":4},{"name":"j","bound":4}],
+                    "arrays":[{"name":"A","support":1}]}"#,
+                "appears in no array",
+            ),
+            // duplicate index names
+            (
+                r#"{"indices":[{"name":"i","bound":4},{"name":"i","bound":4}],
+                    "arrays":[{"name":"A","support":3}]}"#,
+                "duplicate",
+            ),
+            // no indices at all
+            (
+                r#"{"indices":[],"arrays":[{"name":"A","support":0}]}"#,
+                "no",
+            ),
+            // no arrays at all
+            (r#"{"indices":[{"name":"i","bound":4}],"arrays":[]}"#, "no"),
+        ];
+        for (doc, needle) in hostile {
+            let value = serde::json::parse(doc).unwrap();
+            let err = LoopNest::deserialize(&value).expect_err("hostile nest must not deserialize");
+            let msg = err.to_string().to_lowercase();
+            assert!(
+                msg.contains("invalid loop nest") && msg.contains(needle),
+                "unexpected error for {doc}: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn deserialize_rejects_too_many_indices() {
+        let indices: Vec<String> = (0..70)
+            .map(|i| format!(r#"{{"name":"i{i}","bound":2}}"#))
+            .collect();
+        let doc = format!(
+            r#"{{"indices":[{}],"arrays":[{{"name":"A","support":1}}]}}"#,
+            indices.join(",")
+        );
+        let value = serde::json::parse(&doc).unwrap();
+        let err =
+            LoopNest::deserialize(&value).expect_err("70 indices exceed the bitmask capacity");
+        assert!(err.to_string().contains("invalid loop nest"));
     }
 
     #[test]

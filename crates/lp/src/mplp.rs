@@ -354,6 +354,50 @@ impl ValueSurface {
         }
     }
 
+    /// Checks that every coordinate vector in the surface — box corners,
+    /// piece gradients, halfspace normals, region witnesses — has exactly
+    /// `dim` entries, that the box is non-empty (`lo ≤ hi` per axis), and
+    /// that at least one region is present.
+    ///
+    /// The serde derives construct surfaces field-by-field, bypassing the
+    /// solver that normally guarantees these invariants, so restore paths
+    /// must run this on untrusted documents before calling the
+    /// assert-bearing consumers (`value_at`, `render`,
+    /// `permute_parameters`).
+    pub fn check_dims(&self, dim: usize) -> Result<(), String> {
+        if self.domain.lo.len() != dim || self.domain.hi.len() != dim {
+            return Err(format!("surface domain box is not {dim}-dimensional"));
+        }
+        if self
+            .domain
+            .lo
+            .iter()
+            .zip(&self.domain.hi)
+            .any(|(l, h)| l > h)
+        {
+            return Err("surface domain box is empty (lo > hi)".into());
+        }
+        if self.regions.is_empty() {
+            return Err("surface has no critical regions".into());
+        }
+        for (i, r) in self.regions.iter().enumerate() {
+            if r.piece.gradient.len() != dim {
+                return Err(format!(
+                    "region {i} piece gradient is not {dim}-dimensional"
+                ));
+            }
+            if r.witness.len() != dim {
+                return Err(format!("region {i} witness is not {dim}-dimensional"));
+            }
+            if r.halfspaces.iter().any(|h| h.normal.len() != dim) {
+                return Err(format!(
+                    "region {i} has a halfspace normal that is not {dim}-dimensional"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// The distinct affine pieces of the surface, deduplicated and sorted.
     pub fn pieces(&self) -> Vec<&AffinePiece> {
         let mut pieces: Vec<&AffinePiece> = self.regions.iter().map(|r| &r.piece).collect();

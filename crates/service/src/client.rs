@@ -1,0 +1,276 @@
+//! A retrying client for the analysis service, used by the
+//! `projtile-query` binary and the integration suite.
+//!
+//! Transient failures — connection refused, `503` shed, read deadline —
+//! are retried with exponential backoff plus deterministic xorshift
+//! jitter (so simultaneous clients decorrelate without a clock or OS
+//! entropy dependency). A `503`'s `Retry-After` header, when present,
+//! overrides the computed backoff for that attempt. Non-transient answers
+//! (`400`, `404`, `500`, …) surface immediately: retrying a malformed
+//! request cannot fix it, and the engine recomputes deterministically, so
+//! replaying a `500`-answered request after a panic is *safe* but not
+//! automatic.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use projtile_core::engine::{AnalysisResult, Query};
+use projtile_loopnest::LoopNest;
+use serde::{json, Deserialize, Serialize, Value};
+
+use crate::http::{read_response, ReadError, Response};
+
+/// Retry policy for [`Client`].
+#[derive(Debug, Clone)]
+pub struct RetryConfig {
+    /// Total attempts before giving up (min 1).
+    pub max_attempts: usize,
+    /// Backoff before the second attempt; doubles per retry.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff (also caps honored `Retry-After`).
+    pub max_backoff: Duration,
+    /// Per-attempt deadline for reading the full response.
+    pub response_deadline: Duration,
+    /// Seed for the deterministic jitter stream (same seed, same jitter).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> RetryConfig {
+        RetryConfig {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            response_deadline: Duration::from_secs(30),
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+/// Why a client call failed after exhausting its retry budget (or hitting
+/// a non-retryable answer).
+#[derive(Debug)]
+pub enum ClientError {
+    /// Every attempt failed with a transient error; the payload is the
+    /// last one observed.
+    Exhausted(String),
+    /// The server answered with a non-transient error status.
+    Status(u16, String),
+    /// The server's bytes were not a valid response for this protocol.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Exhausted(last) => {
+                write!(f, "retries exhausted; last error: {last}")
+            }
+            ClientError::Status(code, body) => write!(f, "server answered {code}: {body}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A client bound to one server address. Cheap to construct; every request
+/// opens a fresh connection (the server speaks `Connection: close`).
+#[derive(Debug)]
+pub struct Client {
+    addr: String,
+    retry: RetryConfig,
+    jitter: AtomicU64,
+}
+
+impl Client {
+    /// A client with the default retry policy.
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client::with_retry(addr, RetryConfig::default())
+    }
+
+    /// A client with an explicit retry policy.
+    pub fn with_retry(addr: impl Into<String>, retry: RetryConfig) -> Client {
+        let jitter = AtomicU64::new(retry.jitter_seed.max(1));
+        Client {
+            addr: addr.into(),
+            retry,
+            jitter,
+        }
+    }
+
+    /// Analyzes `queries` against `nest`, returning per-query outcomes in
+    /// input order (engine errors ride as `Err(message)` entries).
+    pub fn analyze(
+        &self,
+        nest: &LoopNest,
+        queries: &[Query],
+    ) -> Result<Vec<Result<AnalysisResult, String>>, ClientError> {
+        let body = json::to_string(&Value::Object(vec![
+            ("nest".to_string(), nest.serialize()),
+            (
+                "queries".to_string(),
+                Value::Array(queries.iter().map(Serialize::serialize).collect()),
+            ),
+        ]));
+        let response = self.request("POST", "/analyze", &body)?;
+        let text = std::str::from_utf8(&response.body)
+            .map_err(|_| ClientError::Protocol("response body is not UTF-8".to_string()))?;
+        let doc =
+            json::parse(text).map_err(|e| ClientError::Protocol(format!("response body: {e}")))?;
+        let entries = match doc.field("results") {
+            Ok(Value::Array(entries)) => entries,
+            _ => {
+                return Err(ClientError::Protocol(
+                    "response lacks a `results` array".to_string(),
+                ))
+            }
+        };
+        entries
+            .iter()
+            .map(|entry| {
+                if let Ok(ok) = entry.field("ok") {
+                    return AnalysisResult::deserialize(ok)
+                        .map(Ok)
+                        .map_err(|e| ClientError::Protocol(format!("result entry: {e}")));
+                }
+                match entry.field("err") {
+                    Ok(Value::String(msg)) => Ok(Err(msg.clone())),
+                    _ => Err(ClientError::Protocol(
+                        "result entry has neither `ok` nor `err`".to_string(),
+                    )),
+                }
+            })
+            .collect()
+    }
+
+    /// Fetches the `/metrics` document.
+    pub fn metrics(&self) -> Result<Value, ClientError> {
+        let response = self.request("GET", "/metrics", "")?;
+        let text = std::str::from_utf8(&response.body)
+            .map_err(|_| ClientError::Protocol("metrics body is not UTF-8".to_string()))?;
+        json::parse(text).map_err(|e| ClientError::Protocol(format!("metrics body: {e}")))
+    }
+
+    /// Health check; `Ok` means the server answered `200`.
+    pub fn healthz(&self) -> Result<(), ClientError> {
+        self.request("GET", "/healthz", "").map(|_| ())
+    }
+
+    /// Asks the server to drain gracefully.
+    pub fn drain(&self) -> Result<(), ClientError> {
+        self.request("POST", "/admin/drain", "").map(|_| ())
+    }
+
+    /// One logical request with the retry loop: connect failures, read
+    /// deadlines, and `503` answers back off and retry; anything else
+    /// returns (success) or surfaces (client/server error).
+    fn request(&self, method: &str, path: &str, body: &str) -> Result<Response, ClientError> {
+        let attempts = self.retry.max_attempts.max(1);
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.backoff(attempt, &last));
+            }
+            match self.attempt(method, path, body) {
+                Ok(response) if response.status == 503 => {
+                    last = format!(
+                        "503 ({})",
+                        response.header("retry-after").unwrap_or("no retry-after")
+                    );
+                }
+                Ok(response) if response.status == 200 => return Ok(response),
+                Ok(response) => {
+                    let body = String::from_utf8_lossy(&response.body).into_owned();
+                    return Err(ClientError::Status(response.status, body));
+                }
+                Err(transient) => last = transient,
+            }
+        }
+        Err(ClientError::Exhausted(last))
+    }
+
+    /// A single connect-send-read attempt; `Err` is a transient failure
+    /// description.
+    fn attempt(&self, method: &str, path: &str, body: &str) -> Result<Response, String> {
+        let mut stream = TcpStream::connect(&self.addr).map_err(|e| format!("connect: {e}"))?;
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(body.as_bytes()))
+            .and_then(|()| stream.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        match read_response(&mut stream, self.retry.response_deadline) {
+            Ok(response) => Ok(response),
+            Err(ReadError::Deadline) => Err("response deadline exceeded".to_string()),
+            Err(ReadError::TooLarge) => Err("oversized response".to_string()),
+            Err(ReadError::Malformed(msg)) => Err(format!("malformed response: {msg}")),
+            Err(ReadError::Io(e)) => Err(format!("read: {e}")),
+        }
+    }
+
+    /// Backoff before retry number `attempt` (≥ 1): a `Retry-After` from
+    /// the previous answer when present, otherwise exponential growth from
+    /// the base — either way jittered and capped.
+    fn backoff(&self, attempt: usize, last: &str) -> Duration {
+        let advised = last
+            .strip_prefix("503 (")
+            .and_then(|rest| rest.strip_suffix(')'))
+            .and_then(|secs| secs.parse::<u64>().ok())
+            .map(Duration::from_secs)
+            // `Retry-After: 0` means "no advice", not "hammer immediately".
+            .filter(|d| !d.is_zero());
+        let base = advised.unwrap_or_else(|| {
+            self.retry
+                .base_backoff
+                .saturating_mul(1u32 << (attempt - 1).min(16) as u32)
+        });
+        let capped = base.min(self.retry.max_backoff);
+        // xorshift64*: deterministic per-client jitter in [0, capped/2].
+        let mut x = self.jitter.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter.store(x, Ordering::Relaxed);
+        let half = capped.as_millis().max(2) as u64 / 2;
+        capped + Duration::from_millis(x % half.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_honors_retry_after() {
+        let client = Client::new("127.0.0.1:1");
+        let b1 = client.backoff(1, "connect: refused");
+        let b3 = client.backoff(3, "connect: refused");
+        assert!(b3 > b1, "backoff grows: {b1:?} vs {b3:?}");
+        let advised = client.backoff(1, "503 (2)");
+        assert!(
+            advised >= Duration::from_secs(2),
+            "Retry-After floor: {advised:?}"
+        );
+        let capped = client.backoff(16, "connect: refused");
+        assert!(
+            capped <= RetryConfig::default().max_backoff * 3 / 2,
+            "cap plus jitter: {capped:?}"
+        );
+    }
+
+    #[test]
+    fn jitter_stream_is_deterministic_per_seed() {
+        let a = Client::new("x");
+        let b = Client::new("x");
+        for attempt in 1..5 {
+            assert_eq!(a.backoff(attempt, ""), b.backoff(attempt, ""));
+        }
+    }
+}

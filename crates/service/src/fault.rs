@@ -1,0 +1,137 @@
+//! Deliberate fault injection, so the robustness claims are *tested*
+//! machinery rather than dead configuration.
+//!
+//! A [`FaultPlan`] is constructed programmatically by the integration suite
+//! or parsed from the `PROJTILE_FAULTS` environment variable for manual
+//! runs, e.g.:
+//!
+//! ```text
+//! PROJTILE_FAULTS=compute_delay_ms=50,panic_every=3,torn_snapshot_every=2
+//! ```
+//!
+//! Faults injected:
+//! * `compute_delay_ms` — sleep before every compute (exercises queueing
+//!   and deadline behavior under a slow engine);
+//! * `panic_every` — every Nth analyze request panics mid-worker
+//!   (exercises `catch_unwind` isolation and the `500` path);
+//! * `torn_snapshot_every` — every Nth snapshot publication writes a torn
+//!   staging file and "crashes" before the rename (exercises crash-safe
+//!   publication and walk-back restore).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Which faults to inject, and how often. The zero value (`default`)
+/// injects nothing.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Milliseconds of artificial delay before each compute.
+    pub compute_delay_ms: u64,
+    /// Panic on every Nth analyze request (0 = never).
+    pub panic_every: u64,
+    /// Tear every Nth snapshot publication (0 = never).
+    pub torn_snapshot_every: u64,
+    requests: AtomicU64,
+    snapshots: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A plan with explicit knobs (counters start at zero).
+    pub fn new(compute_delay_ms: u64, panic_every: u64, torn_snapshot_every: u64) -> FaultPlan {
+        FaultPlan {
+            compute_delay_ms,
+            panic_every,
+            torn_snapshot_every,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Parses the `PROJTILE_FAULTS` environment variable; unset, empty, or
+    /// unrecognized entries leave the corresponding knob at zero.
+    pub fn from_env() -> FaultPlan {
+        Self::parse(
+            std::env::var("PROJTILE_FAULTS")
+                .ok()
+                .as_deref()
+                .unwrap_or(""),
+        )
+    }
+
+    /// Parses a `key=value,key=value` fault spec (the env-var syntax).
+    pub fn parse(spec: &str) -> FaultPlan {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',') {
+            let Some((key, value)) = part.split_once('=') else {
+                continue;
+            };
+            let Ok(value) = value.trim().parse::<u64>() else {
+                continue;
+            };
+            match key.trim() {
+                "compute_delay_ms" => plan.compute_delay_ms = value,
+                "panic_every" => plan.panic_every = value,
+                "torn_snapshot_every" => plan.torn_snapshot_every = value,
+                _ => {}
+            }
+        }
+        plan
+    }
+
+    /// Applies the compute-delay fault, then panics if this request number
+    /// hits the `panic_every` cadence. Callers run this *inside* their
+    /// `catch_unwind` region, before touching any shared state.
+    pub fn before_compute(&self) {
+        if self.compute_delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(self.compute_delay_ms));
+        }
+        if self.panic_every > 0 {
+            let n = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
+            if n.is_multiple_of(self.panic_every) {
+                panic!("injected worker panic (request {n})");
+            }
+        }
+    }
+
+    /// `true` when this snapshot publication should be torn instead of
+    /// completed (the caller uses
+    /// [`SnapshotStore::torn_publish`](projtile_core::engine::SnapshotStore::torn_publish)).
+    pub fn tear_this_snapshot(&self) -> bool {
+        if self.torn_snapshot_every == 0 {
+            return false;
+        }
+        let n = self.snapshots.fetch_add(1, Ordering::Relaxed) + 1;
+        n.is_multiple_of(self.torn_snapshot_every)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_spec_and_ignores_junk() {
+        let plan = FaultPlan::parse("compute_delay_ms=5, panic_every=3,junk,bad=x");
+        assert_eq!(plan.compute_delay_ms, 5);
+        assert_eq!(plan.panic_every, 3);
+        assert_eq!(plan.torn_snapshot_every, 0);
+    }
+
+    #[test]
+    fn panic_cadence_fires_every_nth() {
+        let plan = FaultPlan::new(0, 3, 0);
+        let mut panicked = 0;
+        for _ in 0..9 {
+            if std::panic::catch_unwind(|| plan.before_compute()).is_err() {
+                panicked += 1;
+            }
+        }
+        assert_eq!(panicked, 3, "every third request panics");
+    }
+
+    #[test]
+    fn tear_cadence_fires_every_nth() {
+        let plan = FaultPlan::new(0, 0, 2);
+        let torn: Vec<bool> = (0..6).map(|_| plan.tear_this_snapshot()).collect();
+        assert_eq!(torn, vec![false, true, false, true, false, true]);
+    }
+}

@@ -1,0 +1,70 @@
+//! A hardened TCP front end for the projtile analysis engine.
+//!
+//! The service answers the existing [`Query`]/[`AnalysisResult`] JSON over
+//! a minimal HTTP/1.1 listener ([`std::net::TcpListener`]), with the
+//! robustness properties a long-running exact-LP service needs — each one
+//! deliberately fault-injectable ([`FaultPlan`]) and covered by the
+//! integration suite:
+//!
+//! * **Read deadlines** — a client must deliver its whole request within
+//!   [`ServerConfig::read_deadline`]; byte-dribbling clients are
+//!   disconnected with `408` instead of pinning a worker.
+//! * **Backpressure** — admission goes through a bounded queue
+//!   ([`queue::BoundedQueue`]); when it is full the accept loop sheds with
+//!   `503 + Retry-After` instead of queueing unboundedly, and requests that
+//!   sat queued past [`ServerConfig::queue_deadline`] are shed on dequeue
+//!   rather than computed late.
+//! * **Panic isolation** — worker compute runs under
+//!   [`std::panic::catch_unwind`]; a panicking request answers `500` and
+//!   the engine stays consistent (computation happens outside the shard
+//!   locks, so an unwound worker cannot poison shared state).
+//! * **Exactness** — every served answer goes through
+//!   [`SharedEngine::analyze_batch`] (which dedups canonically-equal
+//!   queries within a request), so responses are bitwise-identical to the
+//!   cold free-function oracles no matter how requests are dropped,
+//!   retried, or replayed after a crash.
+//! * **Crash-safe persistence** — a background loop publishes snapshots
+//!   through [`projtile_core::engine::SnapshotStore`] (atomic
+//!   `snap.tmp` → fsync → rename, bounded retention), and startup restore
+//!   walks back to the newest *valid* generation.
+//! * **Observability** — `GET /metrics` surfaces cache metrics, queue
+//!   depth, shed/panic/timeout counters, and per-query-kind latency
+//!   histograms with p50/p99.
+//!
+//! # Wire protocol
+//!
+//! One request per connection (`Connection: close`); bodies are JSON.
+//!
+//! | Route | Body | Answer |
+//! |---|---|---|
+//! | `POST /analyze` | `{"nest": <LoopNest>, "queries": [<Query>…]}` | `{"results": [{"ok": <AnalysisResult>} \| {"err": "…"}…]}` |
+//! | `GET /healthz` | — | `{"status":"ok"}` |
+//! | `GET /metrics` | — | metrics JSON (see [`metrics`]) |
+//! | `POST /admin/drain` | — | `{"draining":true}`, then graceful drain |
+//!
+//! Error taxonomy: `400` malformed JSON / invalid nest, `404` unknown
+//! route, `405` wrong method, `408` read deadline exceeded, `413` body too
+//! large, `500` worker panic, `503` shed (with `Retry-After`). Per-query
+//! engine errors ride inside a `200` body as `{"err": …}` entries so one
+//! bad query does not void its batch-mates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod fault;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+
+pub use client::{Client, ClientError, RetryConfig};
+pub use fault::FaultPlan;
+pub use metrics::Metrics;
+pub use server::{Server, ServerConfig, ServerHandle};
+
+// Re-exported for doc links and downstream convenience: the wire types the
+// service speaks are exactly the engine's, and `/metrics` documents parse
+// into the workspace serde `Value` tree.
+pub use projtile_core::engine::{AnalysisResult, Query, SharedEngine};
+pub use serde::Value;

@@ -1,0 +1,201 @@
+//! Service observability: lock-free counters, a queue-depth gauge, and
+//! per-query-kind latency histograms, rendered as the `/metrics` JSON body.
+//!
+//! Histograms use power-of-two microsecond buckets (`bucket k` holds
+//! samples in `[2^k, 2^{k+1})` µs), which spans 1 µs to ~35 minutes in 31
+//! buckets; p50/p99 are reported as the upper edge of the quantile's
+//! bucket. A request computing several query kinds through one
+//! [`SharedEngine::analyze_batch`](projtile_core::engine::SharedEngine)
+//! call records its compute latency under *each* kind present, so a kind's
+//! histogram reads "latency of requests involving this kind".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde::Value;
+
+/// Number of histogram buckets (powers of two of microseconds).
+pub const HISTOGRAM_BUCKETS: usize = 31;
+
+/// The query kinds tracked by per-kind histograms, in render order.
+pub const QUERY_KINDS: [&str; 6] = [
+    "lower_bound",
+    "enumerated_bound",
+    "optimal_tiling",
+    "tightness",
+    "surface",
+    "slice",
+];
+
+/// A fixed-bucket latency histogram safe for concurrent recording.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Histogram {
+    /// Records one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().max(1) as u64;
+        let bucket = (63 - micros.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The upper bucket edge (µs) at quantile `q` in `[0, 1]`, or `None`
+    /// with no samples.
+    pub fn quantile_micros(&self, q: f64) -> Option<u64> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (k, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(1u64 << (k + 1));
+            }
+        }
+        None
+    }
+
+    fn render(&self) -> Value {
+        let mut fields = vec![("count", Value::Int(self.count() as i128))];
+        let p50 = self
+            .quantile_micros(0.50)
+            .map_or(Value::Null, |v| Value::Int(v as i128));
+        let p99 = self
+            .quantile_micros(0.99)
+            .map_or(Value::Null, |v| Value::Int(v as i128));
+        fields.push(("p50_micros", p50));
+        fields.push(("p99_micros", p99));
+        obj(fields)
+    }
+}
+
+/// All service counters and histograms. Shared by reference between the
+/// accept loop, workers, snapshot loop, and the `/metrics` route.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Connections admitted to the queue.
+    pub accepted: AtomicU64,
+    /// Requests answered (any status).
+    pub completed: AtomicU64,
+    /// Connections shed because the admission queue was full.
+    pub shed_queue_full: AtomicU64,
+    /// Requests shed because they waited past the queue deadline.
+    pub shed_expired: AtomicU64,
+    /// Worker panics caught and answered with `500`.
+    pub panics: AtomicU64,
+    /// Requests disconnected for exceeding the read deadline.
+    pub read_timeouts: AtomicU64,
+    /// Requests rejected as malformed (HTTP or JSON).
+    pub parse_errors: AtomicU64,
+    /// Snapshot generations published.
+    pub snapshots_published: AtomicU64,
+    /// Snapshot publications that failed (I/O or injected tear).
+    pub snapshot_failures: AtomicU64,
+    /// Current admission-queue depth.
+    pub queue_depth: AtomicU64,
+    /// Per-query-kind compute latency, indexed like [`QUERY_KINDS`].
+    pub per_kind: [Histogram; QUERY_KINDS.len()],
+    /// Whole-request latency (read to response), all routes.
+    pub request_latency: Histogram,
+}
+
+impl Metrics {
+    /// Records a compute latency sample under each kind index present.
+    pub fn record_kinds(&self, kinds: &[usize], latency: Duration) {
+        for &k in kinds {
+            if let Some(h) = self.per_kind.get(k) {
+                h.record(latency);
+            }
+        }
+    }
+
+    /// Renders the metrics document served by `GET /metrics`;
+    /// `cache_metrics` is the engine's own cache-occupancy report, spliced
+    /// in under `"engine"`.
+    pub fn render(&self, engine: Value) -> Value {
+        let load = |c: &AtomicU64| Value::Int(c.load(Ordering::Relaxed) as i128);
+        let kinds = QUERY_KINDS
+            .iter()
+            .zip(&self.per_kind)
+            .map(|(name, h)| (name.to_string(), h.render()))
+            .collect();
+        obj(vec![
+            ("accepted", load(&self.accepted)),
+            ("completed", load(&self.completed)),
+            ("shed_queue_full", load(&self.shed_queue_full)),
+            ("shed_expired", load(&self.shed_expired)),
+            ("panics", load(&self.panics)),
+            ("read_timeouts", load(&self.read_timeouts)),
+            ("parse_errors", load(&self.parse_errors)),
+            ("snapshots_published", load(&self.snapshots_published)),
+            ("snapshot_failures", load(&self.snapshot_failures)),
+            ("queue_depth", load(&self.queue_depth)),
+            ("request_latency", self.request_latency.render()),
+            ("per_query_kind", Value::Object(kinds)),
+            ("engine", engine),
+        ])
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = Histogram::default();
+        for micros in [10u64, 100, 1000, 10_000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 4);
+        let p50 = h.quantile_micros(0.5).unwrap();
+        assert!(
+            (100..=256).contains(&p50),
+            "p50 near the second sample: {p50}"
+        );
+        let p99 = h.quantile_micros(0.99).unwrap();
+        assert!(p99 >= 10_000, "p99 at or past the largest sample: {p99}");
+    }
+
+    #[test]
+    fn render_includes_every_counter_and_kind() {
+        let m = Metrics::default();
+        m.accepted.fetch_add(3, Ordering::Relaxed);
+        m.record_kinds(&[0, 3], Duration::from_millis(2));
+        let doc = serde::json::to_string(&m.render(Value::Null));
+        for field in [
+            "accepted",
+            "shed_queue_full",
+            "panics",
+            "queue_depth",
+            "per_query_kind",
+            "tightness",
+            "p99_micros",
+        ] {
+            assert!(doc.contains(field), "metrics JSON lacks {field}: {doc}");
+        }
+    }
+}

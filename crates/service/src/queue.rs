@@ -1,0 +1,178 @@
+//! The bounded admission queue between the accept loop and the workers.
+//!
+//! Built on [`std::sync::Mutex`]/[`Condvar`] (the workspace's
+//! `parking_lot`/`crossbeam` shims expose no condition variables or
+//! channels — see `shims/`). Capacity is fixed at construction:
+//! [`BoundedQueue::try_push`] never blocks and reports a full queue to the
+//! caller, which is what lets the accept loop shed load with `503` instead
+//! of queueing unboundedly.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A fixed-capacity MPMC queue with non-blocking push and timed blocking
+/// pop, plus a close signal that drains in-flight items before waking
+/// every consumer with `None`.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                capacity: capacity.max(1),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item` if there is room, returning it to the caller when
+    /// the queue is full or closed (the caller sheds or drops it).
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.closed || inner.items.len() >= inner.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking up to `patience` for one to
+    /// arrive. Returns `None` on timeout or when the queue is closed *and*
+    /// empty — a closed queue still hands out its remaining items, which is
+    /// what makes a drain graceful.
+    pub fn pop(&self, patience: Duration) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            let (guard, wait) = self
+                .ready
+                .wait_timeout(inner, patience)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+            if wait.timed_out() {
+                return inner.items.pop_front();
+            }
+        }
+    }
+
+    /// Closes the queue: future pushes fail, and consumers drain what
+    /// remains before observing `None`.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.closed = true;
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// `true` once [`BoundedQueue::close`] has been called. Consumers use
+    /// this to tell a pop timeout (keep polling) from a drained shutdown.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).closed
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .len()
+    }
+
+    /// `true` when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_fails_at_capacity_and_pop_drains_in_order() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3), "full queue sheds");
+        assert_eq!(q.pop(Duration::from_millis(1)), Some(1));
+        assert_eq!(q.pop(Duration::from_millis(1)), Some(2));
+        assert_eq!(q.pop(Duration::from_millis(1)), None, "empty times out");
+    }
+
+    #[test]
+    fn close_wakes_consumers_after_drain() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(8), "closed queue rejects pushes");
+        assert_eq!(q.pop(Duration::from_secs(5)), Some(7), "drains remainder");
+        assert_eq!(q.pop(Duration::from_secs(5)), None, "then observes close");
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_items() {
+        let q = Arc::new(BoundedQueue::new(64));
+        let produced = 4 * 100;
+        let qp = Arc::clone(&q);
+        let producers: Vec<_> = (0..4)
+            .map(|t| {
+                let q = Arc::clone(&qp);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        let mut item = t * 1000 + i;
+                        loop {
+                            match q.try_push(item) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    item = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = 0usize;
+                    while q.pop(Duration::from_millis(200)).is_some() {
+                        got += 1;
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let got: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(got, produced, "every produced item is consumed once");
+    }
+}

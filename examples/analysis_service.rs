@@ -1,36 +1,44 @@
-//! Running the analyses as a long-lived, concurrent service.
+//! Running the analyses as a long-lived, hardened network service.
 //!
 //! Run with `cargo run --example analysis_service`.
 //!
-//! A compiler *service* (the "millions of users" deployment of the ROADMAP)
-//! differs from a single compiler pass in three ways, and this example
-//! demonstrates the machinery for each:
-//!
-//! 1. **Concurrency** — many clients query at once. The [`SharedEngine`]
-//!    shards session state by canonical nest signature behind per-shard
-//!    reader-writer locks; cache hits are served under the shared read lock,
-//!    so the hot path never queues behind a writer.
-//! 2. **Bounded memory** — a service cannot let its memo maps grow forever.
-//!    Every cache is a cost-aware bounded LRU ([`EngineConfig`] sets the
-//!    budgets); eviction never changes an answer, only who pays for it.
-//! 3. **Restarts** — a service wants yesterday's warm caches back.
-//!    [`SharedEngine::snapshot_json`] persists the result caches through the
-//!    serde layer and `restore_json` warm-starts a new front from them.
+//! Earlier revisions of this example drove a [`SharedEngine`] in-process;
+//! since the service crate exists, the example exercises the real thing: it
+//! boots the hardened TCP server (`projtile::service`) on an ephemeral
+//! loopback port, fans out concurrent *network* clients against it, reads
+//! the `/metrics` document, drains gracefully (which publishes a final
+//! crash-safe snapshot generation), and restarts from the snapshot store to
+//! show the warm-cache restore — the full lifecycle an operator sees,
+//! compressed into one process. See `docs/operations.md` for the runbook
+//! version of everything demonstrated here.
 
-use projtile::core::engine::{AnalysisResult, Query, SharedEngine};
+use projtile::core::engine::{AnalysisResult, Query};
 use projtile::loopnest::builders;
 use projtile::par::fan_out;
+use projtile::service::{Client, FaultPlan, Server, ServerConfig};
+use std::time::Duration;
 
 fn main() {
     let cache_words = 1u64 << 10;
+    let snapshot_dir = std::env::temp_dir().join(format!(
+        "projtile-analysis-service-example-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&snapshot_dir);
+    let config = ServerConfig {
+        snapshot_dir: Some(snapshot_dir.clone()),
+        snapshot_interval: Some(Duration::from_millis(100)),
+        ..ServerConfig::default()
+    };
 
-    // The service front: sharded, thread-safe, bounded. Shareable by
-    // reference across client threads.
-    let service = SharedEngine::new();
+    // First life: boot, serve a mixed client population, drain.
+    let handle = Server::start(config.clone(), FaultPlan::default()).expect("server starts");
+    let addr = handle.addr().to_string();
+    println!("== serving on {addr} ==");
 
-    // A mixed client population: four "clients" each issue a batch about
-    // their own kernel, then probe everyone else's kernels too — so later
-    // requests are read-path cache hits no matter which thread asks.
+    // Four network clients; each asks about its own kernel first, then
+    // probes everyone else's — so later requests are cache hits regardless
+    // of which worker thread serves them.
     let kernels = [
         ("matmul", builders::matmul(1 << 9, 1 << 9, 1 << 5)),
         ("nbody", builders::nbody(1 << 6, 1 << 9)),
@@ -40,83 +48,92 @@ fn main() {
         ),
         ("random", builders::random_projective(7, 4, 4, (1, 256))),
     ];
-    let results = fan_out(kernels.len(), |client| {
-        let mut lines = Vec::new();
+    let queries = [
+        Query::OptimalTiling {
+            cache_size: cache_words,
+        },
+        Query::Tightness {
+            cache_size: cache_words,
+        },
+    ];
+    let lines = fan_out(kernels.len(), |client| {
+        // Each thread is an independent client with its own retry stream
+        // (distinct jitter seeds decorrelate simultaneous backoffs).
+        let http = Client::new(addr.clone());
+        let mut line = String::new();
         for step in 0..kernels.len() {
             let (name, nest) = &kernels[(client + step) % kernels.len()];
-            let answers = service.analyze_batch(
-                nest,
-                &[
-                    Query::OptimalTiling {
-                        cache_size: cache_words,
-                    },
-                    Query::Tightness {
-                        cache_size: cache_words,
-                    },
-                ],
-            );
+            let answers = http.analyze(nest, &queries).expect("served");
             let (Ok(AnalysisResult::OptimalTiling(tiling)), Ok(AnalysisResult::Tightness(t))) =
                 (answers[0].clone(), answers[1].clone())
             else {
                 unreachable!("valid queries answer with their own variants")
             };
             if step == 0 {
-                lines.push(format!(
+                line = format!(
                     "client {client}: {name:8} tile {:?}  exponent {}  tight: {}",
                     tiling.tile_dims, t.tiling_exponent, t.tight
-                ));
+                );
             }
         }
-        lines
+        line
     });
-    println!("== concurrent clients ==");
-    for line in results.into_iter().flatten() {
+    for line in lines {
         println!("  {line}");
     }
-    let stats = service.stats();
+
+    // Observability: the same numbers an operator scrapes from /metrics.
+    let metrics = Client::new(addr.clone()).metrics().expect("metrics");
+    let field = |name: &str| match metrics.field(name) {
+        Ok(projtile::service::Value::Int(n)) => *n,
+        _ => 0,
+    };
+    println!("\n== /metrics ==");
     println!(
-        "  {} queries, {} hits, {} misses, {} nests over {} shards",
-        stats.queries,
-        stats.hits,
-        stats.misses,
-        stats.interned,
-        service.num_shards()
+        "  accepted {}  completed {}  shed {}  panics {}",
+        field("accepted"),
+        field("completed"),
+        field("shed_queue_full"),
+        field("panics"),
     );
 
-    // Bounded memoization: the budgets are visible (and respected) at runtime.
-    let metrics = service.cache_metrics();
-    println!("\n== cache occupancy ==");
-    println!(
-        "  results: {} entries, ~{} bytes of {} budgeted ({} evictions)",
-        metrics.results.entries,
-        metrics.results.cost,
-        metrics.results.capacity,
-        metrics.results.evictions
-    );
-
-    // Persistence: snapshot to disk, restart, restore — the restored front
-    // answers the whole corpus from cache (zero misses).
-    let path = std::env::temp_dir().join("projtile_service_snapshot.json");
-    std::fs::write(&path, service.snapshot_json()).expect("snapshot writes");
-    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-    let text = std::fs::read_to_string(&path).expect("snapshot reads back");
-    let restarted = SharedEngine::restore_json(&text).expect("snapshot restores");
-    for (_, nest) in &kernels {
-        let again = restarted.analyze(
-            nest,
-            &Query::Tightness {
-                cache_size: cache_words,
-            },
-        );
-        assert!(again.is_ok(), "restored front answers from cache");
+    // Graceful drain: in-flight work finishes, a final snapshot generation
+    // is published, the port closes.
+    Client::new(addr).drain().expect("drain acknowledged");
+    handle.wait();
+    println!("\n== drained; snapshot store ==");
+    let mut generations: Vec<_> = std::fs::read_dir(&snapshot_dir)
+        .expect("store exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    generations.sort();
+    for name in &generations {
+        println!("  {name}");
     }
-    let stats = restarted.stats();
-    println!("\n== snapshot/restore ==");
-    println!("  snapshot: {bytes} bytes at {}", path.display());
+
+    // Second life: restart from the same store. The restored caches serve
+    // the whole corpus as hits — a warm restart over the wire.
+    let handle = Server::start(config, FaultPlan::default()).expect("server restarts");
+    let http = Client::new(handle.addr().to_string());
+    for (_, nest) in &kernels {
+        let again = http
+            .analyze(
+                nest,
+                &[Query::Tightness {
+                    cache_size: cache_words,
+                }],
+            )
+            .expect("restored server answers");
+        assert!(again[0].is_ok(), "restored answers are whole");
+    }
+    let stats = handle.engine().stats();
+    println!("\n== warm restart ==");
     println!(
-        "  restored front: {} queries, {} hits, {} misses (warm restart)",
+        "  restored server: {} queries, {} hits, {} misses",
         stats.queries, stats.hits, stats.misses
     );
     assert_eq!(stats.misses, 0, "restored front must be warm");
-    let _ = std::fs::remove_file(&path);
+    handle.join();
+    let _ = std::fs::remove_dir_all(&snapshot_dir);
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI gate for the projtile workspace: build, test, lint, format.
 #
-# Usage: scripts/ci.sh [--no-bench-build] [--no-bench-smoke]
+# Usage: scripts/ci.sh [--no-bench-build] [--no-bench-smoke] [--no-service-smoke]
 #
 # Mirrors the tier-1 verify command (`cargo build --release && cargo test -q`)
 # and adds clippy (warnings are errors) and rustfmt checks over all targets,
@@ -16,10 +16,12 @@ cd "$(dirname "$0")/.."
 
 build_benches=1
 bench_smoke=1
+service_smoke=1
 for arg in "$@"; do
     case "$arg" in
         --no-bench-build) build_benches=0 ;;
         --no-bench-smoke) bench_smoke=0 ;;
+        --no-service-smoke) service_smoke=0 ;;
         *) echo "unknown option: $arg" >&2; exit 2 ;;
     esac
 done
@@ -61,7 +63,83 @@ if [ "$bench_smoke" = 1 ]; then
     grep -q "engine/concurrent" "$smoke_out"
     grep -q "engine/evicted_rewarm" "$smoke_out"
     grep -q "engine/snapshot_restore" "$smoke_out"
+    grep -q "service/roundtrip" "$smoke_out"
+    grep -q "service/mixed_4threads/secs_per_request" "$smoke_out"
+    grep -q "service/mixed_4threads/p99" "$smoke_out"
     rm -f "$smoke_out"
+fi
+
+if [ "$service_smoke" = 1 ]; then
+    echo "==> service smoke (boot projtile-serve, verify bitwise, fault drill, drain)"
+    snap_dir="$(mktemp -d)"
+    serve_log="$(mktemp)"
+
+    # Stage 1: clean server. Boot with a snapshot store, check health, run the
+    # bitwise oracle check (`verify` compares every served answer against a
+    # cold local Engine), then drain — which must publish a final generation.
+    cargo run --release -q -p projtile-service --bin projtile-serve -- \
+        --addr 127.0.0.1:0 --snapshot-dir "$snap_dir" \
+        --snapshot-interval-ms 200 >"$serve_log" 2>&1 &
+    serve_pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^listening on //p' "$serve_log")"
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "server never reported an address" >&2; exit 1; }
+    query() { cargo run --release -q -p projtile-service --bin projtile-query -- "$@"; }
+    query "$addr" health
+    query "$addr" verify
+    query "$addr" drain
+    wait "$serve_pid"
+    ls "$snap_dir"/snap-*.json >/dev/null \
+        || { echo "drain published no snapshot generation" >&2; exit 1; }
+
+    # Stage 2: fault drill. Restart from the same store with injected panics
+    # and torn snapshots; the client's retries must still get bitwise-exact
+    # answers, and the store must stay restorable (verified by stage 3).
+    PROJTILE_FAULTS=panic_every=3,torn_snapshot_every=2 \
+        cargo run --release -q -p projtile-service --bin projtile-serve -- \
+        --addr 127.0.0.1:0 --snapshot-dir "$snap_dir" \
+        --snapshot-interval-ms 100 >"$serve_log" 2>&1 &
+    serve_pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^listening on //p' "$serve_log")"
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "fault server never reported an address" >&2; exit 1; }
+    # panic_every=3 counts analyze requests, and `verify` is exactly one, so
+    # the cadence is deterministic: 1 ok, 2 ok, 3 panics (500), 4 ok again —
+    # proving the panic is isolated and the engine stays exact afterwards.
+    query "$addr" verify
+    query "$addr" verify
+    if query "$addr" verify; then
+        echo "third analyze request should have answered 500" >&2
+        exit 1
+    fi
+    query "$addr" verify
+    query "$addr" drain
+    wait "$serve_pid"
+
+    # Stage 3: recovery. A third server restores from whatever the fault run
+    # left behind (torn tmp files must be skipped) and still verifies.
+    cargo run --release -q -p projtile-service --bin projtile-serve -- \
+        --addr 127.0.0.1:0 --snapshot-dir "$snap_dir" >"$serve_log" 2>&1 &
+    serve_pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^listening on //p' "$serve_log")"
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "recovery server never reported an address" >&2; exit 1; }
+    query "$addr" verify
+    query "$addr" drain
+    wait "$serve_pid"
+    rm -rf "$snap_dir" "$serve_log"
 fi
 
 echo "==> cargo clippy --all-targets (warnings are errors)"

@@ -469,7 +469,10 @@ pub mod json {
         }
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
-            None => Err(Error::custom("unexpected end of JSON input")),
+            None => Err(Error::custom(format!(
+                "unexpected end of JSON input at byte {}",
+                *pos
+            ))),
             Some(b'n') => expect(bytes, pos, "null").map(|()| Value::Null),
             Some(b't') => expect(bytes, pos, "true").map(|()| Value::Bool(true)),
             Some(b'f') => expect(bytes, pos, "false").map(|()| Value::Bool(false)),
@@ -539,11 +542,16 @@ pub mod json {
         if bytes.get(*pos) != Some(&b'"') {
             return Err(Error::custom(format!("expected a string at byte {}", *pos)));
         }
+        let start = *pos;
         *pos += 1;
         let mut out = String::new();
         loop {
             match bytes.get(*pos) {
-                None => return Err(Error::custom("unterminated string")),
+                None => {
+                    return Err(Error::custom(format!(
+                        "unterminated string starting at byte {start}"
+                    )))
+                }
                 Some(b'"') => {
                     *pos += 1;
                     return Ok(out);
@@ -569,24 +577,32 @@ pub mod json {
                                 {
                                     let lo = parse_hex4(bytes, *pos + 3)?;
                                     if !(0xDC00..0xE000).contains(&lo) {
-                                        return Err(Error::custom(
-                                            "high surrogate not followed by a low surrogate",
-                                        ));
+                                        return Err(Error::custom(format!(
+                                            "high surrogate not followed by a low surrogate at byte {}",
+                                            *pos + 1
+                                        )));
                                     }
                                     *pos += 6;
                                     0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
                                 } else {
-                                    return Err(Error::custom("lone surrogate in string"));
+                                    return Err(Error::custom(format!(
+                                        "lone surrogate in string at byte {}",
+                                        *pos - 5
+                                    )));
                                 }
                             } else {
                                 hi
                             };
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| Error::custom("invalid \\u escape"))?,
-                            );
+                            out.push(char::from_u32(code).ok_or_else(|| {
+                                Error::custom(format!("invalid \\u escape at byte {}", *pos - 5))
+                            })?);
                         }
-                        _ => return Err(Error::custom("invalid escape sequence")),
+                        _ => {
+                            return Err(Error::custom(format!(
+                                "invalid escape sequence at byte {}",
+                                *pos - 1
+                            )))
+                        }
                     }
                     *pos += 1;
                 }
@@ -594,7 +610,7 @@ pub mod json {
                     // Consume one UTF-8 character (input is a &str, so the
                     // byte stream is valid UTF-8 by construction).
                     let rest = std::str::from_utf8(&bytes[*pos..])
-                        .map_err(|_| Error::custom("invalid UTF-8"))?;
+                        .map_err(|_| Error::custom(format!("invalid UTF-8 at byte {}", *pos)))?;
                     let c = rest.chars().next().expect("non-empty remainder");
                     out.push(c);
                     *pos += c.len_utf8();
@@ -605,11 +621,12 @@ pub mod json {
 
     fn parse_hex4(bytes: &[u8], pos: usize) -> Result<u32, Error> {
         if pos + 4 > bytes.len() {
-            return Err(Error::custom("truncated \\u escape"));
+            return Err(Error::custom(format!("truncated \\u escape at byte {pos}")));
         }
         let s = std::str::from_utf8(&bytes[pos..pos + 4])
-            .map_err(|_| Error::custom("invalid \\u escape"))?;
-        u32::from_str_radix(s, 16).map_err(|_| Error::custom("invalid \\u escape"))
+            .map_err(|_| Error::custom(format!("invalid \\u escape at byte {pos}")))?;
+        u32::from_str_radix(s, 16)
+            .map_err(|_| Error::custom(format!("invalid \\u escape at byte {pos}")))
     }
 
     fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
@@ -629,7 +646,7 @@ pub mod json {
             }
         }
         let text = std::str::from_utf8(&bytes[start..*pos])
-            .map_err(|_| Error::custom("invalid number"))?;
+            .map_err(|_| Error::custom(format!("invalid number at byte {start}")))?;
         if text.is_empty() || text == "-" {
             return Err(Error::custom(format!("expected a number at byte {start}")));
         }
@@ -640,7 +657,7 @@ pub mod json {
         }
         text.parse::<f64>()
             .map(Value::Float)
-            .map_err(|_| Error::custom(format!("invalid number literal `{text}`")))
+            .map_err(|_| Error::custom(format!("invalid number literal `{text}` at byte {start}")))
     }
 }
 

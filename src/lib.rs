@@ -15,7 +15,10 @@
 //!   [`core::engine`] session API (canonical nest interning, cross-query
 //!   artifact reuse, batched typed queries) for repeated-query traffic;
 //! * [`exec`] — schedules, trace generation, and measured communication;
-//! * [`par`] — small crossbeam-based data-parallel helpers.
+//! * [`par`] — small crossbeam-based data-parallel helpers;
+//! * [`service`] — the hardened TCP front end (deadlines, backpressure,
+//!   panic isolation, crash-safe snapshot lifecycle, fault injection) and
+//!   its retrying client.
 //!
 //! # Quick start
 //!
@@ -73,6 +76,7 @@ pub use projtile_exec as exec;
 pub use projtile_loopnest as loopnest;
 pub use projtile_lp as lp;
 pub use projtile_par as par;
+pub use projtile_service as service;
 
 /// The version of the workspace.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
