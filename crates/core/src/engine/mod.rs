@@ -286,11 +286,9 @@ impl Engine {
             .map(|q| validate_query(nest, q).err())
             .collect();
         if validity.iter().all(|v| v.is_some()) {
-            // Nothing valid to intern or compute.
-            return validity
-                .into_iter()
-                .map(|v| Err(v.expect("all invalid")))
-                .collect();
+            // Nothing valid to intern or compute; every slot is an error
+            // (`flatten` preserves the length because all are `Some`).
+            return validity.into_iter().flatten().map(Err).collect();
         }
         let (e, o) = self.intern_indices(nest);
 
@@ -338,9 +336,8 @@ impl Engine {
         let mut errors: HashMap<Query, EngineError> = HashMap::new();
         let mut installed: HashMap<Query, AnalysisResult> = HashMap::new();
         for (q, res) in computed {
-            match res {
-                Ok(detached) => {
-                    let result = self.install(e, o, &q, detached);
+            match res.and_then(|detached| self.install(e, o, &q, detached)) {
+                Ok(result) => {
                     installed.insert(q, result);
                 }
                 Err(err) => {
@@ -970,7 +967,10 @@ impl Engine {
     ) -> Result<ExponentSurface, EngineError> {
         let (key, order) = self.surface_key(e, o, m, axes, lo_bounds, hi_bounds);
         self.ensure_surface(e, o, &key)?;
-        let stored = self.surfaces.peek(&key).expect("surface ensured above");
+        let stored = self
+            .surfaces
+            .peek(&key)
+            .ok_or(EngineError::Internal("surface memo missing after ensure"))?;
         Ok(match order {
             None => stored.surface.clone(),
             Some(order) => stored.surface.with_axis_order(&order),
@@ -991,7 +991,10 @@ impl Engine {
     ) -> Result<SurfaceSummary, EngineError> {
         let (key, order) = self.surface_key(e, o, m, axes, lo_bounds, hi_bounds);
         self.ensure_surface(e, o, &key)?;
-        let stored = self.surfaces.peek(&key).expect("surface ensured above");
+        let stored = self
+            .surfaces
+            .peek(&key)
+            .ok_or(EngineError::Internal("surface memo missing after ensure"))?;
         Ok(match order {
             None => stored.summary.clone(),
             Some(order) => {
@@ -1083,7 +1086,7 @@ impl Engine {
             self.slices.insert(key, entry, c);
         }
         let Some(SliceEntry::Probe(ps)) = self.slices.peek(&key) else {
-            unreachable!("probe slice ensured above");
+            return Err(EngineError::Internal("probe slice missing after sweep"));
         };
         let beta = log::beta(bound as u128, m as u128);
         Ok((ps.vf.value_at(&beta), covered))
@@ -1099,14 +1102,14 @@ impl Engine {
         o: usize,
         query: &Query,
         detached: Detached,
-    ) -> AnalysisResult {
+    ) -> Result<AnalysisResult, EngineError> {
         let result_key = |kind: ResultKind, m: u64| ResultKey {
             entry: e,
             orientation: o,
             m,
             kind,
         };
-        match (query, detached.result) {
+        Ok(match (query, detached.result) {
             (Query::LowerBound { cache_size }, AnalysisResult::LowerBound(lb)) => {
                 let entry = CachedResult::Bound(lb.clone());
                 let c = cost::result(&entry);
@@ -1169,7 +1172,9 @@ impl Engine {
                 AnalysisResult::Surface(summary),
             ) => {
                 let (key, _) = self.surface_key(e, o, *cache_size, axes, lo_bounds, hi_bounds);
-                let stored = detached.surface.expect("surface results carry the surface");
+                let stored = detached
+                    .surface
+                    .ok_or(EngineError::Internal("surface result lacks its surface"))?;
                 if !self.surfaces.contains(&key) {
                     let c = cost::surface(&stored);
                     self.surfaces.insert(key, stored, c);
@@ -1201,8 +1206,12 @@ impl Engine {
                 }
                 AnalysisResult::Slice(vf)
             }
-            _ => unreachable!("detached result variant matches its query"),
-        }
+            _ => {
+                return Err(EngineError::Internal(
+                    "detached result variant does not match its query",
+                ))
+            }
+        })
     }
 }
 

@@ -150,6 +150,12 @@ pub enum EngineError {
     /// A session snapshot could not be restored (version mismatch, corrupt
     /// or truncated document, out-of-range indices).
     Snapshot(String),
+    /// An engine-internal invariant did not hold (a memoized artifact
+    /// vanished between being ensured and being read, or a detached batch
+    /// result did not match its query's variant). Never expected in normal
+    /// operation; reported as a typed error instead of unwinding so the
+    /// service's no-panic surface survives even an engine bug.
+    Internal(&'static str),
 }
 
 impl fmt::Display for EngineError {
@@ -158,6 +164,7 @@ impl fmt::Display for EngineError {
             EngineError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             EngineError::Lp(e) => write!(f, "lp error: {e}"),
             EngineError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+            EngineError::Internal(msg) => write!(f, "internal engine invariant violated: {msg}"),
         }
     }
 }

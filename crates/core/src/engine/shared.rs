@@ -209,7 +209,7 @@ impl SharedEngine {
         // `install` hands back the caller-facing result directly, so the
         // write lock is held only for the cache insertions — no re-lookup,
         // no surface re-remap under the lock.
-        Ok(engine.install(e, o, query, detached))
+        engine.install(e, o, query, detached)
     }
 
     /// Answers a batch of queries about `nest`, in input order — the
@@ -229,10 +229,8 @@ impl SharedEngine {
             .map(|q| validate_query(nest, q).err())
             .collect();
         if validity.iter().all(|v| v.is_some()) {
-            return validity
-                .into_iter()
-                .map(|v| Err(v.expect("all invalid")))
-                .collect();
+            // All invalid (`flatten` preserves the length: all are `Some`).
+            return validity.into_iter().flatten().map(Err).collect();
         }
         let canon = canonicalize(nest);
         let shard = &self.shards[self.shard_of(&canon.signature())];
@@ -300,9 +298,8 @@ impl SharedEngine {
         let mut engine = shard.write();
         let (e, o) = engine.intern_with(nest, canon);
         for (q, res) in computed {
-            match res {
-                Ok(detached) => {
-                    let result = engine.install(e, o, &q, detached);
+            match res.and_then(|detached| engine.install(e, o, &q, detached)) {
+                Ok(result) => {
                     installed.insert(q, result);
                 }
                 Err(err) => {

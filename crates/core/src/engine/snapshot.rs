@@ -254,7 +254,7 @@ impl Engine {
         let slices: Vec<Value> = self
             .slices
             .iter_lru_to_mru()
-            .map(|(k, s)| {
+            .filter_map(|(k, s)| {
                 let mut fields = vec![
                     ("entry", (k.entry + entry_offset).serialize()),
                     ("m", k.m.serialize()),
@@ -272,9 +272,12 @@ impl Engine {
                         fields.push(("hi", ps.hi_bound.serialize()));
                         fields.push(("value", ps.vf.serialize()));
                     }
-                    _ => unreachable!("slice entry variant matches its key"),
+                    // A key/entry variant mismatch cannot be built by the
+                    // insertion paths; dropping the cache entry from the
+                    // snapshot (it is only a memo) beats unwinding mid-write.
+                    _ => return None,
                 }
-                obj(fields)
+                Some(obj(fields))
             })
             .collect();
         let surfaces: Vec<Value> = self

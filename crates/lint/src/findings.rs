@@ -1,0 +1,185 @@
+//! Findings, baselines, and machine-readable output.
+//!
+//! A finding's identity for baseline purposes is `(rule, path, detail)` —
+//! deliberately *not* the line number, so unrelated edits above a baselined
+//! finding do not un-suppress it. `detail` is rule-specific but stable: the
+//! enclosing function and forbidden token for the panic-surface rule, the
+//! function name for oracle coverage, the variable name for the env
+//! registry, and so on.
+
+use std::fmt;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Rule id, e.g. `L002`.
+    pub rule: String,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line (0 when the finding is about a whole file).
+    pub line: u32,
+    /// Stable identity component, e.g. `handle_request::panic!`.
+    pub detail: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Creates a finding.
+    pub fn new(
+        rule: &str,
+        path: &str,
+        line: u32,
+        detail: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            line,
+            detail: detail.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {} (key: {})",
+            self.path, self.line, self.rule, self.message, self.detail
+        )
+    }
+}
+
+/// A parsed baseline: the set of `(rule, path, detail)` triples that are
+/// known, justified, and therefore not gating.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: Vec<(String, String, String)>,
+}
+
+impl Baseline {
+    /// Parses baseline text. Each non-comment line is
+    /// `RULE PATH DETAIL` (whitespace-separated; `DETAIL` may itself not
+    /// contain whitespace — none of the generated details do). Lines starting
+    /// with `#` and blank lines are ignored. Returns `Err` with a message
+    /// naming the first malformed line.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(rule), Some(path), Some(detail)) => {
+                    entries.push((rule.to_string(), path.to_string(), detail.to_string()));
+                }
+                _ => {
+                    return Err(format!(
+                        "baseline line {}: expected `RULE PATH DETAIL`, got `{raw}`",
+                        n + 1
+                    ));
+                }
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Whether `f` is suppressed by this baseline.
+    pub fn contains(&self, f: &Finding) -> bool {
+        self.entries
+            .iter()
+            .any(|(r, p, d)| *r == f.rule && *p == f.path && *d == f.detail)
+    }
+
+    /// Renders findings in baseline format (for `--write-baseline`).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut out = String::from(
+            "# projtile-lint baseline: known, justified findings (RULE PATH DETAIL).\n\
+             # Regenerate with `projtile-lint --write-baseline <path>`; prefer fixing\n\
+             # or `// lint: allow(RULE) reason` at the site over growing this file.\n",
+        );
+        for f in findings {
+            out.push_str(&format!("{} {} {}\n", f.rule, f.path, f.detail));
+        }
+        out
+    }
+}
+
+/// Escapes a string for JSON output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a JSON array (sorted, machine-readable, one object
+/// per finding with `rule`/`path`/`line`/`detail`/`message`/`baselined`).
+pub fn to_json(findings: &[(Finding, bool)]) -> String {
+    let mut out = String::from("[");
+    for (i, (f, baselined)) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"detail\": \"{}\", \"message\": \"{}\", \"baselined\": {}}}",
+            json_escape(&f.rule),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.detail),
+            json_escape(&f.message),
+            baselined
+        ));
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_roundtrip_and_matching() {
+        let f = Finding::new("L002", "crates/x/src/a.rs", 10, "f::panic!", "no panics");
+        let text = Baseline::render(std::slice::from_ref(&f));
+        let b = Baseline::parse(&text).unwrap();
+        assert!(b.contains(&f));
+        let mut moved = f.clone();
+        moved.line = 99; // line changes do not un-suppress
+        assert!(b.contains(&moved));
+        let mut other = f.clone();
+        other.detail = "g::panic!".into();
+        assert!(!b.contains(&other));
+    }
+
+    #[test]
+    fn malformed_baseline_is_rejected() {
+        assert!(Baseline::parse("L002 only-two").is_err());
+        assert!(Baseline::parse("# comment\n\n").is_ok());
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        let f = Finding::new("L006", "a.rs", 1, "X", "quote \" and \\ and\nnewline");
+        let json = to_json(&[(f, false)]);
+        assert!(json.contains(r#"quote \" and \\ and\nnewline"#));
+    }
+}

@@ -1,0 +1,492 @@
+//! A small, real Rust lexer.
+//!
+//! The rules in this crate reason about token streams, never raw text, so
+//! `panic!` inside a string literal, a nested block comment, or a doc example
+//! can never produce a finding. The lexer therefore has to get the genuinely
+//! tricky parts of Rust's lexical grammar right:
+//!
+//! * raw strings with arbitrary hash fences (`r##"…"##`), byte strings
+//!   (`b"…"`), raw byte strings (`br#"…"#`), and raw identifiers (`r#fn`);
+//! * nested block comments (`/* /* */ */` is one comment);
+//! * the `'a` lifetime vs `'a'` char-literal ambiguity (including escapes
+//!   like `'\''` and byte chars `b'x'`);
+//! * escape sequences inside cooked strings (`"\""` does not end early).
+//!
+//! It is deliberately lossy everywhere the rules do not care: numeric values
+//! are not parsed, keywords are ordinary identifiers, and multi-character
+//! operators arrive as single punctuation tokens.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (raw identifiers arrive without `r#`).
+    Ident(String),
+    /// A lifetime such as `'a` or `'static` (without the quote).
+    Lifetime(String),
+    /// A character or byte literal (`'x'`, `b'\n'`). Contents are not kept.
+    Char,
+    /// A string literal of any flavor; carries the uncooked contents
+    /// (escape sequences are left as written — the rules only substring-match).
+    Str(String),
+    /// A numeric literal. Contents are not kept.
+    Num,
+    /// Any other single character (`{`, `}`, `.`, `!`, `#`, …).
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// A comment (line or block), kept separately from the token stream so the
+/// parser can recognize `// lint: allow(...)` escape hatches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes `n` bytes (which must not contain fewer than `n` remaining).
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn take_while(&mut self, f: impl Fn(char) -> bool) -> String {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if f(c as char) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+}
+
+/// Lexes `src`, producing tokens and comments. Never fails: unterminated
+/// literals and stray bytes are consumed best-effort so the rules can still
+/// run over files that do not currently compile.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek() {
+        let line = cur.line;
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                cur.bump_n(2);
+                let text = cur.take_while(|c| c != '\n');
+                out.comments.push(Comment {
+                    text: text.trim_start_matches('/').trim().to_string(),
+                    line,
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                cur.bump_n(2);
+                let start = cur.pos;
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump_n(2);
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                            cur.bump_n(2);
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                cur.bump_n(2); // closing */ (no-op at EOF)
+                out.comments.push(Comment {
+                    text: text.trim_start_matches('*').trim().to_string(),
+                    line,
+                });
+            }
+            b'\'' => lex_quote(&mut cur, &mut out, line),
+            b'"' => {
+                cur.bump();
+                let content = cooked_string_body(&mut cur, b'"');
+                out.tokens.push(Token {
+                    tok: Tok::Str(content),
+                    line,
+                });
+            }
+            _ if is_ident_start(c as char) => lex_ident_or_prefixed(&mut cur, &mut out, line),
+            _ if (c as char).is_ascii_digit() => {
+                cur.bump();
+                cur.take_while(is_ident_continue);
+                // A fraction part: `1.5` but not the range `1..5` and not a
+                // method call on a literal (`1.max(2)` — digit follows only
+                // in the fraction case).
+                if cur.peek() == Some(b'.')
+                    && cur.peek_at(1).is_some_and(|d| (d as char).is_ascii_digit())
+                {
+                    cur.bump();
+                    cur.take_while(is_ident_continue);
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Num,
+                    line,
+                });
+            }
+            _ => {
+                cur.bump();
+                out.tokens.push(Token {
+                    tok: Tok::Punct(c as char),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Lexes from a `'`: either a lifetime (`'a`, `'_`, `'static`) or a char
+/// literal (`'a'`, `'\n'`, `'\''`).
+fn lex_quote(cur: &mut Cursor<'_>, out: &mut Lexed, line: u32) {
+    cur.bump(); // the opening '
+    match cur.peek() {
+        // Escaped char literal: always a char, consume through the closing '.
+        Some(b'\\') => {
+            cur.bump();
+            cur.bump(); // the escaped character (handles '\'' and '\\')
+            cur.take_while(|c| c != '\'');
+            cur.bump(); // closing '
+            out.tokens.push(Token {
+                tok: Tok::Char,
+                line,
+            });
+        }
+        Some(c) if is_ident_start(c as char) => {
+            let name = cur.take_while(is_ident_continue);
+            if cur.peek() == Some(b'\'') {
+                // 'a' — a char literal after all.
+                cur.bump();
+                out.tokens.push(Token {
+                    tok: Tok::Char,
+                    line,
+                });
+            } else {
+                out.tokens.push(Token {
+                    tok: Tok::Lifetime(name),
+                    line,
+                });
+            }
+        }
+        // 'x' where x is not an identifier char (e.g. '+', '.').
+        Some(_) => {
+            cur.bump();
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+            }
+            out.tokens.push(Token {
+                tok: Tok::Char,
+                line,
+            });
+        }
+        None => out.tokens.push(Token {
+            tok: Tok::Punct('\''),
+            line,
+        }),
+    }
+}
+
+/// Consumes a cooked (escape-processing) string body after the opening quote,
+/// returning the raw contents (escapes left as written).
+fn cooked_string_body(cur: &mut Cursor<'_>, close: u8) -> String {
+    let start = cur.pos;
+    loop {
+        match cur.peek() {
+            Some(b'\\') => {
+                cur.bump();
+                cur.bump(); // the escaped byte (covers \" and \\)
+            }
+            Some(c) if c == close => break,
+            Some(_) => {
+                cur.bump();
+            }
+            None => break,
+        }
+    }
+    let content = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+    cur.bump(); // closing quote (no-op at EOF)
+    content
+}
+
+/// Lexes an identifier, or one of the literal prefixes `r` / `b` / `br` /
+/// `rb`-less forms: `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#`, and raw
+/// identifiers `r#name`.
+fn lex_ident_or_prefixed(cur: &mut Cursor<'_>, out: &mut Lexed, line: u32) {
+    // Raw string after `r` or `br`, raw identifier after `r#`.
+    let (prefix_len, byte) = match (cur.peek(), cur.peek_at(1)) {
+        (Some(b'r'), _) => (1, false),
+        (Some(b'b'), Some(b'r')) => (2, true),
+        (Some(b'b'), _) => (1, true),
+        _ => (0, false),
+    };
+    if prefix_len > 0 {
+        let after = cur.peek_at(prefix_len);
+        // Count hash fence after the prefix.
+        let mut hashes = 0usize;
+        while cur.peek_at(prefix_len + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        let fence_next = cur.peek_at(prefix_len + hashes);
+        let is_raw_marker = cur.peek_at(prefix_len - 1) == Some(b'r');
+        if is_raw_marker && fence_next == Some(b'"') {
+            // r"…" / r#"…"# / br##"…"## with any number of hashes.
+            cur.bump_n(prefix_len + hashes + 1);
+            let start = cur.pos;
+            let end;
+            'search: loop {
+                match cur.peek() {
+                    Some(b'"') => {
+                        let mut ok = true;
+                        for h in 0..hashes {
+                            if cur.peek_at(1 + h) != Some(b'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            end = cur.pos;
+                            cur.bump_n(1 + hashes);
+                            break 'search;
+                        }
+                        cur.bump();
+                    }
+                    Some(_) => {
+                        cur.bump();
+                    }
+                    None => {
+                        end = cur.pos;
+                        break 'search;
+                    }
+                }
+            }
+            let content = String::from_utf8_lossy(&cur.src[start..end]).into_owned();
+            out.tokens.push(Token {
+                tok: Tok::Str(content),
+                line,
+            });
+            return;
+        }
+        if is_raw_marker
+            && hashes == 1
+            && fence_next.is_some_and(|c| is_ident_start(c as char))
+            && prefix_len == 1
+        {
+            // Raw identifier r#name.
+            cur.bump_n(2);
+            let name = cur.take_while(is_ident_continue);
+            out.tokens.push(Token {
+                tok: Tok::Ident(name),
+                line,
+            });
+            return;
+        }
+        if byte && hashes == 0 && after == Some(b'"') {
+            // b"…": cooked byte string.
+            cur.bump_n(prefix_len + 1);
+            let content = cooked_string_body(cur, b'"');
+            out.tokens.push(Token {
+                tok: Tok::Str(content),
+                line,
+            });
+            return;
+        }
+        if byte && hashes == 0 && after == Some(b'\'') && prefix_len == 1 {
+            // b'x': byte char literal; reuse the quote lexer.
+            cur.bump();
+            lex_quote(cur, out, line);
+            // lex_quote pushed Char or (never for b'…') a lifetime.
+            if let Some(Token {
+                tok: Tok::Lifetime(_),
+                ..
+            }) = out.tokens.last()
+            {
+                // Defensive: b'static is not valid Rust; treat as char.
+                out.tokens.pop();
+                out.tokens.push(Token {
+                    tok: Tok::Char,
+                    line,
+                });
+            }
+            return;
+        }
+    }
+    let name = cur.take_while(is_ident_continue);
+    out.tokens.push(Token {
+        tok: Tok::Ident(name),
+        line,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn panic_in_string_is_not_an_ident() {
+        let l = lex(r#"let s = "panic!(\"no\")"; other();"#);
+        assert_eq!(
+            idents(r#"let s = "panic!(\"no\")"; other();"#),
+            ["let", "s", "other"]
+        );
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Str(s) if s.contains("panic"))));
+    }
+
+    #[test]
+    fn nested_block_comment_is_one_comment() {
+        let l = lex("a /* x /* y */ z */ b");
+        assert_eq!(idents("a /* x /* y */ z */ b"), ["a", "b"]);
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'a'; let d = '\\''; }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Lifetime(_)))
+            .collect();
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Char))
+            .count();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = lex(r####"let s = r#"inner "quoted" panic!"#; done();"####);
+        assert!(matches!(&l.tokens[3].tok, Tok::Str(s) if s == r#"inner "quoted" panic!"#));
+        assert_eq!(
+            idents(r####"let s = r#"inner "quoted" panic!"#; done();"####),
+            ["let", "s", "done"]
+        );
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let l = lex(r##"let a = b"bytes"; let b = br#"raw "bytes""#; let c = b'x';"##);
+        let strs: Vec<_> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, ["bytes", r#"raw "bytes""#]);
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| matches!(t.tok, Tok::Char))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_identifier() {
+        assert_eq!(idents("let r#fn = 1;"), ["let", "fn"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "a\n/* one\ntwo */\nb\n\"x\ny\"\nc";
+        let l = lex(src);
+        let lines: Vec<u32> = l
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Ident(_)))
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(lines, [1, 4, 7]);
+    }
+}

@@ -1,0 +1,124 @@
+//! The `projtile-lint` driver.
+//!
+//! ```text
+//! projtile-lint [--root DIR] [--baseline FILE] [--json] [--write-baseline FILE]
+//! ```
+//!
+//! Exit codes: `0` — no findings beyond the baseline; `1` — at least one new
+//! finding; `2` — usage or I/O error. See `docs/lints.md` for the catalog.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use projtile_lint::{findings, run_lint, Baseline, Config};
+
+struct Args {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    json: bool,
+    write_baseline: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: projtile-lint [--root DIR] [--baseline FILE] [--json] \
+                     [--write-baseline FILE]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        baseline: None,
+        json: false,
+        write_baseline: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = next_value(&mut it, "--root")?.into(),
+            "--baseline" => args.baseline = Some(next_value(&mut it, "--baseline")?.into()),
+            "--write-baseline" => {
+                args.write_baseline = Some(next_value(&mut it, "--write-baseline")?.into());
+            }
+            "--json" => args.json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn next_value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("projtile-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let config = Config::repo();
+    let found = run_lint(&args.root, &config)?;
+
+    if let Some(path) = &args.write_baseline {
+        std::fs::write(path, Baseline::render(&found))
+            .map_err(|e| format!("failed to write {}: {e}", path.display()))?;
+        eprintln!(
+            "projtile-lint: wrote {} finding(s) to {}",
+            found.len(),
+            path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline = match &args.baseline {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("failed to read baseline {}: {e}", path.display()))?;
+            Baseline::parse(&text)?
+        }
+        None => Baseline::default(),
+    };
+
+    let annotated: Vec<(projtile_lint::Finding, bool)> = found
+        .into_iter()
+        .map(|f| {
+            let suppressed = baseline.contains(&f);
+            (f, suppressed)
+        })
+        .collect();
+    let new = annotated.iter().filter(|(_, b)| !b).count();
+    let suppressed = annotated.len() - new;
+
+    // Best-effort stdout: a closed pipe (`projtile-lint --json | head`) must
+    // not turn a lint run into a panic — the exit code is the contract.
+    let mut out = std::io::stdout().lock();
+    if args.json {
+        let _ = writeln!(out, "{}", findings::to_json(&annotated));
+    } else {
+        for (f, baselined) in &annotated {
+            if !baselined {
+                let _ = writeln!(out, "{f}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "projtile-lint: {} finding(s): {new} new, {suppressed} suppressed by baseline",
+            annotated.len()
+        );
+    }
+    Ok(if new == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}

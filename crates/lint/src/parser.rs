@@ -1,0 +1,399 @@
+//! Item-level parsing over the token stream.
+//!
+//! This is not a full Rust parser (no `syn` in the workspace, by design —
+//! the same constraint `shims/serde_derive` lives under). It recovers exactly
+//! the structure the rules need:
+//!
+//! * brace depth and matched scopes;
+//! * crate-level inner attributes (`#![forbid(unsafe_code)]`);
+//! * outer attributes attached to the following item (`#[cfg(test)]`,
+//!   `#[test]`, derives);
+//! * `fn` items: name, line, visibility, and body token range (so a finding
+//!   can name its enclosing function);
+//! * test regions: the bodies of `#[cfg(test)] mod`s / `#[test]` fns /
+//!   `#[cfg(test)]`-gated items, in which the panic-surface rule is silent;
+//! * `// lint: allow(<RULE>) <reason>` escape-hatch directives.
+
+use crate::lexer::{lex, Tok, Token};
+
+/// A function item recovered from the token stream.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether any `pub` marker precedes the `fn` (any visibility scope).
+    pub is_pub: bool,
+    /// Token-index range of the body, `body_start..body_end` (the indices of
+    /// the `{` and the matching `}`); `None` for bodyless declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+/// One `// lint: allow(RULE) reason` directive.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// The rule id, e.g. `L002`.
+    pub rule: String,
+    /// 1-based line the directive is written on.
+    pub line: u32,
+    /// Whether a non-empty justification follows the rule id.
+    pub has_reason: bool,
+}
+
+/// The parsed view of one source file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Crate-level inner attributes (`#![…]`), rendered as flat text with
+    /// single spaces removed, e.g. `forbid(unsafe_code)`.
+    pub inner_attrs: Vec<String>,
+    /// All functions, in source order (nested functions included).
+    pub fns: Vec<FnItem>,
+    /// Token-index ranges whose contents are test-only code.
+    pub test_regions: Vec<(usize, usize)>,
+    /// `// lint: allow(...)` directives, in source order.
+    pub allows: Vec<AllowDirective>,
+}
+
+impl ParsedFile {
+    /// Parses `src`.
+    pub fn parse(src: &str) -> ParsedFile {
+        let lexed = lex(src);
+        let mut out = ParsedFile {
+            tokens: lexed.tokens,
+            ..ParsedFile::default()
+        };
+        for c in &lexed.comments {
+            if let Some(d) = parse_allow(c.text.trim(), c.line) {
+                out.allows.push(d);
+            }
+        }
+        scan_items(&mut out);
+        out
+    }
+
+    /// Whether token index `i` lies inside a test-only region.
+    pub fn in_test_code(&self, i: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| s < i && i < e)
+    }
+
+    /// The innermost function whose body contains token index `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(s, e)| s < i && i < e))
+            .min_by_key(|f| f.body.map(|(s, e)| e - s).unwrap_or(usize::MAX))
+    }
+
+    /// Whether some crate-level inner attribute is `level(… word …)` for one
+    /// of the given lint levels — e.g. `parsed_attr_matches(&["forbid",
+    /// "deny"], "unsafe_code")` accepts both `#![forbid(unsafe_code)]` and a
+    /// combined `#![deny(unsafe_code, missing_docs)]`.
+    pub fn parsed_attr_matches(&self, levels: &[&str], word: &str) -> bool {
+        self.inner_attrs
+            .iter()
+            .any(|a| levels.iter().any(|lv| a.starts_with(&format!("{lv}("))) && has_word(a, word))
+    }
+
+    /// Whether an `allow(rule)` directive with a reason covers `line`
+    /// (written on the finding's line or on the line directly above it).
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|d| d.rule == rule && d.has_reason && (d.line == line || d.line + 1 == line))
+    }
+}
+
+/// Parses `lint: allow(RULE) reason` from a comment body.
+fn parse_allow(text: &str, line: u32) -> Option<AllowDirective> {
+    let rest = text.strip_prefix("lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let reason = rest[close + 1..].trim();
+    Some(AllowDirective {
+        rule,
+        line,
+        has_reason: !reason.is_empty(),
+    })
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Renders the tokens of an attribute body as compact text, e.g.
+/// `cfg(test)`, `derive(Debug,Clone)`.
+fn attr_text(tokens: &[Token], start: usize, end: usize) -> String {
+    let mut s = String::new();
+    for t in &tokens[start..end] {
+        match &t.tok {
+            Tok::Ident(id) => {
+                if s.ends_with(|c: char| c.is_alphanumeric() || c == '_') {
+                    s.push(' ');
+                }
+                s.push_str(id);
+            }
+            Tok::Lifetime(l) => {
+                s.push('\'');
+                s.push_str(l);
+            }
+            Tok::Str(v) => {
+                s.push('"');
+                s.push_str(v);
+                s.push('"');
+            }
+            Tok::Char => s.push_str("'_'"),
+            Tok::Num => s.push('0'),
+            Tok::Punct(c) => s.push(*c),
+        }
+    }
+    s
+}
+
+/// Whether `word` appears in `text` with non-identifier characters (or the
+/// string edges) on both sides.
+fn has_word(text: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(at) = text[from..].find(word) {
+        let start = from + at;
+        let end = start + word.len();
+        let before_ok = start == 0
+            || !text[..start]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after_ok = end == text.len()
+            || !text[end..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Whether an outer attribute marks the following item as test-only.
+fn is_test_attr(text: &str) -> bool {
+    text == "test"
+        || text.starts_with("test(")
+        || (text.starts_with("cfg(") && has_word(text, "test"))
+}
+
+/// Walks the token stream once, recovering items, attributes, and scopes.
+fn scan_items(out: &mut ParsedFile) {
+    let tokens = &out.tokens;
+    // Set when pending outer attributes mark the next braced item test-only.
+    let mut pending_test = false;
+    // A `fn` whose body `{` has not been seen yet.
+    let mut open_fn: Option<usize> = None;
+    // `()` / `[]` nesting, so `;` inside `[u8; 4]` is not an item end.
+    let mut parens = 0usize;
+    let mut brackets = 0usize;
+    struct Scope {
+        open_idx: usize,
+        fn_idx: Option<usize>,
+        test: bool,
+    }
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut fns: Vec<FnItem> = Vec::new();
+    let mut test_regions: Vec<(usize, usize)> = Vec::new();
+    let mut inner_attrs: Vec<String> = Vec::new();
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Punct('#') => {
+                // Attribute: #[…] (outer) or #![…] (inner).
+                let inner = matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('!')));
+                let open = i + 1 + usize::from(inner);
+                if matches!(tokens.get(open).map(|t| &t.tok), Some(Tok::Punct('['))) {
+                    let mut j = open + 1;
+                    let mut depth = 1usize;
+                    while j < tokens.len() && depth > 0 {
+                        match tokens[j].tok {
+                            Tok::Punct('[') => depth += 1,
+                            Tok::Punct(']') => depth -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    let text = attr_text(tokens, open + 1, j.saturating_sub(1));
+                    if inner {
+                        if scopes.is_empty() {
+                            inner_attrs.push(text);
+                        }
+                    } else if is_test_attr(&text) {
+                        pending_test = true;
+                    }
+                    i = j;
+                    continue;
+                }
+                i += 1;
+            }
+            Tok::Ident(kw) if kw == "fn" => {
+                if let Some(name) = ident_at(tokens, i + 1) {
+                    fns.push(FnItem {
+                        name: name.to_string(),
+                        line: tokens[i].line,
+                        is_pub: is_pub_before(tokens, i),
+                        body: None,
+                    });
+                    open_fn = Some(fns.len() - 1);
+                }
+                // pending_test stays set until the body `{` or a `;`.
+                i += 1;
+            }
+            Tok::Punct('(') => {
+                parens += 1;
+                i += 1;
+            }
+            Tok::Punct(')') => {
+                parens = parens.saturating_sub(1);
+                i += 1;
+            }
+            Tok::Punct('[') => {
+                brackets += 1;
+                i += 1;
+            }
+            Tok::Punct(']') => {
+                brackets = brackets.saturating_sub(1);
+                i += 1;
+            }
+            Tok::Punct(';') if parens == 0 && brackets == 0 => {
+                // Item/statement end before any body brace: a bodyless fn
+                // declaration or `mod x;` — drop the pending markers.
+                open_fn = None;
+                pending_test = false;
+                i += 1;
+            }
+            Tok::Punct('{') => {
+                scopes.push(Scope {
+                    open_idx: i,
+                    fn_idx: open_fn.take(),
+                    test: pending_test,
+                });
+                pending_test = false;
+                i += 1;
+            }
+            Tok::Punct('}') => {
+                if let Some(s) = scopes.pop() {
+                    if let Some(f) = s.fn_idx {
+                        fns[f].body = Some((s.open_idx, i));
+                    }
+                    if s.test {
+                        test_regions.push((s.open_idx, i));
+                    }
+                }
+                i += 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+
+    out.fns = fns;
+    out.test_regions = test_regions;
+    out.inner_attrs = inner_attrs;
+}
+
+/// Whether a `pub` marker directly precedes the item keyword at `i`
+/// (skipping over a `(crate)` / `(super)` visibility scope and qualifiers
+/// like `const`, `async`, `unsafe`, `extern "C"`).
+fn is_pub_before(tokens: &[Token], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match &tokens[j].tok {
+            Tok::Ident(s) if s == "const" || s == "async" || s == "unsafe" || s == "extern" => {
+                continue;
+            }
+            Tok::Str(_) => continue, // the ABI string of `extern "C"`
+            Tok::Punct(')') => {
+                // Possible visibility scope `(crate)` — walk to its `(`.
+                while j > 0 && !matches!(tokens[j].tok, Tok::Punct('(')) {
+                    j -= 1;
+                }
+                continue;
+            }
+            Tok::Ident(s) if s == "pub" => return true,
+            _ => return false,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_pub_fns_and_bodies() {
+        let p = ParsedFile::parse(
+            "pub fn a() { inner(); }\nfn b() {}\npub(crate) fn c() -> usize { 1 }\n",
+        );
+        let names: Vec<_> = p.fns.iter().map(|f| (f.name.as_str(), f.is_pub)).collect();
+        assert_eq!(names, [("a", true), ("b", false), ("c", true)]);
+        assert!(p.fns.iter().all(|f| f.body.is_some()));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let p = ParsedFile::parse(
+            "fn prod() { x(); }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { y(); }\n}\n",
+        );
+        assert_eq!(p.test_regions.len(), 2); // the mod and the #[test] fn
+        let y_idx = p
+            .tokens
+            .iter()
+            .position(|t| matches!(&t.tok, Tok::Ident(s) if s == "y"))
+            .unwrap();
+        let x_idx = p
+            .tokens
+            .iter()
+            .position(|t| matches!(&t.tok, Tok::Ident(s) if s == "x"))
+            .unwrap();
+        assert!(p.in_test_code(y_idx));
+        assert!(!p.in_test_code(x_idx));
+    }
+
+    #[test]
+    fn inner_attrs_only_at_crate_level() {
+        let p = ParsedFile::parse(
+            "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\nmod m {\n    #![allow(dead_code)]\n}\n",
+        );
+        assert_eq!(p.inner_attrs, ["forbid(unsafe_code)", "warn(missing_docs)"]);
+    }
+
+    #[test]
+    fn allow_directives_need_reasons() {
+        let p = ParsedFile::parse(
+            "// lint: allow(L002) panics are the feature under test\nfn a() {}\n// lint: allow(L003)\nfn b() {}\n",
+        );
+        assert_eq!(p.allows.len(), 2);
+        assert!(p.allowed("L002", 1));
+        assert!(p.allowed("L002", 2)); // line-above form
+        assert!(!p.allowed("L003", 4)); // no reason given
+    }
+
+    #[test]
+    fn enclosing_fn_is_innermost() {
+        let p = ParsedFile::parse("fn outer() { fn inner() { probe(); } }");
+        let probe = p
+            .tokens
+            .iter()
+            .position(|t| matches!(&t.tok, Tok::Ident(s) if s == "probe"))
+            .unwrap();
+        assert_eq!(p.enclosing_fn(probe).unwrap().name, "inner");
+    }
+}

@@ -1,0 +1,87 @@
+//! **L006 env-var registry** — every `PROJTILE_*` environment variable named
+//! in the sources must be documented in `docs/operations.md`.
+//!
+//! The operations runbook is the contract with whoever runs the service at
+//! 3am; an env knob that exists only in the code is a knob nobody can find
+//! during an incident. The rule scans every string literal in the workspace
+//! (the only way the code can name an env var) and checks the extracted
+//! `PROJTILE_[A-Z0-9_]+` names against the registry document's text.
+
+use std::collections::HashSet;
+
+use crate::findings::Finding;
+use crate::lexer::Tok;
+use crate::workspace::Workspace;
+
+use super::Config;
+
+/// Extracts `PROJTILE_*` variable names from a string literal's contents.
+fn env_names(s: &str) -> Vec<String> {
+    const PREFIX: &str = "PROJTILE_";
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(at) = s[from..].find(PREFIX) {
+        let start = from + at;
+        let rest = &s[start + PREFIX.len()..];
+        let tail: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || *c == '_')
+            .collect();
+        from = start + PREFIX.len();
+        if !tail.is_empty() {
+            out.push(format!("{PREFIX}{tail}"));
+        }
+    }
+    out
+}
+
+/// Runs L006.
+pub fn run(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let registry = ws.env_registry.as_deref();
+    let mut reported: HashSet<(String, String)> = HashSet::new();
+    for src in &ws.sources {
+        if cfg.env_scan_exclude.iter().any(|d| src.under(d)) {
+            continue;
+        }
+        for t in &src.parsed.tokens {
+            let Tok::Str(content) = &t.tok else { continue };
+            for name in env_names(content) {
+                if registry.is_some_and(|doc| doc.contains(&name)) {
+                    continue;
+                }
+                if src.parsed.allowed("L006", t.line) {
+                    continue;
+                }
+                if !reported.insert((src.path.clone(), name.clone())) {
+                    continue; // one finding per (file, variable)
+                }
+                let message = match registry {
+                    Some(_) => format!(
+                        "`{name}` is read here but not documented in {}",
+                        cfg.env_registry_path
+                    ),
+                    None => format!(
+                        "`{name}` is read here but the registry document {} does not exist",
+                        cfg.env_registry_path
+                    ),
+                };
+                findings.push(Finding::new("L006", &src.path, t.line, &name, message));
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_names_and_ignores_bare_prefix() {
+        assert_eq!(
+            env_names("set PROJTILE_THREADS=4 or PROJTILE_FAULTS; PROJTILE_ alone"),
+            ["PROJTILE_THREADS", "PROJTILE_FAULTS"]
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! **L004 crate hygiene** — every crate root carries
+//! `#![forbid(unsafe_code)]`, and the documented crates also warn on missing
+//! docs.
+//!
+//! The workspace's exactness claims lean on the type system (no `unsafe`
+//! anywhere, including the shims that stand in for third-party crates), and
+//! CI treats rustdoc warnings as errors — both enforced per crate root, so
+//! a new crate added without the attributes silently weakens the story.
+
+use crate::findings::Finding;
+use crate::workspace::{Source, Workspace};
+
+use super::Config;
+
+/// Whether `path` is a crate root (`src/lib.rs` of the facade or of any
+/// crate under `crates/` / `shims/`).
+fn is_crate_root(path: &str) -> bool {
+    path == "src/lib.rs" || path.ends_with("/src/lib.rs")
+}
+
+fn has_attr(src: &Source, level_prefixes: &[&str], word: &str) -> bool {
+    src.parsed.parsed_attr_matches(level_prefixes, word)
+}
+
+/// Runs L004.
+pub fn run(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for src in ws.sources.iter().filter(|s| is_crate_root(&s.path)) {
+        if !has_attr(src, &["forbid", "deny"], "unsafe_code") {
+            findings.push(Finding::new(
+                "L004",
+                &src.path,
+                1,
+                "forbid(unsafe_code)",
+                "crate root lacks `#![forbid(unsafe_code)]`",
+            ));
+        }
+        let needs_docs = cfg.docs_scope.iter().any(|d| src.under(d));
+        if needs_docs && !has_attr(src, &["warn", "deny", "forbid"], "missing_docs") {
+            findings.push(Finding::new(
+                "L004",
+                &src.path,
+                1,
+                "missing_docs",
+                "crate root lacks a `#![warn(missing_docs)]` (or stricter) attribute",
+            ));
+        }
+    }
+    findings
+}

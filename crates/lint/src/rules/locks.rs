@@ -1,0 +1,124 @@
+//! **L003 lock discipline** — never compute under a shard write lock.
+//!
+//! [`SharedEngine`]'s scaling contract is that misses compute *outside* the
+//! shard locks (solves can take milliseconds; a write guard held across one
+//! serializes every reader on that shard). The convention survives only as
+//! long as nobody calls an expensive function while a `.write()` guard is
+//! live. This rule tracks, per function body in the configured directories:
+//!
+//! * `let g = …​.write();` — guard `g` is live to the end of its block;
+//! * a bare `….write()` temporary — live to the end of its statement;
+//! * `drop(g)` — ends `g`'s liveness early.
+//!
+//! Any call to a configured expensive function (the LP/enumeration entry
+//! points and `compute_detached`) while a guard is live is a finding.
+//! Escape hatch: `// lint: allow(L003) <reason>`.
+
+use crate::findings::Finding;
+use crate::lexer::Tok;
+use crate::workspace::Workspace;
+
+use super::Config;
+
+#[derive(Debug)]
+struct Guard {
+    /// Binding name (`None` for a statement-temporary guard).
+    name: Option<String>,
+    /// Brace depth at which the guard was created.
+    depth: usize,
+    /// Temporary guards die at the next `;` at their depth.
+    statement_only: bool,
+}
+
+/// Runs L003.
+pub fn run(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for src in ws.sources_under(&cfg.lock_scope) {
+        if src.is_test_file() {
+            continue;
+        }
+        let p = &src.parsed;
+        let tokens = &p.tokens;
+        let mut depth = 0usize;
+        let mut brackets = 0usize;
+        let mut guards: Vec<Guard> = Vec::new();
+        // The binding name of the statement's `let`, if any.
+        let mut pending_let: Option<String> = None;
+
+        for (i, t) in tokens.iter().enumerate() {
+            match &t.tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    guards.retain(|g| g.depth <= depth);
+                }
+                Tok::Punct('[') => brackets += 1,
+                Tok::Punct(']') => brackets = brackets.saturating_sub(1),
+                Tok::Punct(';') if brackets == 0 => {
+                    pending_let = None;
+                    guards.retain(|g| !(g.statement_only && g.depth == depth));
+                }
+                Tok::Ident(name) if name == "let" => {
+                    let mut j = i + 1;
+                    if matches!(tokens.get(j).map(|t| &t.tok), Some(Tok::Ident(m)) if m == "mut") {
+                        j += 1;
+                    }
+                    if let Some(Tok::Ident(n)) = tokens.get(j).map(|t| &t.tok) {
+                        pending_let = Some(n.clone());
+                    }
+                }
+                Tok::Ident(name) if name == "drop" => {
+                    // drop(g) ends g's liveness.
+                    if let (Some(Tok::Punct('(')), Some(Tok::Ident(arg))) = (
+                        tokens.get(i + 1).map(|t| &t.tok),
+                        tokens.get(i + 2).map(|t| &t.tok),
+                    ) {
+                        guards.retain(|g| g.name.as_deref() != Some(arg.as_str()));
+                    }
+                }
+                Tok::Ident(name) if name == "write" => {
+                    // `.write()` with no arguments: a lock acquisition.
+                    let is_acquire =
+                        matches!(
+                            tokens.get(i.wrapping_sub(1)).map(|t| &t.tok),
+                            Some(Tok::Punct('.'))
+                        ) && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('(')))
+                            && matches!(tokens.get(i + 2).map(|t| &t.tok), Some(Tok::Punct(')')));
+                    if is_acquire && !p.in_test_code(i) {
+                        guards.push(Guard {
+                            name: pending_let.clone(),
+                            depth,
+                            statement_only: pending_let.is_none(),
+                        });
+                    }
+                }
+                Tok::Ident(name)
+                    if cfg.expensive_fns.iter().any(|f| f == name)
+                        && !guards.is_empty()
+                        && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('('))) =>
+                {
+                    if p.in_test_code(i) || p.allowed("L003", t.line) {
+                        continue;
+                    }
+                    let scope = p
+                        .enclosing_fn(i)
+                        .map(|f| f.name.clone())
+                        .unwrap_or_else(|| "<file>".to_string());
+                    findings.push(Finding::new(
+                        "L003",
+                        &src.path,
+                        t.line,
+                        format!("{scope}::{name}"),
+                        format!(
+                            "`{name}` is called in `{scope}` while a `.write()` lock guard \
+                             is live; compute before taking the write lock (see \
+                             SharedEngine's compute-outside-locks contract)"
+                        ),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+    findings
+}

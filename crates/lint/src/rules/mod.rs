@@ -1,0 +1,92 @@
+//! The rule catalog and its configuration.
+//!
+//! Each rule is a pure function from the loaded [`Workspace`] (plus the
+//! [`Config`]) to findings. Rule ids are stable and never reused; the full
+//! catalog with rationale and examples lives in `docs/lints.md`.
+
+use crate::findings::Finding;
+use crate::workspace::Workspace;
+
+mod envreg;
+mod hygiene;
+mod locks;
+mod oracle;
+mod panics;
+mod smoke;
+
+/// What the rules check and where. The defaults ([`Config::repo`]) encode
+/// this workspace's conventions; tests substitute fixture paths.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// L002: directories whose non-test code must not panic.
+    pub panic_scope: Vec<String>,
+    /// L003: directories in which lock discipline is enforced.
+    pub lock_scope: Vec<String>,
+    /// L003: functions too expensive to call while a `.write()` guard is
+    /// live (matched by final path segment).
+    pub expensive_fns: Vec<String>,
+    /// L001: directory prefixes under which `src/` definitions are scanned
+    /// for `_cold` oracle pairs and `tests/` files count as joint coverage.
+    pub oracle_scope: Vec<String>,
+    /// L004: directory prefixes whose crate roots must also carry a
+    /// `missing_docs` warning attribute (the `forbid(unsafe_code)`
+    /// requirement applies to every crate root unconditionally).
+    pub docs_scope: Vec<String>,
+    /// L006: workspace-relative path of the env-var registry document.
+    pub env_registry_path: String,
+    /// L006: directory prefixes excluded from the env scan (the lint crate
+    /// itself names `PROJTILE_*` patterns in its sources).
+    pub env_scan_exclude: Vec<String>,
+    /// L007: directories whose string literals define bench workload names.
+    pub bench_src_dirs: Vec<String>,
+}
+
+impl Config {
+    /// The projtile workspace's conventions (see `docs/lints.md`).
+    pub fn repo() -> Config {
+        let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        Config {
+            panic_scope: s(&["crates/service/src", "crates/core/src/engine"]),
+            lock_scope: s(&["crates/service/src", "crates/core/src/engine"]),
+            expensive_fns: s(&[
+                "compute_detached",
+                "exponent_surface",
+                "exponent_surface_cold",
+                "exponent_vs_beta",
+                "exponent_vs_beta_cold",
+                "exponent_vs_beta_with",
+                "enumerated_exponent",
+                "enumerated_exponent_cold",
+                "check_tightness",
+                "check_tightness_surface",
+                "arbitrary_bound_exponent",
+                "solve_hbl",
+                "parametric_rhs",
+                "parametric_rhs_with",
+                "parametric_rhs_box",
+                "parametric_rhs_box_cold",
+            ]),
+            oracle_scope: s(&["crates"]),
+            docs_scope: s(&["crates", "src"]),
+            env_registry_path: "docs/operations.md".to_string(),
+            env_scan_exclude: s(&["crates/lint"]),
+            bench_src_dirs: s(&["crates/bench/src"]),
+        }
+    }
+}
+
+/// Runs every rule over the workspace, returning findings sorted by
+/// `(path, line, rule)`.
+pub fn run_all(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    findings.extend(oracle::run(ws, cfg));
+    findings.extend(panics::run(ws, cfg));
+    findings.extend(locks::run(ws, cfg));
+    findings.extend(hygiene::run(ws, cfg));
+    findings.extend(envreg::run(ws, cfg));
+    findings.extend(smoke::run(ws, cfg));
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, &a.rule, &a.detail).cmp(&(&b.path, b.line, &b.rule, &b.detail))
+    });
+    findings
+}

@@ -1,0 +1,85 @@
+//! **L001 oracle-coverage** — every warm/fast public function that keeps a
+//! `_cold` differential oracle must be exercised *together with* that oracle
+//! in at least one test file under `crates/*/tests/`.
+//!
+//! The workspace's soundness story rests on retained cold twins
+//! (`enumerated_exponent_cold`, `exponent_surface_cold`, …) being compared
+//! bitwise against the optimized paths. A refactor that deletes or bypasses
+//! such a differential test silently converts "proven identical" into
+//! "hopefully identical"; this rule makes that deletion loud.
+
+use std::collections::HashSet;
+
+use crate::findings::Finding;
+use crate::lexer::Tok;
+use crate::parser::ParsedFile;
+use crate::workspace::{Source, Workspace};
+
+use super::Config;
+
+fn ident_set(parsed: &ParsedFile) -> HashSet<&str> {
+    parsed
+        .tokens
+        .iter()
+        .filter_map(|t| match &t.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect()
+}
+
+fn in_scope_src(s: &Source, cfg: &Config) -> bool {
+    cfg.oracle_scope.iter().any(|d| s.under(d)) && !s.is_test_file() && s.path.contains("/src/")
+}
+
+/// Runs L001.
+pub fn run(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Test files (under the oracle scope) and their identifier sets.
+    let test_idents: Vec<HashSet<&str>> = ws
+        .sources
+        .iter()
+        .filter(|s| cfg.oracle_scope.iter().any(|d| s.under(d)) && s.is_test_file())
+        .map(|s| ident_set(&s.parsed))
+        .collect();
+
+    // All public fn names in scope, for twin lookup.
+    let pub_fns: HashSet<&str> = ws
+        .sources
+        .iter()
+        .filter(|s| in_scope_src(s, cfg))
+        .flat_map(|s| s.parsed.fns.iter())
+        .filter(|f| f.is_pub)
+        .map(|f| f.name.as_str())
+        .collect();
+
+    for src in ws.sources.iter().filter(|s| in_scope_src(s, cfg)) {
+        for f in src.parsed.fns.iter().filter(|f| f.is_pub) {
+            let Some(warm) = f.name.strip_suffix("_cold") else {
+                continue;
+            };
+            if warm.is_empty() || !pub_fns.contains(warm) {
+                continue; // an oracle without a same-named warm twin
+            }
+            let covered = test_idents
+                .iter()
+                .any(|ids| ids.contains(warm) && ids.contains(f.name.as_str()));
+            if covered || src.parsed.allowed("L001", f.line) {
+                continue;
+            }
+            findings.push(Finding::new(
+                "L001",
+                &src.path,
+                f.line,
+                warm,
+                format!(
+                    "`{warm}` has a `_cold` differential oracle but no test under \
+                     crates/*/tests/ exercises `{warm}` and `{}` together",
+                    f.name
+                ),
+            ));
+        }
+    }
+    findings
+}

@@ -1,0 +1,83 @@
+//! **L002 no-panic surface** — the service request path and the engine must
+//! not unwind except through `catch_unwind`.
+//!
+//! `crates/service` answers panics with an isolated `500` via per-request
+//! `catch_unwind`, and the engine reports malformed inputs as typed
+//! [`EngineError`]s so the front end can answer `400` without unwinding.
+//! Both properties die the first time someone writes a convenient
+//! `.unwrap()` on a request path. Inside the configured directories this
+//! rule forbids, outside test code:
+//!
+//! * `.unwrap()` / `.expect(…)`;
+//! * `panic!`, `unreachable!`, `todo!`, `unimplemented!`;
+//! * `assert!` / `assert_eq!` / `assert_ne!` (the release-mode asserts that
+//!   guard indexing; `debug_assert*` is allowed — it vanishes in release
+//!   builds and the differential tests run debug).
+//!
+//! Escape hatch: `// lint: allow(L002) <reason>` on the same line or the
+//! line above. A directive without a reason does not count.
+
+use crate::findings::Finding;
+use crate::lexer::Tok;
+use crate::workspace::Workspace;
+
+use super::Config;
+
+const METHODS: [&str; 2] = ["unwrap", "expect"];
+const MACROS: [&str; 7] = [
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Runs L002.
+pub fn run(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for src in ws.sources_under(&cfg.panic_scope) {
+        if src.is_test_file() {
+            continue;
+        }
+        let p = &src.parsed;
+        for (i, t) in p.tokens.iter().enumerate() {
+            let Tok::Ident(name) = &t.tok else { continue };
+            let forbidden = if METHODS.contains(&name.as_str()) {
+                matches!(
+                    p.tokens.get(i.wrapping_sub(1)).map(|t| &t.tok),
+                    Some(Tok::Punct('.'))
+                ) && matches!(p.tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('(')))
+            } else if MACROS.contains(&name.as_str()) {
+                matches!(p.tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('!')))
+            } else {
+                false
+            };
+            if !forbidden || p.in_test_code(i) || p.allowed("L002", t.line) {
+                continue;
+            }
+            let display = if METHODS.contains(&name.as_str()) {
+                format!(".{name}()")
+            } else {
+                format!("{name}!")
+            };
+            let scope = p
+                .enclosing_fn(i)
+                .map(|f| f.name.clone())
+                .unwrap_or_else(|| "<file>".to_string());
+            findings.push(Finding::new(
+                "L002",
+                &src.path,
+                t.line,
+                format!("{scope}::{display}"),
+                format!(
+                    "`{display}` in `{scope}` can unwind on the no-panic surface; \
+                     return a typed error (EngineError / status code) or add \
+                     `// lint: allow(L002) <reason>`"
+                ),
+            ));
+        }
+    }
+    findings
+}

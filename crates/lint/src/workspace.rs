@@ -1,0 +1,118 @@
+//! Workspace file discovery.
+//!
+//! Walks the workspace from its root, collecting the Rust sources the rules
+//! inspect, plus the non-Rust inputs two rules need (`scripts/ci.sh`,
+//! `docs/operations.md`). Directories named `target`, `fixtures`, or `.git`
+//! are never descended into: `target` is build output, and `fixtures` holds
+//! this crate's own deliberately-violating test inputs, which must not turn
+//! into findings on the real workspace.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::parser::ParsedFile;
+
+/// One discovered Rust source file, parsed.
+pub struct Source {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Parsed token-level view.
+    pub parsed: ParsedFile,
+}
+
+impl Source {
+    /// Whether this file lives under `dir` (a workspace-relative prefix).
+    pub fn under(&self, dir: &str) -> bool {
+        self.path.starts_with(dir)
+            && matches!(self.path.as_bytes().get(dir.len()), None | Some(b'/'))
+    }
+
+    /// Whether this is a test source: under some `tests/` directory.
+    pub fn is_test_file(&self) -> bool {
+        self.path.split('/').any(|seg| seg == "tests")
+    }
+}
+
+/// Everything the rules look at, loaded once.
+pub struct Workspace {
+    /// Workspace root.
+    pub root: PathBuf,
+    /// All parsed Rust sources, sorted by path.
+    pub sources: Vec<Source>,
+    /// Contents of `scripts/ci.sh`, if present.
+    pub ci_script: Option<String>,
+    /// Contents of the env-var registry document, if present.
+    pub env_registry: Option<String>,
+}
+
+/// Directory names that are never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", "fixtures", ".git", "node_modules"];
+
+impl Workspace {
+    /// Loads the workspace rooted at `root`. `env_registry_path` is the
+    /// workspace-relative document the env-registry rule checks against
+    /// (normally `docs/operations.md`).
+    pub fn load(root: &Path, env_registry_path: &str) -> Result<Workspace, String> {
+        if !root.join("Cargo.toml").is_file() {
+            return Err(format!(
+                "{} does not look like a workspace root (no Cargo.toml)",
+                root.display()
+            ));
+        }
+        let mut files: Vec<PathBuf> = Vec::new();
+        collect_rs(root, &mut files)?;
+        files.sort();
+        let mut sources = Vec::with_capacity(files.len());
+        for f in &files {
+            let text = fs::read_to_string(f)
+                .map_err(|e| format!("failed to read {}: {e}", f.display()))?;
+            sources.push(Source {
+                path: rel_path(root, f),
+                parsed: ParsedFile::parse(&text),
+            });
+        }
+        let ci_script = fs::read_to_string(root.join("scripts/ci.sh")).ok();
+        let env_registry = fs::read_to_string(root.join(env_registry_path)).ok();
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            sources,
+            ci_script,
+            env_registry,
+        })
+    }
+
+    /// The sources under any of `dirs` (workspace-relative prefixes).
+    pub fn sources_under<'a>(&'a self, dirs: &'a [String]) -> impl Iterator<Item = &'a Source> {
+        self.sources
+            .iter()
+            .filter(move |s| dirs.iter().any(|d| s.under(d)))
+    }
+}
+
+fn rel_path(root: &Path, f: &Path) -> String {
+    f.strip_prefix(root)
+        .unwrap_or(f)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("failed to list {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("failed to list {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

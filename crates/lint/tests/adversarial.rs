@@ -1,0 +1,159 @@
+//! Adversarial-Rust tests for the lexer and parser: sources engineered so a
+//! regex- or text-based scanner would misread them. The rules reason over
+//! this token stream, so each case here is a false positive (or negative)
+//! the lint would otherwise ship.
+
+use projtile_lint::lexer::{lex, Tok};
+use projtile_lint::parser::ParsedFile;
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .tokens
+        .into_iter()
+        .filter_map(|t| match t.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn panics_inside_strings_and_comments_are_not_idents() {
+    let src = r###"
+        // this comment says panic!("x") and .unwrap()
+        /* and so does /* this nested */ one: unreachable!() */
+        fn f() -> &'static str {
+            let a = "panic!(\"quoted\") .unwrap()";
+            let b = r#"raw panic!() with "quotes" inside"#;
+            let c = br##"byte raw panic!() with "# inside"##;
+            a
+        }
+    "###;
+    let ids = idents(src);
+    assert!(!ids
+        .iter()
+        .any(|i| i == "panic" || i == "unwrap" || i == "unreachable"));
+    // The strings still arrive as Str tokens with their contents.
+    let strings: Vec<String> = lex(src)
+        .tokens
+        .into_iter()
+        .filter_map(|t| match t.tok {
+            Tok::Str(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(strings.len(), 3);
+    assert!(strings[1].contains("raw panic!()"));
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let src = "fn f<'a>(x: &'a str) -> char { let q = 'q'; let esc = '\\''; q }";
+    let lexed = lex(src);
+    let lifetimes: Vec<&str> = lexed
+        .tokens
+        .iter()
+        .filter_map(|t| match &t.tok {
+            Tok::Lifetime(l) => Some(l.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(lifetimes, ["a", "a"]);
+    let chars = lexed
+        .tokens
+        .iter()
+        .filter(|t| matches!(t.tok, Tok::Char))
+        .count();
+    assert_eq!(chars, 2, "'q' and the escaped quote are char literals");
+}
+
+#[test]
+fn raw_identifiers_lose_their_prefix() {
+    let ids = idents("fn r#match(r#fn: u32) -> u32 { r#fn }");
+    assert_eq!(ids, ["fn", "match", "fn", "u32", "u32", "fn"]);
+}
+
+#[test]
+fn string_braces_do_not_confuse_fn_bodies() {
+    // The `{` inside the string must not open a scope, or `g`'s body range
+    // (and thus L002's enclosing-fn attribution) would be wrong.
+    let src = "fn f() -> &'static str { \"unbalanced {{{ \" }\nfn g(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let p = ParsedFile::parse(src);
+    assert_eq!(
+        p.fns.iter().map(|f| f.name.as_str()).collect::<Vec<_>>(),
+        ["f", "g"]
+    );
+    let unwrap_at = p
+        .tokens
+        .iter()
+        .position(|t| matches!(&t.tok, Tok::Ident(s) if s == "unwrap"))
+        .expect("unwrap is a token");
+    assert_eq!(p.enclosing_fn(unwrap_at).expect("inside a fn").name, "g");
+}
+
+#[test]
+fn semicolons_in_array_types_do_not_end_items() {
+    let src = "pub fn f(x: [u8; 4]) -> [u8; 4] { x }\n";
+    let p = ParsedFile::parse(src);
+    assert_eq!(p.fns.len(), 1);
+    assert!(p.fns[0].is_pub);
+    assert!(
+        p.fns[0].body.is_some(),
+        "the body after the array type is f's"
+    );
+}
+
+#[test]
+fn cfg_test_variants_mark_test_regions() {
+    let src = "\
+#[cfg(test)]\nmod a { fn t() { x.unwrap(); } }\n\
+#[cfg(all(test, feature = \"x\"))]\nmod b { fn t() { y.unwrap(); } }\n\
+#[cfg(feature = \"testing\")]\nmod c { fn t() { z.unwrap(); } }\n";
+    let p = ParsedFile::parse(src);
+    let unwraps: Vec<usize> = p
+        .tokens
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| matches!(&t.tok, Tok::Ident(s) if s == "unwrap").then_some(i))
+        .collect();
+    assert_eq!(unwraps.len(), 3);
+    assert!(p.in_test_code(unwraps[0]), "#[cfg(test)] is a test region");
+    assert!(p.in_test_code(unwraps[1]), "#[cfg(all(test, ..))] too");
+    assert!(
+        !p.in_test_code(unwraps[2]),
+        "`testing` as a feature name is not the word `test`"
+    );
+}
+
+#[test]
+fn allow_directives_require_reasons_and_adjacency() {
+    let src = "\
+// lint: allow(L002) justified here\n\
+fn a() {}\n\
+// lint: allow(L003)\n\
+fn b() {}\n\
+fn c() {} // lint: allow(L004) same line\n";
+    let p = ParsedFile::parse(src);
+    assert!(p.allowed("L002", 2), "directive on the line above applies");
+    assert!(!p.allowed("L002", 4), "wrong rule id does not apply");
+    assert!(
+        !p.allowed("L003", 4),
+        "a reasonless directive never applies"
+    );
+    assert!(p.allowed("L004", 5), "same-line directive applies");
+    assert!(!p.allowed("L004", 1), "directives do not apply upward");
+}
+
+#[test]
+fn doc_examples_are_comments_not_code() {
+    // `///` doc lines (the usual home of `.unwrap()` examples) must lex as
+    // comments so L002 never sees them.
+    let src = "/// let v = x.unwrap();\n/// panic!(\"docs\");\npub fn documented() {}\n";
+    let p = ParsedFile::parse(src);
+    assert!(!p
+        .tokens
+        .iter()
+        .any(|t| matches!(&t.tok, Tok::Ident(s) if s == "unwrap" || s == "panic")));
+    assert_eq!(p.fns.len(), 1);
+    assert_eq!(p.fns[0].name, "documented");
+}

@@ -1,0 +1,9 @@
+//! Fixture bench sources: the workload names the fixture ci.sh may grep.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Emits one fixed name and one `format!`-templated family.
+pub fn names(tag: &str) -> Vec<String> {
+    vec!["bench/real_name".to_string(), format!("bench/warm/{tag}")]
+}

@@ -1,0 +1,53 @@
+//! Fixture engine module: seeded L002 and L003 violations, plus the
+//! negatives (allowed panic, test-code unwrap, guard dropped before the
+//! expensive call) that must stay clean.
+
+/// Seeds L002: a bare unwrap on the no-panic surface.
+pub fn handle(input: Option<u32>) -> u32 {
+    input.unwrap()
+}
+
+/// A justified allow directive suppresses the panic below.
+pub fn guarded() -> u32 {
+    // lint: allow(L002) fixture: this panic is the feature under test
+    panic!("boom")
+}
+
+/// A reasonless allow directive does not count: still a finding.
+pub fn reasonless(input: Option<u32>) -> u32 {
+    // lint: allow(L002)
+    input.expect("present")
+}
+
+fn solve_thing(x: u32) -> u32 {
+    x
+}
+
+/// Seeds L003: the expensive call runs while the write guard is live.
+pub fn compute_under_lock(lock: &std::sync::RwLock<u32>) -> u32 {
+    let g = lock.write();
+    let v = solve_thing(3);
+    drop(g);
+    v
+}
+
+/// Clean: the guard is dropped before the expensive call.
+pub fn compute_after_drop(lock: &std::sync::RwLock<u32>) -> u32 {
+    let g = lock.write();
+    drop(g);
+    solve_thing(4)
+}
+
+/// Clean: `panic!` inside a string literal is data, not a panic.
+pub fn describes_panics() -> &'static str {
+    "never calls panic!(...) or .unwrap() at runtime"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

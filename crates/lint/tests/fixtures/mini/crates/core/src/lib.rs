@@ -1,0 +1,30 @@
+//! Fixture core crate: hygiene-clean root with one covered and one
+//! uncovered oracle pair.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Warm path whose `_cold` oracle has no joint test (seeds L001).
+pub fn fast_path() -> u32 {
+    1
+}
+
+/// Cold oracle for `fast_path`: flagged, no test exercises the pair.
+pub fn fast_path_cold() -> u32 {
+    1
+}
+
+/// Warm path whose oracle pair IS covered by `tests/pairs.rs`.
+pub fn covered() -> u32 {
+    2
+}
+
+/// Cold oracle for `covered`: clean.
+pub fn covered_cold() -> u32 {
+    2
+}
+
+/// An oracle without a warm twin is not an L001 pair.
+pub fn orphan_cold() -> u32 {
+    3
+}

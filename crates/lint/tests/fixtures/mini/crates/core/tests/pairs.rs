@@ -1,0 +1,7 @@
+//! Joint differential test for the covered oracle pair (satisfies L001 for
+//! `covered` / `covered_cold`; `fast_path` is deliberately absent).
+
+#[test]
+fn covered_matches_cold() {
+    assert_eq!(covered(), covered_cold());
+}

@@ -1,0 +1,18 @@
+//! Fixture service crate: the root is missing both hygiene attributes
+//! (seeds L004 twice) and reads one undocumented env knob (seeds L006).
+
+/// `PROJTILE_THREADS` is documented in the fixture runbook: clean.
+pub fn threads() -> usize {
+    match std::env::var("PROJTILE_THREADS") {
+        Ok(v) => v.parse().unwrap_or(1),
+        Err(_) => 1,
+    }
+}
+
+/// `PROJTILE_WIDGETS` is not in the runbook: seeds L006.
+pub fn widgets() -> usize {
+    match std::env::var("PROJTILE_WIDGETS") {
+        Ok(v) => v.parse().unwrap_or(0),
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Fixture CI script: two valid smoke greps and one stale one (seeds L007).
+set -euo pipefail
+smoke_out="/tmp/smoke.txt"
+grep -q "bench/real_name" "$smoke_out"
+grep -q "bench/warm/p50" "$smoke_out"
+grep -q "bench/stale_name" "$smoke_out"

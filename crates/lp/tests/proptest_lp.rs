@@ -13,9 +13,11 @@
 //!   every breakpoint.
 
 use projtile_arith::{int, ratio, Rational};
+use projtile_lp::mplp::{parametric_rhs_box, parametric_rhs_box_cold, ParamBox};
+use projtile_lp::parametric::{parametric_rhs, parametric_rhs_cold};
 use projtile_lp::{
-    dual_program, parametric::parametric_rhs, solve, solve_canonical, Constraint, LinearProgram,
-    LpError, Objective, Relation, SolverContext,
+    dual_program, solve, solve_canonical, Constraint, LinearProgram, LpError, Objective, Relation,
+    SolverContext,
 };
 use proptest::prelude::*;
 
@@ -278,4 +280,58 @@ fn infeasible_and_unbounded_are_distinguished() {
     let mut unbounded = LinearProgram::maximize(vec![int(1), int(0)]);
     unbounded.add_constraint(Constraint::new(vec![int(0), int(1)], Relation::Le, int(1)));
     assert_eq!(solve(&unbounded), Err(LpError::Unbounded));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn parametric_rhs_matches_cold_oracle(
+        lp in covering_lp(4, 4),
+        direction_bits in proptest::collection::vec(proptest::bool::ANY, 4),
+    ) {
+        // The warm-started 1-D value function must be bitwise-identical to
+        // the all-cold-solves oracle: same breakpoints, same values.
+        let direction: Vec<Rational> = direction_bits
+            .iter()
+            .map(|&b| if b { int(1) } else { int(0) })
+            .collect();
+        let warm = parametric_rhs(&lp, &direction, int(0), int(3))
+            .expect("covering LPs stay feasible and bounded along the ray");
+        let cold = parametric_rhs_cold(&lp, &direction, int(0), int(3))
+            .expect("the cold oracle solves the same programs");
+        prop_assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn parametric_rhs_box_matches_cold_oracle(lp in covering_lp(4, 3)) {
+        // The warm multiparametric surface must evaluate identically to the
+        // all-cold oracle everywhere on the box (the documented contract —
+        // the two may tile the box into different critical-region sets, e.g.
+        // a degenerate boundary sliver, but the piecewise function is the
+        // same). Raising a covering constraint's right-hand side keeps the
+        // program feasible (any cover scales up) and bounded, so the whole
+        // box is solvable.
+        let m = lp.num_constraints();
+        let unit = |i: usize| {
+            let mut v = vec![Rational::zero(); m];
+            v[i] = Rational::one();
+            v
+        };
+        let directions = vec![unit(0), unit(1)];
+        let domain = ParamBox::new(vec![int(0); 2], vec![int(1); 2])
+            .expect("a unit box is a valid domain");
+        let warm = parametric_rhs_box(&lp, &directions, &domain)
+            .expect("covering LPs stay solvable over the box");
+        let cold = parametric_rhs_box_cold(&lp, &directions, &domain)
+            .expect("the cold oracle solves the same programs");
+        // A quarter-step grid hits every corner and crosses every region of
+        // these small surfaces.
+        for i in 0..=4 {
+            for j in 0..=4 {
+                let p = [ratio(i, 4), ratio(j, 4)];
+                prop_assert_eq!(warm.value_at(&p), cold.value_at(&p));
+            }
+        }
+    }
 }

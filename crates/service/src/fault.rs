@@ -87,6 +87,7 @@ impl FaultPlan {
         if self.panic_every > 0 {
             let n = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
             if n.is_multiple_of(self.panic_every) {
+                // lint: allow(L002) injected fault caught by the worker's catch_unwind
                 panic!("injected worker panic (request {n})");
             }
         }

@@ -50,6 +50,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The no-panic request surface (lint rule L002), also enforced by clippy so
+// plain `cargo clippy` flags a new unwrap before the lint stage runs. Test
+// code (the `#[cfg(test)]` modules below) may unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
 pub mod fault;

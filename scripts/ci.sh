@@ -29,6 +29,9 @@ done
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> projtile-lint (workspace conventions; gating, see docs/lints.md)"
+cargo run --release -q -p projtile-lint -- --baseline lint-baseline.txt
+
 echo "==> cargo test -q"
 cargo test -q
 

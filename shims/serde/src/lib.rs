@@ -33,6 +33,8 @@
 //! serialize → print → parse → deserialize round trip is therefore lossless
 //! for every type in the workspace, which the engine's wire tests pin.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 pub use serde_derive::{Deserialize, Serialize};

@@ -22,6 +22,8 @@
 //! verbatim, so doc comments are fine; `#[serde(...)]` customization is not
 //! implemented.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives `serde::Serialize` (the shim's tree-model flavor).
