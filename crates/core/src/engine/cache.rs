@@ -220,18 +220,38 @@ pub(crate) mod cost {
         total
     }
 
+    /// Cost of a cached Theorem-2 lower bound.
+    pub(crate) fn bound(lb: &LowerBound) -> u64 {
+        ENTRY + rationals(1 + lb.s_hat.len() + lb.zeta.len()) + 24
+    }
+
+    /// Cost of a cached `2^d` enumeration.
+    pub(crate) fn enumerated(en: &EnumeratedBound) -> u64 {
+        ENTRY + rationals(1) + rationals(en.per_subset.len()) + 16 * en.per_subset.len() as u64
+    }
+
+    /// Cost of a cached tiling summary.
+    pub(crate) fn tiling(t: &TilingSummary) -> u64 {
+        ENTRY + rationals(1 + t.lambda.len()) + 8 * t.tile_dims.len() as u64
+    }
+
+    /// Cost of a cached tightness report (payload-independent).
+    pub(crate) fn tightness() -> u64 {
+        ENTRY + rationals(3) + 16
+    }
+
+    /// Cost of a cached certificate bit (payload-independent).
+    pub(crate) fn certificate() -> u64 {
+        ENTRY + 1
+    }
+
     pub(crate) fn result(r: &CachedResult) -> u64 {
-        ENTRY
-            + match r {
-                CachedResult::Bound(lb) => rationals(1 + lb.s_hat.len() + lb.zeta.len()) + 24,
-                CachedResult::Enumerated(en) => {
-                    rationals(1) + rationals(en.per_subset.len()) + 16 * en.per_subset.len() as u64
-                }
-                CachedResult::Tiling(t) => {
-                    rationals(1 + t.lambda.len()) + 8 * t.tile_dims.len() as u64
-                }
-                CachedResult::Tightness(_) => rationals(3) + 16,
-                CachedResult::Certificate(_) => 1,
-            }
+        match r {
+            CachedResult::Bound(lb) => bound(lb),
+            CachedResult::Enumerated(en) => enumerated(en),
+            CachedResult::Tiling(t) => tiling(t),
+            CachedResult::Tightness(_) => tightness(),
+            CachedResult::Certificate(_) => certificate(),
+        }
     }
 }

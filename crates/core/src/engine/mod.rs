@@ -72,11 +72,16 @@ mod query;
 mod shared;
 mod snapshot;
 mod store;
+mod trace;
 
-pub use query::{AnalysisResult, EngineError, Query, SurfaceSummary, TilingSummary};
+pub use query::{
+    query_kind_index, AnalysisResult, EngineError, KindCounters, Query, SurfaceSummary,
+    TilingSummary, QUERY_KIND_COUNT, QUERY_KIND_NAMES,
+};
 pub use shared::SharedEngine;
 pub use snapshot::SNAPSHOT_VERSION;
 pub use store::{SnapshotStore, SNAPSHOT_TMP};
+pub use trace::{outcome, TraceDocument, TraceError, TraceEvent, TraceRecorder, TRACE_VERSION};
 
 use std::collections::HashMap;
 use std::fmt;
@@ -146,6 +151,10 @@ pub struct CacheMetrics {
     pub slices: BoundedLruStats,
     /// The surface cache.
     pub surfaces: BoundedLruStats,
+    /// Hit/miss counters per query kind, indexed like [`QUERY_KIND_NAMES`]
+    /// (`exponent_at_bound` probes count under the `slice` kind, whose
+    /// memo they share).
+    pub kinds: [KindCounters; QUERY_KIND_COUNT],
 }
 
 /// Counters describing how an [`Engine`] resolved its queries.
@@ -174,6 +183,7 @@ pub struct Engine {
     surfaces: BoundedLru<SurfaceKey, StoredSurface>,
     pool: ContextPool,
     stats: EngineStats,
+    kinds: [KindCounters; QUERY_KIND_COUNT],
 }
 
 impl Default for Engine {
@@ -210,6 +220,7 @@ impl Engine {
             surfaces: BoundedLru::new(config.surfaces_capacity),
             pool: ContextPool::new(),
             stats: EngineStats::default(),
+            kinds: [KindCounters::default(); QUERY_KIND_COUNT],
         }
     }
 
@@ -238,13 +249,25 @@ impl Engine {
         self.stats
     }
 
-    /// Occupancy, cost, and eviction counters of the four memo caches.
+    /// Occupancy, cost, and eviction counters of the four memo caches,
+    /// plus hit/miss counters per query kind.
     pub fn cache_metrics(&self) -> CacheMetrics {
         CacheMetrics {
             betas: self.betas.stats(),
             results: self.results.stats(),
             slices: self.slices.stats(),
             surfaces: self.surfaces.stats(),
+            kinds: self.kinds,
+        }
+    }
+
+    /// Records one resolved query in the per-kind counters (mirrors the
+    /// aggregate `stats.hits`/`stats.misses` accounting).
+    fn count_kind(&mut self, kind: usize, hit: bool) {
+        if hit {
+            self.kinds[kind].hits += 1;
+        } else {
+            self.kinds[kind].misses += 1;
         }
     }
 
@@ -259,11 +282,13 @@ impl Engine {
         self.stats.queries += 1;
         validate_query(nest, query)?;
         let (e, o) = self.intern_indices(nest);
-        if self.is_cached(e, o, query) {
+        let hit = self.is_cached(e, o, query);
+        if hit {
             self.stats.hits += 1;
         } else {
             self.stats.misses += 1;
         }
+        self.count_kind(query_kind_index(query), hit);
         self.answer(e, o, query)
     }
 
@@ -304,12 +329,16 @@ impl Engine {
                 pending.push(q.clone());
             }
         }
-        self.stats.hits += queries
-            .iter()
-            .zip(&validity)
-            .filter(|(q, v)| v.is_none() && !pending.contains(q))
-            .count() as u64;
+        for (q, v) in queries.iter().zip(&validity) {
+            if v.is_none() && !pending.contains(q) {
+                self.stats.hits += 1;
+                self.count_kind(query_kind_index(q), true);
+            }
+        }
         self.stats.misses += pending.len() as u64;
+        for q in &pending {
+            self.count_kind(query_kind_index(q), false);
+        }
 
         // Fan the pending queries out; per-worker pooled contexts warm-start
         // along each chunk. Only shared borrows of the engine are used here.
@@ -399,6 +428,16 @@ impl Engine {
         } else {
             self.stats.misses += 1;
         }
+        // Probe reads share the slice memo, so they count under `slice`.
+        self.count_kind(
+            query_kind_index(&Query::Slice {
+                cache_size,
+                axis,
+                lo_bound: bound,
+                hi_bound: bound,
+            }),
+            was_hit,
+        );
         Ok(value)
     }
 
@@ -422,11 +461,13 @@ impl Engine {
         self.stats.queries += 1;
         validate_query(nest, &query)?;
         let (e, o) = self.intern_indices(nest);
-        if self.is_cached(e, o, &query) {
+        let hit = self.is_cached(e, o, &query);
+        if hit {
             self.stats.hits += 1;
         } else {
             self.stats.misses += 1;
         }
+        self.count_kind(query_kind_index(&query), hit);
         self.surface(e, o, cache_size, axes, lo_bounds, hi_bounds)
     }
 
@@ -1225,6 +1266,35 @@ pub(crate) struct Detached {
     result: AnalysisResult,
     surface: Option<StoredSurface>,
     tightness_parts: Option<(LowerBound, EnumeratedBound, TilingSummary, bool)>,
+}
+
+/// Cost estimates of the cache entries installing `detached` would write,
+/// in install order — five for a tightness result (tiling, bound,
+/// enumerated, certificate, then the report last), one otherwise. Recorded
+/// into trace events so the lab's replay charges simulated caches exactly
+/// what the live install charged the real ones.
+pub(crate) fn detached_costs(detached: &Detached) -> Vec<u64> {
+    if let Some((bound, enumerated, tiling, _certificate_ok)) = &detached.tightness_parts {
+        return vec![
+            cost::tiling(tiling),
+            cost::bound(bound),
+            cost::enumerated(enumerated),
+            cost::certificate(),
+            cost::tightness(),
+        ];
+    }
+    if let Some(stored) = &detached.surface {
+        return vec![cost::surface(stored)];
+    }
+    match &detached.result {
+        AnalysisResult::LowerBound(lb) => vec![cost::bound(lb)],
+        AnalysisResult::EnumeratedBound(en) => vec![cost::enumerated(en)],
+        AnalysisResult::OptimalTiling(t) => vec![cost::tiling(t)],
+        AnalysisResult::Slice(vf) => vec![cost::value_function(vf)],
+        // Tightness and Surface results always carry their parts/surface
+        // and are handled above; an inconsistent Detached records nothing.
+        AnalysisResult::Tightness(_) | AnalysisResult::Surface(_) => Vec::new(),
+    }
 }
 
 /// Computes one query with no access to the engine's caches — the batch

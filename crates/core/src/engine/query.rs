@@ -88,6 +88,44 @@ impl Query {
     }
 }
 
+/// Number of [`Query`] kinds (the length of [`QUERY_KIND_NAMES`]).
+pub const QUERY_KIND_COUNT: usize = 6;
+
+/// Stable wire names of the [`Query`] kinds, indexed by
+/// [`query_kind_index`]. The service `/metrics` endpoint and the trace
+/// documents of the cache policy lab both key per-kind counters by these
+/// positions, so the order is part of the wire contract.
+pub const QUERY_KIND_NAMES: [&str; QUERY_KIND_COUNT] = [
+    "lower_bound",
+    "enumerated_bound",
+    "optimal_tiling",
+    "tightness",
+    "surface",
+    "slice",
+];
+
+/// The stable position of `query`'s kind in [`QUERY_KIND_NAMES`].
+pub fn query_kind_index(query: &Query) -> usize {
+    match query {
+        Query::LowerBound { .. } => 0,
+        Query::EnumeratedBound { .. } => 1,
+        Query::OptimalTiling { .. } => 2,
+        Query::Tightness { .. } => 3,
+        Query::Surface { .. } => 4,
+        Query::Slice { .. } => 5,
+    }
+}
+
+/// Hit/miss counters for one [`Query`] kind, as reported per kind by
+/// [`crate::engine::Engine::cache_metrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KindCounters {
+    /// Queries of this kind answered from a memoized result.
+    pub hits: u64,
+    /// Queries of this kind that had to compute.
+    pub misses: u64,
+}
+
 /// The optimal tiling of LP (5.1) in wire-ready form: the log-space solution
 /// plus the concrete integer tile. Carries exactly the data
 /// [`crate::tiling_lp::optimal_tiling`] derives, minus the embedded nest.

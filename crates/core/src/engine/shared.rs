@@ -29,20 +29,21 @@
 //! pinned by the multi-threaded differential proptests.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
-use projtile_loopnest::{canonicalize, LoopNest, NestSignature};
+use projtile_loopnest::{canonicalize, CanonicalNest, LoopNest, NestSignature};
 use projtile_lp::ContextPool;
 use projtile_par::par_map_with;
 use serde::{json, Value};
 
 use super::snapshot::SNAPSHOT_VERSION;
+use super::trace::{outcome, TraceDocument, TraceEvent, TraceRecorder, TRACE_VERSION};
 use super::{
-    compute_detached, validate_query, AnalysisResult, CacheMetrics, Engine, EngineConfig,
-    EngineError, EngineStats, Query,
+    compute_detached, query_kind_index, validate_query, AnalysisResult, CacheMetrics, Engine,
+    EngineConfig, EngineError, EngineStats, Query, QUERY_KIND_COUNT,
 };
 
 /// A thread-safe, sharded analysis service front. Create once, share by
@@ -73,6 +74,15 @@ pub struct SharedEngine {
     queries: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    kind_hits: [AtomicU64; QUERY_KIND_COUNT],
+    kind_misses: [AtomicU64; QUERY_KIND_COUNT],
+    recorder: TraceRecorder,
+    /// Front-wide counters at the moment the recorder was attached, so the
+    /// drained document reports stats covering exactly the recorded window.
+    trace_base: EngineStats,
+    /// Cache entries resident when the recorder was attached (non-zero for
+    /// a snapshot-restored front; differential replays refuse warm traces).
+    trace_warm_entries: u64,
 }
 
 impl Default for SharedEngine {
@@ -124,6 +134,11 @@ impl SharedEngine {
             queries: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            kind_hits: std::array::from_fn(|_| AtomicU64::new(0)),
+            kind_misses: std::array::from_fn(|_| AtomicU64::new(0)),
+            recorder: TraceRecorder::disabled(),
+            trace_base: EngineStats::default(),
+            trace_warm_entries: 0,
         }
     }
 
@@ -146,7 +161,10 @@ impl SharedEngine {
         }
     }
 
-    /// Cache occupancy and eviction counters, summed across shards.
+    /// Cache occupancy and eviction counters, summed across shards, plus
+    /// per-query-kind hit/miss counters. The front resolves queries itself
+    /// (peek + install), so its shard engines' own kind counters stay zero
+    /// and the per-kind totals come from the front's atomics.
     pub fn cache_metrics(&self) -> CacheMetrics {
         let mut total = CacheMetrics::default();
         for shard in &self.shards {
@@ -162,14 +180,68 @@ impl SharedEngine {
                 acc.capacity += part.capacity;
                 acc.evictions += part.evictions;
             }
+            for (acc, part) in total.kinds.iter_mut().zip(m.kinds) {
+                acc.hits += part.hits;
+                acc.misses += part.misses;
+            }
+        }
+        for (i, acc) in total.kinds.iter_mut().enumerate() {
+            acc.hits += self.kind_hits[i].load(Ordering::Relaxed);
+            acc.misses += self.kind_misses[i].load(Ordering::Relaxed);
         }
         total
     }
 
+    // -----------------------------------------------------------------------
+    // Trace recording (the cache policy lab's input)
+    // -----------------------------------------------------------------------
+
+    /// Attaches a bounded lock-free trace recorder retaining up to
+    /// `capacity` events (0 disables recording and removes all overhead
+    /// from the query path). Takes `&mut self`, so recording is wired
+    /// before the front is shared — the service does this at boot, driven
+    /// by `--trace-capacity` / `PROJTILE_TRACE_CAPACITY`.
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.recorder = TraceRecorder::with_capacity(capacity);
+        self.trace_base = self.stats();
+        let m = self.cache_metrics();
+        self.trace_warm_entries = (m.betas.entries + m.results.entries)
+            .saturating_add(m.slices.entries + m.surfaces.entries)
+            as u64;
+    }
+
+    /// `true` iff a non-zero-capacity recorder is attached.
+    pub fn trace_enabled(&self) -> bool {
+        self.recorder.enabled()
+    }
+
+    /// Drains the recorded trace (without resetting it) as a
+    /// [`TraceDocument`]: the recorded events plus the front geometry
+    /// (shard count, per-shard budgets) and the hit/miss counters covering
+    /// the recorded window — everything the lab's differential replay
+    /// needs to reproduce the live accounting.
+    pub fn trace_document(&self) -> TraceDocument {
+        let stats = self.stats();
+        let shard_config = self
+            .shards
+            .first()
+            .map(|s| s.read().config())
+            .unwrap_or_default();
+        TraceDocument {
+            version: TRACE_VERSION,
+            num_shards: self.shards.len() as u32,
+            shard_config,
+            queries: stats.queries.saturating_sub(self.trace_base.queries),
+            hits: stats.hits.saturating_sub(self.trace_base.hits),
+            misses: stats.misses.saturating_sub(self.trace_base.misses),
+            dropped: self.recorder.dropped(),
+            warm_entries: self.trace_warm_entries,
+            events: self.recorder.events(),
+        }
+    }
+
     fn shard_of(&self, sig: &NestSignature) -> usize {
-        let mut hasher = DefaultHasher::new();
-        sig.hash(&mut hasher);
-        (hasher.finish() % self.shards.len() as u64) as usize
+        (hash_u64(sig) % self.shards.len() as u64) as usize
     }
 
     /// Answers one typed query about `nest`. Hits are served under the
@@ -180,17 +252,34 @@ impl SharedEngine {
         self.queries.fetch_add(1, Ordering::Relaxed);
         validate_query(nest, query)?;
         let canon = canonicalize(nest);
-        let shard = &self.shards[self.shard_of(&canon.signature())];
+        let sig_hash = hash_u64(&canon.signature());
+        let shard = &self.shards[(sig_hash % self.shards.len() as u64) as usize];
+        let kind = query_kind_index(query);
+        // Build the hashed trace identity before `canon` is consumed by
+        // interning; with recording disabled this is skipped entirely.
+        let traced = self.recorder.enabled().then(|| {
+            let orient = orientation_hash(sig_hash, &canon);
+            (
+                orient,
+                hash_u64(query),
+                family_hash(sig_hash, orient, &canon, query),
+            )
+        });
         {
             let engine = shard.read();
             if let Some((e, o)) = engine.find_indices(&canon) {
                 if let Some(result) = engine.peek_cached(e, o, query) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.kind_hits[kind].fetch_add(1, Ordering::Relaxed);
+                    if let Some(id) = traced {
+                        self.record_single(sig_hash, id, query, outcome::HIT, Vec::new());
+                    }
                     return Ok(result);
                 }
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.kind_misses[kind].fetch_add(1, Ordering::Relaxed);
         // Compute with no lock held: the detached path is bitwise-identical
         // to the memoizing path (both bottom out in path-independent
         // solves), so racing threads install interchangeable values.
@@ -202,14 +291,63 @@ impl SharedEngine {
                 canon.loop_permutation(),
                 query,
                 &mut ctx,
-            )?
+            )
         };
-        let mut engine = shard.write();
-        let (e, o) = engine.intern_with(nest, canon);
-        // `install` hands back the caller-facing result directly, so the
-        // write lock is held only for the cache insertions — no re-lookup,
-        // no surface re-remap under the lock.
-        engine.install(e, o, query, detached)
+        let detached = match detached {
+            Ok(d) => d,
+            Err(err) => {
+                // Counted as a miss but nothing interned or installed: the
+                // replay must not intern the orientation either.
+                if let Some(id) = traced {
+                    self.record_single(sig_hash, id, query, outcome::FAILED_NO_INTERN, Vec::new());
+                }
+                return Err(err);
+            }
+        };
+        let costs = if traced.is_some() {
+            super::detached_costs(&detached)
+        } else {
+            Vec::new()
+        };
+        let result = {
+            let mut engine = shard.write();
+            let (e, o) = engine.intern_with(nest, canon);
+            // `install` hands back the caller-facing result directly, so the
+            // write lock is held only for the cache insertions — no
+            // re-lookup, no surface re-remap under the lock.
+            engine.install(e, o, query, detached)
+        };
+        if let Some(id) = traced {
+            match &result {
+                Ok(_) => self.record_single(sig_hash, id, query, outcome::MISS, costs),
+                Err(_) => self.record_single(sig_hash, id, query, outcome::FAILED, Vec::new()),
+            }
+        }
+        result
+    }
+
+    /// Records the lone event of a single-query call (its own batch).
+    fn record_single(
+        &self,
+        sig_hash: u64,
+        (orient, lhash, fam): (u64, u64, u64),
+        query: &Query,
+        outcome: u8,
+        costs: Vec<u64>,
+    ) {
+        let batch = self.recorder.next_batch();
+        self.recorder.record(vec![TraceEvent {
+            ordinal: 0,
+            batch,
+            sig: sig_hash,
+            orient,
+            kind: query_kind_index(query) as u8,
+            m: query.cache_size(),
+            lhash,
+            fam,
+            outcome,
+            costs,
+        }]);
     }
 
     /// Answers a batch of queries about `nest`, in input order — the
@@ -233,7 +371,23 @@ impl SharedEngine {
             return validity.into_iter().flatten().map(Err).collect();
         }
         let canon = canonicalize(nest);
-        let shard = &self.shards[self.shard_of(&canon.signature())];
+        let sig_hash = hash_u64(&canon.signature());
+        let shard = &self.shards[(sig_hash % self.shards.len() as u64) as usize];
+        let tracing = self.recorder.enabled();
+        // Hashed trace identities per valid query, built while `canon` is
+        // still available (interning consumes it below).
+        let orient_hash = tracing.then(|| orientation_hash(sig_hash, &canon));
+        let identities: Vec<Option<(u64, u64)>> = match orient_hash {
+            Some(orient) => queries
+                .iter()
+                .zip(&validity)
+                .map(|(q, v)| {
+                    v.is_none()
+                        .then(|| (hash_u64(q), family_hash(sig_hash, orient, &canon, q)))
+                })
+                .collect(),
+            None => Vec::new(),
+        };
 
         // Serve what is already memoized from the read path.
         let mut cached: HashMap<Query, AnalysisResult> = HashMap::new();
@@ -264,16 +418,19 @@ impl SharedEngine {
                 pending.push(q.clone());
             }
         }
-        self.hits.fetch_add(
-            queries
-                .iter()
-                .zip(&validity)
-                .filter(|(q, v)| v.is_none() && !pending.contains(q))
-                .count() as u64,
-            Ordering::Relaxed,
-        );
+        let mut hit_count = 0u64;
+        for (q, v) in queries.iter().zip(&validity) {
+            if v.is_none() && !pending.contains(q) {
+                hit_count += 1;
+                self.kind_hits[query_kind_index(q)].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.hits.fetch_add(hit_count, Ordering::Relaxed);
         self.misses
             .fetch_add(pending.len() as u64, Ordering::Relaxed);
+        for q in &pending {
+            self.kind_misses[query_kind_index(q)].fetch_add(1, Ordering::Relaxed);
+        }
 
         // Fan out with no lock held; one pooled context per worker chunk.
         let computed: Vec<(Query, Result<super::Detached, EngineError>)> = {
@@ -295,24 +452,35 @@ impl SharedEngine {
 
         let mut errors: HashMap<Query, EngineError> = HashMap::new();
         let mut installed: HashMap<Query, AnalysisResult> = HashMap::new();
+        let mut install_costs: HashMap<Query, Vec<u64>> = HashMap::new();
         let mut engine = shard.write();
         let (e, o) = engine.intern_with(nest, canon);
         for (q, res) in computed {
-            match res.and_then(|detached| engine.install(e, o, &q, detached)) {
-                Ok(result) => {
-                    installed.insert(q, result);
+            match res {
+                Ok(detached) => {
+                    if tracing {
+                        install_costs.insert(q.clone(), super::detached_costs(&detached));
+                    }
+                    match engine.install(e, o, &q, detached) {
+                        Ok(result) => {
+                            installed.insert(q, result);
+                        }
+                        Err(err) => {
+                            errors.insert(q, err);
+                        }
+                    }
                 }
                 Err(err) => {
                     errors.insert(q, err);
                 }
             }
         }
-        queries
+        let results: Vec<Result<AnalysisResult, EngineError>> = queries
             .iter()
-            .zip(validity)
+            .zip(&validity)
             .map(|(q, v)| {
                 if let Some(err) = v {
-                    return Err(err);
+                    return Err(err.clone());
                 }
                 if let Some(err) = errors.get(q) {
                     return Err(err.clone());
@@ -327,7 +495,52 @@ impl SharedEngine {
                 // under the shared key; answer by the exact remap.
                 engine.answer(e, o, q)
             })
-            .collect()
+            .collect();
+        drop(engine);
+        if let Some(orient) = orient_hash {
+            // One contiguous event group per batch, in input order; the
+            // outcome classification mirrors the accounting above exactly
+            // (hit / first-pending miss / duplicate literal / failed).
+            let batch = self.recorder.next_batch();
+            let mut seen_pending: HashSet<&Query> = HashSet::new();
+            let mut events = Vec::new();
+            for ((q, id), installed_ok) in queries.iter().zip(&identities).zip(&results) {
+                let Some((lhash, fam)) = id else { continue };
+                let (oc, costs) = if cached.contains_key(q) {
+                    (outcome::HIT, Vec::new())
+                } else if pending.contains(q) {
+                    if seen_pending.insert(q) {
+                        if installed_ok.is_err() {
+                            (outcome::FAILED, Vec::new())
+                        } else {
+                            (
+                                outcome::MISS,
+                                install_costs.get(q).cloned().unwrap_or_default(),
+                            )
+                        }
+                    } else {
+                        (outcome::DUPLICATE, Vec::new())
+                    }
+                } else {
+                    // A canonical twin: counted as a hit, answered by remap.
+                    (outcome::HIT, Vec::new())
+                };
+                events.push(TraceEvent {
+                    ordinal: 0,
+                    batch,
+                    sig: sig_hash,
+                    orient,
+                    kind: query_kind_index(q) as u8,
+                    m: q.cache_size(),
+                    lhash: *lhash,
+                    fam: *fam,
+                    outcome: oc,
+                    costs,
+                });
+            }
+            self.recorder.record(events);
+        }
+        results
     }
 
     /// Serializes the whole front — every shard's result caches — as one
@@ -403,5 +616,68 @@ impl SharedEngine {
         let value =
             json::parse(text).map_err(|e| EngineError::Snapshot(format!("snapshot JSON: {e}")))?;
         SharedEngine::restore(&value)
+    }
+}
+
+/// `DefaultHasher` digest of any hashable value — the trace's identity
+/// primitive (also how [`SharedEngine::shard_of`] routes, so a recorded
+/// `sig % num_shards` names the live shard).
+fn hash_u64<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Hash of one declaration order of a canonical nest: the identity the
+/// orientation-keyed caches (typed results, surfaces) miss across until a
+/// write-lock pass has interned this orientation.
+fn orientation_hash(sig_hash: u64, canon: &CanonicalNest) -> u64 {
+    hash_u64(&(
+        sig_hash,
+        canon.loop_permutation(),
+        canon.array_permutation(),
+    ))
+}
+
+/// Hash of the cache-canonical identity of a valid query — which memoized
+/// entry (within its kind's cache) answers it:
+///
+/// * typed results are keyed per `(orientation, M)`;
+/// * slices are keyed per `(signature, M, canonical axis, span)` — shared
+///   across orientations, like the live slice cache;
+/// * surfaces are keyed per `(orientation, M, sorted axes, box)`, so
+///   permuted-axes twins share a family (the live canonicalized key).
+///
+/// Two valid queries of one batch (same orientation) agree on
+/// `(kind, family)` exactly when their [`super::canonical_query_form`]s
+/// are equal, which is what the live batch dedupe compares.
+fn family_hash(sig_hash: u64, orient_hash: u64, canon: &CanonicalNest, query: &Query) -> u64 {
+    match query {
+        Query::LowerBound { cache_size }
+        | Query::EnumeratedBound { cache_size }
+        | Query::OptimalTiling { cache_size }
+        | Query::Tightness { cache_size } => hash_u64(&(orient_hash, *cache_size)),
+        Query::Slice {
+            cache_size,
+            axis,
+            lo_bound,
+            hi_bound,
+        } => hash_u64(&(
+            sig_hash,
+            *cache_size,
+            canon.loop_permutation().get(*axis).copied(),
+            *lo_bound,
+            *hi_bound,
+        )),
+        Query::Surface { .. } => match super::canonical_query_form(query) {
+            Query::Surface {
+                cache_size,
+                axes,
+                lo_bounds,
+                hi_bounds,
+            } => hash_u64(&(orient_hash, cache_size, axes, lo_bounds, hi_bounds)),
+            // The canonical form of a surface query is a surface query.
+            _ => orient_hash,
+        },
     }
 }

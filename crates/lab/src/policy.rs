@@ -1,0 +1,452 @@
+//! Candidate memo-cache replacement policies for trace replay.
+//!
+//! Every policy simulates one cache family (the live front runs one
+//! `projtile_cachesim::BoundedLru` per family per shard) over the hashed
+//! keys carried by trace events. Entries are `(key, cost)` pairs — the lab
+//! replays *accounting*, never payloads — and each policy answers the same
+//! three operations the live install/lookup paths perform: residency check,
+//! recency touch, and cost-charged insert with eviction.
+//!
+//! [`LruPolicy`] is the reference: it mirrors `BoundedLru` exactly,
+//! including the two subtleties that matter for the event-exact differential
+//! — peeks count as recency (the live map folds atomic peek stamps into its
+//! recency list before choosing a victim, so under serialized traffic
+//! `peek`, `get` and `insert` produce one total recency order), and the most
+//! recently used entry is never evicted even when its cost alone exceeds the
+//! budget. The other policies are counterfactual candidates scored by
+//! [`crate::report::compare_policies`].
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A simulated cache key: the event's cache-canonical family hash plus a
+/// small component tag (tightness reports and their four component
+/// artifacts share a family but occupy distinct entries).
+pub type SimKey = u128;
+
+/// Occupancy and eviction counters of one simulated cache family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimCacheStats {
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Total cost of the resident entries.
+    pub cost: u64,
+    /// The configured cost budget.
+    pub capacity: u64,
+    /// Entries evicted (including TTL expirations, for the TTL policy).
+    pub evictions: u64,
+}
+
+/// The operations trace replay performs against one simulated cache family.
+pub trait PolicyCache {
+    /// `true` iff `key` is resident, without touching recency.
+    fn contains(&self, key: SimKey) -> bool;
+    /// Marks `key` most recently used; `true` iff it was resident.
+    fn touch(&mut self, key: SimKey) -> bool;
+    /// Inserts (or replaces) `key` at `cost`, marks it most recently used,
+    /// and enforces the policy's retention rule.
+    fn insert(&mut self, key: SimKey, cost: u64);
+    /// Lifetime counters.
+    fn stats(&self) -> SimCacheStats;
+
+    /// [`PolicyCache::insert`] only when `key` is absent — the live
+    /// contains-guarded install path (tightness components, surfaces,
+    /// slices). A resident entry is left untouched, exactly like the live
+    /// guard (`contains` does not touch recency).
+    fn insert_if_absent(&mut self, key: SimKey, cost: u64) {
+        if !self.contains(key) {
+            self.insert(key, cost);
+        }
+    }
+}
+
+/// The shared exact-LRU machinery: a key map plus a recency order on
+/// logical ticks. Under serialized traffic this is order-isomorphic to the
+/// live `BoundedLru` (peek stamps fold into exactly this order).
+#[derive(Debug, Default)]
+struct Core {
+    map: HashMap<SimKey, (u64, u64)>, // key -> (cost, last tick)
+    order: BTreeMap<u64, SimKey>,     // last tick -> key (ticks are unique)
+    total: u64,
+    clock: u64,
+    evictions: u64,
+}
+
+impl Core {
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn touch(&mut self, key: SimKey) -> bool {
+        let tick = self.tick();
+        match self.map.get_mut(&key) {
+            Some((_, at)) => {
+                self.order.remove(at);
+                *at = tick;
+                self.order.insert(tick, key);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn insert(&mut self, key: SimKey, cost: u64) {
+        let tick = self.tick();
+        match self.map.get_mut(&key) {
+            Some((old_cost, at)) => {
+                self.total = self.total - *old_cost + cost;
+                self.order.remove(at);
+                *old_cost = cost;
+                *at = tick;
+                self.order.insert(tick, key);
+            }
+            None => {
+                self.map.insert(key, (cost, tick));
+                self.order.insert(tick, key);
+                self.total += cost;
+            }
+        }
+    }
+
+    fn remove(&mut self, key: SimKey) -> Option<u64> {
+        let (cost, at) = self.map.remove(&key)?;
+        self.order.remove(&at);
+        self.total -= cost;
+        Some(cost)
+    }
+
+    /// Evicts least recently used entries until `capacity` is respected,
+    /// never evicting the sole remaining (most recent) entry — the live
+    /// `BoundedLru` keeps the newest insertion even when it alone exceeds
+    /// the budget.
+    fn evict_to_fit(&mut self, capacity: u64) -> Vec<(SimKey, u64)> {
+        let mut out = Vec::new();
+        while self.total > capacity && self.map.len() > 1 {
+            let Some((&at, &key)) = self.order.iter().next() else {
+                break;
+            };
+            let _ = at;
+            if let Some(cost) = self.remove(key) {
+                self.evictions += 1;
+                out.push((key, cost));
+            }
+        }
+        out
+    }
+
+    fn stats(&self, capacity: u64) -> SimCacheStats {
+        SimCacheStats {
+            entries: self.map.len(),
+            cost: self.total,
+            capacity,
+            evictions: self.evictions,
+        }
+    }
+}
+
+/// Exact least-recently-used at a cost budget — the reference simulator
+/// mirroring the live `BoundedLru` (see the module docs for the invariants
+/// this preserves).
+#[derive(Debug)]
+pub struct LruPolicy {
+    core: Core,
+    capacity: u64,
+}
+
+impl LruPolicy {
+    /// An empty cache retaining at most `capacity` cost units.
+    pub fn new(capacity: u64) -> LruPolicy {
+        LruPolicy {
+            core: Core::default(),
+            capacity,
+        }
+    }
+}
+
+impl PolicyCache for LruPolicy {
+    fn contains(&self, key: SimKey) -> bool {
+        self.core.map.contains_key(&key)
+    }
+    fn touch(&mut self, key: SimKey) -> bool {
+        self.core.touch(key)
+    }
+    fn insert(&mut self, key: SimKey, cost: u64) {
+        self.core.insert(key, cost);
+        self.core.evict_to_fit(self.capacity);
+    }
+    fn stats(&self) -> SimCacheStats {
+        self.core.stats(self.capacity)
+    }
+}
+
+/// LRU plus a time-to-live: an entry untouched for more than `ttl` logical
+/// ticks no longer answers lookups (lazy expiry, counted as an eviction).
+/// Models a service that ages out stale memo entries to bound staleness
+/// rather than only memory.
+#[derive(Debug)]
+pub struct TtlPolicy {
+    core: Core,
+    capacity: u64,
+    ttl: u64,
+}
+
+impl TtlPolicy {
+    /// An empty cache with the given budget and time-to-live (in touches
+    /// across the whole family — the replay's logical clock).
+    pub fn new(capacity: u64, ttl: u64) -> TtlPolicy {
+        TtlPolicy {
+            core: Core::default(),
+            capacity,
+            ttl,
+        }
+    }
+
+    fn expired(&self, key: SimKey) -> bool {
+        match self.core.map.get(&key) {
+            Some((_, at)) => self.core.clock.saturating_sub(*at) > self.ttl,
+            None => false,
+        }
+    }
+}
+
+impl PolicyCache for TtlPolicy {
+    fn contains(&self, key: SimKey) -> bool {
+        self.core.map.contains_key(&key) && !self.expired(key)
+    }
+    fn touch(&mut self, key: SimKey) -> bool {
+        if self.expired(key) {
+            self.core.remove(key);
+            self.core.evictions += 1;
+            // The touch still advances the clock, like any lookup.
+            self.core.tick();
+            return false;
+        }
+        self.core.touch(key)
+    }
+    fn insert(&mut self, key: SimKey, cost: u64) {
+        self.core.insert(key, cost);
+        self.core.evict_to_fit(self.capacity);
+    }
+    fn stats(&self) -> SimCacheStats {
+        self.core.stats(self.capacity)
+    }
+}
+
+/// LRU with cost-aware admission: an entry whose cost exceeds
+/// `capacity / admit_denom` is never cached (the query recomputes every
+/// time). Models protecting many small memo entries from a few bulky
+/// surfaces wiping the family.
+#[derive(Debug)]
+pub struct AdmitPolicy {
+    core: Core,
+    capacity: u64,
+    admit_denom: u64,
+    bypassed: u64,
+}
+
+impl AdmitPolicy {
+    /// An empty cache admitting only entries of cost at most
+    /// `capacity / admit_denom` (`admit_denom` is clamped to at least 1).
+    pub fn new(capacity: u64, admit_denom: u64) -> AdmitPolicy {
+        AdmitPolicy {
+            core: Core::default(),
+            capacity,
+            admit_denom: admit_denom.max(1),
+            bypassed: 0,
+        }
+    }
+
+    /// Inserts refused by the admission rule.
+    pub fn bypassed(&self) -> u64 {
+        self.bypassed
+    }
+}
+
+impl PolicyCache for AdmitPolicy {
+    fn contains(&self, key: SimKey) -> bool {
+        self.core.map.contains_key(&key)
+    }
+    fn touch(&mut self, key: SimKey) -> bool {
+        self.core.touch(key)
+    }
+    fn insert(&mut self, key: SimKey, cost: u64) {
+        if cost > self.capacity / self.admit_denom {
+            self.bypassed += 1;
+            return;
+        }
+        self.core.insert(key, cost);
+        self.core.evict_to_fit(self.capacity);
+    }
+    fn stats(&self) -> SimCacheStats {
+        self.core.stats(self.capacity)
+    }
+}
+
+/// Segmented LRU (a 2Q variant): new entries enter a probationary segment
+/// (one quarter of the budget); a touch while probationary promotes to the
+/// protected segment (three quarters). Protected overflow demotes back to
+/// probation rather than evicting outright, so one burst of new keys cannot
+/// flush the established working set.
+#[derive(Debug)]
+pub struct TwoQPolicy {
+    probation: Core,
+    protected: Core,
+    probation_cap: u64,
+    protected_cap: u64,
+}
+
+impl TwoQPolicy {
+    /// An empty segmented cache splitting `capacity` 1:3 between the
+    /// probationary and protected segments.
+    pub fn new(capacity: u64) -> TwoQPolicy {
+        let probation_cap = capacity / 4;
+        TwoQPolicy {
+            probation: Core::default(),
+            protected: Core::default(),
+            probation_cap,
+            protected_cap: capacity - probation_cap,
+        }
+    }
+
+    fn rebalance(&mut self) {
+        // Protected overflow demotes (most demotions land as probation's
+        // most recent entries); probation overflow evicts for real.
+        for (key, cost) in self.protected.evict_to_fit(self.protected_cap) {
+            self.protected.evictions -= 1; // demotion, not an eviction
+            self.probation.insert(key, cost);
+        }
+        self.probation.evict_to_fit(self.probation_cap);
+    }
+}
+
+impl PolicyCache for TwoQPolicy {
+    fn contains(&self, key: SimKey) -> bool {
+        self.protected.map.contains_key(&key) || self.probation.map.contains_key(&key)
+    }
+    fn touch(&mut self, key: SimKey) -> bool {
+        if self.protected.touch(key) {
+            return true;
+        }
+        if let Some(cost) = self.probation.remove(key) {
+            self.protected.insert(key, cost);
+            self.rebalance();
+            return true;
+        }
+        false
+    }
+    fn insert(&mut self, key: SimKey, cost: u64) {
+        if self.protected.map.contains_key(&key) {
+            self.protected.insert(key, cost);
+        } else {
+            self.probation.insert(key, cost);
+        }
+        self.rebalance();
+    }
+    fn stats(&self) -> SimCacheStats {
+        let a = self.probation.stats(self.probation_cap);
+        let b = self.protected.stats(self.protected_cap);
+        SimCacheStats {
+            entries: a.entries + b.entries,
+            cost: a.cost + b.cost,
+            capacity: a.capacity + b.capacity,
+            evictions: a.evictions + b.evictions,
+        }
+    }
+}
+
+/// The candidate policies the lab scores, with their default parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Exact LRU — the live policy and the differential reference.
+    Lru,
+    /// LRU with the given time-to-live in logical ticks.
+    Ttl(u64),
+    /// LRU admitting only entries of cost ≤ `capacity / denom`.
+    Admit(u64),
+    /// Segmented LRU (2Q) with a 1:3 probation/protected split.
+    TwoQ,
+}
+
+impl PolicyKind {
+    /// The default candidate set scored by policy comparisons.
+    pub const CANDIDATES: [PolicyKind; 4] = [
+        PolicyKind::Lru,
+        PolicyKind::Ttl(2048),
+        PolicyKind::Admit(8),
+        PolicyKind::TwoQ,
+    ];
+
+    /// A short stable display name (column label in report tables).
+    pub fn name(&self) -> String {
+        match self {
+            PolicyKind::Lru => "lru".to_string(),
+            PolicyKind::Ttl(ttl) => format!("ttl({ttl})"),
+            PolicyKind::Admit(denom) => format!("admit(1/{denom})"),
+            PolicyKind::TwoQ => "2q".to_string(),
+        }
+    }
+
+    /// Builds one simulated cache family at the given cost budget.
+    pub fn build(&self, capacity: u64) -> Box<dyn PolicyCache> {
+        match self {
+            PolicyKind::Lru => Box::new(LruPolicy::new(capacity)),
+            PolicyKind::Ttl(ttl) => Box::new(TtlPolicy::new(capacity, *ttl)),
+            PolicyKind::Admit(denom) => Box::new(AdmitPolicy::new(capacity, *denom)),
+            PolicyKind::TwoQ => Box::new(TwoQPolicy::new(capacity)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent_but_never_the_sole_entry() {
+        let mut lru = LruPolicy::new(30);
+        lru.insert(1, 10);
+        lru.insert(2, 10);
+        lru.insert(3, 10);
+        assert!(lru.touch(1));
+        lru.insert(4, 10); // 2 is LRU
+        assert!(!lru.contains(2));
+        assert!(lru.contains(1) && lru.contains(3) && lru.contains(4));
+        lru.insert(9, 1000); // oversized newest entry survives alone
+        assert!(lru.contains(9));
+        assert_eq!(lru.stats().entries, 1);
+    }
+
+    #[test]
+    fn ttl_expires_stale_entries() {
+        let mut ttl = TtlPolicy::new(1000, 1);
+        ttl.insert(1, 1);
+        assert!(ttl.touch(1));
+        ttl.insert(2, 1);
+        ttl.insert(3, 1);
+        // Entry 1 was last touched 2 ticks ago (> ttl 1): expired.
+        assert!(!ttl.contains(1));
+        assert!(!ttl.touch(1));
+        assert!(ttl.contains(3));
+    }
+
+    #[test]
+    fn admit_refuses_bulky_entries() {
+        let mut adm = AdmitPolicy::new(80, 8); // admit cost <= 10
+        adm.insert(1, 10);
+        adm.insert(2, 11);
+        assert!(adm.contains(1));
+        assert!(!adm.contains(2));
+        assert_eq!(adm.bypassed(), 1);
+    }
+
+    #[test]
+    fn two_q_protects_reused_entries_from_scan_floods() {
+        let mut q = TwoQPolicy::new(40); // probation 10, protected 30
+        q.insert(1, 5);
+        assert!(q.touch(1)); // promoted to protected
+        for k in 100..120 {
+            q.insert(k, 5); // scan flood churns probation only
+        }
+        assert!(q.contains(1));
+    }
+}

@@ -1,0 +1,209 @@
+//! Policy comparison and budget-sweep reporting over a recorded trace.
+//!
+//! [`LabReport::build`] runs the full study — every candidate policy at the
+//! recorded budgets, plus an exact-LRU sweep across budget scales — and
+//! derives a concrete recommendation. [`render_report`] lays the study out
+//! as plain text tables for the `projtile-lab` CLI.
+
+use projtile_core::engine::TraceDocument;
+
+use crate::policy::PolicyKind;
+use crate::replay::{replay_document, Budgets, ReplayReport};
+
+/// Budget scales (numerator, denominator) the LRU sweep evaluates.
+pub const SWEEP_SCALES: [(u64, u64); 5] = [(1, 4), (1, 2), (1, 1), (2, 1), (4, 1)];
+
+fn scale_label(num: u64, den: u64) -> String {
+    if den == 1 {
+        format!("{num}x")
+    } else {
+        format!("{num}/{den}x")
+    }
+}
+
+/// Replays `doc` through every candidate policy
+/// ([`PolicyKind::CANDIDATES`]) at the same per-shard budgets.
+pub fn compare_policies(doc: &TraceDocument, budgets: Budgets) -> Vec<ReplayReport> {
+    PolicyKind::CANDIDATES
+        .iter()
+        .map(|&policy| replay_document(doc, policy, budgets))
+        .collect()
+}
+
+/// Replays `doc` through the exact-LRU simulator at `base` scaled by each
+/// entry of [`SWEEP_SCALES`], labelling each report with its scale.
+pub fn budget_sweep(doc: &TraceDocument, base: Budgets) -> Vec<(String, ReplayReport)> {
+    SWEEP_SCALES
+        .iter()
+        .map(|&(num, den)| {
+            let report = replay_document(doc, PolicyKind::Lru, base.scaled(num, den));
+            (scale_label(num, den), report)
+        })
+        .collect()
+}
+
+/// The full policy/budget study over one recorded trace.
+#[derive(Debug, Clone)]
+pub struct LabReport {
+    /// Events in the studied trace.
+    pub events: usize,
+    /// The recorded per-shard budgets the comparison ran at.
+    pub budgets: Budgets,
+    /// Candidate policies at the recorded budgets.
+    pub policies: Vec<ReplayReport>,
+    /// Exact-LRU replays at scaled budgets, labelled by scale.
+    pub sweep: Vec<(String, ReplayReport)>,
+    /// A concrete policy/budget recommendation derived from the tables.
+    pub recommendation: String,
+}
+
+impl LabReport {
+    /// Runs the full study over `doc` at its recorded budgets.
+    pub fn build(doc: &TraceDocument) -> LabReport {
+        let budgets = Budgets::from_document(doc);
+        let policies = compare_policies(doc, budgets);
+        let sweep = budget_sweep(doc, budgets);
+        let recommendation = recommend(&policies, &sweep);
+        LabReport {
+            events: doc.events.len(),
+            budgets,
+            policies,
+            sweep,
+            recommendation,
+        }
+    }
+}
+
+/// The recommendation heuristic: the policy with the best byte-hit rate
+/// (hit rate as tiebreak), and the smallest LRU budget scale whose hit rate
+/// is within half a point of the sweep's best.
+fn recommend(policies: &[ReplayReport], sweep: &[(String, ReplayReport)]) -> String {
+    // First-listed candidate wins ties, so LRU (the incumbent) is only
+    // displaced by a strictly better policy.
+    let best_policy = policies
+        .iter()
+        .fold(None::<&ReplayReport>, |best, r| match best {
+            Some(b) if (b.byte_hit_rate(), b.hit_rate()) >= (r.byte_hit_rate(), r.hit_rate()) => {
+                Some(b)
+            }
+            _ => Some(r),
+        });
+    let best_rate = sweep
+        .iter()
+        .map(|(_, r)| r.hit_rate())
+        .fold(0.0f64, f64::max);
+    let frugal = sweep.iter().find(|(_, r)| r.hit_rate() + 0.5 >= best_rate);
+    match (best_policy, frugal) {
+        (Some(p), Some((label, r))) => format!(
+            "recommend policy {} ({:.1}% hits, {:.1}% byte hits) with {} budgets \
+             (results {}, slices {}, surfaces {} per shard at {:.1}% hits)",
+            p.policy,
+            p.hit_rate(),
+            p.byte_hit_rate(),
+            label,
+            r.budgets.results,
+            r.budgets.slices,
+            r.budgets.surfaces,
+            r.hit_rate()
+        ),
+        _ => "trace too small to recommend anything".to_string(),
+    }
+}
+
+/// Lays out rows of equal arity as a padded text table.
+fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let emit = |out: &mut String, cells: &[String]| {
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            for _ in cell.len()..*w {
+                out.push(' ');
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    let header: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    emit(&mut out, &header);
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    emit(&mut out, &rule);
+    for row in rows {
+        emit(&mut out, row);
+    }
+    out
+}
+
+fn policy_row(label: &str, r: &ReplayReport) -> Vec<String> {
+    vec![
+        label.to_string(),
+        r.sim_hits.to_string(),
+        r.sim_misses.to_string(),
+        format!("{:.1}%", r.hit_rate()),
+        format!("{:.1}%", r.byte_hit_rate()),
+        r.evictions().to_string(),
+    ]
+}
+
+/// Renders the study as plain text: a policy comparison table, an LRU
+/// budget-sweep table, and the recommendation.
+pub fn render_report(report: &LabReport) -> String {
+    let mut out = format!(
+        "trace: {} events; recorded per-shard budgets: results {}, slices {}, surfaces {}\n\n",
+        report.events, report.budgets.results, report.budgets.slices, report.budgets.surfaces
+    );
+    out.push_str("policy comparison (recorded budgets)\n");
+    let rows: Vec<Vec<String>> = report
+        .policies
+        .iter()
+        .map(|r| policy_row(&r.policy, r))
+        .collect();
+    out.push_str(&table(
+        &["policy", "hits", "misses", "hit%", "byte%", "evictions"],
+        &rows,
+    ));
+    out.push_str("\nexact-LRU budget sweep\n");
+    let rows: Vec<Vec<String>> = report
+        .sweep
+        .iter()
+        .map(|(label, r)| policy_row(label, r))
+        .collect();
+    out.push_str(&table(
+        &["budget", "hits", "misses", "hit%", "byte%", "evictions"],
+        &rows,
+    ));
+    out.push('\n');
+    out.push_str(&report.recommendation);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_pads_columns() {
+        let text = table(&["a", "bb"], &[vec!["xxx".to_string(), "y".to_string()]]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "a    bb");
+        assert_eq!(lines[1], "---  --");
+        assert_eq!(lines[2], "xxx  y");
+    }
+
+    #[test]
+    fn scale_labels() {
+        assert_eq!(scale_label(1, 4), "1/4x");
+        assert_eq!(scale_label(2, 1), "2x");
+    }
+}

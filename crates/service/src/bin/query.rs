@@ -1,38 +1,55 @@
 //! `projtile-query` — CLI client for the analysis service.
 //!
 //! ```text
-//! projtile-query ADDR health                 # 200 check
-//! projtile-query ADDR metrics                # print /metrics JSON
-//! projtile-query ADDR drain                  # graceful shutdown
-//! projtile-query ADDR analyze FILE|-         # FILE: {"nest":…,"queries":[…]}
-//! projtile-query ADDR verify                 # served == local oracle check
+//! projtile-query [--seed N] ADDR health      # 200 check
+//! projtile-query [--seed N] ADDR metrics     # print /metrics JSON
+//! projtile-query [--seed N] ADDR trace       # print /trace JSON
+//! projtile-query [--seed N] ADDR drain       # graceful shutdown
+//! projtile-query [--seed N] ADDR analyze FILE|-  # {"nest":…,"queries":[…]}
+//! projtile-query [--seed N] ADDR verify      # served == local oracle check
 //! ```
 //!
 //! All commands retry transient failures (connect refused, `503`, read
 //! deadline) with exponential backoff and jitter; see
-//! `projtile_service::RetryConfig` for the policy. `verify` asks the
-//! server a mixed batch about the paper's matmul nest and insists each
-//! answer is bitwise-identical to a cold local engine — the same oracle
-//! the integration suite uses, runnable against a live deployment.
+//! `projtile_service::RetryConfig` for the policy. `--seed N` pins the
+//! jitter stream so a drill's backoff schedule replays exactly. `verify`
+//! asks the server a mixed batch about the paper's matmul nest and
+//! insists each answer is bitwise-identical to a cold local engine — the
+//! same oracle the integration suite uses, runnable against a live
+//! deployment.
 
 use std::io::Read;
 
 use projtile_core::engine::{Engine, Query};
 use projtile_loopnest::{builders, LoopNest};
-use projtile_service::Client;
+use projtile_service::{Client, RetryConfig};
 use serde::{json, Deserialize, Serialize, Value};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut retry = RetryConfig::default();
+    if args.first().map(String::as_str) == Some("--seed") {
+        if args.len() < 2 {
+            die("flag `--seed` needs a value");
+        }
+        match args[1].parse::<u64>() {
+            Ok(seed) => retry.jitter_seed = seed.max(1),
+            Err(_) => die(&format!("flag `--seed`: bad value `{}`", args[1])),
+        }
+        args.drain(..2);
+    }
     let (addr, command, rest) = match args.as_slice() {
         [addr, command, rest @ ..] => (addr.as_str(), command.as_str(), rest),
         _ => die(USAGE),
     };
-    let client = Client::new(addr);
+    let client = Client::with_retry(addr, retry);
     let outcome = match (command, rest) {
         ("health", []) => client.healthz().map(|()| println!("ok")),
         ("metrics", []) => client
             .metrics()
+            .map(|doc| println!("{}", json::to_string(&doc))),
+        ("trace", []) => client
+            .trace()
             .map(|doc| println!("{}", json::to_string(&doc))),
         ("drain", []) => client.drain().map(|()| println!("draining")),
         ("analyze", [file]) => match read_request_file(file) {
@@ -56,7 +73,8 @@ fn main() {
     }
 }
 
-const USAGE: &str = "usage: projtile-query ADDR health|metrics|drain|verify|analyze FILE";
+const USAGE: &str =
+    "usage: projtile-query [--seed N] ADDR health|metrics|trace|drain|verify|analyze FILE";
 
 /// Reads and validates an analyze request document (path or `-` = stdin).
 fn read_request_file(path: &str) -> Result<(LoopNest, Vec<Query>), String> {

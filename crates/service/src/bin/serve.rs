@@ -5,12 +5,17 @@
 //!                [--read-deadline-ms N] [--queue-deadline-ms N]
 //!                [--snapshot-dir DIR] [--snapshot-interval-ms N]
 //!                [--snapshot-keep K] [--retry-after-secs N]
+//!                [--trace-capacity N]
 //! ```
 //!
 //! Faults are injected via the `PROJTILE_FAULTS` environment variable
-//! (see `projtile_service::FaultPlan`). The bound address is printed on
-//! stdout as `listening on ADDR` once the listener is live; the process
-//! exits after a graceful drain (`POST /admin/drain`).
+//! (see `projtile_service::FaultPlan`). Query-trace recording for the
+//! cache policy lab is enabled with `--trace-capacity N` or the
+//! `PROJTILE_TRACE_CAPACITY` environment variable (the flag wins when
+//! both are set); the trace is drained via `GET /trace`. The bound
+//! address is printed on stdout as `listening on ADDR` once the listener
+//! is live; the process exits after a graceful drain
+//! (`POST /admin/drain`).
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -19,6 +24,9 @@ use projtile_service::{FaultPlan, Server, ServerConfig};
 
 fn main() {
     let mut config = ServerConfig::default();
+    if let Ok(value) = std::env::var("PROJTILE_TRACE_CAPACITY") {
+        config.trace_capacity = parse("PROJTILE_TRACE_CAPACITY", &value);
+    }
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         if flag == "--help" || flag == "-h" {
@@ -44,6 +52,7 @@ fn main() {
             }
             "--snapshot-keep" => config.snapshot_keep = parse(&flag, &value),
             "--retry-after-secs" => config.retry_after_secs = parse(&flag, &value),
+            "--trace-capacity" => config.trace_capacity = parse(&flag, &value),
             other => die(&format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
@@ -66,7 +75,7 @@ fn main() {
 const USAGE: &str = "usage: projtile-serve [--addr HOST:PORT] [--workers N] \
 [--queue-capacity N] [--read-deadline-ms N] [--queue-deadline-ms N] \
 [--snapshot-dir DIR] [--snapshot-interval-ms N] [--snapshot-keep K] \
-[--retry-after-secs N]";
+[--retry-after-secs N] [--trace-capacity N]";
 
 fn parse<T: std::str::FromStr>(flag: &str, value: &str) -> T {
     value

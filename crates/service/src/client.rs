@@ -154,6 +154,15 @@ impl Client {
         json::parse(text).map_err(|e| ClientError::Protocol(format!("metrics body: {e}")))
     }
 
+    /// Fetches the `/trace` document (the recorded query trace; an empty
+    /// document when the server runs without `--trace-capacity`).
+    pub fn trace(&self) -> Result<Value, ClientError> {
+        let response = self.request("GET", "/trace", "")?;
+        let text = std::str::from_utf8(&response.body)
+            .map_err(|_| ClientError::Protocol("trace body is not UTF-8".to_string()))?;
+        json::parse(text).map_err(|e| ClientError::Protocol(format!("trace body: {e}")))
+    }
+
     /// Health check; `Ok` means the server answered `200`.
     pub fn healthz(&self) -> Result<(), ClientError> {
         self.request("GET", "/healthz", "").map(|_| ())

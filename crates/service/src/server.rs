@@ -18,7 +18,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use projtile_core::engine::{BoundedLruStats, Query, SharedEngine, SnapshotStore};
+use projtile_core::engine::{
+    query_kind_index, BoundedLruStats, Query, SharedEngine, SnapshotStore,
+};
 use projtile_loopnest::LoopNest;
 use serde::{json, Deserialize, Serialize, Value};
 
@@ -53,6 +55,9 @@ pub struct ServerConfig {
     pub snapshot_keep: usize,
     /// Value of the `Retry-After` header on `503` responses, in seconds.
     pub retry_after_secs: u64,
+    /// Capacity (in events) of the engine's query-trace recorder, drained
+    /// via `GET /trace` for the cache policy lab; 0 disables recording.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +72,7 @@ impl Default for ServerConfig {
             snapshot_dir: None,
             snapshot_keep: 3,
             retry_after_secs: 1,
+            trace_capacity: 0,
         }
     }
 }
@@ -101,13 +107,18 @@ impl Server {
             Some(dir) => Some(SnapshotStore::open(dir, config.snapshot_keep)?),
             None => None,
         };
-        let engine = match &store {
+        let mut engine = match &store {
             Some(store) => store
                 .restore_latest(SharedEngine::restore_json)?
                 .map(|(_, engine)| engine)
                 .unwrap_or_default(),
             None => SharedEngine::new(),
         };
+        if config.trace_capacity > 0 {
+            // Attached before the engine is shared: the recorder itself is
+            // lock-free, but installing it needs `&mut`.
+            engine.set_trace_capacity(config.trace_capacity);
+        }
 
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
@@ -354,11 +365,17 @@ fn route(shared: &Shared, stream: &mut TcpStream, request: &Request) {
             let body = json::to_string(&shared.metrics.render(engine_value(shared)));
             let _ = write_response(stream, 200, "OK", &[], &body);
         }
+        ("GET", "/trace") => {
+            // Drains the recorded query trace (without resetting it); an
+            // empty document with zero events when recording is disabled.
+            let body = shared.engine.trace_document().to_json();
+            let _ = write_response(stream, 200, "OK", &[], &body);
+        }
         ("POST", "/admin/drain") => {
             let _ = write_response(stream, 200, "OK", &[], r#"{"draining":true}"#);
             shared.draining.store(true, Ordering::SeqCst);
         }
-        (_, "/analyze" | "/healthz" | "/metrics" | "/admin/drain") => {
+        (_, "/analyze" | "/healthz" | "/metrics" | "/trace" | "/admin/drain") => {
             respond_error(stream, 405, "Method Not Allowed", "wrong method for route");
         }
         _ => respond_error(stream, 404, "Not Found", "unknown route"),
@@ -424,18 +441,10 @@ fn analyze(shared: &Shared, stream: &mut TcpStream, body: &[u8]) {
 }
 
 /// Maps each query to its [`QUERY_KINDS`] histogram index, deduplicated.
+/// Indices come from the engine's stable kind order, which `QUERY_KINDS`
+/// mirrors name-for-name.
 fn kind_indices(queries: &[Query]) -> Vec<usize> {
-    let mut kinds: Vec<usize> = queries
-        .iter()
-        .map(|q| match q {
-            Query::LowerBound { .. } => 0,
-            Query::EnumeratedBound { .. } => 1,
-            Query::OptimalTiling { .. } => 2,
-            Query::Tightness { .. } => 3,
-            Query::Surface { .. } => 4,
-            Query::Slice { .. } => 5,
-        })
-        .collect();
+    let mut kinds: Vec<usize> = queries.iter().map(query_kind_index).collect();
     kinds.sort_unstable();
     kinds.dedup();
     debug_assert!(kinds.iter().all(|&k| k < QUERY_KINDS.len()));
@@ -456,6 +465,19 @@ fn engine_value(shared: &Shared) -> Value {
             ("evictions".to_string(), Value::Int(s.evictions as i128)),
         ])
     };
+    let per_kind: Vec<(String, Value)> = QUERY_KINDS
+        .iter()
+        .zip(caches.kinds.iter())
+        .map(|(name, k)| {
+            (
+                name.to_string(),
+                Value::Object(vec![
+                    ("hits".to_string(), Value::Int(k.hits as i128)),
+                    ("misses".to_string(), Value::Int(k.misses as i128)),
+                ]),
+            )
+        })
+        .collect();
     Value::Object(vec![
         ("betas".to_string(), cache(caches.betas)),
         ("results".to_string(), cache(caches.results)),
@@ -465,6 +487,7 @@ fn engine_value(shared: &Shared) -> Value {
         ("hits".to_string(), Value::Int(stats.hits as i128)),
         ("misses".to_string(), Value::Int(stats.misses as i128)),
         ("interned".to_string(), Value::Int(stats.interned as i128)),
+        ("per_kind".to_string(), Value::Object(per_kind)),
     ])
 }
 

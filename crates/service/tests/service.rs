@@ -451,3 +451,54 @@ fn client_retries_through_shedding_until_served() {
     }
     handle.join();
 }
+
+/// `/trace` serves the recorded query trace when the server boots with a
+/// trace capacity (and an empty document otherwise), and `/metrics` breaks
+/// the engine's hit/miss counters down per query kind.
+#[test]
+fn trace_endpoint_serves_a_replayable_document() {
+    use projtile_core::engine::TraceDocument;
+
+    // Without a trace capacity: the endpoint answers, with zero events.
+    let handle = start(|_| {}, FaultPlan::default());
+    let client = Client::new(handle.addr().to_string());
+    let doc =
+        TraceDocument::from_value(&client.trace().expect("trace")).expect("empty trace parses");
+    assert!(doc.events.is_empty());
+    handle.join();
+
+    // With one: recorded events cover exactly the served queries, and the
+    // document's counters reconcile with `/metrics` per-kind counters.
+    let handle = start(|c| c.trace_capacity = 1 << 14, FaultPlan::default());
+    let client = Client::new(handle.addr().to_string());
+    let nest = builders::matmul(64, 64, 64);
+    let queries = all_kinds_on(1 << 8, 2);
+    for _ in 0..2 {
+        let served = client.analyze(&nest, &queries).expect("analyze");
+        assert!(served.iter().all(Result::is_ok));
+    }
+    let doc = TraceDocument::from_value(&client.trace().expect("trace")).expect("trace parses");
+    assert_eq!(doc.events.len(), 2 * queries.len());
+    assert_eq!(
+        doc.queries,
+        doc.hits + doc.misses,
+        "no invalid queries sent"
+    );
+    assert!(doc.hits >= queries.len() as u64, "second round hits");
+
+    let m = client.metrics().expect("metrics");
+    let per_kind = m
+        .field("engine")
+        .and_then(|e| e.field("per_kind"))
+        .expect("per-kind counters exported");
+    let mut hits = 0i128;
+    let mut misses = 0i128;
+    for name in projtile_core::engine::QUERY_KIND_NAMES {
+        let counters = per_kind.field(name).expect("every kind exported");
+        hits += metric(counters, "hits");
+        misses += metric(counters, "misses");
+    }
+    assert_eq!(hits as u64, doc.hits);
+    assert_eq!(misses as u64, doc.misses);
+    handle.join();
+}

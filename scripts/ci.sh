@@ -69,6 +69,8 @@ if [ "$bench_smoke" = 1 ]; then
     grep -q "service/roundtrip" "$smoke_out"
     grep -q "service/mixed_4threads/secs_per_request" "$smoke_out"
     grep -q "service/mixed_4threads/p99" "$smoke_out"
+    grep -q "service/mixed_traffic/secs_per_request" "$smoke_out"
+    grep -q "service/mixed_traffic/p99" "$smoke_out"
     rm -f "$smoke_out"
 fi
 
@@ -77,10 +79,16 @@ if [ "$service_smoke" = 1 ]; then
     snap_dir="$(mktemp -d)"
     serve_log="$(mktemp)"
 
-    # Stage 1: clean server. Boot with a snapshot store, check health, run the
-    # bitwise oracle check (`verify` compares every served answer against a
-    # cold local Engine), then drain — which must publish a final generation.
-    cargo run --release -q -p projtile-service --bin projtile-serve -- \
+    # Stage 1: clean server. Boot with a snapshot store AND a trace recorder
+    # (PROJTILE_TRACE_CAPACITY), check health, run the bitwise oracle check
+    # (`verify` compares every served answer against a cold local Engine),
+    # then the cache-policy-lab drill: drive seeded generated load over HTTP,
+    # drain the recorded trace via GET /trace, and replay it through the
+    # exact-LRU simulator, which must reproduce the live hit/miss accounting
+    # event for event (`--check-live` exits nonzero otherwise). Finally
+    # drain — which must publish a final snapshot generation.
+    PROJTILE_TRACE_CAPACITY=65536 \
+        cargo run --release -q -p projtile-service --bin projtile-serve -- \
         --addr 127.0.0.1:0 --snapshot-dir "$snap_dir" \
         --snapshot-interval-ms 200 >"$serve_log" 2>&1 &
     serve_pid=$!
@@ -91,9 +99,15 @@ if [ "$service_smoke" = 1 ]; then
         sleep 0.1
     done
     [ -n "$addr" ] || { echo "server never reported an address" >&2; exit 1; }
-    query() { cargo run --release -q -p projtile-service --bin projtile-query -- "$@"; }
+    query() { cargo run --release -q -p projtile-service --bin projtile-query -- --seed 42 "$@"; }
+    lab() { cargo run --release -q -p projtile-lab --bin projtile-lab -- "$@"; }
     query "$addr" health
     query "$addr" verify
+    trace_file="$(mktemp)"
+    lab drive "$addr" --seed 42 --pattern mixed --batches 24
+    lab drain "$addr" --out "$trace_file"
+    lab replay "$trace_file" --check-live
+    rm -f "$trace_file"
     query "$addr" drain
     wait "$serve_pid"
     ls "$snap_dir"/snap-*.json >/dev/null \

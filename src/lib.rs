@@ -18,7 +18,11 @@
 //! * [`par`] — small crossbeam-based data-parallel helpers;
 //! * [`service`] — the hardened TCP front end (deadlines, backpressure,
 //!   panic isolation, crash-safe snapshot lifecycle, fault injection) and
-//!   its retrying client.
+//!   its retrying client;
+//! * [`lab`] — the trace-driven cache policy lab: record live query traces,
+//!   replay them through candidate memo policies (exact-LRU differential,
+//!   TTL, cost-aware admission, 2Q), and generate deterministic service
+//!   load.
 //!
 //! # Quick start
 //!
@@ -73,6 +77,7 @@ pub use projtile_arith as arith;
 pub use projtile_cachesim as cachesim;
 pub use projtile_core as core;
 pub use projtile_exec as exec;
+pub use projtile_lab as lab;
 pub use projtile_loopnest as loopnest;
 pub use projtile_lp as lp;
 pub use projtile_par as par;
