@@ -547,6 +547,7 @@ impl BigInt {
     ///
     /// # Panics
     /// Panics if `rhs` is zero.
+    // lint: allow(L008) long-division loop invariant (non-zero divisor checked above) pinned by asserts, covered by differential oracles
     pub fn div_rem(&self, rhs: &BigInt) -> (BigInt, BigInt) {
         if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
             assert!(*b != 0, "division by zero BigInt");

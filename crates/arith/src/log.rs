@@ -44,6 +44,7 @@ pub fn integer_root(x: u128, k: u32) -> Option<u128> {
 
 /// Decomposes `x >= 2` as `c^e` with `e` maximal (so `c` is not itself a
 /// perfect power). Returns `(c, e)`.
+// lint: allow(L008) asserts pin the n >= 2 precondition established by exact_log
 pub fn perfect_power_decomposition(x: u128) -> (u128, u32) {
     assert!(x >= 2, "perfect power decomposition requires x >= 2");
     let max_exp = 127 - x.leading_zeros().min(126);
@@ -97,6 +98,7 @@ pub fn log2_exact(x: u128) -> Option<u32> {
 ///
 /// # Panics
 /// Panics if `m < 2` or `l == 0`.
+// lint: allow(L008) asserts pin m >= 2 and bound >= 1, validated at the engine boundary
 pub fn beta(l: u128, m: u128) -> Rational {
     assert!(m >= 2, "cache size M must be at least 2");
     assert!(l >= 1, "loop bound L must be at least 1");

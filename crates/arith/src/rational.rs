@@ -91,6 +91,7 @@ impl Rational {
     ///
     /// # Panics
     /// Panics if `denom` is zero.
+    // lint: allow(L008) assert pins the documented non-zero-denominator precondition
     pub fn from_frac(numer: BigInt, denom: BigInt) -> Rational {
         assert!(!denom.is_zero(), "rational with zero denominator");
         if let (Some(n), Some(d)) = (numer.to_i64(), denom.to_i64()) {
@@ -220,6 +221,7 @@ impl Rational {
     ///
     /// # Panics
     /// Panics if the value is zero.
+    // lint: allow(L008) assert pins non-zero receiver; callers check is_zero first
     pub fn recip(&self) -> Rational {
         assert!(!self.is_zero(), "reciprocal of zero");
         // Already in lowest terms: only the sign may need moving.

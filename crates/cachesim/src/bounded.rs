@@ -126,6 +126,7 @@ impl<K: Eq + Hash + Clone, V> BoundedLru<K, V> {
     /// the entry's atomic stamp; the next exclusive operation folds the
     /// stamp into the recency order (lazy promotion). This is the shared
     /// read-lock path of a concurrent service front.
+    // lint: allow(L008) expect pins map/order-list coherence maintained by every mutation
     pub fn peek(&self, key: &K) -> Option<&V> {
         let &slot = self.map.get(key)?;
         let entry = self.slots[slot].as_ref().expect("mapped slot is live");
@@ -182,6 +183,7 @@ impl<K: Eq + Hash + Clone, V> BoundedLru<K, V> {
 
     /// Entries from least to most recently used (pending lazy promotions are
     /// folded in first, so the order reflects peeks too).
+    // lint: allow(L008) expect pins map/order-list coherence maintained by every mutation
     pub fn iter_lru_to_mru(&mut self) -> impl Iterator<Item = (&K, &V)> + '_ {
         self.resort_by_effective_access();
         let slots = &self.slots;
@@ -198,6 +200,7 @@ impl<K: Eq + Hash + Clone, V> BoundedLru<K, V> {
     /// re-sort by effective access time — rare, amortized over the peeks
     /// that made it necessary) before eviction resumes, so the victim is
     /// always the true least recently used entry, peeks included.
+    // lint: allow(L008) expect pins map/order-list coherence maintained by every mutation
     fn evict_to_fit(&mut self) {
         while self.total_cost > self.capacity {
             let Some(victim) = self.list.tail() else {
@@ -225,6 +228,7 @@ impl<K: Eq + Hash + Clone, V> BoundedLru<K, V> {
     /// atomically, so this restores the exact least-recently-used order that
     /// a fully synchronized map would have. O(n log n); called only when an
     /// eviction candidate has a pending stamp, or by whole-map traversals.
+    // lint: allow(L008) expect pins map/order-list coherence maintained by every mutation
     fn resort_by_effective_access(&mut self) {
         let mut order: Vec<(u64, usize)> = self
             .list

@@ -86,6 +86,7 @@ pub fn bound_lp(nest: &LoopNest, cache_size: u64) -> LinearProgram {
 /// [`crate::tightness::check_tightness_surface`] uses this to validate
 /// strong duality at the (rational) witness point of every critical region
 /// of an exponent surface.
+// lint: allow(L008) assert_eq pins betas.len() == num_loops, established by validate_query
 pub fn bound_lp_for_betas(nest: &LoopNest, beta: Vec<Rational>) -> LinearProgram {
     let n = nest.num_arrays();
     let d = nest.num_loops();
@@ -120,6 +121,7 @@ pub fn exponent_from_s_hat(
 
 /// [`exponent_from_s_hat`] with the `β_i` precomputed by the caller, so sweeps
 /// over many subsets (the `2^d` enumeration) compute the logs exactly once.
+// lint: allow(L008) assert_eq pins dimension agreement established by validate_query
 pub fn exponent_from_s_hat_with_betas(
     nest: &LoopNest,
     beta: &[Rational],
@@ -172,6 +174,7 @@ pub fn exponent_for_subset(nest: &LoopNest, cache_size: u64, q: IndexSet) -> Rat
 /// # Panics
 /// Panics if the nest has more than 30 loops (like
 /// [`IndexSet::all_subsets`]: the sweep is exponential in `d`).
+// lint: allow(L008) asserts pin nest/betas dimension agreement checked at the surface
 pub fn enumerated_exponent(nest: &LoopNest, cache_size: u64) -> EnumeratedBound {
     assert!(cache_size >= 2, "cache size must be at least 2 words");
     let d = nest.num_loops();
@@ -214,6 +217,7 @@ pub fn enumerated_exponent_cold(nest: &LoopNest, cache_size: u64) -> EnumeratedB
 
 /// Picks the minimum exponent (ties: smallest subset, then mask order) from a
 /// mask-ordered per-subset list.
+// lint: allow(L008) expect: the candidate list is non-empty by construction (one entry per vertex)
 pub(crate) fn select_best(per_subset: Vec<(IndexSet, Rational)>) -> EnumeratedBound {
     let (best_subset, exponent) = per_subset
         .iter()
@@ -245,6 +249,7 @@ pub(crate) fn select_best(per_subset: Vec<(IndexSet, Rational)>) -> EnumeratedBo
 /// assert_eq!(lb.exponent, int(1));
 /// assert_eq!(lb.words, (512.0 * 512.0));
 /// ```
+// lint: allow(L008) asserts pin validated query dimensions, covered by the enumerated differential oracle
 pub fn arbitrary_bound_exponent(nest: &LoopNest, cache_size: u64) -> LowerBound {
     assert!(cache_size >= 2, "cache size must be at least 2 words");
     let n = nest.num_arrays();

@@ -264,10 +264,15 @@ impl Engine {
     /// Records one resolved query in the per-kind counters (mirrors the
     /// aggregate `stats.hits`/`stats.misses` accounting).
     fn count_kind(&mut self, kind: usize, hit: bool) {
+        // Counters are best-effort; an out-of-range kind drops the count
+        // rather than panicking a query that already has its answer.
+        let Some(k) = self.kinds.get_mut(kind) else {
+            return;
+        };
         if hit {
-            self.kinds[kind].hits += 1;
+            k.hits += 1;
         } else {
-            self.kinds[kind].misses += 1;
+            k.misses += 1;
         }
     }
 
@@ -343,10 +348,9 @@ impl Engine {
         // Fan the pending queries out; per-worker pooled contexts warm-start
         // along each chunk. Only shared borrows of the engine are used here.
         let computed: Vec<(Query, Result<Detached, EngineError>)> = {
-            let entry = &self.entries[e];
-            let orientation_nest = &entry.orientations[o].nest;
-            let canonical = &entry.canonical;
-            let loop_perm = &entry.orientations[o].loop_perm;
+            let orientation_nest = &self.orientation(e, o).nest;
+            let canonical = &self.entry(e).canonical;
+            let loop_perm = &self.orientation(e, o).loop_perm;
             let pool = &self.pool;
             par_map_with(
                 &pending,
@@ -499,11 +503,41 @@ impl Engine {
         (e, o)
     }
 
+    /// The interned entry `e`. Every `e` in circulation was minted by
+    /// [`Engine::intern_with`] against this engine, and `entries` is
+    /// append-only, so the index cannot go out of range.
+    fn entry(&self, e: usize) -> &NestEntry {
+        // lint: allow(L008) e is an interned id minted by intern_with; entries is append-only
+        &self.entries[e]
+    }
+
+    /// The interned orientation `(e, o)` (same invariant as [`Engine::entry`];
+    /// `o` is minted by `orientation_index` and orientations are append-only).
+    fn orientation(&self, e: usize, o: usize) -> &Orientation {
+        // lint: allow(L008) (e, o) are interned ids; entries and orientations are append-only
+        &self.entries[e].orientations[o]
+    }
+
+    /// Mutable variant of [`Engine::orientation`].
+    fn orientation_mut(&mut self, e: usize, o: usize) -> &mut Orientation {
+        // lint: allow(L008) (e, o) are interned ids; entries and orientations are append-only
+        &mut self.entries[e].orientations[o]
+    }
+
+    /// Maps orientation-local axis `axis` to the canonical axis it names.
+    /// `axis` has been validated against the nest's loop count by
+    /// [`validate_query`] before any memo path runs.
+    fn canon_axis(&self, e: usize, o: usize, axis: usize) -> usize {
+        // lint: allow(L008) loop_perm has one slot per loop and axis was validated by validate_query
+        self.orientation(e, o).loop_perm[axis]
+    }
+
     /// Finds or creates the orientation of entry `e` matching `canon`'s
     /// permutations.
     fn orientation_index(&mut self, e: usize, nest: &LoopNest, canon: &CanonicalNest) -> usize {
         let loop_perm = canon.loop_permutation();
         let array_perm = canon.array_permutation();
+        // lint: allow(L008) e was just minted (or found) by intern_with against this engine
         let entry = &mut self.entries[e];
         if let Some(i) = entry
             .orientations
@@ -528,7 +562,9 @@ impl Engine {
         let e = *self.index.get(&canon.signature())?;
         let loop_perm = canon.loop_permutation();
         let array_perm = canon.array_permutation();
-        let o = self.entries[e]
+        let o = self
+            .entries
+            .get(e)?
             .orientations
             .iter()
             .position(|o| o.loop_perm == loop_perm && o.array_perm == array_perm)?;
@@ -547,7 +583,7 @@ impl Engine {
         if let Some(v) = self.betas.get(&key) {
             return v.clone();
         }
-        let v = crate::bounds::betas(&self.entries[e].canonical, m);
+        let v = crate::bounds::betas(&self.entry(e).canonical, m);
         self.betas.insert(key, v.clone(), cost::betas(&v));
         v
     }
@@ -556,7 +592,8 @@ impl Engine {
     /// shared canonical vector.
     fn betas_oriented(&mut self, e: usize, o: usize, m: u64) -> Vec<Rational> {
         let canon = self.betas_canonical(e, m);
-        let perm = &self.entries[e].orientations[o].loop_perm;
+        let perm = &self.orientation(e, o).loop_perm;
+        // lint: allow(L008) loop_perm is a permutation of 0..d and canon has length d
         perm.iter().map(|&c| canon[c].clone()).collect()
     }
 
@@ -605,7 +642,7 @@ impl Engine {
             } => self.slices.contains(&SliceKey {
                 entry: e,
                 m: *cache_size,
-                canon_axis: self.entries[e].orientations[o].loop_perm[*axis],
+                canon_axis: self.canon_axis(e, o, *axis),
                 kind: SliceKind::Span {
                     lo_bound: *lo_bound,
                     hi_bound: *hi_bound,
@@ -724,7 +761,7 @@ impl Engine {
                 let key = SliceKey {
                     entry: e,
                     m: *cache_size,
-                    canon_axis: self.entries[e].orientations[o].loop_perm[*axis],
+                    canon_axis: self.canon_axis(e, o, *axis),
                     kind: SliceKind::Span {
                         lo_bound: *lo_bound,
                         hi_bound: *hi_bound,
@@ -792,7 +829,7 @@ impl Engine {
             return lb.clone();
         }
         // Cold oracle path: the engine's answer *is* the free function's.
-        let lb = arbitrary_bound_exponent(&self.entries[e].orientations[o].nest, m);
+        let lb = arbitrary_bound_exponent(&self.orientation(e, o).nest, m);
         let entry = CachedResult::Bound(lb.clone());
         let c = cost::result(&entry);
         self.results.insert(key, entry, c);
@@ -817,7 +854,7 @@ impl Engine {
         // solution is the canonical lex-min optimum — a property of the
         // program, not of the pivot path — and the selection rule is shared.
         let beta = self.betas_oriented(e, o, m);
-        let orientation = &mut self.entries[e].orientations[o];
+        let orientation = self.orientation_mut(e, o);
         let d = orientation.nest.num_loops();
         let nest = orientation.nest.clone();
         let family = orientation
@@ -849,7 +886,7 @@ impl Engine {
         if let Some(CachedResult::Tiling(t)) = self.results.get(&key) {
             return t.clone();
         }
-        let nest = &self.entries[e].orientations[o].nest;
+        let nest = &self.orientation(e, o).nest;
         let sol = solve_tiling_lp(nest, m);
         let tile_dims = tile_dims_from_lambda(nest, m, &sol.lambda);
         let summary = TilingSummary {
@@ -879,7 +916,7 @@ impl Engine {
             return ok;
         }
         let beta = self.betas_oriented(e, o, m);
-        let ok = certificate_valid(&self.entries[e].orientations[o].nest, &beta, bound);
+        let ok = certificate_valid(&self.orientation(e, o).nest, &beta, bound);
         self.results.insert(
             key,
             CachedResult::Certificate(ok),
@@ -976,7 +1013,7 @@ impl Engine {
             return Ok(());
         }
         let s = crate::parametric::exponent_surface(
-            &self.entries[e].orientations[o].nest,
+            &self.orientation(e, o).nest,
             key.m,
             &key.axes,
             &key.lo_bounds,
@@ -1057,7 +1094,7 @@ impl Engine {
         let key = SliceKey {
             entry: e,
             m,
-            canon_axis: self.entries[e].orientations[o].loop_perm[axis],
+            canon_axis: self.canon_axis(e, o, axis),
             kind: SliceKind::Span { lo_bound, hi_bound },
         };
         if let Some(SliceEntry::Span(vf)) = self.slices.get(&key) {
@@ -1070,7 +1107,7 @@ impl Engine {
         let vf = {
             let mut ctx = self.pool.checkout();
             exponent_vs_beta_with(
-                &self.entries[e].canonical,
+                &self.entry(e).canonical,
                 m,
                 key.canon_axis,
                 lo_bound,
@@ -1097,7 +1134,7 @@ impl Engine {
         axis: usize,
         bound: u64,
     ) -> Result<(Rational, bool), EngineError> {
-        let canon_axis = self.entries[e].orientations[o].loop_perm[axis];
+        let canon_axis = self.canon_axis(e, o, axis);
         let key = SliceKey {
             entry: e,
             m,
@@ -1113,12 +1150,13 @@ impl Engine {
             // scan of nearby candidate bounds is answered by one sweep. Near
             // the top of the u64 range the power-of-two rounding would
             // overflow; sweep to the exact bound instead.
-            let nest_bound = self.entries[e].canonical.bounds()[canon_axis];
+            // lint: allow(L008) canon_axis comes from Orientation::loop_perm, a permutation of the nest's axes
+            let nest_bound = self.entry(e).canonical.bounds()[canon_axis];
             let hi = bound.max(nest_bound).max(prev).max(m);
             let hi = hi.checked_next_power_of_two().unwrap_or(hi);
             let vf = {
                 let mut ctx = self.pool.checkout();
-                exponent_vs_beta_with(&self.entries[e].canonical, m, canon_axis, 1, hi, &mut ctx)?
+                exponent_vs_beta_with(&self.entry(e).canonical, m, canon_axis, 1, hi, &mut ctx)?
             };
             let entry = SliceEntry::Probe(PointSlice { hi_bound: hi, vf });
             let c = cost::slice_entry(&entry);
@@ -1234,7 +1272,7 @@ impl Engine {
                 let key = SliceKey {
                     entry: e,
                     m: *cache_size,
-                    canon_axis: self.entries[e].orientations[o].loop_perm[*axis],
+                    canon_axis: self.canon_axis(e, o, *axis),
                     kind: SliceKind::Span {
                         lo_bound: *lo_bound,
                         hi_bound: *hi_bound,
@@ -1395,6 +1433,7 @@ pub(crate) fn compute_detached(
         } => AnalysisResult::Slice(crate::parametric::exponent_vs_beta_with(
             canonical,
             *cache_size,
+            // lint: allow(L008) axis was range-checked against num_loops by validate_query
             loop_perm[*axis],
             *lo_bound,
             *hi_bound,
@@ -1506,18 +1545,20 @@ pub(crate) fn validate_query(nest: &LoopNest, query: &Query) -> Result<(), Engin
                     "one bound range per swept axis required".into(),
                 ));
             }
-            for (i, &a) in axes.iter().enumerate() {
+            let mut seen: Vec<usize> = Vec::with_capacity(axes.len());
+            for (&a, (&lo, &hi)) in axes.iter().zip(lo_bounds.iter().zip(hi_bounds.iter())) {
                 if a >= d {
                     return Err(EngineError::InvalidQuery(format!(
                         "axis {a} out of range for a {d}-loop nest"
                     )));
                 }
-                if axes[..i].contains(&a) {
+                if seen.contains(&a) {
                     return Err(EngineError::InvalidQuery(format!(
                         "axis {a} swept twice in the same surface"
                     )));
                 }
-                if lo_bounds[i] < 1 || hi_bounds[i] < lo_bounds[i] {
+                seen.push(a);
+                if lo < 1 || hi < lo {
                     return Err(EngineError::InvalidQuery(format!(
                         "invalid bound range on axis {a}"
                     )));

@@ -122,10 +122,11 @@ fn is_permutation(perm: &[usize], len: usize) -> bool {
     }
     let mut seen = vec![false; len];
     for &p in perm {
-        if p >= len || seen[p] {
-            return false;
+        match seen.get_mut(p) {
+            None => return false,
+            Some(slot) if *slot => return false,
+            Some(slot) => *slot = true,
         }
-        seen[p] = true;
     }
     true
 }
@@ -384,7 +385,7 @@ impl Engine {
             };
             let m = artifact_m(field(bv, "m")?, "beta cache size")?;
             let v: Vec<Rational> = de("beta vector", field(bv, "value")?)?;
-            if v.len() != engine.entries[e].canonical.num_loops() {
+            if v.len() != engine.entry(e).canonical.num_loops() {
                 return Err(EngineError::Snapshot(
                     "beta vector length does not match its nest".into(),
                 ));
@@ -398,7 +399,7 @@ impl Engine {
                 continue;
             };
             let o: usize = de("result orientation", field(rv, "orientation")?)?;
-            if o >= engine.entries[e].orientations.len() {
+            if o >= engine.entry(e).orientations.len() {
                 return Err(EngineError::Snapshot(
                     "result references an orientation the snapshot does not declare".into(),
                 ));
@@ -438,8 +439,8 @@ impl Engine {
             // in the certificate re-check (`exponent_from_s_hat_with_betas`
             // indexes β by witness member, `is_feasible` by array) the first
             // time the cached artifact is consumed.
-            let d = engine.entries[e].canonical.num_loops();
-            let n = engine.entries[e].canonical.num_arrays();
+            let d = engine.entry(e).canonical.num_loops();
+            let n = engine.entry(e).canonical.num_arrays();
             let in_range = |s: projtile_loopnest::IndexSet| s.iter().all(|j| j < d);
             match &cached {
                 CachedResult::Bound(lb) => {
@@ -497,7 +498,7 @@ impl Engine {
             };
             let m = artifact_m(field(sv, "m")?, "slice cache size")?;
             let axis: usize = de("slice axis", field(sv, "axis")?)?;
-            if axis >= engine.entries[e].canonical.num_loops() {
+            if axis >= engine.entry(e).canonical.num_loops() {
                 return Err(EngineError::Snapshot(
                     "slice axis out of range for its nest".into(),
                 ));
@@ -510,7 +511,8 @@ impl Engine {
             // `value_at` brackets by scanning windows, which relies on the
             // breakpoints being sorted by θ; an unsorted hostile list would
             // trip its `unreachable!` the first time the slice is evaluated.
-            if vf.breakpoints.windows(2).any(|w| w[0].0 > w[1].0) {
+            let mut pairs = vf.breakpoints.iter().zip(vf.breakpoints.iter().skip(1));
+            if pairs.any(|(a, b)| a.0 > b.0) {
                 return Err(EngineError::Snapshot(
                     "slice value function breakpoints are not sorted".into(),
                 ));
@@ -536,8 +538,14 @@ impl Engine {
                     // must actually span that interval, or `value_at` panics
                     // on a covered-looking request.
                     let hi_theta = projtile_arith::log::beta(hi_bound as u128, m as u128);
-                    let lo_covered = vf.breakpoints[0].0 <= Rational::zero();
-                    let hi_covered = vf.breakpoints[vf.breakpoints.len() - 1].0 >= hi_theta;
+                    let (Some(first), Some(last)) = (vf.breakpoints.first(), vf.breakpoints.last())
+                    else {
+                        return Err(EngineError::Snapshot(
+                            "empty probe slice value function".into(),
+                        ));
+                    };
+                    let lo_covered = first.0 <= Rational::zero();
+                    let hi_covered = last.0 >= hi_theta;
                     if !lo_covered || !hi_covered {
                         return Err(EngineError::Snapshot(
                             "probe slice does not cover its declared bound range".into(),
@@ -569,7 +577,7 @@ impl Engine {
                 continue;
             };
             let o: usize = de("surface orientation", field(sv, "orientation")?)?;
-            if o >= engine.entries[e].orientations.len() {
+            if o >= engine.entry(e).orientations.len() {
                 return Err(EngineError::Snapshot(
                     "surface references an orientation the snapshot does not declare".into(),
                 ));
@@ -584,8 +592,8 @@ impl Engine {
                 return Err(EngineError::Snapshot(format!("exponent surface: {msg}")));
             }
             let axes = surface.axes().to_vec();
-            let d = engine.entries[e].canonical.num_loops();
-            let sorted = axes.windows(2).all(|w| w[0] < w[1]);
+            let d = engine.entry(e).canonical.num_loops();
+            let sorted = axes.iter().zip(axes.iter().skip(1)).all(|(a, b)| a < b);
             if axes.is_empty() || !sorted || axes.iter().any(|&a| a >= d) {
                 return Err(EngineError::Snapshot(
                     "surface axes are not sorted in-range positions".into(),

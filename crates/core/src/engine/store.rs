@@ -113,7 +113,10 @@ impl SnapshotStore {
     /// behind. Published generations are untouched.
     pub fn torn_publish(&self, text: &str, keep_bytes: usize) -> io::Result<()> {
         let cut = keep_bytes.min(text.len());
-        fs::write(self.dir.join(SNAPSHOT_TMP), &text.as_bytes()[..cut])
+        fs::write(
+            self.dir.join(SNAPSHOT_TMP),
+            text.as_bytes().get(..cut).unwrap_or_default(),
+        )
     }
 
     /// Walks generations newest-first and returns the first whose contents

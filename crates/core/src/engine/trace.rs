@@ -148,11 +148,11 @@ impl TraceRecorder {
             .fetch_add(events.len() as u64, Ordering::Relaxed);
         for (i, mut ev) in events.into_iter().enumerate() {
             let slot = start + i as u64;
-            if (slot as usize) < self.slots.len() {
+            if let Some(cell) = self.slots.get(slot as usize) {
                 ev.ordinal = slot;
                 // Each slot is reserved by exactly one reservation, so the
                 // set cannot race; ignore the (impossible) second set.
-                let _ = self.slots[slot as usize].set(ev);
+                let _ = cell.set(ev);
             } else {
                 self.dropped.fetch_add(1, Ordering::Relaxed);
             }
@@ -170,7 +170,7 @@ impl TraceRecorder {
     pub fn events(&self) -> Vec<TraceEvent> {
         let end = (self.cursor.load(Ordering::Acquire) as usize).min(self.slots.len());
         let mut out = Vec::with_capacity(end);
-        for slot in &self.slots[..end] {
+        for slot in self.slots.iter().take(end) {
             match slot.get() {
                 Some(ev) => out.push(ev.clone()),
                 None => break,

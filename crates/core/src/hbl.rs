@@ -101,6 +101,7 @@ pub fn hbl_lp_relaxed(nest: &LoopNest, relaxed_rows: IndexSet) -> LinearProgram 
     lp
 }
 
+// lint: allow(L008) unreachable: the LP solver returns one of the matched statuses by construction
 fn to_hbl_solution(
     result: Result<projtile_lp::Solution, LpError>,
     removed_rows: IndexSet,

@@ -99,6 +99,7 @@ type SweepQuery = (
     Rational,
 );
 
+// lint: allow(L008) asserts pin engine-validated axis and bound preconditions
 fn beta_sweep_query(
     nest: &LoopNest,
     cache_size: u64,
@@ -314,6 +315,7 @@ pub(crate) fn sort_surface_request(
     (sorted_axes, sorted_lo, sorted_hi, order)
 }
 
+// lint: allow(L008) asserts pin engine-validated dimensions, covered by the warm/cold differential oracle
 fn exponent_surface_impl(
     nest: &LoopNest,
     cache_size: u64,

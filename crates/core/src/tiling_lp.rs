@@ -55,6 +55,7 @@ pub fn tiling_lp(nest: &LoopNest, cache_size: u64) -> LinearProgram {
 }
 
 /// Solves LP (5.1).
+// lint: allow(L008) expect/assert pin LP feasibility: the tiling polytope is non-empty by construction
 pub fn solve_tiling_lp(nest: &LoopNest, cache_size: u64) -> TilingSolution {
     assert!(cache_size >= 2, "cache size must be at least 2 words");
     let lp = tiling_lp(nest, cache_size);

@@ -22,6 +22,10 @@ pub struct Finding {
     pub detail: String,
     /// Human-readable explanation.
     pub message: String,
+    /// For reachability rules (L008/L009): the call chain from the analyzed
+    /// surface down to the sink, as `qualified_fn @ path:line` steps.
+    /// Empty for token-local rules.
+    pub chain: Vec<String>,
 }
 
 impl Finding {
@@ -39,7 +43,14 @@ impl Finding {
             line,
             detail: detail.into(),
             message: message.into(),
+            chain: Vec::new(),
         }
+    }
+
+    /// Attaches a call chain (reachability rules).
+    pub fn with_chain(mut self, chain: Vec<String>) -> Finding {
+        self.chain = chain;
+        self
     }
 }
 
@@ -128,21 +139,33 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Renders findings as a JSON array (sorted, machine-readable, one object
-/// per finding with `rule`/`path`/`line`/`detail`/`message`/`baselined`).
+/// per finding with `rule`/`path`/`line`/`detail`/`message`/`baselined`,
+/// plus `chain` for reachability findings that carry a call chain).
 pub fn to_json(findings: &[(Finding, bool)]) -> String {
     let mut out = String::from("[");
     for (i, (f, baselined)) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
+        let chain = if f.chain.is_empty() {
+            String::new()
+        } else {
+            let steps: Vec<String> = f
+                .chain
+                .iter()
+                .map(|s| format!("\"{}\"", json_escape(s)))
+                .collect();
+            format!(", \"chain\": [{}]", steps.join(", "))
+        };
         out.push_str(&format!(
-            "\n  {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"detail\": \"{}\", \"message\": \"{}\", \"baselined\": {}}}",
+            "\n  {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"detail\": \"{}\", \"message\": \"{}\", \"baselined\": {}{}}}",
             json_escape(&f.rule),
             json_escape(&f.path),
             f.line,
             json_escape(&f.detail),
             json_escape(&f.message),
-            baselined
+            baselined,
+            chain
         ));
     }
     if !findings.is_empty() {

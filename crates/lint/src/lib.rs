@@ -18,17 +18,25 @@
 //! * [`parser`] — item-level structure in the no-`syn` style of
 //!   `shims/serde_derive`: brace scopes, attributes, `fn` bodies,
 //!   `#[cfg(test)]` regions, and `// lint: allow(RULE) reason` directives.
-//! * [`rules`] — the catalog (L001 oracle-coverage, L002 no-panic surface,
-//!   L003 lock discipline, L004 crate hygiene, L006 env-var registry,
-//!   L007 smoke-grep rot) over a declarative [`rules::Config`].
-//! * [`findings`] — stable finding identities, the checked-in baseline
-//!   format, and machine-readable JSON output.
+//! * [`graph`] — the whole-workspace interprocedural call graph: a symbol
+//!   table of free fns and inherent methods (test code contributes no
+//!   nodes), module-path- and `use`-aware resolution, conservative
+//!   over-approximation for untyped method dispatch, and SCC-condensed
+//!   reachability so recursion in the kernels cannot hang a rule.
+//! * [`rules`] — the catalog: token-level rules (L001 oracle-coverage,
+//!   L002 no-panic surface, L003 lock discipline, L004 crate hygiene,
+//!   L006 env-var registry, L007 smoke-grep rot) and graph-backed rules
+//!   (L008 transitive no-panic, L009 lock reachability, L010 allow-debt)
+//!   over a declarative [`rules::Config`].
+//! * [`findings`] — stable finding identities, call chains, the checked-in
+//!   baseline format, and machine-readable JSON output.
 //! * [`workspace`] — file discovery (skipping `target/` and test fixtures).
 //!
 //! The `projtile-lint` binary runs the catalog over the workspace, exits
 //! nonzero on any finding not suppressed by the baseline, and is wired into
 //! `scripts/ci.sh` as a gating stage. The full rule catalog with rationale
-//! and examples is documented in `docs/lints.md`.
+//! and examples is documented in `docs/lints.md` (also served by
+//! `projtile-lint --explain RULE`).
 //!
 //! [`SharedEngine`]: ../projtile_core/engine/struct.SharedEngine.html
 
@@ -36,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod findings;
+pub mod graph;
 pub mod lexer;
 pub mod parser;
 pub mod rules;

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! projtile-lint [--root DIR] [--baseline FILE] [--json] [--write-baseline FILE]
+//!               [--explain RULE]
 //! ```
 //!
 //! Exit codes: `0` — no findings beyond the baseline; `1` — at least one new
@@ -18,10 +19,11 @@ struct Args {
     baseline: Option<PathBuf>,
     json: bool,
     write_baseline: Option<PathBuf>,
+    explain: Option<String>,
 }
 
 const USAGE: &str = "usage: projtile-lint [--root DIR] [--baseline FILE] [--json] \
-                     [--write-baseline FILE]";
+                     [--write-baseline FILE] [--explain RULE]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -29,6 +31,7 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         json: false,
         write_baseline: None,
+        explain: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -39,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
                 args.write_baseline = Some(next_value(&mut it, "--write-baseline")?.into());
             }
             "--json" => args.json = true,
+            "--explain" => args.explain = Some(next_value(&mut it, "--explain")?),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -66,6 +70,9 @@ fn main() -> ExitCode {
 
 fn run() -> Result<ExitCode, String> {
     let args = parse_args()?;
+    if let Some(rule) = &args.explain {
+        return explain(&args.root, rule);
+    }
     let config = Config::repo();
     let found = run_lint(&args.root, &config)?;
 
@@ -121,4 +128,42 @@ fn run() -> Result<ExitCode, String> {
     } else {
         ExitCode::FAILURE
     })
+}
+
+/// Prints rule `rule`'s entry from the catalog (`docs/lints.md` under
+/// `root`): the `### RULE — …` section up to the next heading.
+fn explain(root: &std::path::Path, rule: &str) -> Result<ExitCode, String> {
+    let rule = rule.to_ascii_uppercase();
+    let path = root.join("docs/lints.md");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("failed to read {}: {e}", path.display()))?;
+    let mut section = String::new();
+    let mut inside = false;
+    for line in text.lines() {
+        if let Some(head) = line.strip_prefix("### ") {
+            inside = head.split_whitespace().next() == Some(rule.as_str());
+            if inside {
+                section.push_str(line);
+                section.push('\n');
+            }
+            continue;
+        }
+        if inside {
+            if line.starts_with("## ") {
+                break;
+            }
+            section.push_str(line);
+            section.push('\n');
+        }
+    }
+    if section.is_empty() {
+        return Err(format!(
+            "no catalog entry for `{rule}` in {} (see its ## Rules section)",
+            path.display()
+        ));
+    }
+    let mut out = std::io::stdout().lock();
+    let _ = write!(out, "{}", section.trim_end_matches('\n'));
+    let _ = writeln!(out);
+    Ok(ExitCode::SUCCESS)
 }

@@ -8,10 +8,14 @@
 //! * crate-level inner attributes (`#![forbid(unsafe_code)]`);
 //! * outer attributes attached to the following item (`#[cfg(test)]`,
 //!   `#[test]`, derives);
-//! * `fn` items: name, line, visibility, and body token range (so a finding
-//!   can name its enclosing function);
+//! * `fn` items: name, line, visibility, body token range, enclosing inline
+//!   `mod` path, enclosing `impl` self type, and return-type identifiers
+//!   (so a finding can name its enclosing function and the call graph can
+//!   resolve methods and guard-returning helpers);
 //! * test regions: the bodies of `#[cfg(test)] mod`s / `#[test]` fns /
 //!   `#[cfg(test)]`-gated items, in which the panic-surface rule is silent;
+//! * `use` declarations flattened into per-file alias→path entries (groups,
+//!   `as` renames, and `*` globs included), for call-graph name resolution;
 //! * `// lint: allow(<RULE>) <reason>` escape-hatch directives.
 
 use crate::lexer::{lex, Tok, Token};
@@ -28,6 +32,26 @@ pub struct FnItem {
     /// Token-index range of the body, `body_start..body_end` (the indices of
     /// the `{` and the matching `}`); `None` for bodyless declarations.
     pub body: Option<(usize, usize)>,
+    /// Names of the inline `mod` scopes enclosing the item, outermost first.
+    /// The file-level module path (from the file's location) is not included.
+    pub module: Vec<String>,
+    /// The self type of the innermost enclosing `impl` block, if any —
+    /// `Tableau` for both `impl Tableau` and `impl Display for Tableau`.
+    pub self_type: Option<String>,
+    /// All identifiers appearing in the return type (path segments and
+    /// generic arguments alike) — enough to spot guard-returning helpers.
+    pub ret_idents: Vec<String>,
+}
+
+/// One flattened `use` entry: `alias` is the name it binds in this file
+/// (the last path segment, or the `as` rename), `"*"` for glob imports.
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    /// Full path segments as written, including a leading `crate` / `self` /
+    /// `super` / external-crate segment.
+    pub path: Vec<String>,
+    /// Name bound in this file; `"*"` for `use …::*`.
+    pub alias: String,
 }
 
 /// One `// lint: allow(RULE) reason` directive.
@@ -55,6 +79,8 @@ pub struct ParsedFile {
     pub test_regions: Vec<(usize, usize)>,
     /// `// lint: allow(...)` directives, in source order.
     pub allows: Vec<AllowDirective>,
+    /// Flattened `use` declarations, in source order.
+    pub uses: Vec<UseDecl>,
 }
 
 impl ParsedFile {
@@ -100,9 +126,28 @@ impl ParsedFile {
     /// Whether an `allow(rule)` directive with a reason covers `line`
     /// (written on the finding's line or on the line directly above it).
     pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allow_line(rule, line).is_some()
+    }
+
+    /// The line of the `allow(rule)` directive (with a reason) covering
+    /// `line`, if any — so rules can record which directive they consumed.
+    pub fn allow_line(&self, rule: &str, line: u32) -> Option<u32> {
         self.allows
             .iter()
-            .any(|d| d.rule == rule && d.has_reason && (d.line == line || d.line + 1 == line))
+            .find(|d| d.rule == rule && d.has_reason && (d.line == line || d.line + 1 == line))
+            .map(|d| d.line)
+    }
+
+    /// Whether `line` falls inside a test-only region (by the line span of
+    /// the region's brace tokens). Used for comment-borne directives, which
+    /// have no token index of their own.
+    pub fn line_in_test_code(&self, line: u32) -> bool {
+        self.test_regions.iter().any(|&(s, e)| {
+            let (Some(a), Some(b)) = (self.tokens.get(s), self.tokens.get(e)) else {
+                return false;
+            };
+            a.line <= line && line <= b.line
+        })
     }
 }
 
@@ -196,6 +241,10 @@ fn scan_items(out: &mut ParsedFile) {
     let mut pending_test = false;
     // A `fn` whose body `{` has not been seen yet.
     let mut open_fn: Option<usize> = None;
+    // A `mod name` whose `{` has not been seen yet.
+    let mut pending_mod: Option<String> = None;
+    // An `impl` block's self type, awaiting its `{`.
+    let mut pending_impl: Option<String> = None;
     // `()` / `[]` nesting, so `;` inside `[u8; 4]` is not an item end.
     let mut parens = 0usize;
     let mut brackets = 0usize;
@@ -203,11 +252,14 @@ fn scan_items(out: &mut ParsedFile) {
         open_idx: usize,
         fn_idx: Option<usize>,
         test: bool,
+        mod_name: Option<String>,
+        impl_ty: Option<String>,
     }
     let mut scopes: Vec<Scope> = Vec::new();
     let mut fns: Vec<FnItem> = Vec::new();
     let mut test_regions: Vec<(usize, usize)> = Vec::new();
     let mut inner_attrs: Vec<String> = Vec::new();
+    let mut uses: Vec<UseDecl> = Vec::new();
 
     let mut i = 0usize;
     while i < tokens.len() {
@@ -242,16 +294,39 @@ fn scan_items(out: &mut ParsedFile) {
             }
             Tok::Ident(kw) if kw == "fn" => {
                 if let Some(name) = ident_at(tokens, i + 1) {
+                    let module: Vec<String> =
+                        scopes.iter().filter_map(|s| s.mod_name.clone()).collect();
+                    let self_type = scopes.iter().rev().find_map(|s| s.impl_ty.clone());
                     fns.push(FnItem {
                         name: name.to_string(),
                         line: tokens[i].line,
                         is_pub: is_pub_before(tokens, i),
                         body: None,
+                        module,
+                        self_type,
+                        ret_idents: ret_idents_after(tokens, i + 2),
                     });
                     open_fn = Some(fns.len() - 1);
                 }
                 // pending_test stays set until the body `{` or a `;`.
                 i += 1;
+            }
+            Tok::Ident(kw) if kw == "mod" && open_fn.is_none() => {
+                pending_mod = ident_at(tokens, i + 1).map(str::to_string);
+                i += 1;
+            }
+            Tok::Ident(kw) if kw == "impl" && open_fn.is_none() => {
+                // `impl` in a signature position (`-> impl Trait`, argument
+                // `impl Trait`) is excluded by the `open_fn` guard; here it
+                // starts an impl block (or, rarely, a `type T = impl …;`
+                // alias, which the `;` arm cancels).
+                pending_impl = impl_self_type(tokens, i);
+                i += 1;
+            }
+            Tok::Ident(kw) if kw == "use" && parens == 0 && brackets == 0 => {
+                // Flatten the whole use-tree via lookahead and skip past it,
+                // so group braces never enter the scope stack.
+                i = parse_use_decl(tokens, i + 1, &mut uses);
             }
             Tok::Punct('(') => {
                 parens += 1;
@@ -274,6 +349,8 @@ fn scan_items(out: &mut ParsedFile) {
                 // declaration or `mod x;` — drop the pending markers.
                 open_fn = None;
                 pending_test = false;
+                pending_mod = None;
+                pending_impl = None;
                 i += 1;
             }
             Tok::Punct('{') => {
@@ -281,6 +358,8 @@ fn scan_items(out: &mut ParsedFile) {
                     open_idx: i,
                     fn_idx: open_fn.take(),
                     test: pending_test,
+                    mod_name: pending_mod.take(),
+                    impl_ty: pending_impl.take(),
                 });
                 pending_test = false;
                 i += 1;
@@ -305,6 +384,196 @@ fn scan_items(out: &mut ParsedFile) {
     out.fns = fns;
     out.test_regions = test_regions;
     out.inner_attrs = inner_attrs;
+    out.uses = uses;
+}
+
+/// Recovers the self type of an `impl` header: the last identifier at
+/// bracket-depth zero before the body `{` (restarting after `for`, stopping
+/// at `where`) — `Tableau` for `impl<T> ops::Add<T> for Tableau<T> where …`.
+fn impl_self_type(tokens: &[Token], impl_idx: usize) -> Option<String> {
+    let mut ty: Option<String> = None;
+    let mut angle = 0usize;
+    let mut paren = 0usize;
+    let mut j = impl_idx + 1;
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            Tok::Punct('{') | Tok::Punct(';') if angle == 0 && paren == 0 => break,
+            Tok::Punct('<') => angle += 1,
+            // `->` in a generic bound (`F: Fn() -> R`) is not a closer.
+            Tok::Punct('>')
+                if !matches!(tokens.get(j - 1).map(|t| &t.tok), Some(Tok::Punct('-'))) =>
+            {
+                angle = angle.saturating_sub(1);
+            }
+            Tok::Punct('(') => paren += 1,
+            Tok::Punct(')') => paren = paren.saturating_sub(1),
+            Tok::Ident(id) if angle == 0 && paren == 0 => {
+                if id == "where" {
+                    break;
+                }
+                if id == "for" {
+                    ty = None;
+                } else if !matches!(id.as_str(), "dyn" | "mut" | "const") {
+                    ty = Some(id.clone());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    ty
+}
+
+/// Collects the identifiers of a fn's return type. `after_name` points just
+/// past the fn name; the signature's generics and parameter list are skipped,
+/// then everything between `->` and the body `{` (or `;` / `where`) is
+/// scanned for identifiers.
+fn ret_idents_after(tokens: &[Token], after_name: usize) -> Vec<String> {
+    let mut j = after_name;
+    // Skip `<…>` generics (guarding against `->` inside `Fn() -> R` bounds).
+    if matches!(tokens.get(j).map(|t| &t.tok), Some(Tok::Punct('<'))) {
+        let mut angle = 0usize;
+        while j < tokens.len() {
+            match &tokens[j].tok {
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>')
+                    if !matches!(tokens.get(j - 1).map(|t| &t.tok), Some(Tok::Punct('-'))) =>
+                {
+                    angle -= 1;
+                    if angle == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    // Skip the parameter list.
+    if !matches!(tokens.get(j).map(|t| &t.tok), Some(Tok::Punct('('))) {
+        return Vec::new();
+    }
+    let mut paren = 0usize;
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            Tok::Punct('(') => paren += 1,
+            Tok::Punct(')') => {
+                paren -= 1;
+                if paren == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    // Expect `->`; otherwise the fn returns unit.
+    if !(matches!(tokens.get(j).map(|t| &t.tok), Some(Tok::Punct('-')))
+        && matches!(tokens.get(j + 1).map(|t| &t.tok), Some(Tok::Punct('>'))))
+    {
+        return Vec::new();
+    }
+    j += 2;
+    let mut out = Vec::new();
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            Tok::Punct('{') | Tok::Punct(';') => break,
+            Tok::Ident(id) => {
+                if id == "where" {
+                    break;
+                }
+                out.push(id.clone());
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    out
+}
+
+/// Flattens one `use` declaration starting just past the `use` keyword into
+/// `out`, returning the token index just past the terminating `;`.
+fn parse_use_decl(tokens: &[Token], start: usize, out: &mut Vec<UseDecl>) -> usize {
+    let end = parse_use_tree(tokens, start, &[], out);
+    // Consume through the `;` (parse_use_tree stops at it or at EOF).
+    let mut j = end;
+    while j < tokens.len() {
+        if matches!(tokens[j].tok, Tok::Punct(';')) {
+            return j + 1;
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Recursive-descent flattening of a use-tree (`a::b::{c, d as e, f::*}`).
+/// Returns the index just past the tree (before any `,`/`}`/`;`).
+fn parse_use_tree(
+    tokens: &[Token],
+    start: usize,
+    prefix: &[String],
+    out: &mut Vec<UseDecl>,
+) -> usize {
+    let mut segs: Vec<String> = prefix.to_vec();
+    let mut j = start;
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            Tok::Ident(id) if id == "as" => {
+                if let Some(alias) = ident_at(tokens, j + 1) {
+                    out.push(UseDecl {
+                        path: segs,
+                        alias: alias.to_string(),
+                    });
+                    return j + 2;
+                }
+                return j + 1;
+            }
+            Tok::Ident(id) => {
+                segs.push(id.clone());
+                j += 1;
+            }
+            Tok::Punct(':') => {
+                j += 1; // both colons of `::` arrive as single puncts
+            }
+            Tok::Punct('*') => {
+                out.push(UseDecl {
+                    path: segs,
+                    alias: "*".to_string(),
+                });
+                return j + 1;
+            }
+            Tok::Punct('{') => {
+                j += 1;
+                while j < tokens.len() {
+                    match &tokens[j].tok {
+                        Tok::Punct('}') => return j + 1,
+                        Tok::Punct(',') => j += 1,
+                        _ => {
+                            let next = parse_use_tree(tokens, j, &segs, out);
+                            // Guarantee progress on malformed input.
+                            j = next.max(j + 1);
+                        }
+                    }
+                }
+                return j;
+            }
+            _ => {
+                // `;`, `,`, `}` or anything unexpected ends this tree.
+                if segs.len() > prefix.len() {
+                    let alias = segs.last().cloned().unwrap_or_default();
+                    out.push(UseDecl { path: segs, alias });
+                }
+                return j;
+            }
+        }
+    }
+    if segs.len() > prefix.len() {
+        let alias = segs.last().cloned().unwrap_or_default();
+        out.push(UseDecl { path: segs, alias });
+    }
+    j
 }
 
 /// Whether a `pub` marker directly precedes the item keyword at `i`
@@ -395,5 +664,70 @@ mod tests {
             .position(|t| matches!(&t.tok, Tok::Ident(s) if s == "probe"))
             .unwrap();
         assert_eq!(p.enclosing_fn(probe).unwrap().name, "inner");
+    }
+
+    #[test]
+    fn fns_carry_module_path_and_impl_self_type() {
+        let p = ParsedFile::parse(
+            "mod outer { mod inner { fn deep() {} }\n\
+             struct S;\n\
+             impl S { fn m(&self) {} }\n\
+             impl std::fmt::Display for S { fn fmt(&self) {} } }\n\
+             impl<T: Clone> Grid<T> where T: Copy { fn cell(&self) {} }\n",
+        );
+        let by_name = |n: &str| p.fns.iter().find(|f| f.name == n).unwrap();
+        assert_eq!(by_name("deep").module, ["outer", "inner"]);
+        assert_eq!(by_name("m").module, ["outer"]);
+        assert_eq!(by_name("m").self_type.as_deref(), Some("S"));
+        assert_eq!(by_name("fmt").self_type.as_deref(), Some("S"));
+        assert_eq!(by_name("cell").self_type.as_deref(), Some("Grid"));
+        assert_eq!(by_name("deep").self_type, None);
+    }
+
+    #[test]
+    fn impl_trait_in_signature_is_not_an_impl_block() {
+        let p = ParsedFile::parse(
+            "fn iter(xs: impl IntoIterator<Item = u8>) -> impl Iterator<Item = u8> { xs.into_iter() }\n\
+             fn after() {}\n",
+        );
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[1].self_type, None);
+        assert!(p.fns[0].ret_idents.iter().any(|s| s == "Iterator"));
+    }
+
+    #[test]
+    fn return_type_idents_capture_guard_types() {
+        let p = ParsedFile::parse(
+            "fn wlock(&self, i: usize) -> RwLockWriteGuard<'_, Engine> { self.shards[i].write() }\n\
+             fn plain(x: (u8, u8)) -> Result<Vec<String>, Error> { Ok(vec![]) }\n\
+             fn unit() {}\n\
+             fn generic<F: Fn() -> usize>(f: F) -> usize { f() }\n",
+        );
+        assert!(p.fns[0].ret_idents.iter().any(|s| s == "RwLockWriteGuard"));
+        assert_eq!(p.fns[1].ret_idents, ["Result", "Vec", "String", "Error"]);
+        assert!(p.fns[2].ret_idents.is_empty());
+        assert_eq!(p.fns[3].ret_idents, ["usize"]);
+    }
+
+    #[test]
+    fn use_trees_flatten_with_groups_renames_and_globs() {
+        let p = ParsedFile::parse(
+            "use std::collections::HashMap;\n\
+             use crate::engine::{Engine, shared::SharedEngine as Shared, store::*};\n\
+             pub use projtile_lp::solve;\n\
+             fn f() {}\n",
+        );
+        let find = |alias: &str| p.uses.iter().find(|u| u.alias == alias).unwrap();
+        assert_eq!(find("HashMap").path, ["std", "collections", "HashMap"]);
+        assert_eq!(find("Engine").path, ["crate", "engine", "Engine"]);
+        assert_eq!(
+            find("Shared").path,
+            ["crate", "engine", "shared", "SharedEngine"]
+        );
+        assert_eq!(find("*").path, ["crate", "engine", "store"]);
+        assert_eq!(find("solve").path, ["projtile_lp", "solve"]);
+        // Use-group braces never corrupt fn/scope recovery.
+        assert_eq!(p.fns.len(), 1);
+        assert!(p.fns[0].body.is_some());
     }
 }

@@ -1,0 +1,80 @@
+//! **L010 allow-debt** — every `// lint: allow` directive must still
+//! suppress a live finding.
+//!
+//! Inline allows are the catalog's pressure valve: a named invariant beats a
+//! baseline entry because it sits next to the code it excuses. But the code
+//! moves and the excuse stays — a refactor deletes the `.unwrap()` and the
+//! directive above it now suppresses nothing, silently pre-approving the
+//! *next* panic someone writes on that line. This rule closes the loop:
+//! every other rule records which directives it consumed (including the
+//! reachability rules, which count a directive as live when it cuts a sink,
+//! edge, or entry that the uncut call graph could still reach), and whatever
+//! remains is a finding. Also flagged: directives without a reason (they
+//! never suppressed anything to begin with) and directives naming a rule id
+//! that is not in the catalog (typos rot silently otherwise).
+//!
+//! Directives inside `#[cfg(test)]` regions or test files are exempt — test
+//! code routinely quotes directives as data.
+
+use crate::findings::Finding;
+use crate::workspace::Workspace;
+
+use super::{Config, RuleCtx, KNOWN_RULES};
+
+/// Runs L010.
+pub fn run(ws: &Workspace, _cfg: &Config, ctx: &RuleCtx) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for src in &ws.sources {
+        if src.is_test_file() {
+            continue;
+        }
+        for d in &src.parsed.allows {
+            if src.parsed.line_in_test_code(d.line) {
+                continue;
+            }
+            let detail = format!("allow({}):{}", d.rule, d.line);
+            if !d.has_reason {
+                findings.push(Finding::new(
+                    "L010",
+                    &src.path,
+                    d.line,
+                    detail,
+                    format!(
+                        "`lint: allow({})` has no reason, so it suppresses nothing; \
+                         state the invariant it relies on or delete it",
+                        d.rule
+                    ),
+                ));
+                continue;
+            }
+            if !KNOWN_RULES.contains(&d.rule.as_str()) {
+                findings.push(Finding::new(
+                    "L010",
+                    &src.path,
+                    d.line,
+                    detail,
+                    format!(
+                        "`lint: allow({})` names a rule that is not in the catalog \
+                         (typo? retired id?); see docs/lints.md",
+                        d.rule
+                    ),
+                ));
+                continue;
+            }
+            if !ctx.allow_used(&src.path, d.line) {
+                findings.push(Finding::new(
+                    "L010",
+                    &src.path,
+                    d.line,
+                    detail,
+                    format!(
+                        "stale `lint: allow({})`: no live {} finding is suppressed \
+                         here any more; delete the directive",
+                        d.rule, d.rule
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}

@@ -13,7 +13,7 @@ use crate::findings::Finding;
 use crate::lexer::Tok;
 use crate::workspace::Workspace;
 
-use super::Config;
+use super::{Config, RuleCtx};
 
 /// Extracts `PROJTILE_*` variable names from a string literal's contents.
 fn env_names(s: &str) -> Vec<String> {
@@ -36,7 +36,7 @@ fn env_names(s: &str) -> Vec<String> {
 }
 
 /// Runs L006.
-pub fn run(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+pub fn run(ws: &Workspace, cfg: &Config, ctx: &RuleCtx) -> Vec<Finding> {
     let mut findings = Vec::new();
     let registry = ws.env_registry.as_deref();
     let mut reported: HashSet<(String, String)> = HashSet::new();
@@ -50,7 +50,8 @@ pub fn run(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
                 if registry.is_some_and(|doc| doc.contains(&name)) {
                     continue;
                 }
-                if src.parsed.allowed("L006", t.line) {
+                if let Some(dl) = src.parsed.allow_line("L006", t.line) {
+                    ctx.mark_allow_used(&src.path, dl);
                     continue;
                 }
                 if !reported.insert((src.path.clone(), name.clone())) {

@@ -8,17 +8,23 @@
 //!
 //! * `let g = …​.write();` — guard `g` is live to the end of its block;
 //! * a bare `….write()` temporary — live to the end of its statement;
+//! * a call to a helper whose return type names a write guard
+//!   (`fn wshard(&self, i) -> RwLockWriteGuard<…>`) — an acquisition at the
+//!   call site, exactly like a literal `.write()`;
 //! * `drop(g)` — ends `g`'s liveness early.
 //!
 //! Any call to a configured expensive function (the LP/enumeration entry
 //! points and `compute_detached`) while a guard is live is a finding.
 //! Escape hatch: `// lint: allow(L003) <reason>`.
 
+use std::collections::HashSet;
+
 use crate::findings::Finding;
+use crate::graph::GuardKind;
 use crate::lexer::Tok;
 use crate::workspace::Workspace;
 
-use super::Config;
+use super::{Config, RuleCtx};
 
 #[derive(Debug)]
 struct Guard {
@@ -31,7 +37,16 @@ struct Guard {
 }
 
 /// Runs L003.
-pub fn run(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+pub fn run(ws: &Workspace, cfg: &Config, ctx: &RuleCtx) -> Vec<Finding> {
+    // Workspace fns whose return type names a *write* guard: calling one is
+    // a lock acquisition at the call site (the helper-wrapped `.write()`).
+    let guard_helpers: HashSet<&str> = ctx
+        .graph
+        .nodes
+        .iter()
+        .filter(|n| n.guard_ret == Some(GuardKind::Write))
+        .map(|n| n.name.as_str())
+        .collect();
     let mut findings = Vec::new();
     for src in ws.sources_under(&cfg.lock_scope) {
         if src.is_test_file() {
@@ -76,14 +91,26 @@ pub fn run(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
                         guards.retain(|g| g.name.as_deref() != Some(arg.as_str()));
                     }
                 }
-                Tok::Ident(name) if name == "write" => {
-                    // `.write()` with no arguments: a lock acquisition.
-                    let is_acquire =
-                        matches!(
-                            tokens.get(i.wrapping_sub(1)).map(|t| &t.tok),
-                            Some(Tok::Punct('.'))
-                        ) && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('(')))
-                            && matches!(tokens.get(i + 2).map(|t| &t.tok), Some(Tok::Punct(')')));
+                Tok::Ident(name) if name == "write" || guard_helpers.contains(name.as_str()) => {
+                    // `.write()` with no arguments, or a call to a helper
+                    // that returns a write guard: a lock acquisition.
+                    let called = matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('(')));
+                    let is_acquire = if name == "write" {
+                        called
+                            && matches!(
+                                tokens.get(i.wrapping_sub(1)).map(|t| &t.tok),
+                                Some(Tok::Punct('.'))
+                            )
+                            && matches!(tokens.get(i + 2).map(|t| &t.tok), Some(Tok::Punct(')')))
+                    } else {
+                        // Helper call (dotted or free) — but not the
+                        // helper's own `fn` definition.
+                        called
+                            && !matches!(
+                                tokens.get(i.wrapping_sub(1)).map(|t| &t.tok),
+                                Some(Tok::Ident(kw)) if kw == "fn"
+                            )
+                    };
                     if is_acquire && !p.in_test_code(i) {
                         guards.push(Guard {
                             name: pending_let.clone(),
@@ -97,7 +124,11 @@ pub fn run(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
                         && !guards.is_empty()
                         && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('('))) =>
                 {
-                    if p.in_test_code(i) || p.allowed("L003", t.line) {
+                    if p.in_test_code(i) {
+                        continue;
+                    }
+                    if let Some(dl) = p.allow_line("L003", t.line) {
+                        ctx.mark_allow_used(&src.path, dl);
                         continue;
                     }
                     let scope = p

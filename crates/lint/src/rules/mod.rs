@@ -1,26 +1,43 @@
 //! The rule catalog and its configuration.
 //!
 //! Each rule is a pure function from the loaded [`Workspace`] (plus the
-//! [`Config`]) to findings. Rule ids are stable and never reused; the full
-//! catalog with rationale and examples lives in `docs/lints.md`.
+//! [`Config`] and the shared [`RuleCtx`] — the whole-workspace call graph
+//! and the allow-consumption ledger) to findings. Rule ids are stable and
+//! never reused; the full catalog with rationale and examples lives in
+//! `docs/lints.md`.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
 
 use crate::findings::Finding;
+use crate::graph::CallGraph;
 use crate::workspace::Workspace;
 
+mod allowdebt;
 mod envreg;
 mod hygiene;
+mod lockreach;
 mod locks;
 mod oracle;
 mod panics;
+mod reach;
 mod smoke;
+
+/// Every rule id the catalog ships (L005 is retired and never reused).
+pub const KNOWN_RULES: [&str; 9] = [
+    "L001", "L002", "L003", "L004", "L006", "L007", "L008", "L009", "L010",
+];
 
 /// What the rules check and where. The defaults ([`Config::repo`]) encode
 /// this workspace's conventions; tests substitute fixture paths.
 #[derive(Debug, Clone)]
 pub struct Config {
-    /// L002: directories whose non-test code must not panic.
+    /// L002/L008: directories whose non-test code must not panic — L002
+    /// forbids panic tokens written *inside* them, L008 forbids call chains
+    /// *out of* them that reach a panic anywhere in the workspace (and,
+    /// within these directories only, bare indexing and non-literal `/`/`%`).
     pub panic_scope: Vec<String>,
-    /// L003: directories in which lock discipline is enforced.
+    /// L003/L009: directories in which lock discipline is enforced.
     pub lock_scope: Vec<String>,
     /// L003: functions too expensive to call while a `.write()` guard is
     /// live (matched by final path segment).
@@ -39,6 +56,13 @@ pub struct Config {
     pub env_scan_exclude: Vec<String>,
     /// L007: directories whose string literals define bench workload names.
     pub bench_src_dirs: Vec<String>,
+    /// L008/L009: directories excluded from the call graph (the linter is a
+    /// dev-tool — never linked into the service or the kernels).
+    pub graph_exclude: Vec<String>,
+    /// L009: method names whose receiver call counts as blocking I/O
+    /// (socket/file writes, fsyncs); `fs::`/`File::`/`OpenOptions::`/
+    /// `TcpStream::`/`TcpListener::` path calls count unconditionally.
+    pub blocking_io_methods: Vec<String>,
 }
 
 impl Config {
@@ -71,20 +95,76 @@ impl Config {
             env_registry_path: "docs/operations.md".to_string(),
             env_scan_exclude: s(&["crates/lint"]),
             bench_src_dirs: s(&["crates/bench/src"]),
+            graph_exclude: s(&["crates/lint"]),
+            blocking_io_methods: s(&[
+                "write_all",
+                "write_fmt",
+                "flush",
+                "sync_all",
+                "sync_data",
+                "read_exact",
+                "read_to_end",
+                "read_to_string",
+                "send",
+                "send_to",
+                "recv",
+                "recv_from",
+                "accept",
+                "connect",
+            ]),
         }
+    }
+}
+
+/// State shared by the rules of one run: the interprocedural call graph and
+/// the ledger of `// lint: allow` directives that actually suppressed (or
+/// would suppress) a live finding — L010 flags the rest as stale.
+pub struct RuleCtx {
+    /// The whole-workspace call graph.
+    pub graph: CallGraph,
+    /// `(path, directive line)` of every consumed allow directive.
+    used_allows: RefCell<HashSet<(String, u32)>>,
+}
+
+impl RuleCtx {
+    /// Builds the shared context (graph construction happens here, once).
+    pub fn new(ws: &Workspace, cfg: &Config) -> RuleCtx {
+        RuleCtx {
+            graph: CallGraph::build(ws, &cfg.graph_exclude),
+            used_allows: RefCell::new(HashSet::new()),
+        }
+    }
+
+    /// Records that the directive at `(path, line)` suppressed something.
+    pub fn mark_allow_used(&self, path: &str, line: u32) {
+        self.used_allows
+            .borrow_mut()
+            .insert((path.to_string(), line));
+    }
+
+    /// Whether the directive at `(path, line)` was consumed by any rule.
+    pub fn allow_used(&self, path: &str, line: u32) -> bool {
+        self.used_allows
+            .borrow()
+            .contains(&(path.to_string(), line))
     }
 }
 
 /// Runs every rule over the workspace, returning findings sorted by
 /// `(path, line, rule)`.
 pub fn run_all(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+    let ctx = RuleCtx::new(ws, cfg);
     let mut findings = Vec::new();
-    findings.extend(oracle::run(ws, cfg));
-    findings.extend(panics::run(ws, cfg));
-    findings.extend(locks::run(ws, cfg));
+    findings.extend(oracle::run(ws, cfg, &ctx));
+    findings.extend(panics::run(ws, cfg, &ctx));
+    findings.extend(locks::run(ws, cfg, &ctx));
     findings.extend(hygiene::run(ws, cfg));
-    findings.extend(envreg::run(ws, cfg));
+    findings.extend(envreg::run(ws, cfg, &ctx));
     findings.extend(smoke::run(ws, cfg));
+    findings.extend(reach::run(ws, cfg, &ctx));
+    findings.extend(lockreach::run(ws, cfg, &ctx));
+    // L010 must run last: it audits the allow-consumption ledger.
+    findings.extend(allowdebt::run(ws, cfg, &ctx));
     findings.sort_by(|a, b| {
         (&a.path, a.line, &a.rule, &a.detail).cmp(&(&b.path, b.line, &b.rule, &b.detail))
     });

@@ -15,7 +15,7 @@ use crate::lexer::Tok;
 use crate::parser::ParsedFile;
 use crate::workspace::{Source, Workspace};
 
-use super::Config;
+use super::{Config, RuleCtx};
 
 fn ident_set(parsed: &ParsedFile) -> HashSet<&str> {
     parsed
@@ -33,7 +33,7 @@ fn in_scope_src(s: &Source, cfg: &Config) -> bool {
 }
 
 /// Runs L001.
-pub fn run(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+pub fn run(ws: &Workspace, cfg: &Config, ctx: &RuleCtx) -> Vec<Finding> {
     let mut findings = Vec::new();
 
     // Test files (under the oracle scope) and their identifier sets.
@@ -65,7 +65,11 @@ pub fn run(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
             let covered = test_idents
                 .iter()
                 .any(|ids| ids.contains(warm) && ids.contains(f.name.as_str()));
-            if covered || src.parsed.allowed("L001", f.line) {
+            if covered {
+                continue;
+            }
+            if let Some(dl) = src.parsed.allow_line("L001", f.line) {
+                ctx.mark_allow_used(&src.path, dl);
                 continue;
             }
             findings.push(Finding::new(

@@ -19,9 +19,10 @@
 
 use crate::findings::Finding;
 use crate::lexer::Tok;
+use crate::parser::ParsedFile;
 use crate::workspace::Workspace;
 
-use super::Config;
+use super::{Config, RuleCtx};
 
 const METHODS: [&str; 2] = ["unwrap", "expect"];
 const MACROS: [&str; 7] = [
@@ -34,8 +35,30 @@ const MACROS: [&str; 7] = [
     "assert_ne",
 ];
 
+/// If token `i` is a panicking token (`.unwrap()` / `.expect(` shape, or a
+/// panicking macro invocation), returns its display form (`".unwrap()"`,
+/// `"panic!"`). Shared with L008's transitive sink scan.
+pub(super) fn panic_token(p: &ParsedFile, i: usize) -> Option<String> {
+    let Tok::Ident(name) = &p.tokens[i].tok else {
+        return None;
+    };
+    if METHODS.contains(&name.as_str()) {
+        let dotted = matches!(
+            p.tokens.get(i.wrapping_sub(1)).map(|t| &t.tok),
+            Some(Tok::Punct('.'))
+        ) && matches!(p.tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('(')));
+        return dotted.then(|| format!(".{name}()"));
+    }
+    if MACROS.contains(&name.as_str())
+        && matches!(p.tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('!')))
+    {
+        return Some(format!("{name}!"));
+    }
+    None
+}
+
 /// Runs L002.
-pub fn run(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+pub fn run(ws: &Workspace, cfg: &Config, ctx: &RuleCtx) -> Vec<Finding> {
     let mut findings = Vec::new();
     for src in ws.sources_under(&cfg.panic_scope) {
         if src.is_test_file() {
@@ -43,25 +66,16 @@ pub fn run(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
         }
         let p = &src.parsed;
         for (i, t) in p.tokens.iter().enumerate() {
-            let Tok::Ident(name) = &t.tok else { continue };
-            let forbidden = if METHODS.contains(&name.as_str()) {
-                matches!(
-                    p.tokens.get(i.wrapping_sub(1)).map(|t| &t.tok),
-                    Some(Tok::Punct('.'))
-                ) && matches!(p.tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('(')))
-            } else if MACROS.contains(&name.as_str()) {
-                matches!(p.tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('!')))
-            } else {
-                false
+            let Some(display) = panic_token(p, i) else {
+                continue;
             };
-            if !forbidden || p.in_test_code(i) || p.allowed("L002", t.line) {
+            if p.in_test_code(i) {
                 continue;
             }
-            let display = if METHODS.contains(&name.as_str()) {
-                format!(".{name}()")
-            } else {
-                format!("{name}!")
-            };
+            if let Some(dl) = p.allow_line("L002", t.line) {
+                ctx.mark_allow_used(&src.path, dl);
+                continue;
+            }
             let scope = p
                 .enclosing_fn(i)
                 .map(|f| f.name.clone())

@@ -1,0 +1,22 @@
+//! Fixture kernel crate: outside the no-panic surface, so its panics only
+//! matter when the call graph proves a surface function reaches them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Reached from the surface; delegates to the panicking `inner` (the L008
+/// finding lands on `inner`'s assert with a three-link chain).
+pub fn risky(n: u64) -> u64 {
+    inner(n)
+}
+
+fn inner(n: u64) -> u64 {
+    assert!(n > 0, "fixture: seeded transitive panic");
+    n
+}
+
+/// Clean: the allow on the `fn` line cuts every chain through this node.
+// lint: allow(L008) fixture: small n cannot overflow, pinned by the caller's validation
+pub fn vetted(n: u64) -> u64 {
+    n.checked_add(1).expect("fixture: never overflows")
+}

@@ -56,7 +56,9 @@ fn fixture_findings_match_golden_json() {
 #[test]
 fn every_shipped_rule_fires_on_the_fixture() {
     let findings = fixture_findings();
-    for rule in ["L001", "L002", "L003", "L004", "L006", "L007"] {
+    for rule in [
+        "L001", "L002", "L003", "L004", "L006", "L007", "L008", "L009", "L010",
+    ] {
         assert!(
             findings.iter().any(|f| f.rule == rule),
             "rule {rule} produced no finding on the seeded fixture"
@@ -79,6 +81,31 @@ fn fixture_negatives_stay_clean() {
     assert!(!findings
         .iter()
         .any(|f| f.rule == "L001" && (f.detail == "covered" || f.detail == "orphan")));
+    // L008 negatives: the allow on `vetted`'s fn line cuts the chain from
+    // `surface_vetted`, and full-range slicing is not an indexing sink.
+    assert!(!findings
+        .iter()
+        .any(|f| f.chain.iter().any(|c| c.contains("surface_vetted"))));
+    assert!(!findings.iter().any(|f| f.detail.starts_with("whole::")));
+    // The L008 finding on the kern assert carries the full three-link chain.
+    let transitive = findings
+        .iter()
+        .find(|f| f.detail == "inner::assert!")
+        .expect("transitive panic is found");
+    assert_eq!(transitive.chain.len(), 3);
+    assert!(transitive.chain[0].contains("surface_entry"));
+    // L009 negatives: guard dropped before the helper, and a chained
+    // temporary guard that dies at its statement.
+    assert!(!findings
+        .iter()
+        .any(|f| f.detail.starts_with("upgrade_after_drop::")));
+    assert!(!findings
+        .iter()
+        .any(|f| f.detail.starts_with("peek_then_write::")));
+    // The justified, consumed allows (guarded, vetted) are not L010 debt.
+    assert!(!findings
+        .iter()
+        .any(|f| f.rule == "L010" && (f.line == 13 || f.path.contains("kern"))));
     // The documented env var and the valid smoke greps are clean.
     assert!(!findings.iter().any(|f| f.detail == "PROJTILE_THREADS"));
     assert!(!findings
@@ -157,6 +184,32 @@ fn missing_root_is_a_usage_error() {
     let bin = env!("CARGO_BIN_EXE_projtile-lint");
     let out = Command::new(bin)
         .args(["--root", "/nonexistent/projtile-lint-test"])
+        .output()
+        .expect("projtile-lint runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn explain_prints_the_catalog_entry() {
+    let bin = env!("CARGO_BIN_EXE_projtile-lint");
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = repo_root.to_str().expect("utf8 path");
+    let out = Command::new(bin)
+        .args(["--root", root, "--explain", "L008"])
+        .output()
+        .expect("projtile-lint runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("### L008"), "got: {text}");
+    assert!(text.contains("call graph"));
+    // Lowercase ids are normalized; unknown ids are usage errors (exit 2).
+    let out = Command::new(bin)
+        .args(["--root", root, "--explain", "l009"])
+        .output()
+        .expect("projtile-lint runs");
+    assert!(out.status.success());
+    let out = Command::new(bin)
+        .args(["--root", root, "--explain", "L999"])
         .output()
         .expect("projtile-lint runs");
     assert_eq!(out.status.code(), Some(2));

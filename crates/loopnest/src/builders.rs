@@ -16,6 +16,7 @@ use crate::support::IndexSet;
 ///
 /// Note the paper's index convention: `A1 = C` has support `{x1, x3}`,
 /// `A2 = A` has `{x1, x2}` and `A3 = B` has `{x2, x3}`.
+// lint: allow(L008) expect: the three-loop matmul nest literal is statically well-formed
 pub fn matmul(l1: u64, l2: u64, l3: u64) -> LoopNest {
     LoopNest::builder()
         .index("i", l1)

@@ -117,6 +117,7 @@ fn invert(perm: &[usize]) -> Vec<usize> {
 /// Computes the canonical form of `nest`: loops sorted by name, arrays sorted
 /// by name, supports rewritten through the loop permutation. See the module
 /// docs for the equivalence this induces.
+// lint: allow(L008) expect: the sort emits a valid permutation of the nest's own axes
 pub fn canonicalize(nest: &LoopNest) -> CanonicalNest {
     let d = nest.num_loops();
     let n = nest.num_arrays();
@@ -159,6 +160,7 @@ pub fn canonicalize(nest: &LoopNest) -> CanonicalNest {
 ///
 /// # Panics
 /// Panics if either argument is not a permutation of the right length.
+// lint: allow(L008) asserts pin the perm-is-a-permutation precondition checked by canonicalize
 pub fn permute_nest(nest: &LoopNest, loop_perm: &[usize], array_perm: &[usize]) -> LoopNest {
     let d = nest.num_loops();
     let n = nest.num_arrays();

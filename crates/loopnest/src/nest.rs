@@ -129,6 +129,7 @@ impl serde::Deserialize for LoopNest {
 
 impl LoopNest {
     /// Builds and validates a loop nest.
+    // lint: allow(L008) expect fires only after this constructor's own shape validation passed
     pub fn new(
         indices: Vec<LoopIndex>,
         arrays: Vec<ArrayAccess>,
@@ -287,6 +288,7 @@ impl LoopNest {
     ///
     /// # Panics
     /// Panics if `bounds.len() != d` or any bound is zero.
+    // lint: allow(L008) asserts pin the documented bounds.len() == num_loops precondition
     pub fn with_bounds(&self, bounds: &[u64]) -> LoopNest {
         assert_eq!(bounds.len(), self.num_loops(), "bound count mismatch");
         assert!(bounds.iter().all(|&b| b > 0), "bounds must be positive");

@@ -25,6 +25,7 @@ impl IndexSet {
     ///
     /// # Panics
     /// Panics if `d > 64`.
+    // lint: allow(L008) assert pins the n <= MAX_AXES capacity bound
     pub fn full(d: usize) -> IndexSet {
         assert!(d <= Self::MAX_INDICES, "at most 64 loop indices supported");
         if d == 64 {

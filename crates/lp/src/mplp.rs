@@ -162,6 +162,7 @@ pub struct AffinePiece {
 
 impl AffinePiece {
     /// Evaluates the piece at `theta`.
+    // lint: allow(L008) assert pins parameter arity, checked by ValueSurface::value_at before dispatch
     pub fn value_at(&self, theta: &[Rational]) -> Rational {
         assert_eq!(theta.len(), self.gradient.len(), "dimension mismatch");
         let mut v = self.constant.clone();
@@ -175,6 +176,7 @@ impl AffinePiece {
 
     /// Renders the piece as a human-readable closed form, e.g. `1 + β3` or
     /// `3/2`, with `names[k]` naming parameter `k`.
+    // lint: allow(L008) assert_eq pins the documented names.len() == coeffs.len() precondition
     pub fn render(&self, names: &[&str]) -> String {
         assert_eq!(names.len(), self.gradient.len(), "one name per parameter");
         let mut out = String::new();
@@ -313,6 +315,7 @@ impl ValueSurface {
     ///
     /// # Panics
     /// Panics if `order` is not a permutation of `0..self.domain().dim()`.
+    // lint: allow(L008) asserts pin the perm-is-a-permutation precondition from canonicalize
     pub fn permute_parameters(&self, order: &[usize]) -> ValueSurface {
         let p = self.domain.dim();
         assert_eq!(order.len(), p, "parameter permutation length mismatch");
@@ -412,6 +415,7 @@ impl ValueSurface {
     /// # Panics
     /// Panics if `theta` lies outside the analyzed box (outside it the
     /// envelope is only a one-sided bound).
+    // lint: allow(L008) asserts pin piece-cover and dimension invariants maintained by the mpLP solver
     pub fn value_at(&self, theta: &[Rational]) -> Rational {
         assert!(
             self.domain.contains(theta),

@@ -36,6 +36,7 @@ impl ValueFunction {
     ///
     /// # Panics
     /// Panics if `theta` lies outside the analyzed interval.
+    // lint: allow(L008) expect/unreachable pin breakpoint coverage: the solver emits a total piecewise function
     pub fn value_at(&self, theta: &Rational) -> Rational {
         let first = &self
             .breakpoints

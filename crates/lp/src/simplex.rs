@@ -609,6 +609,7 @@ impl Tableau {
     /// Cost: when the optimum is already certified unique this is a single
     /// scan; otherwise one restricted mini-optimization per structural
     /// variable, each typically a handful of pivots on the final tableau.
+    // lint: allow(L008) expect pins basis consistency maintained by every pivot
     pub(crate) fn canonicalize_vertex(&mut self) {
         // Columns that may never enter: artificials, plus every column with a
         // strictly positive reduced cost in the primary (or any completed

@@ -87,6 +87,7 @@ fn parse_thread_setting(raw: &str) -> Result<usize, &'static str> {
 ///
 /// The caller guarantees `items` is non-empty and that a parallel run is
 /// worthwhile; the sequential small-input path lives in the public wrappers.
+// lint: allow(L008) expect: scoped worker threads are always joined and cannot outlive the scope
 fn run_chunked<T, R, W>(items: &[T], chunk_size: usize, worker: W) -> Vec<R>
 where
     T: Sync,
@@ -214,6 +215,7 @@ where
 /// [`PARALLEL_THRESHOLD`] and `PROJTILE_THREADS` (a stress test asking for 4
 /// workers means 4 threads). A panic in any worker is re-raised on the
 /// calling thread with its original payload (lowest worker index wins).
+// lint: allow(L008) expect: scoped worker threads are always joined and cannot outlive the scope
 pub fn fan_out<R, F>(workers: usize, f: F) -> Vec<R>
 where
     R: Send,

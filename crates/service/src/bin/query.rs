@@ -29,12 +29,12 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut retry = RetryConfig::default();
     if args.first().map(String::as_str) == Some("--seed") {
-        if args.len() < 2 {
+        let Some(value) = args.get(1) else {
             die("flag `--seed` needs a value");
-        }
-        match args[1].parse::<u64>() {
+        };
+        match value.parse::<u64>() {
             Ok(seed) => retry.jitter_seed = seed.max(1),
-            Err(_) => die(&format!("flag `--seed`: bad value `{}`", args[1])),
+            Err(_) => die(&format!("flag `--seed`: bad value `{value}`")),
         }
         args.drain(..2);
     }

@@ -248,7 +248,7 @@ impl Client {
         x ^= x << 17;
         self.jitter.store(x, Ordering::Relaxed);
         let half = capped.as_millis().max(2) as u64 / 2;
-        capped + Duration::from_millis(x % half.max(1))
+        capped + Duration::from_millis(x.checked_rem(half.max(1)).unwrap_or(0))
     }
 }
 

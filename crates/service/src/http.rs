@@ -58,14 +58,17 @@ pub fn read_request(stream: &mut TcpStream, deadline: Duration) -> Result<Reques
         if buf.len() > MAX_HEAD_BYTES {
             return Err(ReadError::TooLarge);
         }
-        let n = read_some(stream, &mut chunk, start, deadline)?;
-        if n == 0 {
+        let filled = read_some(stream, &mut chunk, start, deadline)?;
+        if filled.is_empty() {
             return Err(ReadError::Malformed("connection closed mid-head".into()));
         }
-        buf.extend_from_slice(&chunk[..n]);
+        buf.extend_from_slice(filled);
     };
 
-    let head = std::str::from_utf8(&buf[..head_end])
+    let head_bytes = buf
+        .get(..head_end)
+        .ok_or_else(|| ReadError::Malformed("head marker out of range".into()))?;
+    let head = std::str::from_utf8(head_bytes)
         .map_err(|_| ReadError::Malformed("request head is not UTF-8".into()))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
@@ -96,13 +99,13 @@ pub fn read_request(stream: &mut TcpStream, deadline: Duration) -> Result<Reques
     }
 
     // Body: whatever followed the blank line, then read to length.
-    let mut body = buf[head_end + 4..].to_vec();
+    let mut body = buf.get(head_end + 4..).unwrap_or_default().to_vec();
     while body.len() < content_length {
-        let n = read_some(stream, &mut chunk, start, deadline)?;
-        if n == 0 {
+        let filled = read_some(stream, &mut chunk, start, deadline)?;
+        if filled.is_empty() {
             return Err(ReadError::Malformed("connection closed mid-body".into()));
         }
-        body.extend_from_slice(&chunk[..n]);
+        body.extend_from_slice(filled);
     }
     body.truncate(content_length);
 
@@ -111,13 +114,14 @@ pub fn read_request(stream: &mut TcpStream, deadline: Duration) -> Result<Reques
 
 /// One deadline-aware socket read: arms a short per-recv timeout, retries
 /// on spurious timeouts while the overall deadline holds, and fails with
-/// [`ReadError::Deadline`] once it lapses.
-fn read_some(
+/// [`ReadError::Deadline`] once it lapses. Returns the filled prefix of
+/// `chunk` (empty on orderly close), so callers never index the buffer.
+fn read_some<'c>(
     stream: &mut TcpStream,
-    chunk: &mut [u8],
+    chunk: &'c mut [u8],
     start: Instant,
     deadline: Duration,
-) -> Result<usize, ReadError> {
+) -> Result<&'c [u8], ReadError> {
     loop {
         let elapsed = start.elapsed();
         if elapsed >= deadline {
@@ -128,7 +132,7 @@ fn read_some(
             .set_read_timeout(Some(leash.max(Duration::from_millis(1))))
             .map_err(ReadError::Io)?;
         match stream.read(chunk) {
-            Ok(n) => return Ok(n),
+            Ok(n) => return Ok(chunk.get(..n).unwrap_or(&[])),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -201,13 +205,16 @@ pub fn read_response(stream: &mut TcpStream, deadline: Duration) -> Result<Respo
         if let Some(i) = find_blank_line(&buf) {
             break i;
         }
-        let n = read_some(stream, &mut chunk, start, deadline)?;
-        if n == 0 {
+        let filled = read_some(stream, &mut chunk, start, deadline)?;
+        if filled.is_empty() {
             return Err(ReadError::Malformed("connection closed mid-head".into()));
         }
-        buf.extend_from_slice(&chunk[..n]);
+        buf.extend_from_slice(filled);
     };
-    let head = std::str::from_utf8(&buf[..head_end])
+    let head_bytes = buf
+        .get(..head_end)
+        .ok_or_else(|| ReadError::Malformed("head marker out of range".into()))?;
+    let head = std::str::from_utf8(head_bytes)
         .map_err(|_| ReadError::Malformed("response head is not UTF-8".into()))?;
     let mut lines = head.split("\r\n");
     let status_line = lines.next().unwrap_or("");
@@ -231,13 +238,13 @@ pub fn read_response(stream: &mut TcpStream, deadline: Duration) -> Result<Respo
         }
         headers.push((name, value));
     }
-    let mut body = buf[head_end + 4..].to_vec();
+    let mut body = buf.get(head_end + 4..).unwrap_or_default().to_vec();
     while body.len() < content_length {
-        let n = read_some(stream, &mut chunk, start, deadline)?;
-        if n == 0 {
+        let filled = read_some(stream, &mut chunk, start, deadline)?;
+        if filled.is_empty() {
             return Err(ReadError::Malformed("connection closed mid-body".into()));
         }
-        body.extend_from_slice(&chunk[..n]);
+        body.extend_from_slice(filled);
     }
     body.truncate(content_length);
     Ok(Response {

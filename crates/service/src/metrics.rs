@@ -38,7 +38,9 @@ impl Histogram {
     pub fn record(&self, latency: Duration) {
         let micros = latency.as_micros().max(1) as u64;
         let bucket = (63 - micros.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        if let Some(b) = self.buckets.get(bucket) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Total recorded samples.

@@ -29,8 +29,23 @@ done
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo test -q -p projtile-lint (the linter's own suite gates first)"
+cargo test -q -p projtile-lint
+
 echo "==> projtile-lint (workspace conventions; gating, see docs/lints.md)"
-cargo run --release -q -p projtile-lint -- --baseline lint-baseline.txt
+lint_json="${LINT_ARTIFACT:-target/lint-findings.json}"
+mkdir -p "$(dirname "$lint_json")"
+lint_start="$(date +%s)"
+cargo run --release -q -p projtile-lint -- --json --baseline lint-baseline.txt \
+    >"$lint_json" \
+    || { echo "lint findings (artifact: $lint_json):" >&2; cat "$lint_json" >&2; exit 1; }
+lint_secs=$(( $(date +%s) - lint_start ))
+echo "    lint artifact: $lint_json (${lint_secs}s)"
+if [ "$lint_secs" -gt 30 ]; then
+    echo "projtile-lint took ${lint_secs}s (budget: 30s); the interprocedural \
+pass must stay interactive" >&2
+    exit 1
+fi
 
 echo "==> cargo test -q"
 cargo test -q

@@ -611,9 +611,14 @@ pub mod json {
                 Some(_) => {
                     // Consume one UTF-8 character (input is a &str, so the
                     // byte stream is valid UTF-8 by construction).
-                    let rest = std::str::from_utf8(&bytes[*pos..])
+                    let rest = std::str::from_utf8(bytes.get(*pos..).unwrap_or_default())
                         .map_err(|_| Error::custom(format!("invalid UTF-8 at byte {}", *pos)))?;
-                    let c = rest.chars().next().expect("non-empty remainder");
+                    let Some(c) = rest.chars().next() else {
+                        return Err(Error::custom(format!(
+                            "unterminated string at byte {}",
+                            *pos
+                        )));
+                    };
                     out.push(c);
                     *pos += c.len_utf8();
                 }
